@@ -1,0 +1,98 @@
+// Parameter ablations for the design choices DESIGN.md calls out:
+//
+//   * teleportation probability α — the paper fixes α = 0.15 (§6.1); we
+//     sweep it to show how it trades success rate between modes (larger α
+//     concentrates score near the user, shrinking every action's reach);
+//   * the Powerset/Exhaustive subset-node cap — the guard on the 2^|H|
+//     worst case (§5.3); too small a cap forfeits solutions.
+
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+#include "eval/scenario.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace emigre;
+  bench::BenchConfig config = bench::MakeBenchConfig();
+  // This ablation re-runs the experiment per parameter value; shrink it.
+  config.lite.sample_users = config.scale == 0 ? 4 : 8;
+  config.max_per_user = 2;
+  config.top_k = 5;
+  config.method_deadline_seconds =
+      config.scale == 0 ? 0.2 : config.method_deadline_seconds;
+
+  bench::PrintBenchHeader(
+      "Ablations — teleportation α and subset-node cap", config);
+
+  auto lite = bench::BuildBenchGraph(config);
+  lite.status().CheckOK();
+  eval::RunnerOptions run_opts;
+  run_opts.num_threads = 0;
+
+  // --- α sweep over the two Incremental methods. -----------------------------
+  {
+    TextTable table({"alpha", "add_Incremental success",
+                     "remove_Incremental success"});
+    table.SetAlign(1, Align::kRight);
+    table.SetAlign(2, Align::kRight);
+    std::vector<eval::MethodSpec> methods = {
+        {"add_Incremental", explain::Mode::kAdd,
+         explain::Heuristic::kIncremental},
+        {"remove_Incremental", explain::Mode::kRemove,
+         explain::Heuristic::kIncremental},
+    };
+    for (double alpha : {0.05, 0.15, 0.3, 0.5}) {
+      explain::EmigreOptions opts = bench::MakeEmigreOptions(config, *lite);
+      opts.rec.ppr.alpha = alpha;
+      auto scenarios = eval::GenerateScenarios(
+          lite->graph, lite->eval_users, opts, config.top_k,
+          config.max_per_user);
+      scenarios.status().CheckOK();
+      auto result = eval::RunExperiment(lite->graph, scenarios.value(),
+                                        methods, opts, run_opts);
+      result.status().CheckOK();
+      auto aggs = eval::Aggregate(result.value(),
+                                  {"add_Incremental", "remove_Incremental"});
+      table.AddRow({FormatDouble(alpha, 2),
+                    FormatDouble(aggs[0].success_rate, 1) + "%",
+                    FormatDouble(aggs[1].success_rate, 1) + "%"});
+    }
+    std::printf("alpha sweep (paper fixes alpha = 0.15):\n%s\n",
+                table.ToString().c_str());
+  }
+
+  // --- Subset-node cap sweep for remove_Powerset. ----------------------------
+  {
+    TextTable table({"max_subset_nodes", "remove_Powerset success",
+                     "avg time"});
+    table.SetAlign(1, Align::kRight);
+    table.SetAlign(2, Align::kRight);
+    std::vector<eval::MethodSpec> methods = {
+        {"remove_Powerset", explain::Mode::kRemove,
+         explain::Heuristic::kPowerset},
+    };
+    for (size_t cap : {size_t{2}, size_t{4}, size_t{8}, size_t{18}}) {
+      explain::EmigreOptions opts = bench::MakeEmigreOptions(config, *lite);
+      opts.max_subset_nodes = cap;
+      auto scenarios = eval::GenerateScenarios(
+          lite->graph, lite->eval_users, opts, config.top_k,
+          config.max_per_user);
+      scenarios.status().CheckOK();
+      auto result = eval::RunExperiment(lite->graph, scenarios.value(),
+                                        methods, opts, run_opts);
+      result.status().CheckOK();
+      auto aggs = eval::Aggregate(result.value(), {"remove_Powerset"});
+      table.AddRow({StrFormat("%zu", cap),
+                    FormatDouble(aggs[0].success_rate, 1) + "%",
+                    FormatDuration(aggs[0].avg_time_all)});
+    }
+    std::printf("subset-node cap sweep (guards the 2^|H| worst case, "
+                "paper §5.3):\n%s", table.ToString().c_str());
+  }
+  return 0;
+}

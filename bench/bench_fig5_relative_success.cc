@@ -1,0 +1,66 @@
+// Reproduces paper Figure 5: Remove-mode success rates restricted to the
+// scenarios the brute-force oracle can solve ("cases when a solution can be
+// found, given the current data structure").
+//
+// Paper-reported shape (§6.3): remove_ex performs closest to brute force,
+// remove_Powerset exceeds 90%, and remove_ex_direct drops ~33% relative to
+// remove_ex — demonstrating that the CHECK step is necessary.
+
+#include <cstdio>
+
+#include "common.h"
+#include "eval/report.h"
+
+int main() {
+  using namespace emigre;
+  auto experiment = bench::GetOrRunPaperExperiment();
+  experiment.status().CheckOK();
+
+  bench::PrintBenchHeader(
+      "Figure 5 — Remove-mode success relative to brute force (paper §6.3)",
+      experiment->config);
+
+  std::vector<std::string> remove_names;
+  for (const auto& m : eval::RemoveMethods()) remove_names.push_back(m.name);
+
+  // The paper identifies solvable cases "by the success of the brute force
+  // algorithm", whose runtime there is unbounded (~900 s/scenario). Our
+  // brute force runs under a budget, so the solvable set is widened to
+  // every scenario some verified Remove-mode method solved — each is a
+  // constructive proof of solvability the unbounded oracle would find.
+  auto solvable =
+      eval::ProvablySolvableScenarios(experiment->result, remove_names);
+  auto brute_only =
+      eval::OracleSolvableScenarios(experiment->result, "remove_brute");
+  std::printf("Provably solvable scenarios: %zu of %zu (budgeted brute "
+              "force alone proves %zu)\n\n",
+              solvable.size(), experiment->num_scenarios,
+              brute_only.size());
+  if (solvable.empty()) {
+    std::printf("No solvable scenario at this scale; raise "
+                "EMIGRE_BENCH_SCALE.\n");
+    return 0;
+  }
+
+  auto aggregates = eval::AggregateOnScenarios(experiment->result,
+                                               remove_names, solvable);
+  // Success on the provably-solvable set IS the relative-to-oracle number
+  // (the unbounded oracle solves 100% of it by construction); the budgeted
+  // remove_brute row shows how far the budget cap pushes it below that.
+  std::printf("%s\n",
+              eval::FormatFigure5(aggregates, "(unbounded oracle = 100%)")
+                  .c_str());
+
+  double ex = 0.0;
+  double direct = 0.0;
+  for (const auto& a : aggregates) {
+    if (a.method == "remove_ex") ex = a.success_rate;
+    if (a.method == "remove_ex_direct") direct = a.success_rate;
+  }
+  std::printf("Shape check vs paper:\n");
+  std::printf("  remove_ex %.1f%% vs remove_ex_direct %.1f%% — drop of "
+              "%.1f%% (paper: ~33%% drop; CHECK step is necessary: %s)\n",
+              ex, direct, ex - direct,
+              ex >= direct ? "HOLDS" : "DOES NOT HOLD");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces paper Figure 6: "Average explanation size per method".
+//
+// Paper-reported shape (§6.3): sizes are small overall; in Remove mode the
+// Exhaustive Comparison and Powerset track the brute-force minimum; the
+// Incremental heuristic produces markedly larger explanations (it greedily
+// accumulates); in Add mode sizes are close to a single added edge.
+
+#include <cstdio>
+
+#include "common.h"
+#include "eval/report.h"
+
+int main() {
+  using namespace emigre;
+  auto experiment = bench::GetOrRunPaperExperiment();
+  experiment.status().CheckOK();
+
+  bench::PrintBenchHeader(
+      "Figure 6 — Average explanation size per method (paper §6.3)",
+      experiment->config);
+
+  auto aggregates =
+      eval::Aggregate(experiment->result, experiment->method_names);
+  std::printf("%s\n", eval::FormatFigure6(aggregates).c_str());
+
+  double inc = 0.0;
+  double powerset = 0.0;
+  double brute = 0.0;
+  bool have = true;
+  for (const auto& a : aggregates) {
+    if (a.correct == 0) continue;
+    if (a.method == "remove_Incremental") inc = a.avg_size;
+    if (a.method == "remove_Powerset") powerset = a.avg_size;
+    if (a.method == "remove_brute") brute = a.avg_size;
+  }
+  have = inc > 0 && powerset > 0 && brute > 0;
+  std::printf("Shape check vs paper:\n");
+  if (have) {
+    std::printf("  remove: brute %.2f <= Powerset %.2f <= Incremental %.2f "
+                "(%s)\n", brute, powerset, inc,
+                brute <= powerset + 1e-9 && powerset <= inc + 1e-9
+                    ? "HOLDS"
+                    : "PARTIAL");
+  } else {
+    std::printf("  not enough successful remove-mode scenarios at this "
+                "scale for the ordering check.\n");
+  }
+  std::printf("  paper reference: brute force is the size lower bound; "
+              "Incremental is the outlier; Add-mode sizes ~1 edge.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces paper Table 4: node-degree statistics per node type of the
+// evaluation graph.
+//
+// The paper's graph is an extraction of the (withdrawn) Amazon Customer
+// Review dataset: 11831 nodes / 40552 edges with the degree profile below.
+// Our synthetic substitute regenerates the same schema and a comparable
+// profile (heavy-tailed categories, low-degree reviews/items, users with
+// tens of actions); absolute counts scale with EMIGRE_BENCH_SCALE.
+
+#include <cstdio>
+
+#include "common.h"
+#include "graph/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace emigre;
+  bench::BenchConfig config = bench::MakeBenchConfig();
+  bench::PrintBenchHeader(
+      "Table 4 — Node degree statistics per node type (paper §6.1)", config);
+
+  auto lite = bench::BuildBenchGraph(config);
+  lite.status().CheckOK();
+  std::printf("Synthetic evaluation graph: %zu nodes, %zu edges\n\n",
+              lite->graph.NumNodes(), lite->graph.NumEdges());
+  std::printf("%s\n",
+              graph::FormatDegreeStats(
+                  graph::ComputeDegreeStats(lite->graph))
+                  .c_str());
+
+  TextTable paper({"Node Type", "# of Nodes", "Average Degree",
+                   "Degree STD"});
+  for (size_t c = 1; c <= 3; ++c) paper.SetAlign(c, Align::kRight);
+  paper.AddRow({"Reviews", "2334", "2.28", "0.7"});
+  paper.AddRow({"Categories", "32", "366.8", "291.9"});
+  paper.AddRow({"Items", "7459", "5.4", "2.4"});
+  paper.AddRow({"Users", "120", "22.1", "2.7"});
+  std::printf("Paper-reported values (11831 nodes, 40552 edges):\n%s\n",
+              paper.ToString().c_str());
+  std::printf("Shape to match: categories few and hub-like (highest mean "
+              "degree, huge spread); reviews lowest degree; items low; "
+              "users in the tens.\n");
+  return 0;
+}

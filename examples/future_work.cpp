@@ -1,0 +1,157 @@
+// The paper's §7 future-work directions, implemented:
+//
+//   * weight-based Why-Not explanations — "You should have rated book A
+//     with 5 stars to get recommended book B";
+//   * coarser-granularity Why-Not questions — "Why no Fantasy book?"
+//     (a category instead of a single item);
+//   * the combined Add/Remove mode (also §6.4 "Out Of Scope Item").
+//
+// Run: ./build/examples/future_work
+
+#include <cstdio>
+
+#include "explain/combined.h"
+#include "explain/emigre.h"
+#include "explain/group.h"
+#include "explain/weighted.h"
+#include "graph/hin_graph.h"
+#include "recsys/recommender.h"
+
+using namespace emigre;  // example code; the library itself never does this
+
+namespace {
+
+struct Shop {
+  graph::HinGraph g;
+  explain::EmigreOptions opts;
+  graph::NodeId paul, fantasy;
+  graph::NodeId harry_potter;
+};
+
+Shop Build() {
+  Shop s;
+  graph::HinGraph& g = s.g;
+  auto user_type = g.RegisterNodeType("user");
+  auto item_type = g.RegisterNodeType("item");
+  auto category_type = g.RegisterNodeType("category");
+  auto rated = g.RegisterEdgeType("rated");
+  auto belongs = g.RegisterEdgeType("belongs-to");
+
+  s.paul = g.AddNode(user_type, "Paul");
+  graph::NodeId alice = g.AddNode(user_type, "Alice");
+  graph::NodeId bob = g.AddNode(user_type, "Bob");
+  s.harry_potter = g.AddNode(item_type, "Harry Potter");
+  graph::NodeId lotr = g.AddNode(item_type, "The Lord of the Rings");
+  graph::NodeId python = g.AddNode(item_type, "Python");
+  graph::NodeId c_lang = g.AddNode(item_type, "C");
+  graph::NodeId candide = g.AddNode(item_type, "Candide");
+  s.fantasy = g.AddNode(category_type, "Fantasy");
+  graph::NodeId programming = g.AddNode(category_type, "Programming");
+  graph::NodeId classics = g.AddNode(category_type, "Classics");
+
+  auto rate = [&](graph::NodeId u, graph::NodeId i, double stars) {
+    g.AddBidirectional(u, i, rated, stars).CheckOK();
+  };
+  auto cat = [&](graph::NodeId i, graph::NodeId c) {
+    g.AddBidirectional(i, c, belongs).CheckOK();
+  };
+  cat(s.harry_potter, s.fantasy);
+  cat(lotr, s.fantasy);
+  cat(python, programming);
+  cat(c_lang, programming);
+  cat(candide, classics);
+  rate(alice, s.harry_potter, 5);
+  rate(alice, lotr, 4);
+  rate(alice, candide, 3);
+  rate(bob, python, 5);
+  rate(bob, c_lang, 4);
+  // Paul loves C (5 stars) and merely liked Candide (2): the rating
+  // weights drive his recommendation toward Programming.
+  rate(s.paul, c_lang, 5);
+  rate(s.paul, candide, 2);
+
+  s.opts.rec.item_type = item_type;
+  s.opts.allowed_edge_types = {rated};
+  s.opts.add_edge_type = rated;
+  // Suggested new actions are enthusiastic: "had you rated it 5 stars".
+  s.opts.add_edge_weight = 5.0;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  Shop shop = Build();
+  const graph::HinGraph& g = shop.g;
+  explain::Emigre engine(g, shop.opts);
+
+  auto ranking = engine.CurrentRanking(shop.paul);
+  std::printf("Paul's ranking:");
+  for (size_t i = 0; i < ranking.size(); ++i) {
+    std::printf(" %zu.%s", i + 1,
+                g.DisplayName(ranking.at(i).item).c_str());
+  }
+  std::printf("\n\n");
+
+  // --- 1. Weight-based explanation. ------------------------------------------
+  std::printf("[Weights] \"Why not %s?\" answered with star ratings:\n",
+              g.DisplayName(shop.harry_potter).c_str());
+  auto weighted = explain::RunWeightedIncremental(
+      g, explain::WhyNotQuestion{shop.paul, shop.harry_potter}, shop.opts);
+  weighted.status().CheckOK();
+  if (weighted->found) {
+    for (const auto& adj : weighted->adjustments) {
+      std::printf("  had you rated %-12s %.1f stars instead of %.1f\n",
+                  g.DisplayName(adj.edge.dst).c_str(), adj.new_weight,
+                  adj.old_weight);
+    }
+    std::printf("  ... your recommendation would be %s\n",
+                g.DisplayName(weighted->new_rec).c_str());
+  } else {
+    std::printf("  no weight-only explanation (%s)\n",
+                std::string(FailureReasonName(weighted->failure)).c_str());
+  }
+
+  // --- 2. Category-granularity question. --------------------------------------
+  std::printf("\n[Category] \"Why no %s book?\":\n",
+              g.DisplayName(shop.fantasy).c_str());
+  explain::WhyNotGroupQuestion group_q;
+  group_q.user = shop.paul;
+  group_q.items = explain::ItemsOfCategory(
+      g, shop.fantasy, g.FindEdgeType("belongs-to"),
+      g.FindNodeType("item"));
+  auto group = explain::ExplainGroup(engine, group_q, explain::Mode::kAdd,
+                                     explain::Heuristic::kIncremental);
+  group.status().CheckOK();
+  if (group->found) {
+    std::printf("  the category member promoted: %s; do this:\n",
+                g.DisplayName(group->promoted_item).c_str());
+    for (const auto& e : group->explanation.edges) {
+      std::printf("    interact with %s\n", g.DisplayName(e.dst).c_str());
+    }
+  } else {
+    std::printf("  no member of the category can be promoted "
+                "(%zu attempted, %zu skipped)\n",
+                group->attempts, group->skipped.size());
+  }
+
+  // --- 3. Combined add/remove mode. --------------------------------------------
+  std::printf("\n[Combined] mixing past and new actions:\n");
+  auto combined = explain::RunCombinedIncremental(
+      g, explain::WhyNotQuestion{shop.paul, shop.harry_potter}, shop.opts);
+  combined.status().CheckOK();
+  if (combined->found) {
+    for (const auto& e : combined->removed) {
+      std::printf("  undo    (Paul, %s)\n", g.DisplayName(e.dst).c_str());
+    }
+    for (const auto& e : combined->added) {
+      std::printf("  perform (Paul, %s)\n", g.DisplayName(e.dst).c_str());
+    }
+    std::printf("  ... and %s becomes the recommendation.\n",
+                g.DisplayName(combined->new_rec).c_str());
+  } else {
+    std::printf("  combined mode found nothing (%s)\n",
+                std::string(FailureReasonName(combined->failure)).c_str());
+  }
+  return 0;
+}

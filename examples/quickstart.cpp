@@ -1,0 +1,89 @@
+// Quickstart: build a tiny heterogeneous graph, run the PPR recommender,
+// ask a Why-Not question, and print the counterfactual explanation.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "explain/emigre.h"
+#include "graph/hin_graph.h"
+#include "recsys/recommender.h"
+
+using emigre::explain::Emigre;
+using emigre::explain::EmigreOptions;
+using emigre::explain::Explanation;
+using emigre::explain::Heuristic;
+using emigre::explain::Mode;
+using emigre::explain::WhyNotQuestion;
+using emigre::graph::HinGraph;
+using emigre::graph::NodeId;
+
+int main() {
+  // --- 1. Model your data as a Heterogeneous Information Network. ----------
+  HinGraph g;
+  auto user_type = g.RegisterNodeType("user");
+  auto item_type = g.RegisterNodeType("item");
+  auto rated = g.RegisterEdgeType("rated");
+
+  NodeId ana = g.AddNode(user_type, "Ana");
+  NodeId ben = g.AddNode(user_type, "Ben");
+  NodeId cam = g.AddNode(user_type, "Cam");
+  NodeId guitar = g.AddNode(item_type, "Guitar");
+  NodeId ukulele = g.AddNode(item_type, "Ukulele");
+  NodeId drums = g.AddNode(item_type, "Drums");
+  NodeId sticks = g.AddNode(item_type, "Drumsticks");
+
+  // Interactions are bidirectional relations in this dataset.
+  g.AddBidirectional(ben, guitar, rated).CheckOK();
+  g.AddBidirectional(ben, ukulele, rated).CheckOK();
+  g.AddBidirectional(cam, drums, rated).CheckOK();
+  g.AddBidirectional(cam, sticks, rated).CheckOK();
+  g.AddBidirectional(ana, guitar, rated).CheckOK();
+
+  // --- 2. Configure the recommender and the explainer. ---------------------
+  EmigreOptions opts;
+  opts.rec.item_type = item_type;          // what is recommendable
+  opts.allowed_edge_types = {rated};       // the action vocabulary T_e
+  opts.add_edge_type = rated;              // type of suggested new actions
+
+  Emigre engine(g, opts);
+
+  // --- 3. What does Ana get, and what does she ask about? ------------------
+  auto ranking = engine.CurrentRanking(ana);
+  std::printf("Ana's recommendation list:\n");
+  for (size_t i = 0; i < ranking.size(); ++i) {
+    std::printf("  %zu. %-12s score=%.4f\n", i + 1,
+                g.DisplayName(ranking.at(i).item).c_str(),
+                ranking.at(i).score);
+  }
+
+  NodeId wni = drums;
+  std::printf("\nAna asks: \"Why not %s?\"\n", g.DisplayName(wni).c_str());
+
+  // --- 4. Ask EMiGRe. -------------------------------------------------------
+  auto result = engine.ExplainAuto(WhyNotQuestion{ana, wni});
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const Explanation& e = result.value();
+  if (!e.found) {
+    std::printf("No explanation found (%s)\n",
+                std::string(FailureReasonName(e.failure)).c_str());
+    return 0;
+  }
+  std::printf("\nWhy-Not explanation (%s mode, %s heuristic):\n",
+              std::string(ModeName(e.mode)).c_str(),
+              std::string(HeuristicName(e.heuristic)).c_str());
+  for (const auto& edge : e.edges) {
+    std::printf("  %s the action (%s -> %s)\n",
+                e.mode == Mode::kAdd ? "PERFORM" : "UNDO",
+                g.DisplayName(edge.src).c_str(),
+                g.DisplayName(edge.dst).c_str());
+  }
+  std::printf("... and your top recommendation becomes %s.\n",
+              g.DisplayName(e.new_rec).c_str());
+  return 0;
+}

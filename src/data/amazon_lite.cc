@@ -1,0 +1,182 @@
+#include "data/amazon_lite.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "data/embedding.h"
+#include "graph/subgraph.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace emigre::data {
+
+namespace {
+
+using graph::HinGraph;
+using graph::NodeId;
+
+/// Adds an edge in one or both directions per the pipeline's convention.
+Status Link(HinGraph* g, NodeId a, NodeId b, graph::EdgeTypeId type,
+            double weight, bool bidirectional) {
+  if (bidirectional) return g->AddBidirectional(a, b, type, weight);
+  return g->AddEdge(a, b, type, weight);
+}
+
+}  // namespace
+
+Result<AmazonLiteGraph> BuildAmazonLite(const Dataset& ds,
+                                        const AmazonLiteOptions& opts) {
+  AmazonLiteGraph out;
+  HinGraph full;
+
+  out.user_type = full.RegisterNodeType("user");
+  out.item_type = full.RegisterNodeType("item");
+  out.review_type = full.RegisterNodeType("review");
+  out.category_type = full.RegisterNodeType("category");
+
+  out.rated_type = full.RegisterEdgeType("rated");
+  out.reviewed_type = full.RegisterEdgeType("reviewed");
+  out.has_review_type = full.RegisterEdgeType("has-review");
+  out.belongs_to_type = full.RegisterEdgeType("belongs-to");
+  out.similar_type = full.RegisterEdgeType("similar-review");
+
+  // --- Nodes -------------------------------------------------------------------
+  std::vector<NodeId> user_nodes(ds.users.size());
+  std::vector<NodeId> item_nodes(ds.items.size());
+  std::vector<NodeId> category_nodes(ds.categories.size());
+  for (const User& u : ds.users) {
+    user_nodes[u.id] = full.AddNode(out.user_type, u.name);
+  }
+  for (const Item& i : ds.items) {
+    item_nodes[i.id] = full.AddNode(out.item_type, i.name);
+  }
+  for (const Category& c : ds.categories) {
+    category_nodes[c.id] = full.AddNode(out.category_type, c.name);
+  }
+
+  // --- Good-ratings filter + rated edges ----------------------------------------
+  // Track kept (user, item) pairs so reviews on filtered-out interactions
+  // are dropped with them.
+  std::unordered_set<uint64_t> kept_pairs;
+  auto pair_key = [](UserId u, ItemId i) {
+    return (static_cast<uint64_t>(u) << 32) | i;
+  };
+  for (const Rating& r : ds.ratings) {
+    if (r.stars <= opts.min_stars_exclusive) continue;
+    kept_pairs.insert(pair_key(r.user, r.item));
+    EMIGRE_RETURN_IF_ERROR(Link(&full, user_nodes[r.user],
+                                item_nodes[r.item], out.rated_type, 1.0,
+                                opts.bidirectional));
+  }
+
+  // --- Reviews: nodes, reviewed + has-review edges -------------------------------
+  std::vector<NodeId> review_nodes(ds.reviews.size(), graph::kInvalidNode);
+  std::vector<const Review*> kept_reviews;
+  for (const Review& review : ds.reviews) {
+    if (kept_pairs.count(pair_key(review.user, review.item)) == 0) continue;
+    NodeId rn = full.AddNode(out.review_type,
+                             StrFormat("review-%05u", review.id));
+    review_nodes[review.id] = rn;
+    kept_reviews.push_back(&review);
+    EMIGRE_RETURN_IF_ERROR(Link(&full, user_nodes[review.user],
+                                item_nodes[review.item], out.reviewed_type,
+                                1.0, opts.bidirectional));
+    EMIGRE_RETURN_IF_ERROR(Link(&full, item_nodes[review.item], rn,
+                                out.has_review_type, 1.0,
+                                opts.bidirectional));
+  }
+
+  // --- belongs-to edges -----------------------------------------------------------
+  for (const Item& item : ds.items) {
+    EMIGRE_RETURN_IF_ERROR(Link(&full, item_nodes[item.id],
+                                category_nodes[item.category],
+                                out.belongs_to_type, 1.0,
+                                opts.bidirectional));
+  }
+
+  // --- Review–review similarity links ("enriched the data set with
+  // review-review links representing the similarity between each pair of
+  // reviews", weighted by embedding cosine). Top-k per review keeps the
+  // review degree profile close to Table 4. --------------------------------------
+  if (opts.max_similar_per_review > 0 &&
+      opts.review_similarity_threshold < 1.0) {
+    struct SimPair {
+      size_t a, b;  // indices into kept_reviews
+      double cos;
+    };
+    std::vector<std::vector<SimPair>> best(kept_reviews.size());
+    for (size_t a = 0; a < kept_reviews.size(); ++a) {
+      for (size_t b = a + 1; b < kept_reviews.size(); ++b) {
+        double cos = CosineSimilarity(kept_reviews[a]->embedding,
+                                      kept_reviews[b]->embedding);
+        if (cos < opts.review_similarity_threshold) continue;
+        best[a].push_back(SimPair{a, b, cos});
+        best[b].push_back(SimPair{a, b, cos});
+      }
+    }
+    std::unordered_set<uint64_t> emitted;
+    for (size_t i = 0; i < best.size(); ++i) {
+      auto& list = best[i];
+      std::sort(list.begin(), list.end(),
+                [](const SimPair& x, const SimPair& y) {
+                  if (x.cos != y.cos) return x.cos > y.cos;
+                  if (x.a != y.a) return x.a < y.a;
+                  return x.b < y.b;
+                });
+      if (list.size() > opts.max_similar_per_review) {
+        list.resize(opts.max_similar_per_review);
+      }
+      for (const SimPair& p : list) {
+        uint64_t key = (static_cast<uint64_t>(p.a) << 32) | p.b;
+        if (!emitted.insert(key).second) continue;
+        NodeId na = review_nodes[kept_reviews[p.a]->id];
+        NodeId nb = review_nodes[kept_reviews[p.b]->id];
+        EMIGRE_RETURN_IF_ERROR(
+            Link(&full, na, nb, out.similar_type, p.cos,
+                 opts.bidirectional));
+      }
+    }
+  }
+
+  // --- Moderate/active user sampling ----------------------------------------------
+  // "Actions" = user–item interactions kept after the ratings filter.
+  std::vector<NodeId> moderate_users;
+  for (const User& u : ds.users) {
+    NodeId n = user_nodes[u.id];
+    size_t actions = 0;
+    for (const graph::Edge& e : full.OutEdges(n)) {
+      if (e.type == out.rated_type || e.type == out.reviewed_type) ++actions;
+    }
+    if (actions >= opts.min_user_actions &&
+        actions <= opts.max_user_actions) {
+      moderate_users.push_back(n);
+    }
+  }
+  Rng rng(opts.sample_seed);
+  std::vector<size_t> picked = rng.SampleWithoutReplacement(
+      moderate_users.size(),
+      std::min(opts.sample_users, moderate_users.size()));
+  std::sort(picked.begin(), picked.end());
+  std::vector<NodeId> sampled;
+  sampled.reserve(picked.size());
+  for (size_t idx : picked) sampled.push_back(moderate_users[idx]);
+
+  // --- k-hop neighborhood restriction -----------------------------------------------
+  if (opts.neighborhood_hops == 0 || sampled.empty()) {
+    out.graph = std::move(full);
+    out.eval_users = std::move(sampled);
+    return out;
+  }
+
+  EMIGRE_ASSIGN_OR_RETURN(
+      graph::Subgraph lite,
+      graph::ExtractNeighborhood(full, sampled, opts.neighborhood_hops));
+  out.graph = std::move(lite.graph);
+  out.eval_users.reserve(sampled.size());
+  for (NodeId s : sampled) out.eval_users.push_back(lite.old_to_new[s]);
+  return out;
+}
+
+}  // namespace emigre::data

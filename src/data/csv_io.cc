@@ -1,0 +1,203 @@
+#include "data/csv_io.h"
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace emigre::data {
+
+namespace {
+
+std::string EncodeFloats(const std::vector<float>& v) {
+  std::vector<std::string> parts;
+  parts.reserve(v.size());
+  for (float x : v) parts.push_back(StrFormat("%.8g", x));
+  return Join(parts, ";");
+}
+
+Result<std::vector<float>> DecodeFloats(const std::string& s) {
+  std::vector<float> out;
+  if (s.empty()) return out;
+  for (const std::string& part : Split(s, ';')) {
+    double v = 0.0;
+    if (!ParseDouble(part, &v)) {
+      return Status::InvalidArgument("bad embedding component: " + part);
+    }
+    out.push_back(static_cast<float>(v));
+  }
+  return out;
+}
+
+Result<int64_t> FieldInt(const std::vector<std::string>& row, size_t i) {
+  int64_t v = 0;
+  if (i >= row.size() || !ParseInt64(row[i], &v)) {
+    return Status::InvalidArgument(
+        StrFormat("bad integer field %zu", i));
+  }
+  return v;
+}
+
+Result<double> FieldDouble(const std::vector<std::string>& row, size_t i) {
+  double v = 0.0;
+  if (i >= row.size() || !ParseDouble(row[i], &v)) {
+    return Status::InvalidArgument(StrFormat("bad double field %zu", i));
+  }
+  return v;
+}
+
+}  // namespace
+
+Status SaveDatasetCsv(const Dataset& ds, const std::string& dir) {
+  {
+    CsvWriter w(dir + "/categories.csv");
+    EMIGRE_RETURN_IF_ERROR(w.status());
+    EMIGRE_RETURN_IF_ERROR(w.WriteRow({"id", "name"}));
+    for (const Category& c : ds.categories) {
+      EMIGRE_RETURN_IF_ERROR(w.WriteRow({StrFormat("%u", c.id), c.name}));
+    }
+    EMIGRE_RETURN_IF_ERROR(w.Close());
+  }
+  {
+    CsvWriter w(dir + "/items.csv");
+    EMIGRE_RETURN_IF_ERROR(w.status());
+    EMIGRE_RETURN_IF_ERROR(
+        w.WriteRow({"id", "name", "category", "popularity", "quality"}));
+    for (const Item& i : ds.items) {
+      EMIGRE_RETURN_IF_ERROR(w.WriteRow(
+          {StrFormat("%u", i.id), i.name, StrFormat("%u", i.category),
+           StrFormat("%.10g", i.popularity), StrFormat("%.10g", i.quality)}));
+    }
+    EMIGRE_RETURN_IF_ERROR(w.Close());
+  }
+  {
+    CsvWriter w(dir + "/users.csv");
+    EMIGRE_RETURN_IF_ERROR(w.status());
+    EMIGRE_RETURN_IF_ERROR(
+        w.WriteRow({"id", "name", "rating_bias", "preferences"}));
+    for (const User& u : ds.users) {
+      std::vector<std::string> prefs;
+      for (const auto& [c, wgt] : u.preferences) {
+        prefs.push_back(StrFormat("%u:%.10g", c, wgt));
+      }
+      EMIGRE_RETURN_IF_ERROR(
+          w.WriteRow({StrFormat("%u", u.id), u.name,
+                      StrFormat("%.10g", u.rating_bias), Join(prefs, ";")}));
+    }
+    EMIGRE_RETURN_IF_ERROR(w.Close());
+  }
+  {
+    CsvWriter w(dir + "/ratings.csv");
+    EMIGRE_RETURN_IF_ERROR(w.status());
+    EMIGRE_RETURN_IF_ERROR(w.WriteRow({"user", "item", "stars"}));
+    for (const Rating& r : ds.ratings) {
+      EMIGRE_RETURN_IF_ERROR(w.WriteRow({StrFormat("%u", r.user),
+                                         StrFormat("%u", r.item),
+                                         StrFormat("%d", r.stars)}));
+    }
+    EMIGRE_RETURN_IF_ERROR(w.Close());
+  }
+  {
+    CsvWriter w(dir + "/reviews.csv");
+    EMIGRE_RETURN_IF_ERROR(w.status());
+    EMIGRE_RETURN_IF_ERROR(w.WriteRow({"id", "user", "item", "embedding"}));
+    for (const Review& r : ds.reviews) {
+      EMIGRE_RETURN_IF_ERROR(
+          w.WriteRow({StrFormat("%u", r.id), StrFormat("%u", r.user),
+                      StrFormat("%u", r.item), EncodeFloats(r.embedding)}));
+    }
+    EMIGRE_RETURN_IF_ERROR(w.Close());
+  }
+  return Status::OK();
+}
+
+Result<Dataset> LoadDatasetCsv(const std::string& dir) {
+  Dataset ds;
+  std::vector<std::string> row;
+  {
+    CsvReader r(dir + "/categories.csv");
+    EMIGRE_RETURN_IF_ERROR(r.status());
+    r.ReadRow(&row);  // header
+    while (r.ReadRow(&row)) {
+      EMIGRE_ASSIGN_OR_RETURN(int64_t id, FieldInt(row, 0));
+      ds.categories.push_back(
+          Category{static_cast<CategoryId>(id), row.size() > 1 ? row[1] : ""});
+    }
+  }
+  {
+    CsvReader r(dir + "/items.csv");
+    EMIGRE_RETURN_IF_ERROR(r.status());
+    r.ReadRow(&row);
+    while (r.ReadRow(&row)) {
+      Item item;
+      EMIGRE_ASSIGN_OR_RETURN(int64_t id, FieldInt(row, 0));
+      item.id = static_cast<ItemId>(id);
+      item.name = row.size() > 1 ? row[1] : "";
+      EMIGRE_ASSIGN_OR_RETURN(int64_t cat, FieldInt(row, 2));
+      item.category = static_cast<CategoryId>(cat);
+      EMIGRE_ASSIGN_OR_RETURN(item.popularity, FieldDouble(row, 3));
+      EMIGRE_ASSIGN_OR_RETURN(item.quality, FieldDouble(row, 4));
+      ds.items.push_back(std::move(item));
+    }
+  }
+  {
+    CsvReader r(dir + "/users.csv");
+    EMIGRE_RETURN_IF_ERROR(r.status());
+    r.ReadRow(&row);
+    while (r.ReadRow(&row)) {
+      User u;
+      EMIGRE_ASSIGN_OR_RETURN(int64_t id, FieldInt(row, 0));
+      u.id = static_cast<UserId>(id);
+      u.name = row.size() > 1 ? row[1] : "";
+      EMIGRE_ASSIGN_OR_RETURN(u.rating_bias, FieldDouble(row, 2));
+      if (row.size() > 3 && !row[3].empty()) {
+        for (const std::string& pref : Split(row[3], ';')) {
+          std::vector<std::string> kv = Split(pref, ':');
+          if (kv.size() != 2) {
+            return Status::InvalidArgument("bad preference: " + pref);
+          }
+          int64_t c = 0;
+          double wgt = 0.0;
+          if (!ParseInt64(kv[0], &c) || !ParseDouble(kv[1], &wgt)) {
+            return Status::InvalidArgument("bad preference: " + pref);
+          }
+          u.preferences.emplace_back(static_cast<CategoryId>(c), wgt);
+        }
+      }
+      ds.users.push_back(std::move(u));
+    }
+  }
+  {
+    CsvReader r(dir + "/ratings.csv");
+    EMIGRE_RETURN_IF_ERROR(r.status());
+    r.ReadRow(&row);
+    while (r.ReadRow(&row)) {
+      Rating rating;
+      EMIGRE_ASSIGN_OR_RETURN(int64_t u, FieldInt(row, 0));
+      EMIGRE_ASSIGN_OR_RETURN(int64_t i, FieldInt(row, 1));
+      EMIGRE_ASSIGN_OR_RETURN(int64_t s, FieldInt(row, 2));
+      rating.user = static_cast<UserId>(u);
+      rating.item = static_cast<ItemId>(i);
+      rating.stars = static_cast<int>(s);
+      ds.ratings.push_back(rating);
+    }
+  }
+  {
+    CsvReader r(dir + "/reviews.csv");
+    EMIGRE_RETURN_IF_ERROR(r.status());
+    r.ReadRow(&row);
+    while (r.ReadRow(&row)) {
+      Review review;
+      EMIGRE_ASSIGN_OR_RETURN(int64_t id, FieldInt(row, 0));
+      EMIGRE_ASSIGN_OR_RETURN(int64_t u, FieldInt(row, 1));
+      EMIGRE_ASSIGN_OR_RETURN(int64_t i, FieldInt(row, 2));
+      review.id = static_cast<ReviewId>(id);
+      review.user = static_cast<UserId>(u);
+      review.item = static_cast<ItemId>(i);
+      EMIGRE_ASSIGN_OR_RETURN(review.embedding,
+                              DecodeFloats(row.size() > 3 ? row[3] : ""));
+      ds.reviews.push_back(std::move(review));
+    }
+  }
+  return ds;
+}
+
+}  // namespace emigre::data

@@ -1,0 +1,24 @@
+#ifndef EMIGRE_DATA_CSV_IO_H_
+#define EMIGRE_DATA_CSV_IO_H_
+
+#include <string>
+
+#include "data/schema.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace emigre::data {
+
+/// Writes the dataset as five CSV files under `dir` (created by the
+/// caller): categories.csv, items.csv, users.csv, ratings.csv, reviews.csv.
+/// The layout mirrors the public Amazon Customer Review dump's spirit
+/// (one relation per file, header row first) so external tooling can
+/// inspect the synthetic data.
+Status SaveDatasetCsv(const Dataset& ds, const std::string& dir);
+
+/// Loads a dataset previously written by `SaveDatasetCsv`.
+Result<Dataset> LoadDatasetCsv(const std::string& dir);
+
+}  // namespace emigre::data
+
+#endif  // EMIGRE_DATA_CSV_IO_H_

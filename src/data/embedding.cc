@@ -1,0 +1,53 @@
+#include "data/embedding.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace emigre::data {
+
+TopicEmbedder::TopicEmbedder(size_t dim, size_t num_topics, uint64_t seed)
+    : dim_(dim) {
+  EMIGRE_CHECK(dim > 0) << "embedding dim must be positive";
+  Rng rng(seed);
+  topics_.reserve(num_topics);
+  for (size_t t = 0; t < num_topics; ++t) {
+    std::vector<float> v(dim);
+    double norm_sq = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+      v[i] = static_cast<float>(rng.NextGaussian());
+      norm_sq += static_cast<double>(v[i]) * v[i];
+    }
+    double norm = std::sqrt(norm_sq);
+    if (norm <= 0.0) norm = 1.0;
+    for (float& x : v) x = static_cast<float>(x / norm);
+    topics_.push_back(std::move(v));
+  }
+}
+
+std::vector<float> TopicEmbedder::Embed(size_t topic, double noise,
+                                        Rng& rng) const {
+  const std::vector<float>& base = topics_.at(topic);
+  std::vector<float> v(dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    v[i] = base[i] + static_cast<float>(noise * rng.NextGaussian());
+  }
+  return v;
+}
+
+double CosineSimilarity(const std::vector<float>& a,
+                        const std::vector<float>& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace emigre::data

@@ -1,0 +1,50 @@
+#ifndef EMIGRE_DATA_EMBEDDING_H_
+#define EMIGRE_DATA_EMBEDDING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace emigre::data {
+
+/// \brief Deterministic stand-in for the Universal Sentence Encoder.
+///
+/// The paper embeds review texts with Google's USE [5] and links review
+/// pairs by cosine similarity. Only the induced similarity structure
+/// reaches the graph, so we synthesize embeddings directly: each category
+/// owns a unit "topic" direction, and a review's embedding is its item's
+/// topic plus Gaussian noise. Reviews about same-category items are
+/// therefore similar (high cosine) and cross-category reviews nearly
+/// orthogonal — reproducing the clustered review–review edges of the
+/// paper's preprocessing without any text.
+class TopicEmbedder {
+ public:
+  /// `dim` is the embedding dimension; `num_topics` topic directions are
+  /// generated deterministically from `seed`.
+  TopicEmbedder(size_t dim, size_t num_topics, uint64_t seed);
+
+  size_t dim() const { return dim_; }
+  size_t num_topics() const { return topics_.size(); }
+
+  /// Embedding for a review on topic `topic` with the given noise level;
+  /// draws from `rng` (caller-owned for reproducibility).
+  std::vector<float> Embed(size_t topic, double noise, Rng& rng) const;
+
+  /// The unit direction of `topic`.
+  const std::vector<float>& Topic(size_t topic) const {
+    return topics_.at(topic);
+  }
+
+ private:
+  size_t dim_;
+  std::vector<std::vector<float>> topics_;
+};
+
+/// Cosine similarity of two equal-length vectors (0 when either is zero).
+double CosineSimilarity(const std::vector<float>& a,
+                        const std::vector<float>& b);
+
+}  // namespace emigre::data
+
+#endif  // EMIGRE_DATA_EMBEDDING_H_

@@ -1,0 +1,70 @@
+#ifndef EMIGRE_DATA_SCHEMA_H_
+#define EMIGRE_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace emigre::data {
+
+/// Dataset-level ids (independent of graph NodeIds; the graph builder maps
+/// them).
+using UserId = uint32_t;
+using ItemId = uint32_t;
+using CategoryId = uint32_t;
+using ReviewId = uint32_t;
+
+/// \brief A product category ("Books", "Electronics", ...).
+struct Category {
+  CategoryId id = 0;
+  std::string name;
+};
+
+/// \brief A catalog item, assigned to one category with a latent
+/// popularity/quality profile driving synthetic interactions.
+struct Item {
+  ItemId id = 0;
+  std::string name;
+  CategoryId category = 0;
+  double popularity = 1.0;  ///< relative within-category draw weight
+  double quality = 0.0;     ///< rating bias in [-1, 1]
+};
+
+/// \brief A platform user with latent category preferences.
+struct User {
+  UserId id = 0;
+  std::string name;
+  /// (category, preference weight) pairs the user draws interactions from.
+  std::vector<std::pair<CategoryId, double>> preferences;
+  double rating_bias = 0.0;  ///< leniency in [-1, 1]
+};
+
+/// \brief A star rating given by a user to an item.
+struct Rating {
+  UserId user = 0;
+  ItemId item = 0;
+  int stars = 0;  ///< 1..5
+};
+
+/// \brief A textual review, represented by its topic-mixture embedding
+/// (the synthetic stand-in for the paper's Universal Sentence Encoder
+/// vectors; see embedding.h).
+struct Review {
+  ReviewId id = 0;
+  UserId user = 0;
+  ItemId item = 0;
+  std::vector<float> embedding;
+};
+
+/// \brief The full synthetic "Amazon Customer Review" substitute.
+struct Dataset {
+  std::vector<Category> categories;
+  std::vector<Item> items;
+  std::vector<User> users;
+  std::vector<Rating> ratings;
+  std::vector<Review> reviews;
+};
+
+}  // namespace emigre::data
+
+#endif  // EMIGRE_DATA_SCHEMA_H_

@@ -1,0 +1,154 @@
+#include "data/synthetic_amazon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "data/embedding.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace emigre::data {
+
+namespace {
+
+/// Star rating from latent quality/leniency: base 3.5 plus biases plus
+/// noise, clamped to 1..5. Skews positive (most published ratings are),
+/// which matters because the pipeline keeps only ratings > 3 (§6.1).
+int DrawStars(double item_quality, double user_bias, Rng& rng) {
+  double latent =
+      3.5 + 1.2 * item_quality + 0.6 * user_bias + 0.9 * rng.NextGaussian();
+  int stars = static_cast<int>(std::lround(latent));
+  return std::clamp(stars, 1, 5);
+}
+
+}  // namespace
+
+Result<Dataset> GenerateSyntheticAmazon(const SyntheticAmazonOptions& opts) {
+  if (opts.num_users == 0 || opts.num_items == 0 ||
+      opts.num_categories == 0) {
+    return Status::InvalidArgument(
+        "synthetic dataset needs at least one user, item and category");
+  }
+  if (opts.min_actions_per_user > opts.max_actions_per_user) {
+    return Status::InvalidArgument("min_actions_per_user > max");
+  }
+  if (opts.min_user_categories > opts.max_user_categories ||
+      opts.min_user_categories == 0) {
+    return Status::InvalidArgument("bad user-category interval");
+  }
+
+  Rng rng(opts.seed);
+  Dataset ds;
+
+  // --- Categories ------------------------------------------------------------
+  ds.categories.reserve(opts.num_categories);
+  for (size_t c = 0; c < opts.num_categories; ++c) {
+    ds.categories.push_back(
+        Category{static_cast<CategoryId>(c), StrFormat("category-%02zu", c)});
+  }
+
+  // --- Items: Zipf category sizes, Zipf within-category popularity. ----------
+  ds.items.reserve(opts.num_items);
+  for (size_t i = 0; i < opts.num_items; ++i) {
+    Item item;
+    item.id = static_cast<ItemId>(i);
+    item.name = StrFormat("item-%05zu", i);
+    item.category = static_cast<CategoryId>(
+        rng.NextZipf(opts.num_categories, opts.category_zipf));
+    // Zipf rank drawn independently of id: popular items are spread across
+    // the id space.
+    size_t rank = rng.NextZipf(100, opts.item_zipf);
+    item.popularity = 1.0 / static_cast<double>(rank + 1);
+    item.quality = std::clamp(0.4 * rng.NextGaussian(), -1.0, 1.0);
+    ds.items.push_back(std::move(item));
+  }
+
+  // Per-category item index + popularity weights for fast draws.
+  std::vector<std::vector<ItemId>> items_by_category(opts.num_categories);
+  std::vector<std::vector<double>> weights_by_category(opts.num_categories);
+  for (const Item& item : ds.items) {
+    items_by_category[item.category].push_back(item.id);
+    weights_by_category[item.category].push_back(item.popularity);
+  }
+
+  // --- Users ------------------------------------------------------------------
+  ds.users.reserve(opts.num_users);
+  for (size_t u = 0; u < opts.num_users; ++u) {
+    User user;
+    user.id = static_cast<UserId>(u);
+    user.name = StrFormat("user-%04zu", u);
+    user.rating_bias = std::clamp(0.5 * rng.NextGaussian(), -1.0, 1.0);
+    size_t num_prefs = static_cast<size_t>(rng.NextInt(
+        static_cast<int64_t>(opts.min_user_categories),
+        static_cast<int64_t>(
+            std::min(opts.max_user_categories, opts.num_categories))));
+    std::unordered_set<CategoryId> chosen;
+    while (chosen.size() < num_prefs) {
+      CategoryId c = static_cast<CategoryId>(
+          rng.NextZipf(opts.num_categories, opts.category_zipf));
+      if (items_by_category[c].empty()) continue;
+      chosen.insert(c);
+      // Every non-empty category is eventually drawable; bail out if the
+      // dataset is too small to satisfy num_prefs.
+      size_t non_empty = 0;
+      for (const auto& v : items_by_category) non_empty += !v.empty();
+      if (chosen.size() >= non_empty) break;
+    }
+    for (CategoryId c : chosen) {
+      user.preferences.emplace_back(c, 0.5 + rng.NextDouble());
+    }
+    std::sort(user.preferences.begin(), user.preferences.end());
+    ds.users.push_back(std::move(user));
+  }
+
+  // --- Ratings & reviews -------------------------------------------------------
+  TopicEmbedder embedder(opts.embedding_dim, opts.num_categories,
+                         opts.seed ^ 0xE5CEBE11ull);
+  std::unordered_set<uint64_t> rated_pairs;
+  auto pair_key = [](UserId u, ItemId i) {
+    return (static_cast<uint64_t>(u) << 32) | i;
+  };
+
+  for (const User& user : ds.users) {
+    size_t actions = static_cast<size_t>(
+        rng.NextInt(static_cast<int64_t>(opts.min_actions_per_user),
+                    static_cast<int64_t>(opts.max_actions_per_user)));
+    std::vector<double> pref_weights;
+    pref_weights.reserve(user.preferences.size());
+    for (const auto& [c, w] : user.preferences) pref_weights.push_back(w);
+
+    size_t placed = 0;
+    size_t attempts = 0;
+    const size_t max_attempts = actions * 20 + 100;
+    while (placed < actions && attempts < max_attempts) {
+      ++attempts;
+      CategoryId c =
+          user.preferences[rng.NextWeighted(pref_weights)].first;
+      const auto& pool = items_by_category[c];
+      if (pool.empty()) continue;
+      ItemId item = pool[rng.NextWeighted(weights_by_category[c])];
+      if (!rated_pairs.insert(pair_key(user.id, item)).second) {
+        continue;  // already rated; redraw
+      }
+      int stars = DrawStars(ds.items[item].quality, user.rating_bias, rng);
+      ds.ratings.push_back(Rating{user.id, item, stars});
+      ++placed;
+
+      if (rng.NextBool(opts.review_probability)) {
+        Review review;
+        review.id = static_cast<ReviewId>(ds.reviews.size());
+        review.user = user.id;
+        review.item = item;
+        review.embedding =
+            embedder.Embed(ds.items[item].category, opts.embedding_noise,
+                           rng);
+        ds.reviews.push_back(std::move(review));
+      }
+    }
+  }
+
+  return ds;
+}
+
+}  // namespace emigre::data

@@ -1,0 +1,58 @@
+#ifndef EMIGRE_DATA_SYNTHETIC_AMAZON_H_
+#define EMIGRE_DATA_SYNTHETIC_AMAZON_H_
+
+#include <cstdint>
+
+#include "data/schema.h"
+#include "util/result.h"
+
+namespace emigre::data {
+
+/// \brief Generator parameters. Defaults approximate the profile the paper
+/// reports for its Amazon Customer Review extraction (§6.1, Table 4):
+/// 120 users averaging ~22 actions, 32 heavy-tailed categories, items with
+/// low average degree, and roughly one review per three ratings.
+///
+/// The benchmark harness scales `num_items`/`num_users` down or up via
+/// `EMIGRE_BENCH_SCALE` without changing the distributional shape.
+struct SyntheticAmazonOptions {
+  uint64_t seed = 20240416;  ///< ICDE'24 opening day; any value works.
+
+  size_t num_users = 120;
+  size_t num_items = 2000;   ///< paper: 7459 (scaled default for laptops)
+  size_t num_categories = 32;
+
+  /// Actions (ratings) per user, uniform in [min, max] — the paper samples
+  /// "moderate/active" users with 10..100 actions.
+  size_t min_actions_per_user = 10;
+  size_t max_actions_per_user = 100;
+
+  /// How many categories a user is interested in, uniform in [min, max].
+  size_t min_user_categories = 2;
+  size_t max_user_categories = 4;
+
+  /// Zipf exponents for category size and within-category item popularity
+  /// (heavy tails create the paper's "popular item" failure cases).
+  double category_zipf = 1.1;
+  double item_zipf = 0.9;
+
+  /// Probability that a rating is accompanied by a textual review.
+  double review_probability = 0.35;
+
+  /// Embedding synthesis (see TopicEmbedder).
+  size_t embedding_dim = 32;
+  double embedding_noise = 0.35;
+};
+
+/// \brief Generates the synthetic Amazon Customer Review dataset.
+///
+/// Deterministic in `opts.seed`. Users draw items category-first (their
+/// latent preferences) then popularity-weighted within the category; star
+/// ratings combine item quality and user leniency, skewing positive like
+/// real review corpora. Duplicate (user, item) ratings are rejected by
+/// redraw, so each pair appears at most once.
+Result<Dataset> GenerateSyntheticAmazon(const SyntheticAmazonOptions& opts);
+
+}  // namespace emigre::data
+
+#endif  // EMIGRE_DATA_SYNTHETIC_AMAZON_H_

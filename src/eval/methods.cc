@@ -1,0 +1,45 @@
+#include "eval/methods.h"
+
+namespace emigre::eval {
+
+using explain::Heuristic;
+using explain::Mode;
+
+std::vector<MethodSpec> PaperMethods() {
+  return {
+      {"add_Incremental", Mode::kAdd, Heuristic::kIncremental},
+      {"add_Powerset", Mode::kAdd, Heuristic::kPowerset},
+      {"add_ex", Mode::kAdd, Heuristic::kExhaustive},
+      {"remove_Incremental", Mode::kRemove, Heuristic::kIncremental},
+      {"remove_Powerset", Mode::kRemove, Heuristic::kPowerset},
+      {"remove_ex", Mode::kRemove, Heuristic::kExhaustive},
+      {"remove_ex_direct", Mode::kRemove, Heuristic::kExhaustiveDirect},
+      {"remove_brute", Mode::kRemove, Heuristic::kBruteForce},
+  };
+}
+
+std::vector<MethodSpec> RemoveMethods() {
+  std::vector<MethodSpec> out;
+  for (MethodSpec& m : PaperMethods()) {
+    if (m.mode == Mode::kRemove) out.push_back(std::move(m));
+  }
+  return out;
+}
+
+std::vector<MethodSpec> AddMethods() {
+  std::vector<MethodSpec> out;
+  for (MethodSpec& m : PaperMethods()) {
+    if (m.mode == Mode::kAdd) out.push_back(std::move(m));
+  }
+  return out;
+}
+
+const MethodSpec* FindMethod(const std::vector<MethodSpec>& methods,
+                             const std::string& name) {
+  for (const MethodSpec& m : methods) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace emigre::eval

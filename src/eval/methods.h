@@ -1,0 +1,36 @@
+#ifndef EMIGRE_EVAL_METHODS_H_
+#define EMIGRE_EVAL_METHODS_H_
+
+#include <string>
+#include <vector>
+
+#include "explain/explanation.h"
+
+namespace emigre::eval {
+
+/// \brief One evaluated configuration: a (mode, heuristic) pair with the
+/// paper's display name.
+struct MethodSpec {
+  std::string name;
+  explain::Mode mode = explain::Mode::kRemove;
+  explain::Heuristic heuristic = explain::Heuristic::kIncremental;
+};
+
+/// The eight methods of the paper's evaluation (§6.2), in its display
+/// order: add_Incremental, add_Powerset, add_ex, remove_Incremental,
+/// remove_Powerset, remove_ex, remove_ex_direct, remove_brute.
+std::vector<MethodSpec> PaperMethods();
+
+/// Only the Remove-mode methods (the Fig. 5 comparison set).
+std::vector<MethodSpec> RemoveMethods();
+
+/// Only the Add-mode methods.
+std::vector<MethodSpec> AddMethods();
+
+/// Finds a method by name; returns nullptr when absent.
+const MethodSpec* FindMethod(const std::vector<MethodSpec>& methods,
+                             const std::string& name);
+
+}  // namespace emigre::eval
+
+#endif  // EMIGRE_EVAL_METHODS_H_

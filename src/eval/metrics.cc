@@ -1,0 +1,197 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace emigre::eval {
+
+namespace {
+
+/// Percentile by nearest-rank over a copy of the samples.
+double Percentile(std::vector<double> samples, double fraction) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  size_t rank = static_cast<size_t>(fraction * (samples.size() - 1) + 0.5);
+  if (rank >= samples.size()) rank = samples.size() - 1;
+  return samples[rank];
+}
+
+MethodAggregate AggregateRecords(
+    const std::string& method,
+    const std::vector<const ScenarioRecord*>& records) {
+  MethodAggregate agg;
+  agg.method = method;
+  agg.scenarios = records.size();
+  std::vector<double> times;
+  times.reserve(records.size());
+  double time_all = 0.0;
+  double time_found = 0.0;
+  double time_not_found = 0.0;
+  double size_sum = 0.0;
+  size_t not_found = 0;
+  for (const ScenarioRecord* r : records) {
+    times.push_back(r->seconds);
+    time_all += r->seconds;
+    if (r->returned) {
+      ++agg.returned;
+      time_found += r->seconds;
+    } else {
+      ++not_found;
+      time_not_found += r->seconds;
+    }
+    if (r->correct) {
+      ++agg.correct;
+      size_sum += static_cast<double>(r->explanation_size);
+    }
+  }
+  if (agg.scenarios > 0) {
+    agg.success_rate = 100.0 * static_cast<double>(agg.correct) /
+                       static_cast<double>(agg.scenarios);
+    agg.avg_time_all = time_all / static_cast<double>(agg.scenarios);
+  }
+  if (agg.returned > 0) {
+    agg.avg_time_found = time_found / static_cast<double>(agg.returned);
+  }
+  if (not_found > 0) {
+    agg.avg_time_not_found =
+        time_not_found / static_cast<double>(not_found);
+  }
+  if (agg.correct > 0) {
+    agg.avg_size = size_sum / static_cast<double>(agg.correct);
+  }
+  agg.p50_time = Percentile(times, 0.50);
+  agg.p95_time = Percentile(times, 0.95);
+  return agg;
+}
+
+}  // namespace
+
+std::vector<MethodAggregate> Aggregate(
+    const ExperimentResult& result,
+    const std::vector<std::string>& method_order) {
+  std::vector<MethodAggregate> out;
+  out.reserve(method_order.size());
+  for (const std::string& method : method_order) {
+    out.push_back(AggregateRecords(method, result.ForMethod(method)));
+  }
+  return out;
+}
+
+std::vector<std::pair<graph::NodeId, graph::NodeId>> OracleSolvableScenarios(
+    const ExperimentResult& result, const std::string& oracle_method) {
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> out;
+  for (const ScenarioRecord& r : result.records) {
+    if (r.method == oracle_method && r.correct) {
+      out.emplace_back(r.scenario.user, r.scenario.wni);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::pair<graph::NodeId, graph::NodeId>> ProvablySolvableScenarios(
+    const ExperimentResult& result, const std::vector<std::string>& methods) {
+  std::set<std::string> wanted(methods.begin(), methods.end());
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> out;
+  for (const ScenarioRecord& r : result.records) {
+    if (r.correct && wanted.count(r.method) > 0) {
+      out.emplace_back(r.scenario.user, r.scenario.wni);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<MethodAggregate> AggregateOnScenarios(
+    const ExperimentResult& result,
+    const std::vector<std::string>& method_order,
+    const std::vector<std::pair<graph::NodeId, graph::NodeId>>& subset) {
+  std::set<std::pair<graph::NodeId, graph::NodeId>> keys(subset.begin(),
+                                                         subset.end());
+  std::vector<MethodAggregate> out;
+  for (const std::string& method : method_order) {
+    std::vector<const ScenarioRecord*> filtered;
+    for (const ScenarioRecord* r : result.ForMethod(method)) {
+      if (keys.count({r->scenario.user, r->scenario.wni}) > 0) {
+        filtered.push_back(r);
+      }
+    }
+    out.push_back(AggregateRecords(method, filtered));
+  }
+  return out;
+}
+
+Status WriteRecordsCsv(const ExperimentResult& result,
+                       const std::string& path) {
+  CsvWriter w(path);
+  EMIGRE_RETURN_IF_ERROR(w.status());
+  EMIGRE_RETURN_IF_ERROR(w.WriteRow({"method", "user", "wni", "wni_rank",
+                                     "returned", "correct", "size",
+                                     "seconds", "failure"}));
+  for (const ScenarioRecord& r : result.records) {
+    EMIGRE_RETURN_IF_ERROR(w.WriteRow(
+        {r.method, StrFormat("%u", r.scenario.user),
+         StrFormat("%u", r.scenario.wni),
+         StrFormat("%zu", r.scenario.wni_rank), r.returned ? "1" : "0",
+         r.correct ? "1" : "0", StrFormat("%zu", r.explanation_size),
+         StrFormat("%.6f", r.seconds),
+         std::string(explain::FailureReasonName(r.failure))}));
+  }
+  return w.Close();
+}
+
+Result<ExperimentResult> LoadRecordsCsv(const std::string& path) {
+  CsvReader reader(path);
+  EMIGRE_RETURN_IF_ERROR(reader.status());
+  std::vector<std::string> row;
+  if (!reader.ReadRow(&row) || row.empty() || row[0] != "method") {
+    return Status::InvalidArgument("missing records header in " + path);
+  }
+  ExperimentResult result;
+  while (reader.ReadRow(&row)) {
+    if (row.size() < 9) {
+      return Status::InvalidArgument("short record row in " + path);
+    }
+    ScenarioRecord r;
+    r.method = row[0];
+    int64_t user = 0;
+    int64_t wni = 0;
+    int64_t rank = 0;
+    int64_t size = 0;
+    double seconds = 0.0;
+    if (!ParseInt64(row[1], &user) || !ParseInt64(row[2], &wni) ||
+        !ParseInt64(row[3], &rank) || !ParseInt64(row[6], &size) ||
+        !ParseDouble(row[7], &seconds)) {
+      return Status::InvalidArgument("malformed record row in " + path);
+    }
+    r.scenario.user = static_cast<graph::NodeId>(user);
+    r.scenario.wni = static_cast<graph::NodeId>(wni);
+    r.scenario.wni_rank = static_cast<size_t>(rank);
+    r.returned = row[4] == "1";
+    r.correct = row[5] == "1";
+    r.explanation_size = static_cast<size_t>(size);
+    r.seconds = seconds;
+    // The failure name is informational; map the few we round-trip and
+    // leave the rest at kNone.
+    for (explain::FailureReason reason :
+         {explain::FailureReason::kNone, explain::FailureReason::kColdStart,
+          explain::FailureReason::kPopularItem,
+          explain::FailureReason::kSearchExhausted,
+          explain::FailureReason::kBudgetExceeded,
+          explain::FailureReason::kInvalidQuestion}) {
+      if (row[8] == explain::FailureReasonName(reason)) {
+        r.failure = reason;
+        break;
+      }
+    }
+    result.records.push_back(std::move(r));
+  }
+  return result;
+}
+
+}  // namespace emigre::eval

@@ -1,0 +1,71 @@
+#ifndef EMIGRE_EVAL_METRICS_H_
+#define EMIGRE_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/runner.h"
+
+namespace emigre::eval {
+
+/// \brief Per-method aggregates, the quantities behind the paper's Figures
+/// 4–6 and Table 5.
+struct MethodAggregate {
+  std::string method;
+  size_t scenarios = 0;
+  size_t returned = 0;  ///< produced an explanation
+  size_t correct = 0;   ///< ... that verifies (the paper's "success")
+
+  /// Success rate in percent (Fig. 4 / Fig. 5).
+  double success_rate = 0.0;
+  /// Mean explanation size over correct explanations (Fig. 6).
+  double avg_size = 0.0;
+  /// Mean runtime in seconds: (a) all scenarios, (b) explanation found,
+  /// (c) none found (Table 5 columns).
+  double avg_time_all = 0.0;
+  double avg_time_found = 0.0;
+  double avg_time_not_found = 0.0;
+  /// Runtime distribution over all scenarios (medians resist the long tail
+  /// the budget caps produce; extensions beyond the paper's Table 5).
+  double p50_time = 0.0;
+  double p95_time = 0.0;
+};
+
+/// Aggregates per method over all scenarios, in `method_order` order.
+std::vector<MethodAggregate> Aggregate(
+    const ExperimentResult& result,
+    const std::vector<std::string>& method_order);
+
+/// The scenario subset on which `oracle_method` succeeded — the paper's
+/// "cases when a solution can be found, given the current data structure"
+/// (Fig. 5 uses remove_brute as the oracle). Returned as (user, wni) keys.
+std::vector<std::pair<graph::NodeId, graph::NodeId>> OracleSolvableScenarios(
+    const ExperimentResult& result, const std::string& oracle_method);
+
+/// Budget-robust variant: scenarios where *any* of the listed methods
+/// produced a correct (independently verified) explanation. Every such
+/// scenario is provably solvable even when the brute-force oracle ran out
+/// of budget before reaching the witness (the paper's unbounded brute force
+/// needs ~900 s per scenario; ours is capped).
+std::vector<std::pair<graph::NodeId, graph::NodeId>> ProvablySolvableScenarios(
+    const ExperimentResult& result, const std::vector<std::string>& methods);
+
+/// Aggregates per method restricted to the given scenario subset (Fig. 5).
+std::vector<MethodAggregate> AggregateOnScenarios(
+    const ExperimentResult& result,
+    const std::vector<std::string>& method_order,
+    const std::vector<std::pair<graph::NodeId, graph::NodeId>>& subset);
+
+/// Writes the raw per-(method, scenario) records as CSV for offline
+/// analysis. Columns: method,user,wni,wni_rank,returned,correct,size,
+/// seconds,failure.
+Status WriteRecordsCsv(const ExperimentResult& result,
+                       const std::string& path);
+
+/// Reads records written by `WriteRecordsCsv`. Used by the benchmark
+/// binaries to share one experiment run across the per-figure reports.
+Result<ExperimentResult> LoadRecordsCsv(const std::string& path);
+
+}  // namespace emigre::eval
+
+#endif  // EMIGRE_EVAL_METRICS_H_

@@ -1,0 +1,121 @@
+#include "eval/report.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace emigre::eval {
+
+std::string FormatFigure4(const std::vector<MethodAggregate>& aggregates) {
+  std::vector<std::string> labels;
+  std::vector<double> values;
+  for (const MethodAggregate& a : aggregates) {
+    labels.push_back(a.method);
+    values.push_back(a.success_rate);
+  }
+  std::string out = "Figure 4: Explanation success rate per method (%)\n";
+  out += BarChart(labels, values, 100.0, "%");
+  return out;
+}
+
+std::string FormatFigure5(const std::vector<MethodAggregate>& aggregates,
+                          const std::string& oracle) {
+  double oracle_rate = 0.0;
+  for (const MethodAggregate& a : aggregates) {
+    if (a.method == oracle) oracle_rate = a.success_rate;
+  }
+  std::string out =
+      "Figure 5: Success rate on brute-force-solvable scenarios "
+      "(oracle: " +
+      oracle + ")\n";
+  std::vector<std::string> labels;
+  std::vector<double> values;
+  for (const MethodAggregate& a : aggregates) {
+    labels.push_back(a.method);
+    values.push_back(a.success_rate);
+  }
+  out += BarChart(labels, values, 100.0, "%");
+  if (oracle_rate > 0.0) {
+    out += "\nRelative to oracle:\n";
+    TextTable table({"Method", "Success", "Relative"});
+    table.SetAlign(1, Align::kRight);
+    table.SetAlign(2, Align::kRight);
+    for (const MethodAggregate& a : aggregates) {
+      table.AddRow({a.method, FormatDouble(a.success_rate, 1) + "%",
+                    FormatDouble(100.0 * a.success_rate / oracle_rate, 1) +
+                        "%"});
+    }
+    out += table.ToString();
+  }
+  return out;
+}
+
+std::string FormatFigure6(const std::vector<MethodAggregate>& aggregates) {
+  double max_size = 1.0;
+  for (const MethodAggregate& a : aggregates) {
+    max_size = std::max(max_size, a.avg_size);
+  }
+  std::vector<std::string> labels;
+  std::vector<double> values;
+  for (const MethodAggregate& a : aggregates) {
+    labels.push_back(a.method);
+    values.push_back(a.avg_size);
+  }
+  std::string out =
+      "Figure 6: Average explanation size per method (# edges, over "
+      "correct explanations)\n";
+  out += BarChart(labels, values, max_size, " edges");
+  return out;
+}
+
+std::string FormatTable5(const std::vector<MethodAggregate>& aggregates) {
+  TextTable table({"Method", "(a) all", "(b) found", "(c) not found", "p50",
+                   "p95"});
+  for (size_t c = 1; c <= 5; ++c) table.SetAlign(c, Align::kRight);
+  for (const MethodAggregate& a : aggregates) {
+    table.AddRow({a.method, FormatDuration(a.avg_time_all),
+                  a.returned > 0 ? FormatDuration(a.avg_time_found) : "-",
+                  a.returned < a.scenarios
+                      ? FormatDuration(a.avg_time_not_found)
+                      : "-",
+                  FormatDuration(a.p50_time), FormatDuration(a.p95_time)});
+  }
+  return "Table 5: Average runtime per method\n" + table.ToString();
+}
+
+std::string FormatFailureBreakdown(
+    const ExperimentResult& result,
+    const std::vector<std::string>& methods) {
+  const explain::FailureReason kReasons[] = {
+      explain::FailureReason::kColdStart,
+      explain::FailureReason::kPopularItem,
+      explain::FailureReason::kSearchExhausted,
+      explain::FailureReason::kBudgetExceeded,
+  };
+  std::vector<std::string> headers = {"Method", "failed"};
+  for (explain::FailureReason r : kReasons) {
+    headers.emplace_back(FailureReasonName(r));
+  }
+  TextTable table(headers);
+  for (size_t c = 1; c < headers.size(); ++c) table.SetAlign(c, Align::kRight);
+  for (const std::string& method : methods) {
+    size_t failed = 0;
+    std::vector<size_t> counts(std::size(kReasons), 0);
+    for (const ScenarioRecord* r : result.ForMethod(method)) {
+      if (r->correct) continue;
+      ++failed;
+      for (size_t i = 0; i < std::size(kReasons); ++i) {
+        if (r->failure == kReasons[i]) ++counts[i];
+      }
+    }
+    std::vector<std::string> row = {method, StrFormat("%zu", failed)};
+    for (size_t c : counts) row.push_back(StrFormat("%zu", c));
+    table.AddRow(row);
+  }
+  return "Failure breakdown per method (meta-explanation taxonomy, paper "
+         "\u00a76.4)\n" +
+         table.ToString();
+}
+
+}  // namespace emigre::eval

@@ -1,0 +1,37 @@
+#ifndef EMIGRE_EVAL_REPORT_H_
+#define EMIGRE_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace emigre::eval {
+
+/// Paper Figure 4 — "Explanation success rate per method" — as an ASCII
+/// bar chart over all scenarios.
+std::string FormatFigure4(const std::vector<MethodAggregate>& aggregates);
+
+/// Paper Figure 5 — Remove-mode success rates restricted to brute-force-
+/// solvable scenarios, shown absolute and relative to the oracle.
+/// `oracle` must be one of the aggregated methods (remove_brute).
+std::string FormatFigure5(const std::vector<MethodAggregate>& aggregates,
+                          const std::string& oracle);
+
+/// Paper Figure 6 — "Average explanation size per method".
+std::string FormatFigure6(const std::vector<MethodAggregate>& aggregates);
+
+/// Paper Table 5 — average runtime per method: (a) overall, (b) when an
+/// explanation is found, (c) when none is found.
+std::string FormatTable5(const std::vector<MethodAggregate>& aggregates);
+
+/// Failure-reason breakdown per method (the §6.4 taxonomy: cold start /
+/// popular item / search exhausted / budget), counted over non-successful
+/// scenarios. The paper proposes surfacing exactly this as
+/// "meta-explanations" for the low Remove-mode success rate.
+std::string FormatFailureBreakdown(const ExperimentResult& result,
+                                   const std::vector<std::string>& methods);
+
+}  // namespace emigre::eval
+
+#endif  // EMIGRE_EVAL_REPORT_H_

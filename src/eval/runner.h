@@ -1,0 +1,62 @@
+#ifndef EMIGRE_EVAL_RUNNER_H_
+#define EMIGRE_EVAL_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/methods.h"
+#include "eval/scenario.h"
+#include "explain/explanation.h"
+#include "explain/options.h"
+#include "graph/hin_graph.h"
+#include "util/result.h"
+
+namespace emigre::eval {
+
+/// \brief Measurement for one (method, scenario) pair.
+struct ScenarioRecord {
+  std::string method;
+  Scenario scenario;
+
+  bool returned = false;  ///< the method produced an explanation
+  bool correct = false;   ///< ... and it independently verifies (success)
+  size_t explanation_size = 0;
+  double seconds = 0.0;  ///< method runtime (verification excluded)
+  explain::FailureReason failure = explain::FailureReason::kNone;
+};
+
+/// \brief All measurements of one experiment run.
+struct ExperimentResult {
+  std::vector<ScenarioRecord> records;
+
+  /// Records of one method, scenario order preserved.
+  std::vector<const ScenarioRecord*> ForMethod(
+      const std::string& method) const;
+};
+
+/// \brief Runner configuration.
+struct RunnerOptions {
+  /// Worker threads across scenarios (1 = serial; 0 = hardware threads).
+  size_t num_threads = 1;
+  /// Log a progress line roughly every this many scenario completions
+  /// (0 = silent).
+  size_t progress_every = 0;
+};
+
+/// \brief Executes every method on every scenario (the paper's §6.2 design)
+/// and collects success/size/runtime records.
+///
+/// Success is measured as the paper does: an explanation counts only if it
+/// actually places the Why-Not item at the top — results the method did not
+/// verify itself (Exhaustive-direct) are re-checked here, outside the
+/// method's timed section. Scenarios are independent; with
+/// `num_threads > 1` they run in parallel over the shared immutable graph.
+Result<ExperimentResult> RunExperiment(const graph::HinGraph& g,
+                                       const std::vector<Scenario>& scenarios,
+                                       const std::vector<MethodSpec>& methods,
+                                       const explain::EmigreOptions& opts,
+                                       const RunnerOptions& run_opts = {});
+
+}  // namespace emigre::eval
+
+#endif  // EMIGRE_EVAL_RUNNER_H_

@@ -1,0 +1,34 @@
+#include "eval/scenario.h"
+
+#include "recsys/recommender.h"
+#include "util/string_util.h"
+
+namespace emigre::eval {
+
+Result<std::vector<Scenario>> GenerateScenarios(
+    const graph::HinGraph& g, const std::vector<graph::NodeId>& users,
+    const explain::EmigreOptions& opts, size_t top_k, size_t max_per_user) {
+  if (top_k < 2) {
+    return Status::InvalidArgument("top_k must be at least 2");
+  }
+  std::vector<Scenario> scenarios;
+  for (graph::NodeId user : users) {
+    if (!g.IsValidNode(user)) {
+      return Status::InvalidArgument(
+          StrFormat("invalid evaluation user %u", user));
+    }
+    recsys::RecommendationList ranking =
+        recsys::RankItems(g, user, opts.rec).TopN(top_k);
+    if (ranking.size() < 2) continue;  // nothing beyond the top-1
+    size_t emitted = 0;
+    for (size_t rank = 1; rank < ranking.size(); ++rank) {
+      if (max_per_user > 0 && emitted >= max_per_user) break;
+      scenarios.push_back(Scenario{user, ranking.at(rank).item, rank,
+                                   ranking.Top()});
+      ++emitted;
+    }
+  }
+  return scenarios;
+}
+
+}  // namespace emigre::eval

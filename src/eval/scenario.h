@@ -1,0 +1,38 @@
+#ifndef EMIGRE_EVAL_SCENARIO_H_
+#define EMIGRE_EVAL_SCENARIO_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "explain/options.h"
+#include "graph/hin_graph.h"
+#include "graph/types.h"
+#include "util/result.h"
+
+namespace emigre::eval {
+
+/// \brief One evaluation case: a (user, Why-Not item) pair (paper §6.2).
+struct Scenario {
+  graph::NodeId user = graph::kInvalidNode;
+  graph::NodeId wni = graph::kInvalidNode;
+  /// 0-based rank of the Why-Not item in the user's original list (1..k-1;
+  /// rank 0 is the current recommendation and is never a Why-Not item).
+  size_t wni_rank = 0;
+  /// The user's original top-1, cached so methods need not recompute it.
+  graph::NodeId original_rec = graph::kInvalidNode;
+};
+
+/// \brief Reproduces the paper's experimental design (§6.2): for each
+/// evaluation user, compute the top-`top_k` recommendation list and emit
+/// one scenario per list position except the first.
+///
+/// `max_per_user` truncates positions per user (0 = all of 1..top_k-1);
+/// the benchmark harness uses it to scale runs down.
+Result<std::vector<Scenario>> GenerateScenarios(
+    const graph::HinGraph& g, const std::vector<graph::NodeId>& users,
+    const explain::EmigreOptions& opts, size_t top_k = 10,
+    size_t max_per_user = 0);
+
+}  // namespace emigre::eval
+
+#endif  // EMIGRE_EVAL_SCENARIO_H_

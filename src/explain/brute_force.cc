@@ -1,0 +1,74 @@
+#include "explain/brute_force.h"
+
+#include <algorithm>
+
+#include "explain/internal.h"
+#include "util/timer.h"
+
+namespace emigre::explain {
+
+Explanation RunBruteForce(const SearchSpace& space, TesterInterface& tester,
+                          const EmigreOptions& opts) {
+  WallTimer timer;
+  internal::SearchBudget budget(opts);
+
+  Explanation out;
+  out.mode = space.mode;
+  out.heuristic = Heuristic::kBruteForce;
+  out.search_space_size = space.actions.size();
+
+  if (space.actions.empty()) {
+    out.failure = FailureReason::kColdStart;
+    out.seconds = timer.ElapsedSeconds();
+    return out;
+  }
+
+  // The universe in edge order (not contribution order): brute force is the
+  // model-free oracle, so its enumeration must not depend on Eq. 5/6.
+  std::vector<graph::EdgeRef> universe;
+  universe.reserve(space.actions.size());
+  for (const CandidateAction& a : space.actions) universe.push_back(a.edge);
+  std::sort(universe.begin(), universe.end());
+
+  size_t max_size = universe.size();
+  if (opts.max_explanation_size > 0) {
+    max_size = std::min(max_size, opts.max_explanation_size);
+  }
+
+  bool budget_hit = false;
+  for (size_t size = 1; size <= max_size && !out.found && !budget_hit;
+       ++size) {
+    std::vector<graph::EdgeRef> edges(size);
+    internal::ForEachCombination(
+        universe.size(), size, [&](const std::vector<size_t>& idx) {
+          if (budget.Exhausted(tester.num_tests())) {
+            budget_hit = true;
+            return false;
+          }
+          for (size_t i = 0; i < size; ++i) edges[i] = universe[idx[i]];
+          ++out.candidates_considered;
+          graph::NodeId new_rec = graph::kInvalidNode;
+          if (tester.Test(edges, space.mode, &new_rec)) {
+            out.found = true;
+            out.verified = tester.IsExact();
+            out.edges = edges;
+            out.new_rec = new_rec;
+            return false;
+          }
+          return true;
+        });
+  }
+
+  if (out.found) {
+    out.failure = FailureReason::kNone;
+  } else if (budget_hit) {
+    out.failure = FailureReason::kBudgetExceeded;
+  } else {
+    out.failure = FailureReason::kSearchExhausted;
+  }
+  out.tests_performed = tester.num_tests();
+  out.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace emigre::explain

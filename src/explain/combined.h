@@ -1,0 +1,46 @@
+#ifndef EMIGRE_EXPLAIN_COMBINED_H_
+#define EMIGRE_EXPLAIN_COMBINED_H_
+
+#include <vector>
+
+#include "explain/explanation.h"
+#include "explain/options.h"
+#include "graph/hin_graph.h"
+#include "graph/types.h"
+#include "util/result.h"
+
+namespace emigre::explain {
+
+/// \brief Explanation mixing removed past actions with suggested new ones.
+///
+/// Realizes the paper's future-work extension (§6.4 "Out Of Scope Item",
+/// §7): cases where neither pure additions nor pure deletions can promote
+/// the Why-Not item, but a mixture can.
+struct CombinedExplanation {
+  bool found = false;
+  std::vector<graph::EdgeRef> added;    ///< actions to perform
+  std::vector<graph::EdgeRef> removed;  ///< actions to undo
+  graph::NodeId original_rec = graph::kInvalidNode;
+  graph::NodeId new_rec = graph::kInvalidNode;
+  FailureReason failure = FailureReason::kNone;
+  size_t tests_performed = 0;
+  double seconds = 0.0;
+
+  size_t size() const { return added.size() + removed.size(); }
+};
+
+/// \brief Combined Add/Remove Why-Not explanation, Incremental style.
+///
+/// Builds both search spaces (Algorithms 1 and 2), merges the candidate
+/// actions — each tagged with its direction — into a single descending-
+/// contribution list, and greedily accumulates as in Algorithm 3, TESTing
+/// whenever the shared gap estimate closes. Subsumes both single modes: if
+/// a pure Remove (or Add) explanation is reachable greedily it is found
+/// too, so the success rate dominates the Incremental single modes.
+Result<CombinedExplanation> RunCombinedIncremental(const graph::HinGraph& g,
+                                                   const WhyNotQuestion& q,
+                                                   const EmigreOptions& opts);
+
+}  // namespace emigre::explain
+
+#endif  // EMIGRE_EXPLAIN_COMBINED_H_

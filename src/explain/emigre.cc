@@ -1,0 +1,122 @@
+#include "explain/emigre.h"
+
+#include <memory>
+
+#include "explain/brute_force.h"
+#include "explain/exhaustive.h"
+#include "explain/fast_tester.h"
+#include "explain/incremental.h"
+#include "explain/powerset.h"
+#include "explain/search_space.h"
+#include "explain/tester.h"
+#include "recsys/recommender.h"
+#include "util/string_util.h"
+
+namespace emigre::explain {
+
+recsys::RecommendationList Emigre::CurrentRanking(graph::NodeId user) const {
+  return recsys::RankItems(*g_, user, opts_.rec);
+}
+
+Status Emigre::ValidateQuestion(const WhyNotQuestion& q,
+                                graph::NodeId rec) const {
+  if (!g_->IsValidNode(q.user)) {
+    return Status::InvalidArgument(StrFormat("invalid user %u", q.user));
+  }
+  if (!g_->IsValidNode(q.why_not_item)) {
+    return Status::InvalidArgument(
+        StrFormat("invalid Why-Not item %u", q.why_not_item));
+  }
+  if (g_->NodeType(q.why_not_item) != opts_.rec.item_type) {
+    return Status::InvalidArgument(StrFormat(
+        "Why-Not item %u is not an item node", q.why_not_item));
+  }
+  if (g_->HasEdge(q.user, q.why_not_item)) {
+    return Status::InvalidArgument(StrFormat(
+        "user %u already interacted with item %u (Definition 4.1 requires "
+        "(u, WNI) ∉ E)",
+        q.user, q.why_not_item));
+  }
+  if (q.why_not_item == rec) {
+    return Status::InvalidArgument(StrFormat(
+        "item %u already is the top recommendation", q.why_not_item));
+  }
+  return Status::OK();
+}
+
+Result<Explanation> Emigre::Explain(const WhyNotQuestion& q, Mode mode,
+                                    Heuristic heuristic) const {
+  recsys::RecommendationList ranking = CurrentRanking(q.user);
+  graph::NodeId rec = ranking.Top();
+  EMIGRE_RETURN_IF_ERROR(ValidateQuestion(q, rec));
+
+  EMIGRE_ASSIGN_OR_RETURN(
+      SearchSpace space,
+      mode == Mode::kRemove
+          ? BuildRemoveSearchSpace(*g_, q.user, rec, q.why_not_item, opts_,
+                                   ppr_cache_.get())
+          : BuildAddSearchSpace(*g_, q.user, rec, q.why_not_item, opts_,
+                                ppr_cache_.get()));
+
+  std::unique_ptr<TesterInterface> tester;
+  if (opts_.tester == TesterKind::kDynamicPush) {
+    tester = std::make_unique<FastExplanationTester>(*g_, q.user,
+                                                     q.why_not_item, opts_);
+  } else {
+    tester = std::make_unique<ExplanationTester>(*g_, q.user, q.why_not_item,
+                                                 opts_);
+  }
+
+  Explanation result;
+  switch (heuristic) {
+    case Heuristic::kIncremental:
+      result = RunIncremental(space, *tester, opts_);
+      break;
+    case Heuristic::kPowerset:
+      result = RunPowerset(space, *tester, opts_);
+      break;
+    case Heuristic::kExhaustive:
+    case Heuristic::kExhaustiveDirect: {
+      // T = the original top-k recommendation list (minus WNI, handled
+      // inside), the items the Why-Not item must dominate.
+      std::vector<graph::NodeId> targets;
+      size_t k = opts_.exhaustive_targets > 0 ? opts_.exhaustive_targets
+                                              : ranking.size();
+      for (size_t i = 0; i < ranking.size() && targets.size() < k; ++i) {
+        targets.push_back(ranking.at(i).item);
+      }
+      result = RunExhaustive(*g_, space, targets, *tester, opts_,
+                             heuristic == Heuristic::kExhaustiveDirect,
+                             ppr_cache_.get());
+      break;
+    }
+    case Heuristic::kBruteForce:
+      result = RunBruteForce(space, *tester, opts_);
+      break;
+  }
+  result.original_rec = rec;
+  return result;
+}
+
+Result<Explanation> Emigre::ExplainAuto(const WhyNotQuestion& q,
+                                        Heuristic heuristic) const {
+  // §5.4: Remove mode reasons over the user's own history — meaningful when
+  // that history exists. Otherwise, and whenever Remove fails (the paper's
+  // popular-item cases), fall back to Add mode's wider search space.
+  size_t allowed_actions = 0;
+  if (g_->IsValidNode(q.user)) {
+    for (const graph::Edge& e : g_->OutEdges(q.user)) {
+      if (e.node != q.user && opts_.IsAllowedEdgeType(e.type)) {
+        ++allowed_actions;
+      }
+    }
+  }
+  if (allowed_actions > 0) {
+    EMIGRE_ASSIGN_OR_RETURN(Explanation removal,
+                            Explain(q, Mode::kRemove, heuristic));
+    if (removal.found) return removal;
+  }
+  return Explain(q, Mode::kAdd, heuristic);
+}
+
+}  // namespace emigre::explain

@@ -1,0 +1,87 @@
+#ifndef EMIGRE_EXPLAIN_EMIGRE_H_
+#define EMIGRE_EXPLAIN_EMIGRE_H_
+
+#include <memory>
+
+#include "explain/explanation.h"
+#include "explain/options.h"
+#include "graph/hin_graph.h"
+#include "ppr/cache.h"
+#include "recsys/rec_list.h"
+#include "util/result.h"
+
+namespace emigre::explain {
+
+/// \brief The EMiGRe framework facade (paper Fig. 3).
+///
+/// Wires the full pipeline for one Why-Not question: validate the question
+/// (Definition 4.1) → run the recommender → build the mode's search space
+/// (Algorithm 1 or 2) → compute the explanation with the selected heuristic
+/// (Algorithms 3/4/5 or a baseline) → return the explanation with
+/// diagnostics.
+///
+/// Thread-safety: `Emigre` is immutable after construction and holds only a
+/// reference to the graph; concurrent `Explain` calls are safe as long as
+/// the graph is not mutated.
+///
+/// ```
+/// explain::EmigreOptions opts;
+/// opts.rec.item_type = g.FindNodeType("item");
+/// opts.add_edge_type = g.FindEdgeType("rated");
+/// opts.allowed_edge_types = {g.FindEdgeType("rated")};
+/// explain::Emigre engine(g, opts);
+/// auto result = engine.Explain({user, missing_item}, explain::Mode::kAdd,
+///                              explain::Heuristic::kIncremental);
+/// ```
+class Emigre {
+ public:
+  /// `g` must outlive the engine — and must not be mutated while the
+  /// engine exists (the engine caches PPR vectors computed on it).
+  Emigre(const graph::HinGraph& g, EmigreOptions opts)
+      : g_(&g),
+        opts_(std::move(opts)),
+        ppr_cache_(std::make_unique<ppr::ReversePushCache<graph::HinGraph>>(
+            g, opts_.rec.ppr)) {}
+
+  /// Computes a Why-Not explanation for `q` using the given mode and
+  /// heuristic. Fails with InvalidArgument when `q` violates Definition 4.1
+  /// (WNI not an item, already interacted with, or already the top
+  /// recommendation). A valid question that admits no explanation returns
+  /// an Explanation with `found == false` and a `FailureReason`.
+  Result<Explanation> Explain(const WhyNotQuestion& q, Mode mode,
+                              Heuristic heuristic) const;
+
+  /// Paper §5.4 "Choice of the Method": runs Remove mode first when the
+  /// user has existing actions to reason about, then falls back to Add
+  /// mode (whose search space is independent of the user's history).
+  Result<Explanation> ExplainAuto(
+      const WhyNotQuestion& q,
+      Heuristic heuristic = Heuristic::kIncremental) const;
+
+  /// The recommender's current full ranking for `user` (Eq. 2 candidates).
+  recsys::RecommendationList CurrentRanking(graph::NodeId user) const;
+
+  const EmigreOptions& options() const { return opts_; }
+  const graph::HinGraph& graph() const { return *g_; }
+
+  /// Checks Definition 4.1 for (user, wni): wni is an item node, has no
+  /// edge from the user, and differs from the current recommendation `rec`.
+  Status ValidateQuestion(const WhyNotQuestion& q, graph::NodeId rec) const;
+
+  /// Cache statistics (diagnostics; shared across Explain calls).
+  const ppr::ReversePushCache<graph::HinGraph>& ppr_cache() const {
+    return *ppr_cache_;
+  }
+
+ private:
+  const graph::HinGraph* g_;
+  EmigreOptions opts_;
+  // Reverse-push vectors are pure functions of (graph, target); shared
+  // across questions and across the per-question phases. The cache is
+  // internally synchronized, keeping concurrent Explain calls safe.
+  std::unique_ptr<ppr::ReversePushCache<graph::HinGraph>> ppr_cache_;
+};
+
+}  // namespace emigre::explain
+
+#endif  // EMIGRE_EXPLAIN_EMIGRE_H_

@@ -1,0 +1,49 @@
+#include "explain/explanation.h"
+
+namespace emigre::explain {
+
+std::string_view ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kRemove:
+      return "remove";
+    case Mode::kAdd:
+      return "add";
+  }
+  return "?";
+}
+
+std::string_view HeuristicName(Heuristic h) {
+  switch (h) {
+    case Heuristic::kIncremental:
+      return "Incremental";
+    case Heuristic::kPowerset:
+      return "Powerset";
+    case Heuristic::kExhaustive:
+      return "ex";
+    case Heuristic::kExhaustiveDirect:
+      return "ex_direct";
+    case Heuristic::kBruteForce:
+      return "brute";
+  }
+  return "?";
+}
+
+std::string_view FailureReasonName(FailureReason reason) {
+  switch (reason) {
+    case FailureReason::kNone:
+      return "none";
+    case FailureReason::kInvalidQuestion:
+      return "invalid-question";
+    case FailureReason::kColdStart:
+      return "cold-start";
+    case FailureReason::kPopularItem:
+      return "popular-item";
+    case FailureReason::kSearchExhausted:
+      return "search-exhausted";
+    case FailureReason::kBudgetExceeded:
+      return "budget-exceeded";
+  }
+  return "?";
+}
+
+}  // namespace emigre::explain

@@ -1,0 +1,81 @@
+#ifndef EMIGRE_EXPLAIN_EXPLANATION_H_
+#define EMIGRE_EXPLAIN_EXPLANATION_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace emigre::explain {
+
+/// \brief The two EMiGRe search modes (paper §5.1).
+enum class Mode {
+  kRemove,  ///< explanation = existing user actions to undo (A−)
+  kAdd,     ///< explanation = new user actions to perform (A+)
+};
+
+/// \brief The explanation-computation strategies of paper §5.2 plus the
+/// baselines of §6.2.
+enum class Heuristic {
+  kIncremental,       ///< Algorithm 3: grow one edge at a time (fast)
+  kPowerset,          ///< Algorithm 4: subsets in ascending size (small)
+  kExhaustive,        ///< Algorithm 5: per-target thresholds + CHECK
+  kExhaustiveDirect,  ///< Algorithm 5 without the CHECK step (baseline)
+  kBruteForce,        ///< all subsets, TEST each (oracle baseline, Remove)
+};
+
+std::string_view ModeName(Mode mode);
+std::string_view HeuristicName(Heuristic h);
+
+/// \brief Why a Why-Not explanation could not be produced (paper §6.4's
+/// "meta-explanations").
+enum class FailureReason {
+  kNone,             ///< an explanation was found
+  kInvalidQuestion,  ///< WNI not a valid Why-Not item (Definition 4.1)
+  kColdStart,        ///< no candidate actions (empty search space H)
+  kPopularItem,      ///< rec dominates WNI regardless of the user's actions
+  kSearchExhausted,  ///< candidates existed but none passed the TEST
+  kBudgetExceeded,   ///< a cap (size/tests/deadline) stopped the search
+};
+
+std::string_view FailureReasonName(FailureReason reason);
+
+/// \brief A Why-Not question (paper Definition 4.1): "why is `why_not_item`
+/// not my top recommendation?" asked by `user`.
+struct WhyNotQuestion {
+  graph::NodeId user = graph::kInvalidNode;
+  graph::NodeId why_not_item = graph::kInvalidNode;
+};
+
+/// \brief A Why-Not explanation (paper Definition 4.2) plus search
+/// diagnostics.
+///
+/// When `found`, applying `edges` to the graph (adding them in Add mode,
+/// removing them in Remove mode) makes the Why-Not item the top-1
+/// recommendation. `verified` records whether the producing algorithm ran
+/// the TEST step itself (the Exhaustive-direct baseline does not; its
+/// output may be a false positive, which the evaluation harness measures).
+struct Explanation {
+  Mode mode = Mode::kRemove;
+  Heuristic heuristic = Heuristic::kIncremental;
+  bool found = false;
+  bool verified = false;
+  std::vector<graph::EdgeRef> edges;  ///< the paper's A*
+
+  FailureReason failure = FailureReason::kNone;
+
+  // --- Diagnostics -----------------------------------------------------------
+  graph::NodeId original_rec = graph::kInvalidNode;
+  /// Top item after applying the explanation (only when verified).
+  graph::NodeId new_rec = graph::kInvalidNode;
+  size_t search_space_size = 0;  ///< |H|
+  size_t candidates_considered = 0;
+  size_t tests_performed = 0;
+  double seconds = 0.0;
+
+  size_t size() const { return edges.size(); }
+};
+
+}  // namespace emigre::explain
+
+#endif  // EMIGRE_EXPLAIN_EXPLANATION_H_

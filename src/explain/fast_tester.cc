@@ -1,0 +1,116 @@
+#include "explain/fast_tester.h"
+
+namespace emigre::explain {
+
+using graph::EdgeRef;
+using graph::NodeId;
+
+FastExplanationTester::FastExplanationTester(const graph::HinGraph& base,
+                                             NodeId user, NodeId why_not_item,
+                                             const EmigreOptions& opts)
+    : scratch_(base),
+      user_(user),
+      wni_(why_not_item),
+      opts_(opts),
+      dyn_(scratch_, user, opts.rec.ppr),
+      items_(scratch_.NodesOfType(opts.rec.item_type)) {}
+
+NodeId FastExplanationTester::CurrentTop() const {
+  // Signed-residual repairs can leave O(ε)-sized positive estimates on
+  // nodes whose true score is exactly zero; the exact tester breaks such
+  // all-zero ties by node id. Flooring restores that tie-break: anything
+  // below the push noise level counts as unreachable.
+  const double floor = opts_.rec.ppr.epsilon * 100.0;
+  NodeId best = graph::kInvalidNode;
+  double best_score = -1.0;
+  for (NodeId item : items_) {
+    if (item == user_ || scratch_.HasEdge(user_, item)) continue;
+    double score = dyn_.Estimate(item);
+    if (score < floor) score = 0.0;
+    // Same deterministic ordering as RecommendationList: score descending,
+    // id ascending on ties.
+    if (score > best_score ||
+        (score == best_score && item < best)) {
+      best = item;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+bool FastExplanationTester::RunOnce(const std::vector<ModedEdit>& edits,
+                                    NodeId* new_rec) {
+  ++num_tests_;
+  // All explanation edits are rooted at the user (Definition 4.2), so a
+  // single Before/After pair around the whole batch repairs the one
+  // affected transition row.
+  struct AppliedEdit {
+    ModedEdit edit;
+    double removed_weight = 0.0;  // original weight, for reverting removals
+  };
+  std::vector<AppliedEdit> applied;
+  applied.reserve(edits.size());
+  dyn_.BeforeOutEdgeChange(user_);
+  bool ok = true;
+  for (const ModedEdit& e : edits) {
+    if (e.edge.src != user_) {
+      ok = false;  // foreign-rooted edit: not supported by the fast path
+      break;
+    }
+    Status st;
+    double removed_weight = 0.0;
+    if (e.mode == Mode::kAdd) {
+      st = scratch_.AddEdge(e.edge.src, e.edge.dst, e.edge.type,
+                            opts_.add_edge_weight);
+    } else {
+      removed_weight =
+          scratch_.EdgeWeight(e.edge.src, e.edge.dst, e.edge.type);
+      st = scratch_.RemoveEdge(e.edge.src, e.edge.dst, e.edge.type);
+    }
+    if (!st.ok()) {
+      ok = false;
+      break;
+    }
+    applied.push_back(AppliedEdit{e, removed_weight});
+  }
+
+  NodeId top = graph::kInvalidNode;
+  if (ok) {
+    dyn_.AfterOutEdgeChange(user_);
+    top = CurrentTop();
+    // Revert, repairing the invariant again.
+    dyn_.BeforeOutEdgeChange(user_);
+  }
+  for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+    if (it->edit.mode == Mode::kAdd) {
+      scratch_
+          .RemoveEdge(it->edit.edge.src, it->edit.edge.dst,
+                      it->edit.edge.type)
+          .CheckOK();
+    } else {
+      scratch_
+          .AddEdge(it->edit.edge.src, it->edit.edge.dst, it->edit.edge.type,
+                   it->removed_weight)
+          .CheckOK();
+    }
+  }
+  dyn_.AfterOutEdgeChange(user_);
+
+  if (new_rec != nullptr) *new_rec = ok ? top : graph::kInvalidNode;
+  return ok && top == wni_;
+}
+
+bool FastExplanationTester::Test(const std::vector<EdgeRef>& edits, Mode mode,
+                                 NodeId* new_rec) {
+  std::vector<ModedEdit> moded;
+  moded.reserve(edits.size());
+  for (const EdgeRef& e : edits) moded.push_back(ModedEdit{e, mode});
+  return RunOnce(moded, new_rec);
+}
+
+bool FastExplanationTester::TestMixed(const std::vector<ModedEdit>& edits,
+                                      NodeId* new_rec) {
+  return RunOnce(edits, new_rec);
+}
+
+}  // namespace emigre::explain

@@ -1,0 +1,65 @@
+#ifndef EMIGRE_EXPLAIN_FAST_TESTER_H_
+#define EMIGRE_EXPLAIN_FAST_TESTER_H_
+
+#include <vector>
+
+#include "explain/tester.h"
+#include "graph/hin_graph.h"
+#include "ppr/dynamic.h"
+
+namespace emigre::explain {
+
+/// \brief Approximate TEST built on incrementally maintained PPR.
+///
+/// The paper notes that "EMiGRe depends on the complexity of the
+/// Personalised Page Rank computation, and can benefit from optimisation on
+/// graph-update computation results" (§5.3, citing Zhang–Lofgren–Goel).
+/// This tester realizes that optimization: instead of re-running power
+/// iteration per candidate, it keeps a private mutable copy of the graph
+/// with a `DynamicForwardPush` state for the user and, per TEST, (1) edits
+/// the user's out-edges, (2) locally repairs the push invariant, (3) reads
+/// the counterfactual ranking off the maintained estimates, (4) reverts.
+/// Every candidate's edits are rooted at the user, so each TEST costs two
+/// single-row repairs instead of a full recomputation.
+///
+/// The estimates are ε-accurate rather than exact: two items whose true
+/// scores differ by less than ~ε may be mis-ordered, so a verification can
+/// differ from the exact `ExplanationTester` on near-ties. Use a tight
+/// `PprOptions::epsilon` (default 2.7e-8 already is) and re-verify with the
+/// exact tester where a guarantee is required (the evaluation runner does).
+class FastExplanationTester : public TesterInterface {
+ public:
+  /// Copies `base` once (O(V+E)) and runs the initial push.
+  FastExplanationTester(const graph::HinGraph& base, graph::NodeId user,
+                        graph::NodeId why_not_item,
+                        const EmigreOptions& opts);
+
+  bool Test(const std::vector<graph::EdgeRef>& edits, Mode mode,
+            graph::NodeId* new_rec = nullptr) override;
+
+  bool TestMixed(const std::vector<ModedEdit>& edits,
+                 graph::NodeId* new_rec = nullptr) override;
+
+  size_t num_tests() const override { return num_tests_; }
+  bool IsExact() const override { return false; }
+
+ private:
+  /// Applies the edits, reads the top item, reverts. Returns false for
+  /// malformed candidates.
+  bool RunOnce(const std::vector<ModedEdit>& edits, graph::NodeId* new_rec);
+
+  /// Argmax of the maintained estimates over eligible items.
+  graph::NodeId CurrentTop() const;
+
+  graph::HinGraph scratch_;
+  graph::NodeId user_;
+  graph::NodeId wni_;
+  EmigreOptions opts_;
+  ppr::DynamicForwardPush<graph::HinGraph> dyn_;
+  std::vector<graph::NodeId> items_;  ///< all item-typed nodes
+  size_t num_tests_ = 0;
+};
+
+}  // namespace emigre::explain
+
+#endif  // EMIGRE_EXPLAIN_FAST_TESTER_H_

@@ -1,0 +1,81 @@
+#include "explain/format.h"
+
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace emigre::explain {
+
+namespace {
+
+/// "A", "A and B", "A, B and C".
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) {
+      out += (i + 1 == names.size()) ? " and " : ", ";
+    }
+    out += names[i];
+  }
+  return out;
+}
+
+std::vector<std::string> EdgeTargets(const graph::HinGraph& g,
+                                     const std::vector<graph::EdgeRef>& edges) {
+  std::vector<std::string> names;
+  names.reserve(edges.size());
+  for (const graph::EdgeRef& e : edges) names.push_back(g.DisplayName(e.dst));
+  return names;
+}
+
+std::string FailureSentence(FailureReason reason) {
+  return StrFormat("No explanation: %s.",
+                   std::string(FailureReasonName(reason)).c_str());
+}
+
+}  // namespace
+
+std::string FormatExplanationSentence(const graph::HinGraph& g,
+                                      const Explanation& e) {
+  if (!e.found) return FailureSentence(e.failure);
+  std::string actions = JoinNames(EdgeTargets(g, e.edges));
+  return StrFormat(
+      "Had you %s %s, your top recommendation would be %s.",
+      e.mode == Mode::kRemove ? "not interacted with" : "interacted with",
+      actions.c_str(), g.DisplayName(e.new_rec).c_str());
+}
+
+std::string FormatCombinedSentence(const graph::HinGraph& g,
+                                   const CombinedExplanation& e) {
+  if (!e.found) return FailureSentence(e.failure);
+  std::vector<std::string> parts;
+  if (!e.added.empty()) {
+    parts.push_back("interacted with " +
+                    JoinNames(EdgeTargets(g, e.added)));
+  }
+  if (!e.removed.empty()) {
+    parts.push_back("not interacted with " +
+                    JoinNames(EdgeTargets(g, e.removed)));
+  }
+  return StrFormat("Had you %s, your top recommendation would be %s.",
+                   JoinNames(parts).c_str(),
+                   g.DisplayName(e.new_rec).c_str());
+}
+
+std::string FormatWeightedSentence(const graph::HinGraph& g,
+                                   const WeightedExplanation& e) {
+  if (!e.found) return FailureSentence(e.failure);
+  std::vector<std::string> parts;
+  parts.reserve(e.adjustments.size());
+  for (const WeightAdjustment& adj : e.adjustments) {
+    parts.push_back(StrFormat(
+        "rated %s %s (instead of %s)", g.DisplayName(adj.edge.dst).c_str(),
+        FormatDouble(adj.new_weight, 2).c_str(),
+        FormatDouble(adj.old_weight, 2).c_str()));
+  }
+  return StrFormat("Had you %s, your top recommendation would be %s.",
+                   JoinNames(parts).c_str(),
+                   g.DisplayName(e.new_rec).c_str());
+}
+
+}  // namespace emigre::explain

@@ -1,0 +1,36 @@
+#ifndef EMIGRE_EXPLAIN_FORMAT_H_
+#define EMIGRE_EXPLAIN_FORMAT_H_
+
+#include <string>
+
+#include "explain/combined.h"
+#include "explain/explanation.h"
+#include "explain/weighted.h"
+#include "graph/hin_graph.h"
+
+namespace emigre::explain {
+
+/// Renders a Why-Not explanation as the user-facing counterfactual sentence
+/// the paper uses:
+///   "Had you not interacted with Candide and C, your top recommendation
+///    would be Harry Potter."    (Remove mode)
+///   "Had you interacted with The Lord of the Rings, your top
+///    recommendation would be Harry Potter."    (Add mode)
+/// Falls back to a failure sentence ("No explanation: <reason>.") when the
+/// explanation was not found. Node names come from the graph's labels.
+std::string FormatExplanationSentence(const graph::HinGraph& g,
+                                      const Explanation& e);
+
+/// Same for a combined Add/Remove explanation: "Had you interacted with X
+/// and not interacted with Y, ...".
+std::string FormatCombinedSentence(const graph::HinGraph& g,
+                                   const CombinedExplanation& e);
+
+/// Same for a weight-based explanation: "Had you rated C 0.2 (instead of
+/// 5) ...".
+std::string FormatWeightedSentence(const graph::HinGraph& g,
+                                   const WeightedExplanation& e);
+
+}  // namespace emigre::explain
+
+#endif  // EMIGRE_EXPLAIN_FORMAT_H_

@@ -1,0 +1,54 @@
+#ifndef EMIGRE_EXPLAIN_GROUP_H_
+#define EMIGRE_EXPLAIN_GROUP_H_
+
+#include <vector>
+
+#include "explain/emigre.h"
+#include "explain/explanation.h"
+#include "graph/types.h"
+#include "util/result.h"
+
+namespace emigre::explain {
+
+/// \brief A coarser-granularity Why-Not question (paper §4: "Why-Not
+/// questions can be expressed in different granularities: one item, a set
+/// of items, or a category" — left as future work there): "why is none of
+/// these items my top recommendation?"
+struct WhyNotGroupQuestion {
+  graph::NodeId user = graph::kInvalidNode;
+  std::vector<graph::NodeId> items;
+};
+
+/// \brief Result of a group question: the member that was promoted and the
+/// single-item explanation that does it.
+struct GroupExplanation {
+  bool found = false;
+  graph::NodeId promoted_item = graph::kInvalidNode;
+  Explanation explanation;
+  /// Members skipped because they violate Definition 4.1 for this user
+  /// (already interacted with, or already the recommendation).
+  std::vector<graph::NodeId> skipped;
+  size_t attempts = 0;
+};
+
+/// \brief Answers a group Why-Not question: finds an explanation that puts
+/// *some* member of the group at the top of the list.
+///
+/// Members are attempted in current-ranking order (the best-ranked member
+/// needs the smallest push); the first member with a verified explanation
+/// wins. A member equal to the current recommendation makes the question
+/// trivially moot and is reported in `skipped`.
+Result<GroupExplanation> ExplainGroup(const Emigre& engine,
+                                      const WhyNotGroupQuestion& q, Mode mode,
+                                      Heuristic heuristic);
+
+/// Convenience for category-granularity questions: all item nodes linked to
+/// `category` via an edge of type `belongs_type`.
+std::vector<graph::NodeId> ItemsOfCategory(const graph::HinGraph& g,
+                                           graph::NodeId category,
+                                           graph::EdgeTypeId belongs_type,
+                                           graph::NodeTypeId item_type);
+
+}  // namespace emigre::explain
+
+#endif  // EMIGRE_EXPLAIN_GROUP_H_

@@ -1,0 +1,63 @@
+#include "explain/incremental.h"
+
+#include "explain/internal.h"
+#include "util/timer.h"
+
+namespace emigre::explain {
+
+Explanation RunIncremental(const SearchSpace& space,
+                           TesterInterface& tester,
+                           const EmigreOptions& opts) {
+  WallTimer timer;
+  internal::SearchBudget budget(opts);
+
+  Explanation out;
+  out.mode = space.mode;
+  out.heuristic = Heuristic::kIncremental;
+  out.search_space_size = space.actions.size();
+
+  if (space.actions.empty()) {
+    out.failure = FailureReason::kColdStart;
+    out.seconds = timer.ElapsedSeconds();
+    return out;
+  }
+
+  double gap = space.tau;
+  std::vector<graph::EdgeRef> accumulated;
+
+  for (const CandidateAction& action : space.actions) {
+    // H is sorted by descending contribution: once we hit a non-positive
+    // one, no remaining candidate can help the Why-Not item.
+    if (action.contribution <= 0.0) break;
+    if (budget.Exhausted(tester.num_tests())) {
+      out.failure = FailureReason::kBudgetExceeded;
+      out.tests_performed = tester.num_tests();
+      out.seconds = timer.ElapsedSeconds();
+      return out;
+    }
+    accumulated.push_back(action.edge);
+    gap -= action.contribution;
+    ++out.candidates_considered;
+
+    if (gap <= 0.0) {
+      graph::NodeId new_rec = graph::kInvalidNode;
+      if (tester.Test(accumulated, space.mode, &new_rec)) {
+        out.found = true;
+        out.verified = tester.IsExact();
+        out.edges = accumulated;
+        out.new_rec = new_rec;
+        out.failure = FailureReason::kNone;
+        out.tests_performed = tester.num_tests();
+        out.seconds = timer.ElapsedSeconds();
+        return out;
+      }
+    }
+  }
+
+  out.failure = FailureReason::kSearchExhausted;
+  out.tests_performed = tester.num_tests();
+  out.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace emigre::explain

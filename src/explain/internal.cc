@@ -1,0 +1,18 @@
+#include "explain/internal.h"
+
+namespace emigre::explain::internal {
+
+size_t BinomialCapped(size_t n, size_t k, size_t cap) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  size_t result = 1;
+  for (size_t i = 1; i <= k; ++i) {
+    // result *= (n - k + i) / i, with overflow/cap saturation.
+    if (result > cap / (n - k + i)) return cap;
+    result = result * (n - k + i) / i;
+    if (result >= cap) return cap;
+  }
+  return result;
+}
+
+}  // namespace emigre::explain::internal

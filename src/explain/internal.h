@@ -1,0 +1,62 @@
+#ifndef EMIGRE_EXPLAIN_INTERNAL_H_
+#define EMIGRE_EXPLAIN_INTERNAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "explain/options.h"
+#include "util/timer.h"
+
+namespace emigre::explain::internal {
+
+/// \brief Shared resource accounting for the search heuristics:
+/// wall-clock deadline and TEST-invocation cap.
+class SearchBudget {
+ public:
+  explicit SearchBudget(const EmigreOptions& opts)
+      : deadline_(opts.deadline_seconds), max_tests_(opts.max_tests) {}
+
+  /// True once any cap is hit. `tests_used` is the tester's counter.
+  bool Exhausted(size_t tests_used) const {
+    if (max_tests_ > 0 && tests_used >= max_tests_) return true;
+    return deadline_.Expired();
+  }
+
+ private:
+  Deadline deadline_;
+  size_t max_tests_;
+};
+
+/// Enumerates k-subsets of {0, ..., n-1} in lexicographic order, invoking
+/// `fn(indices)` for each. `fn` returns false to stop early; the function
+/// returns false iff stopped early.
+template <typename F>
+bool ForEachCombination(size_t n, size_t k, F&& fn) {
+  if (k > n) return true;
+  if (k == 0) {
+    std::vector<size_t> empty;
+    return fn(static_cast<const std::vector<size_t>&>(empty));
+  }
+  std::vector<size_t> idx(k);
+  for (size_t i = 0; i < k; ++i) idx[i] = i;
+  for (;;) {
+    if (!fn(static_cast<const std::vector<size_t>&>(idx))) return false;
+    // Advance to the next lexicographic combination.
+    size_t i = k;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + n - k) break;
+      if (i == 0) return true;
+    }
+    if (idx[i] == i + n - k) return true;
+    ++idx[i];
+    for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
+
+/// Number of k-subsets of an n-set, saturating at `cap` to avoid overflow.
+size_t BinomialCapped(size_t n, size_t k, size_t cap);
+
+}  // namespace emigre::explain::internal
+
+#endif  // EMIGRE_EXPLAIN_INTERNAL_H_

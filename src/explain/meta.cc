@@ -1,0 +1,89 @@
+#include "explain/meta.h"
+
+#include "graph/overlay.h"
+#include "recsys/recommender.h"
+#include "util/string_util.h"
+
+namespace emigre::explain {
+
+namespace {
+
+/// Operational popular-item check (Remove mode): withdraw *every* removable
+/// action of the user at once — the strongest demotion the privacy-
+/// preserving action vocabulary allows — and see whether the Why-Not item
+/// still ranks below the original recommendation. If it does, the
+/// recommendation's dominance is carried by other users' actions and no
+/// removal subset can plausibly promote WNI (paper §6.4 "Popular Item",
+/// Fig. 7).
+bool IsPopularItemCase(const graph::HinGraph& g, const SearchSpace& space,
+                       const EmigreOptions& opts) {
+  graph::GraphOverlay overlay(g);
+  for (const CandidateAction& a : space.actions) {
+    // Ignore individual failures (cannot happen for a well-formed space).
+    overlay.RemoveEdge(a.edge.src, a.edge.dst, a.edge.type).ok();
+  }
+  recsys::RecommendationList ranking =
+      recsys::RankItems(overlay, space.user, opts.rec);
+  size_t rank_wni = ranking.RankOf(space.wni);
+  size_t rank_rec = ranking.RankOf(space.rec);
+  return rank_wni > rank_rec;
+}
+
+}  // namespace
+
+MetaExplanation DiagnoseFailure(const graph::HinGraph& g,
+                                const SearchSpace& space,
+                                const Explanation& failed,
+                                const EmigreOptions& opts) {
+  MetaExplanation meta;
+  if (failed.found) {
+    meta.reason = FailureReason::kNone;
+    meta.message = "an explanation was found; nothing to diagnose";
+    return meta;
+  }
+
+  if (space.actions.empty()) {
+    meta.reason = FailureReason::kColdStart;
+    meta.message = StrFormat(
+        "cold start: user %s has no candidate actions of an allowed type, "
+        "so no explanation can be formed in %s mode",
+        g.DisplayName(space.user).c_str(),
+        std::string(ModeName(space.mode)).c_str());
+    return meta;
+  }
+
+  if (space.mode == Mode::kRemove && IsPopularItemCase(g, space, opts)) {
+    meta.reason = FailureReason::kPopularItem;
+    meta.message = StrFormat(
+        "popular item: %s outranks %s even after withdrawing every "
+        "removable action of user %s — its score is carried by other "
+        "users' actions, which the privacy-preserving action vocabulary "
+        "cannot touch",
+        g.DisplayName(space.rec).c_str(), g.DisplayName(space.wni).c_str(),
+        g.DisplayName(space.user).c_str());
+    return meta;
+  }
+
+  if (failed.failure == FailureReason::kBudgetExceeded) {
+    meta.reason = FailureReason::kBudgetExceeded;
+    meta.message =
+        "the search budget (tests/deadline/size caps) was exhausted before "
+        "the candidate space was fully explored; raise the caps or use the "
+        "Incremental heuristic";
+    return meta;
+  }
+
+  // The candidates could demote rec, yet every TESTed set failed: a third
+  // item keeps overtaking WNI — the single-mode search is out of scope and
+  // mixing added and removed actions may be required (paper future work;
+  // see RunCombinedIncremental).
+  meta.reason = FailureReason::kSearchExhausted;
+  meta.message = StrFormat(
+      "out of scope for %s mode alone: candidate sets dethrone %s but "
+      "another item overtakes %s; consider the combined add/remove mode",
+      std::string(ModeName(space.mode)).c_str(),
+      g.DisplayName(space.rec).c_str(), g.DisplayName(space.wni).c_str());
+  return meta;
+}
+
+}  // namespace emigre::explain

@@ -1,0 +1,42 @@
+#ifndef EMIGRE_EXPLAIN_META_H_
+#define EMIGRE_EXPLAIN_META_H_
+
+#include <string>
+
+#include "explain/explanation.h"
+#include "explain/options.h"
+#include "explain/search_space.h"
+#include "graph/hin_graph.h"
+
+namespace emigre::explain {
+
+/// \brief A meta-explanation: why no Why-Not explanation exists (paper
+/// §6.3's proposed remedy for the low Remove-mode success rate, grounded in
+/// the failure taxonomy of §6.4).
+struct MetaExplanation {
+  FailureReason reason = FailureReason::kNone;
+  /// Human-readable account ("the recommended item is popular beyond your
+  /// actions' influence...").
+  std::string message;
+};
+
+/// \brief Categorizes a failed explanation attempt.
+///
+/// Diagnoses, in order:
+///  - *Cold start / less active user* (§6.4): the search space H is empty —
+///    the user has no (allowed) actions to reason over.
+///  - *Popular item* (§6.4): by the contribution model, even applying every
+///    helpful candidate leaves the rec-vs-WNI gap positive: the
+///    recommendation's score is carried by other users' actions, which the
+///    privacy-preserving action vocabulary cannot touch.
+///  - *Out of scope* (§6.4): single-mode search failed, but the candidates
+///    suggest the combined Add/Remove mode (see combined.h) could succeed.
+/// Falls back to restating the recorded failure reason otherwise.
+MetaExplanation DiagnoseFailure(const graph::HinGraph& g,
+                                const SearchSpace& space,
+                                const Explanation& failed,
+                                const EmigreOptions& opts);
+
+}  // namespace emigre::explain
+
+#endif  // EMIGRE_EXPLAIN_META_H_

@@ -1,0 +1,90 @@
+#ifndef EMIGRE_EXPLAIN_OPTIONS_H_
+#define EMIGRE_EXPLAIN_OPTIONS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.h"
+#include "recsys/recommender.h"
+
+namespace emigre::explain {
+
+/// \brief Which TEST implementation verifies candidate explanations.
+enum class TesterKind {
+  /// Exact: full recommender re-run per candidate (the reference).
+  kExact,
+  /// Approximate: incrementally maintained PPR (see fast_tester.h) —
+  /// typically several times faster per TEST, ε-accurate on near-ties.
+  kDynamicPush,
+};
+
+/// \brief Configuration of the EMiGRe framework.
+///
+/// Groups (i) the recommender being explained, (ii) the action vocabulary
+/// T_e — which edge types may appear in explanations (the paper restricts to
+/// user–item edges for privacy, §6.1) — and (iii) resource caps that bound
+/// the exponential searches. Caps default generously; the paper's
+/// neighborhood sizes (10–100 actions) stay within them, and hitting one is
+/// reported as `FailureReason::kBudgetExceeded` rather than silently
+/// truncating.
+struct EmigreOptions {
+  /// The recommender whose output is being explained (PPR parameters and
+  /// the item node type).
+  recsys::RecommenderOptions rec;
+
+  /// Allowed edge types for explanation actions (the paper's T_e). Empty
+  /// means "all edge types".
+  std::vector<graph::EdgeTypeId> allowed_edge_types;
+
+  /// Edge type and weight used for Add-mode counterfactual edges. The paper
+  /// notes rated/reviewed are interchangeable (§6.2); pick one.
+  graph::EdgeTypeId add_edge_type = graph::kInvalidEdgeType;
+  double add_edge_weight = 1.0;
+
+  /// Add-mode candidate cap: keep the strongest `max_add_candidates` nodes
+  /// from the Reverse-Local-Push frontier (0 = unlimited).
+  size_t max_add_candidates = 256;
+
+  /// Maximum explanation size considered by subset-enumerating searches
+  /// (Powerset, Exhaustive, BruteForce). 0 = unlimited.
+  size_t max_explanation_size = 5;
+
+  /// Powerset/Exhaustive pruned-H cap: only the `max_subset_nodes` highest-
+  /// contribution nodes participate in subset enumeration (0 = unlimited).
+  /// Guards the 2^|H| worst case the paper acknowledges in §5.3.
+  size_t max_subset_nodes = 18;
+
+  /// Cap on TEST invocations per explanation attempt (0 = unlimited).
+  size_t max_tests = 20000;
+
+  /// Wall-clock budget per explanation attempt in seconds (0 = unlimited).
+  double deadline_seconds = 0.0;
+
+  /// Number of top-ranked items (beyond WNI) used as the target set T of
+  /// the Exhaustive Comparison (paper uses the top-10 recommendation list).
+  size_t exhaustive_targets = 10;
+
+  /// TEST implementation (see TesterKind).
+  TesterKind tester = TesterKind::kExact;
+
+  /// Margin tolerance of the Exhaustive Comparison's threshold test. The
+  /// paper requires strictly positive margins, but the contribution matrix
+  /// is built from Reverse-Local-Push estimates carrying O(ε) error, and a
+  /// target tied with WNI (margin exactly 0) can still lose the
+  /// deterministic id tie-break; candidates within the slack are kept and
+  /// left to the TEST step to adjudicate.
+  double exhaustive_margin_slack = 1e-7;
+
+  /// Returns true if `type` is allowed in explanations.
+  bool IsAllowedEdgeType(graph::EdgeTypeId type) const {
+    if (allowed_edge_types.empty()) return true;
+    for (graph::EdgeTypeId t : allowed_edge_types) {
+      if (t == type) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace emigre::explain
+
+#endif  // EMIGRE_EXPLAIN_OPTIONS_H_

@@ -1,0 +1,100 @@
+#include "explain/powerset.h"
+
+#include <algorithm>
+
+#include "explain/internal.h"
+#include "util/timer.h"
+
+namespace emigre::explain {
+
+Explanation RunPowerset(const SearchSpace& space, TesterInterface& tester,
+                        const EmigreOptions& opts) {
+  WallTimer timer;
+  internal::SearchBudget budget(opts);
+
+  Explanation out;
+  out.mode = space.mode;
+  out.heuristic = Heuristic::kPowerset;
+  out.search_space_size = space.actions.size();
+
+  // Prune non-positive contributions (paper Alg. 4 lines 3–7); the actions
+  // arrive sorted descending, so the positive prefix is contiguous. Then
+  // keep only the strongest `max_subset_nodes` for subset enumeration.
+  std::vector<CandidateAction> h;
+  for (const CandidateAction& a : space.actions) {
+    if (a.contribution <= 0.0) break;
+    h.push_back(a);
+  }
+  if (opts.max_subset_nodes > 0 && h.size() > opts.max_subset_nodes) {
+    h.resize(opts.max_subset_nodes);
+  }
+  if (h.empty()) {
+    out.failure = FailureReason::kColdStart;
+    out.seconds = timer.ElapsedSeconds();
+    return out;
+  }
+
+  size_t max_size = h.size();
+  if (opts.max_explanation_size > 0) {
+    max_size = std::min(max_size, opts.max_explanation_size);
+  }
+
+  struct Combo {
+    double sum;
+    std::vector<size_t> indices;
+  };
+
+  for (size_t size = 1; size <= max_size; ++size) {
+    // Materialize all size-`size` combinations with their contribution sums
+    // and visit them in descending-sum order (paper: "ordered by
+    // contribution" within a size class).
+    std::vector<Combo> combos;
+    combos.reserve(internal::BinomialCapped(h.size(), size, 1u << 20));
+    internal::ForEachCombination(
+        h.size(), size, [&](const std::vector<size_t>& idx) {
+          double sum = 0.0;
+          for (size_t i : idx) sum += h[i].contribution;
+          combos.push_back(Combo{sum, idx});
+          return true;
+        });
+    std::sort(combos.begin(), combos.end(),
+              [](const Combo& a, const Combo& b) {
+                if (a.sum != b.sum) return a.sum > b.sum;
+                return a.indices < b.indices;
+              });
+
+    for (const Combo& combo : combos) {
+      // Sums descend: once this combination cannot close the gap, no later
+      // one of the same size can either.
+      if (space.tau - combo.sum > 0.0) break;
+      if (budget.Exhausted(tester.num_tests())) {
+        out.failure = FailureReason::kBudgetExceeded;
+        out.tests_performed = tester.num_tests();
+        out.seconds = timer.ElapsedSeconds();
+        return out;
+      }
+      ++out.candidates_considered;
+      std::vector<graph::EdgeRef> edges;
+      edges.reserve(combo.indices.size());
+      for (size_t i : combo.indices) edges.push_back(h[i].edge);
+      graph::NodeId new_rec = graph::kInvalidNode;
+      if (tester.Test(edges, space.mode, &new_rec)) {
+        out.found = true;
+        out.verified = tester.IsExact();
+        out.edges = std::move(edges);
+        out.new_rec = new_rec;
+        out.failure = FailureReason::kNone;
+        out.tests_performed = tester.num_tests();
+        out.seconds = timer.ElapsedSeconds();
+        return out;
+      }
+    }
+  }
+
+  out.failure = FailureReason::kSearchExhausted;
+  out.tests_performed = tester.num_tests();
+  out.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace emigre::explain

@@ -1,0 +1,29 @@
+#ifndef EMIGRE_EXPLAIN_POWERSET_H_
+#define EMIGRE_EXPLAIN_POWERSET_H_
+
+#include "explain/explanation.h"
+#include "explain/options.h"
+#include "explain/search_space.h"
+#include "explain/tester.h"
+
+namespace emigre::explain {
+
+/// \brief Algorithm 4 — the *Powerset* heuristic (size-optimized).
+///
+/// Prunes non-positive contributions out of H, then walks the power set of
+/// the remainder in ascending subset size (and, within a size, descending
+/// combined contribution). Subsets whose combined contribution closes the
+/// gap estimate are TESTed; the first verified subset is returned, which by
+/// construction is among the smallest explanations the contribution model
+/// admits (paper Fig. 6).
+///
+/// The 2^|H| worst case (paper §5.3) is bounded by
+/// `EmigreOptions::max_subset_nodes` (strongest candidates kept),
+/// `max_explanation_size`, `max_tests` and `deadline_seconds`; hitting a cap
+/// reports `kBudgetExceeded`.
+Explanation RunPowerset(const SearchSpace& space, TesterInterface& tester,
+                        const EmigreOptions& opts);
+
+}  // namespace emigre::explain
+
+#endif  // EMIGRE_EXPLAIN_POWERSET_H_

@@ -1,0 +1,58 @@
+#ifndef EMIGRE_EXPLAIN_PRINCE_H_
+#define EMIGRE_EXPLAIN_PRINCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "explain/options.h"
+#include "graph/hin_graph.h"
+#include "graph/types.h"
+#include "util/result.h"
+
+namespace emigre::explain {
+
+/// \brief Result of a PRINCE counterfactual explanation.
+///
+/// `actions` is the minimal set A* of the user's own edges whose removal
+/// replaces the current recommendation with `replacement` (paper
+/// Definition 3.2 — any replacement item qualifies, unlike EMiGRe's
+/// Why-Not constraint).
+struct PrinceResult {
+  bool found = false;
+  std::vector<graph::EdgeRef> actions;
+  graph::NodeId original_rec = graph::kInvalidNode;
+  graph::NodeId replacement = graph::kInvalidNode;
+  size_t tests_performed = 0;
+  double seconds = 0.0;
+};
+
+/// \brief Options for the PRINCE baseline.
+struct PrinceOptions {
+  /// The recommender being explained and the action vocabulary, shared
+  /// with EMiGRe for apples-to-apples comparison.
+  EmigreOptions emigre;
+
+  /// How many top-ranked items are tried as replacement candidates.
+  size_t replacement_candidates = 10;
+};
+
+/// \brief PRINCE (Ghazimatin et al., WSDM'20) — the paper's reference [11]
+/// and the contrast baseline of its introduction (Fig. 2).
+///
+/// Explains the *existing* recommendation: finds a minimal set of the
+/// user's actions whose removal swaps the top-1 to some other item. For
+/// each replacement candidate r* from the top of the ranking, user actions
+/// are removed greedily in descending (contribution-to-rec −
+/// contribution-to-r*) order — the PRINCE swap-set construction — and the
+/// first verified swap wins; the smallest swap set over all candidates is
+/// returned.
+///
+/// Included to demonstrate, as the paper's motivating example does, that a
+/// Why explanation does not answer a Why-Not question: PRINCE's replacement
+/// item is whatever overtakes `rec`, not the user's item of interest.
+Result<PrinceResult> RunPrince(const graph::HinGraph& g, graph::NodeId user,
+                               const PrinceOptions& opts);
+
+}  // namespace emigre::explain
+
+#endif  // EMIGRE_EXPLAIN_PRINCE_H_

@@ -1,0 +1,141 @@
+#include "explain/search_space.h"
+
+#include <algorithm>
+
+#include "ppr/reverse_push.h"
+#include "util/string_util.h"
+
+namespace emigre::explain {
+
+namespace {
+
+using graph::EdgeRef;
+using graph::HinGraph;
+using graph::NodeId;
+
+Status ValidateInputs(const HinGraph& g, NodeId user, NodeId rec,
+                      NodeId wni) {
+  if (!g.IsValidNode(user)) {
+    return Status::InvalidArgument(StrFormat("invalid user node %u", user));
+  }
+  if (!g.IsValidNode(wni)) {
+    return Status::InvalidArgument(StrFormat("invalid WNI node %u", wni));
+  }
+  if (rec != graph::kInvalidNode && !g.IsValidNode(rec)) {
+    return Status::InvalidArgument(StrFormat("invalid rec node %u", rec));
+  }
+  if (rec == wni) {
+    return Status::InvalidArgument(
+        "WNI equals the current recommendation: nothing to explain");
+  }
+  return Status::OK();
+}
+
+/// PPR(·, target), through the cache when one is provided.
+std::vector<double> PprTo(const HinGraph& g, NodeId target,
+                          const EmigreOptions& opts,
+                          ppr::ReversePushCache<HinGraph>* cache) {
+  if (target == graph::kInvalidNode || !g.IsValidNode(target)) {
+    return std::vector<double>(g.NumNodes(), 0.0);
+  }
+  if (cache != nullptr) return *cache->Get(target);
+  return ppr::ReversePush(g, target, opts.rec.ppr).estimate;
+}
+
+void SortByContributionDesc(std::vector<CandidateAction>* actions) {
+  std::sort(actions->begin(), actions->end(),
+            [](const CandidateAction& a, const CandidateAction& b) {
+              if (a.contribution != b.contribution) {
+                return a.contribution > b.contribution;
+              }
+              return a.edge < b.edge;  // deterministic tie-break
+            });
+}
+
+/// τ over the user's existing allowed edges: the Eq. 5 contributions summed,
+/// i.e. the estimated rec-over-WNI dominance routed through user actions.
+double ComputeTau(const HinGraph& g, NodeId user,
+                  const std::vector<double>& ppr_to_rec,
+                  const std::vector<double>& ppr_to_wni,
+                  const EmigreOptions& opts) {
+  double tau = 0.0;
+  for (const graph::Edge& e : g.OutEdges(user)) {
+    if (e.node == user || !opts.IsAllowedEdgeType(e.type)) continue;
+    tau += e.weight * (ppr_to_rec[e.node] - ppr_to_wni[e.node]);
+  }
+  return tau;
+}
+
+}  // namespace
+
+Result<SearchSpace> BuildRemoveSearchSpace(
+    const HinGraph& g, NodeId user, NodeId rec, NodeId wni,
+    const EmigreOptions& opts, ppr::ReversePushCache<HinGraph>* cache) {
+  EMIGRE_RETURN_IF_ERROR(ValidateInputs(g, user, rec, wni));
+
+  SearchSpace space;
+  space.mode = Mode::kRemove;
+  space.user = user;
+  space.rec = rec;
+  space.wni = wni;
+  // PPR(·, rec) and PPR(·, WNI) in two reverse pushes; rec may be absent
+  // (empty initial recommendation list), in which case its vector is zero.
+  space.ppr_to_wni = PprTo(g, wni, opts, cache);
+  space.ppr_to_rec = PprTo(g, rec, opts, cache);
+
+  for (const graph::Edge& e : g.OutEdges(user)) {
+    if (e.node == user || !opts.IsAllowedEdgeType(e.type)) continue;
+    double contribution =
+        e.weight *
+        (space.ppr_to_rec[e.node] - space.ppr_to_wni[e.node]);  // Eq. 5
+    space.actions.push_back(
+        CandidateAction{EdgeRef{user, e.node, e.type}, contribution});
+    space.tau += contribution;
+  }
+  SortByContributionDesc(&space.actions);
+  return space;
+}
+
+Result<SearchSpace> BuildAddSearchSpace(
+    const HinGraph& g, NodeId user, NodeId rec, NodeId wni,
+    const EmigreOptions& opts, ppr::ReversePushCache<HinGraph>* cache) {
+  EMIGRE_RETURN_IF_ERROR(ValidateInputs(g, user, rec, wni));
+  if (opts.add_edge_type == graph::kInvalidEdgeType) {
+    return Status::InvalidArgument(
+        "Add mode requires EmigreOptions::add_edge_type");
+  }
+
+  SearchSpace space;
+  space.mode = Mode::kAdd;
+  space.user = user;
+  space.rec = rec;
+  space.wni = wni;
+  space.ppr_to_wni = PprTo(g, wni, opts, cache);
+  space.ppr_to_rec = PprTo(g, rec, opts, cache);
+  space.tau = ComputeTau(g, user, space.ppr_to_rec, space.ppr_to_wni, opts);
+
+  // Candidate endpoints: the Reverse-Local-Push frontier of WNI — nodes
+  // whose walks reach WNI — restricted to items the user could act on:
+  // item-typed, not the user, not WNI itself (an edge (u, WNI) would remove
+  // WNI from the recommendable set), and no existing (u, n) edge
+  // (Definition 4.2's A+ requires (u, i) ∉ E).
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    if (space.ppr_to_wni[n] <= 0.0) continue;
+    if (n == user || n == wni) continue;
+    if (g.NodeType(n) != opts.rec.item_type) continue;
+    if (g.HasEdge(user, n)) continue;
+    double contribution =
+        opts.add_edge_weight *
+        (space.ppr_to_wni[n] - space.ppr_to_rec[n]);  // Eq. 6
+    space.actions.push_back(
+        CandidateAction{EdgeRef{user, n, opts.add_edge_type}, contribution});
+  }
+  SortByContributionDesc(&space.actions);
+  if (opts.max_add_candidates > 0 &&
+      space.actions.size() > opts.max_add_candidates) {
+    space.actions.resize(opts.max_add_candidates);
+  }
+  return space;
+}
+
+}  // namespace emigre::explain

@@ -1,0 +1,52 @@
+#include "explain/tester.h"
+
+#include "recsys/recommender.h"
+
+namespace emigre::explain {
+
+bool ExplanationTester::Test(const std::vector<graph::EdgeRef>& edits,
+                             Mode mode, graph::NodeId* new_rec) {
+  ++num_tests_;
+  graph::GraphOverlay overlay(*base_);
+  for (const graph::EdgeRef& e : edits) {
+    Status st;
+    if (mode == Mode::kAdd) {
+      st = overlay.AddEdge(e.src, e.dst, e.type, opts_.add_edge_weight);
+    } else {
+      st = overlay.RemoveEdge(e.src, e.dst, e.type);
+    }
+    if (!st.ok()) {
+      // A malformed candidate (duplicate add, missing removal target) can
+      // never be a valid explanation.
+      if (new_rec != nullptr) *new_rec = graph::kInvalidNode;
+      return false;
+    }
+  }
+  graph::NodeId top = recsys::Recommend(overlay, user_, opts_.rec);
+  if (new_rec != nullptr) *new_rec = top;
+  return top == wni_;
+}
+
+bool ExplanationTester::TestMixed(const std::vector<ModedEdit>& edits,
+                                  graph::NodeId* new_rec) {
+  ++num_tests_;
+  graph::GraphOverlay overlay(*base_);
+  for (const ModedEdit& e : edits) {
+    Status st;
+    if (e.mode == Mode::kAdd) {
+      st = overlay.AddEdge(e.edge.src, e.edge.dst, e.edge.type,
+                           opts_.add_edge_weight);
+    } else {
+      st = overlay.RemoveEdge(e.edge.src, e.edge.dst, e.edge.type);
+    }
+    if (!st.ok()) {
+      if (new_rec != nullptr) *new_rec = graph::kInvalidNode;
+      return false;
+    }
+  }
+  graph::NodeId top = recsys::Recommend(overlay, user_, opts_.rec);
+  if (new_rec != nullptr) *new_rec = top;
+  return top == wni_;
+}
+
+}  // namespace emigre::explain

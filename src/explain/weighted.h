@@ -1,0 +1,65 @@
+#ifndef EMIGRE_EXPLAIN_WEIGHTED_H_
+#define EMIGRE_EXPLAIN_WEIGHTED_H_
+
+#include <vector>
+
+#include "explain/explanation.h"
+#include "explain/options.h"
+#include "graph/hin_graph.h"
+#include "graph/types.h"
+#include "util/result.h"
+
+namespace emigre::explain {
+
+/// \brief One weight adjustment: "had this action carried weight
+/// `new_weight` instead of `old_weight` ...".
+struct WeightAdjustment {
+  graph::EdgeRef edge;
+  double old_weight = 0.0;
+  double new_weight = 0.0;
+};
+
+/// \brief A weight-based Why-Not explanation (the paper's §7 future-work
+/// extension: "You should have rated book A with 5 stars to get
+/// recommended book B").
+struct WeightedExplanation {
+  bool found = false;
+  std::vector<WeightAdjustment> adjustments;
+  graph::NodeId original_rec = graph::kInvalidNode;
+  graph::NodeId new_rec = graph::kInvalidNode;
+  FailureReason failure = FailureReason::kNone;
+  size_t tests_performed = 0;
+  double seconds = 0.0;
+
+  size_t size() const { return adjustments.size(); }
+};
+
+/// \brief Options for the weighted search.
+struct WeightedOptions {
+  /// Weight bounds for an adjusted edge: an existing action's weight may be
+  /// raised up to `max_weight` (rate it higher) or lowered to `min_weight`
+  /// (rate it lower) but never removed — this mode explains with weights
+  /// only, complementing the edge add/remove modes.
+  double min_weight = 0.2;
+  double max_weight = 5.0;
+};
+
+/// \brief Computes a Why-Not explanation made purely of weight changes on
+/// the user's *existing* actions, Incremental style.
+///
+/// Under the contribution model (Eq. 5), moving an edge's weight from w to
+/// w' shifts the rec-vs-WNI gap by (w'−w)·(PPR(n,rec)−PPR(n,WNI)): actions
+/// whose neighbor favors WNI are raised to `max_weight`, actions whose
+/// neighbor favors rec are lowered to `min_weight`, in decreasing order of
+/// achievable gap reduction, TESTing whenever the estimate closes. After a
+/// successful TEST, each adjustment is individually relaxed back toward its
+/// original weight when doing so preserves correctness, so the reported
+/// "star ratings" are as close to the user's actual ones as the TEST
+/// admits.
+Result<WeightedExplanation> RunWeightedIncremental(
+    const graph::HinGraph& g, const WhyNotQuestion& q,
+    const EmigreOptions& opts, const WeightedOptions& wopts = {});
+
+}  // namespace emigre::explain
+
+#endif  // EMIGRE_EXPLAIN_WEIGHTED_H_

@@ -1,0 +1,115 @@
+#ifndef EMIGRE_GRAPH_CSR_H_
+#define EMIGRE_GRAPH_CSR_H_
+
+#include <vector>
+
+#include "graph/hin_graph.h"
+#include "graph/types.h"
+
+namespace emigre::graph {
+
+/// \brief Immutable compressed-sparse-row snapshot of a graph.
+///
+/// Power iteration repeatedly walks every edge of the graph; doing so over
+/// `HinGraph`'s vector-of-vectors layout wastes cache. `CsrGraph` packs
+/// out- and in-adjacency into flat arrays. Build once, reuse for any number
+/// of source nodes.
+class CsrGraph {
+ public:
+  /// Snapshots `g` (including overlays, via the generic constructor below).
+  explicit CsrGraph(const HinGraph& g) { BuildFrom(g); }
+
+  /// Snapshots any GraphLike view (e.g. a `GraphOverlay`).
+  template <typename G>
+  explicit CsrGraph(const G& g, int /*overload tag*/) {
+    BuildFrom(g);
+  }
+
+  size_t NumNodes() const { return num_nodes_; }
+  size_t NumEdges() const { return out_dst_.size(); }
+
+  size_t OutDegree(NodeId n) const {
+    return out_offsets_[n + 1] - out_offsets_[n];
+  }
+  size_t InDegree(NodeId n) const {
+    return in_offsets_[n + 1] - in_offsets_[n];
+  }
+  double OutWeight(NodeId n) const { return out_weight_[n]; }
+  NodeTypeId NodeType(NodeId n) const { return node_type_[n]; }
+
+  template <typename F>
+  void ForEachOutEdge(NodeId n, F&& fn) const {
+    for (size_t i = out_offsets_[n]; i < out_offsets_[n + 1]; ++i) {
+      fn(out_dst_[i], out_type_[i], out_w_[i]);
+    }
+  }
+
+  template <typename F>
+  void ForEachInEdge(NodeId n, F&& fn) const {
+    for (size_t i = in_offsets_[n]; i < in_offsets_[n + 1]; ++i) {
+      fn(in_src_[i], in_type_[i], in_w_[i]);
+    }
+  }
+
+ private:
+  template <typename G>
+  void BuildFrom(const G& g) {
+    num_nodes_ = g.NumNodes();
+    node_type_.resize(num_nodes_);
+    out_weight_.resize(num_nodes_);
+    out_offsets_.assign(num_nodes_ + 1, 0);
+    in_offsets_.assign(num_nodes_ + 1, 0);
+
+    size_t num_edges = 0;
+    for (NodeId n = 0; n < num_nodes_; ++n) {
+      node_type_[n] = g.NodeType(n);
+      out_weight_[n] = g.OutWeight(n);
+      size_t out_deg = 0;
+      g.ForEachOutEdge(n, [&](NodeId, EdgeTypeId, double) { ++out_deg; });
+      size_t in_deg = 0;
+      g.ForEachInEdge(n, [&](NodeId, EdgeTypeId, double) { ++in_deg; });
+      out_offsets_[n + 1] = out_offsets_[n] + out_deg;
+      in_offsets_[n + 1] = in_offsets_[n] + in_deg;
+      num_edges += out_deg;
+    }
+    out_dst_.resize(num_edges);
+    out_type_.resize(num_edges);
+    out_w_.resize(num_edges);
+    in_src_.resize(num_edges);
+    in_type_.resize(num_edges);
+    in_w_.resize(num_edges);
+
+    for (NodeId n = 0; n < num_nodes_; ++n) {
+      size_t pos = out_offsets_[n];
+      g.ForEachOutEdge(n, [&](NodeId dst, EdgeTypeId t, double w) {
+        out_dst_[pos] = dst;
+        out_type_[pos] = t;
+        out_w_[pos] = w;
+        ++pos;
+      });
+      pos = in_offsets_[n];
+      g.ForEachInEdge(n, [&](NodeId src, EdgeTypeId t, double w) {
+        in_src_[pos] = src;
+        in_type_[pos] = t;
+        in_w_[pos] = w;
+        ++pos;
+      });
+    }
+  }
+
+  size_t num_nodes_ = 0;
+  std::vector<NodeTypeId> node_type_;
+  std::vector<double> out_weight_;
+  std::vector<size_t> out_offsets_;
+  std::vector<NodeId> out_dst_;
+  std::vector<EdgeTypeId> out_type_;
+  std::vector<double> out_w_;
+  std::vector<size_t> in_offsets_;
+  std::vector<NodeId> in_src_;
+  std::vector<EdgeTypeId> in_type_;
+  std::vector<double> in_w_;
+};
+
+}  // namespace emigre::graph
+
+#endif  // EMIGRE_GRAPH_CSR_H_

@@ -1,0 +1,147 @@
+#include "graph/hin_graph.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace emigre::graph {
+
+NodeId HinGraph::AddNode(NodeTypeId type, std::string label) {
+  NodeId id = static_cast<NodeId>(node_type_.size());
+  node_type_.push_back(type);
+  labels_.push_back(std::move(label));
+  out_.emplace_back();
+  in_.emplace_back();
+  out_weight_.push_back(0.0);
+  return id;
+}
+
+std::string HinGraph::DisplayName(NodeId n) const {
+  const std::string& label = labels_.at(n);
+  if (!label.empty()) return label;
+  return StrFormat("#%u", n);
+}
+
+std::vector<NodeId> HinGraph::NodesOfType(NodeTypeId type) const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < node_type_.size(); ++n) {
+    if (node_type_[n] == type) out.push_back(n);
+  }
+  return out;
+}
+
+Status HinGraph::AddEdge(NodeId src, NodeId dst, EdgeTypeId type,
+                         double weight) {
+  if (!IsValidNode(src) || !IsValidNode(dst)) {
+    return Status::InvalidArgument(
+        StrFormat("AddEdge(%u, %u): node out of range (graph has %zu nodes)",
+                  src, dst, NumNodes()));
+  }
+  if (!(weight > 0.0)) {
+    return Status::InvalidArgument(
+        StrFormat("AddEdge(%u, %u): weight must be positive, got %f", src,
+                  dst, weight));
+  }
+  if (HasEdge(src, dst, type)) {
+    return Status::AlreadyExists(
+        StrFormat("edge (%u, %u, type=%u) already exists", src, dst, type));
+  }
+  out_[src].push_back(Edge{dst, type, weight});
+  in_[dst].push_back(Edge{src, type, weight});
+  out_weight_[src] += weight;
+  ++num_edges_;
+  return Status::OK();
+}
+
+Status HinGraph::AddBidirectional(NodeId a, NodeId b, EdgeTypeId type,
+                                  double weight) {
+  EMIGRE_RETURN_IF_ERROR(AddEdge(a, b, type, weight));
+  return AddEdge(b, a, type, weight);
+}
+
+namespace {
+
+// Removes the first entry matching (node, type) from the adjacency list.
+// Returns the removed weight or a negative value when absent.
+double EraseAdjacencyEntry(std::vector<Edge>* list, NodeId node,
+                           EdgeTypeId type) {
+  for (auto it = list->begin(); it != list->end(); ++it) {
+    if (it->node == node && it->type == type) {
+      double w = it->weight;
+      list->erase(it);
+      return w;
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+Status HinGraph::RemoveEdge(NodeId src, NodeId dst, EdgeTypeId type) {
+  if (!IsValidNode(src) || !IsValidNode(dst)) {
+    return Status::InvalidArgument(
+        StrFormat("RemoveEdge(%u, %u): node out of range", src, dst));
+  }
+  double w = EraseAdjacencyEntry(&out_[src], dst, type);
+  if (w < 0.0) {
+    return Status::NotFound(
+        StrFormat("edge (%u, %u, type=%u) not found", src, dst, type));
+  }
+  double w_in = EraseAdjacencyEntry(&in_[dst], src, type);
+  (void)w_in;  // Mirrors the out-list by construction.
+  out_weight_[src] -= w;
+  if (out_weight_[src] < 0.0) out_weight_[src] = 0.0;  // float hygiene
+  --num_edges_;
+  return Status::OK();
+}
+
+size_t HinGraph::RemoveEdgesBetween(NodeId src, NodeId dst) {
+  if (!IsValidNode(src) || !IsValidNode(dst)) return 0;
+  size_t removed = 0;
+  // Collect the types first: RemoveEdge mutates the list we would iterate.
+  std::vector<EdgeTypeId> types;
+  for (const Edge& e : out_[src]) {
+    if (e.node == dst) types.push_back(e.type);
+  }
+  for (EdgeTypeId t : types) {
+    if (RemoveEdge(src, dst, t).ok()) ++removed;
+  }
+  return removed;
+}
+
+bool HinGraph::HasEdge(NodeId src, NodeId dst) const {
+  if (!IsValidNode(src) || !IsValidNode(dst)) return false;
+  for (const Edge& e : out_[src]) {
+    if (e.node == dst) return true;
+  }
+  return false;
+}
+
+bool HinGraph::HasEdge(NodeId src, NodeId dst, EdgeTypeId type) const {
+  if (!IsValidNode(src) || !IsValidNode(dst)) return false;
+  for (const Edge& e : out_[src]) {
+    if (e.node == dst && e.type == type) return true;
+  }
+  return false;
+}
+
+double HinGraph::EdgeWeight(NodeId src, NodeId dst, EdgeTypeId type) const {
+  if (!IsValidNode(src) || !IsValidNode(dst)) return 0.0;
+  for (const Edge& e : out_[src]) {
+    if (e.node == dst && e.type == type) return e.weight;
+  }
+  return 0.0;
+}
+
+std::vector<EdgeRef> HinGraph::AllEdges() const {
+  std::vector<EdgeRef> edges;
+  edges.reserve(num_edges_);
+  for (NodeId src = 0; src < out_.size(); ++src) {
+    for (const Edge& e : out_[src]) {
+      edges.push_back(EdgeRef{src, e.node, e.type});
+    }
+  }
+  return edges;
+}
+
+}  // namespace emigre::graph

@@ -1,0 +1,159 @@
+#ifndef EMIGRE_GRAPH_HIN_GRAPH_H_
+#define EMIGRE_GRAPH_HIN_GRAPH_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/type_registry.h"
+#include "graph/types.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace emigre::graph {
+
+/// \brief Heterogeneous Information Network (paper Definition 3.1).
+///
+/// A directed, weighted multigraph where every node and edge carries exactly
+/// one type. Nodes are dense `NodeId`s; both out- and in-adjacency lists are
+/// maintained so that Forward Local Push (out-edges) and Reverse Local Push
+/// (in-edges) are both cheap. Edges can be added and removed dynamically —
+/// counterfactual edits during explanation search normally go through the
+/// non-mutating `GraphOverlay` instead (see overlay.h).
+///
+/// Multi-edges between the same endpoints are allowed if their edge types
+/// differ (a user may have both "rated" and "reviewed" an item); a duplicate
+/// (src, dst, type) triple is rejected.
+class HinGraph {
+ public:
+  HinGraph() = default;
+
+  // Copyable (snapshotting a graph is meaningful) and movable.
+  HinGraph(const HinGraph&) = default;
+  HinGraph& operator=(const HinGraph&) = default;
+  HinGraph(HinGraph&&) = default;
+  HinGraph& operator=(HinGraph&&) = default;
+
+  // --- Type registries -----------------------------------------------------
+
+  /// Registers (or looks up) a node type name, e.g. "user".
+  NodeTypeId RegisterNodeType(std::string_view name) {
+    return node_types_.GetOrRegister(name);
+  }
+  /// Registers (or looks up) an edge type name, e.g. "rated".
+  EdgeTypeId RegisterEdgeType(std::string_view name) {
+    return edge_types_.GetOrRegister(name);
+  }
+  /// Lookup without registration; returns the invalid sentinel when absent.
+  NodeTypeId FindNodeType(std::string_view name) const {
+    return node_types_.Find(name);
+  }
+  EdgeTypeId FindEdgeType(std::string_view name) const {
+    return edge_types_.Find(name);
+  }
+  const std::string& NodeTypeName(NodeTypeId id) const {
+    return node_types_.Name(id);
+  }
+  const std::string& EdgeTypeName(EdgeTypeId id) const {
+    return edge_types_.Name(id);
+  }
+  size_t NumNodeTypes() const { return node_types_.size(); }
+  size_t NumEdgeTypes() const { return edge_types_.size(); }
+
+  // --- Nodes ----------------------------------------------------------------
+
+  /// Adds a node of the given type and returns its id. An optional label is
+  /// retained for human-readable output (book titles in the examples).
+  NodeId AddNode(NodeTypeId type, std::string label = {});
+
+  /// Convenience: registers the type name and adds a node.
+  NodeId AddNode(std::string_view type_name, std::string label = {}) {
+    return AddNode(RegisterNodeType(type_name), std::move(label));
+  }
+
+  size_t NumNodes() const { return node_type_.size(); }
+  bool IsValidNode(NodeId n) const { return n < NumNodes(); }
+
+  NodeTypeId NodeType(NodeId n) const { return node_type_.at(n); }
+
+  const std::string& Label(NodeId n) const { return labels_.at(n); }
+  void SetLabel(NodeId n, std::string label) {
+    labels_.at(n) = std::move(label);
+  }
+  /// Label if non-empty, otherwise "#<id>".
+  std::string DisplayName(NodeId n) const;
+
+  /// All node ids of the given type, in id order.
+  std::vector<NodeId> NodesOfType(NodeTypeId type) const;
+
+  // --- Edges ----------------------------------------------------------------
+
+  /// Adds the directed edge (src, dst) with the given type and positive
+  /// weight. Fails with InvalidArgument on bad endpoints/weight and
+  /// AlreadyExists on a duplicate (src, dst, type) triple.
+  Status AddEdge(NodeId src, NodeId dst, EdgeTypeId type, double weight = 1.0);
+
+  /// Adds both (src, dst) and (dst, src) with the same type and weight; used
+  /// by the dataset pipeline, which treats relationships as bidirectional
+  /// (paper §6.1).
+  Status AddBidirectional(NodeId a, NodeId b, EdgeTypeId type,
+                          double weight = 1.0);
+
+  /// Removes the (src, dst, type) edge. Fails with NotFound when absent.
+  Status RemoveEdge(NodeId src, NodeId dst, EdgeTypeId type);
+
+  /// Removes every edge src -> dst regardless of type; returns the number
+  /// removed.
+  size_t RemoveEdgesBetween(NodeId src, NodeId dst);
+
+  /// True if any edge src -> dst exists (any type).
+  bool HasEdge(NodeId src, NodeId dst) const;
+  /// True if the specific (src, dst, type) edge exists.
+  bool HasEdge(NodeId src, NodeId dst, EdgeTypeId type) const;
+
+  /// Weight of the (src, dst, type) edge, or 0.0 when absent.
+  double EdgeWeight(NodeId src, NodeId dst, EdgeTypeId type) const;
+
+  size_t NumEdges() const { return num_edges_; }
+  size_t OutDegree(NodeId n) const { return out_[n].size(); }
+  size_t InDegree(NodeId n) const { return in_[n].size(); }
+
+  /// Sum of outgoing edge weights; the random-walk transition from `n`
+  /// normalizes by this.
+  double OutWeight(NodeId n) const { return out_weight_[n]; }
+
+  /// Raw adjacency views (valid until the next mutation).
+  std::span<const Edge> OutEdges(NodeId n) const { return out_[n]; }
+  std::span<const Edge> InEdges(NodeId n) const { return in_[n]; }
+
+  /// Calls fn(dst, edge_type, weight) for each out-edge of `n`.
+  template <typename F>
+  void ForEachOutEdge(NodeId n, F&& fn) const {
+    for (const Edge& e : out_[n]) fn(e.node, e.type, e.weight);
+  }
+  /// Calls fn(src, edge_type, weight) for each in-edge of `n`.
+  template <typename F>
+  void ForEachInEdge(NodeId n, F&& fn) const {
+    for (const Edge& e : in_[n]) fn(e.node, e.type, e.weight);
+  }
+
+  /// All edges as EdgeRef triples in (src, insertion) order, for I/O and
+  /// brute-force enumeration.
+  std::vector<EdgeRef> AllEdges() const;
+
+ private:
+  NodeTypeRegistry node_types_;
+  EdgeTypeRegistry edge_types_;
+
+  std::vector<NodeTypeId> node_type_;
+  std::vector<std::string> labels_;
+  std::vector<std::vector<Edge>> out_;
+  std::vector<std::vector<Edge>> in_;
+  std::vector<double> out_weight_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace emigre::graph
+
+#endif  // EMIGRE_GRAPH_HIN_GRAPH_H_

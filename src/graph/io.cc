@@ -1,0 +1,99 @@
+#include "graph/io.h"
+
+#include <fstream>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace emigre::graph {
+
+namespace {
+constexpr const char kHeader[] = "# emigre-graph v1";
+}  // namespace
+
+Status SaveGraph(const HinGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  out << kHeader << "\n";
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    // The label may contain spaces; tab-separate the fixed fields and keep
+    // the label as the trailing field.
+    out << "N\t" << n << "\t" << g.NodeTypeName(g.NodeType(n)) << "\t"
+        << g.Label(n) << "\n";
+  }
+  for (NodeId src = 0; src < g.NumNodes(); ++src) {
+    for (const Edge& e : g.OutEdges(src)) {
+      out << "E\t" << src << "\t" << e.node << "\t" << g.EdgeTypeName(e.type)
+          << "\t" << StrFormat("%.17g", e.weight) << "\n";
+    }
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<HinGraph> LoadGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line) || Trim(line) != kHeader) {
+    return Status::InvalidArgument("missing emigre-graph header in " + path);
+  }
+  HinGraph g;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = Split(line, '\t');
+    if (fields[0] == "N") {
+      if (fields.size() < 3) {
+        return Status::InvalidArgument(
+            StrFormat("malformed node line %zu", line_no));
+      }
+      int64_t id = 0;
+      if (!ParseInt64(fields[1], &id)) {
+        return Status::InvalidArgument(
+            StrFormat("bad node id on line %zu", line_no));
+      }
+      std::string label = fields.size() > 3 ? fields[3] : "";
+      NodeId got = g.AddNode(fields[2], label);
+      if (static_cast<int64_t>(got) != id) {
+        return Status::InvalidArgument(StrFormat(
+            "non-contiguous node ids (expected %u, file says %lld) on line "
+            "%zu",
+            got, static_cast<long long>(id), line_no));
+      }
+    } else if (fields[0] == "E") {
+      if (fields.size() < 5) {
+        return Status::InvalidArgument(
+            StrFormat("malformed edge line %zu", line_no));
+      }
+      int64_t src = 0;
+      int64_t dst = 0;
+      double weight = 0.0;
+      if (!ParseInt64(fields[1], &src) || !ParseInt64(fields[2], &dst) ||
+          !ParseDouble(fields[4], &weight)) {
+        return Status::InvalidArgument(
+            StrFormat("bad edge fields on line %zu", line_no));
+      }
+      EdgeTypeId type = g.RegisterEdgeType(fields[3]);
+      Status st = g.AddEdge(static_cast<NodeId>(src),
+                            static_cast<NodeId>(dst), type, weight);
+      if (!st.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: %s", line_no, st.ToString().c_str()));
+      }
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("unknown record type '%s' on line %zu", fields[0].c_str(),
+                    line_no));
+    }
+  }
+  return g;
+}
+
+}  // namespace emigre::graph

@@ -1,0 +1,25 @@
+#ifndef EMIGRE_GRAPH_IO_H_
+#define EMIGRE_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/hin_graph.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace emigre::graph {
+
+/// Serializes the graph to a line-oriented text format:
+///   # emigre-graph v1
+///   N <node_id> <node_type_name> <label (may be empty, CSV-escaped)>
+///   E <src> <dst> <edge_type_name> <weight>
+/// Node lines come first, in id order, so loading reproduces ids exactly.
+Status SaveGraph(const HinGraph& g, const std::string& path);
+
+/// Loads a graph saved by `SaveGraph`. Fails with IOError/InvalidArgument on
+/// unreadable or malformed input.
+Result<HinGraph> LoadGraph(const std::string& path);
+
+}  // namespace emigre::graph
+
+#endif  // EMIGRE_GRAPH_IO_H_

@@ -1,0 +1,51 @@
+#include "graph/stats.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace emigre::graph {
+
+std::vector<TypeDegreeStats> ComputeDegreeStats(const HinGraph& g) {
+  size_t num_types = g.NumNodeTypes();
+  std::vector<TypeDegreeStats> stats(num_types);
+  std::vector<double> sum(num_types, 0.0);
+  std::vector<double> sum_sq(num_types, 0.0);
+
+  for (NodeTypeId t = 0; t < num_types; ++t) {
+    stats[t].type_name = g.NodeTypeName(t);
+  }
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    NodeTypeId t = g.NodeType(n);
+    double degree = static_cast<double>(g.OutDegree(n) + g.InDegree(n));
+    stats[t].num_nodes += 1;
+    sum[t] += degree;
+    sum_sq[t] += degree * degree;
+  }
+  for (NodeTypeId t = 0; t < num_types; ++t) {
+    if (stats[t].num_nodes == 0) continue;
+    double n = static_cast<double>(stats[t].num_nodes);
+    double mean = sum[t] / n;
+    stats[t].mean_degree = mean;
+    double var = sum_sq[t] / n - mean * mean;
+    stats[t].degree_stddev = var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+  return stats;
+}
+
+std::string FormatDegreeStats(const std::vector<TypeDegreeStats>& stats) {
+  TextTable table({"Node Type", "# of Nodes", "Average Degree",
+                   "Degree STD"});
+  table.SetAlign(1, Align::kRight);
+  table.SetAlign(2, Align::kRight);
+  table.SetAlign(3, Align::kRight);
+  for (const auto& s : stats) {
+    table.AddRow({s.type_name, StrFormat("%zu", s.num_nodes),
+                  FormatDouble(s.mean_degree, 1),
+                  FormatDouble(s.degree_stddev, 1)});
+  }
+  return table.ToString();
+}
+
+}  // namespace emigre::graph

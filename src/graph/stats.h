@@ -1,0 +1,29 @@
+#ifndef EMIGRE_GRAPH_STATS_H_
+#define EMIGRE_GRAPH_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/hin_graph.h"
+
+namespace emigre::graph {
+
+/// \brief Per-node-type degree statistics (paper Table 4).
+struct TypeDegreeStats {
+  std::string type_name;
+  size_t num_nodes = 0;
+  double mean_degree = 0.0;  ///< mean of (in + out) degree
+  double degree_stddev = 0.0;
+};
+
+/// Computes per-type node counts and degree mean/stddev, ordered by node
+/// type id. Degree counts both incident directions, matching the paper's
+/// "number of edges connected to a node".
+std::vector<TypeDegreeStats> ComputeDegreeStats(const HinGraph& g);
+
+/// Renders the stats as a paper-style table.
+std::string FormatDegreeStats(const std::vector<TypeDegreeStats>& stats);
+
+}  // namespace emigre::graph
+
+#endif  // EMIGRE_GRAPH_STATS_H_

@@ -1,0 +1,62 @@
+#include "graph/subgraph.h"
+
+#include <deque>
+
+#include "util/string_util.h"
+
+namespace emigre::graph {
+
+Result<Subgraph> ExtractNeighborhood(const HinGraph& g,
+                                     const std::vector<NodeId>& seeds,
+                                     size_t hops) {
+  std::vector<int64_t> dist(g.NumNodes(), -1);
+  std::deque<NodeId> frontier;
+  for (NodeId s : seeds) {
+    if (!g.IsValidNode(s)) {
+      return Status::InvalidArgument(StrFormat("invalid seed node %u", s));
+    }
+    if (dist[s] < 0) {
+      dist[s] = 0;
+      frontier.push_back(s);
+    }
+  }
+  while (!frontier.empty()) {
+    NodeId u = frontier.front();
+    frontier.pop_front();
+    if (static_cast<size_t>(dist[u]) >= hops) continue;
+    auto visit = [&](NodeId v, EdgeTypeId, double) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        frontier.push_back(v);
+      }
+    };
+    g.ForEachOutEdge(u, visit);
+    g.ForEachInEdge(u, visit);
+  }
+
+  Subgraph out;
+  for (NodeTypeId t = 0; t < g.NumNodeTypes(); ++t) {
+    out.graph.RegisterNodeType(g.NodeTypeName(t));
+  }
+  for (EdgeTypeId t = 0; t < g.NumEdgeTypes(); ++t) {
+    out.graph.RegisterEdgeType(g.EdgeTypeName(t));
+  }
+  out.old_to_new.assign(g.NumNodes(), kInvalidNode);
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    if (dist[n] < 0) continue;
+    out.old_to_new[n] = out.graph.AddNode(g.NodeType(n), g.Label(n));
+    out.new_to_old.push_back(n);
+  }
+  for (NodeId src = 0; src < g.NumNodes(); ++src) {
+    if (out.old_to_new[src] == kInvalidNode) continue;
+    for (const Edge& e : g.OutEdges(src)) {
+      if (out.old_to_new[e.node] == kInvalidNode) continue;
+      EMIGRE_RETURN_IF_ERROR(out.graph.AddEdge(out.old_to_new[src],
+                                               out.old_to_new[e.node],
+                                               e.type, e.weight));
+    }
+  }
+  return out;
+}
+
+}  // namespace emigre::graph

@@ -1,0 +1,38 @@
+#ifndef EMIGRE_GRAPH_SUBGRAPH_H_
+#define EMIGRE_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/hin_graph.h"
+#include "graph/types.h"
+#include "util/result.h"
+
+namespace emigre::graph {
+
+/// \brief An induced subgraph with its id mappings.
+struct Subgraph {
+  HinGraph graph;
+  /// old node id -> new node id (kInvalidNode when dropped).
+  std::vector<NodeId> old_to_new;
+  /// new node id -> old node id.
+  std::vector<NodeId> new_to_old;
+};
+
+/// \brief Extracts the union k-hop neighborhood ball around `seeds`.
+///
+/// BFS treats edges as traversable in both directions (the paper's
+/// evaluation graphs are bidirectionalized anyway, §6.1); the result is the
+/// subgraph induced on every node within `hops` of some seed, with node
+/// labels, node/edge type registries, and edge weights preserved. Node ids
+/// are remapped densely in ascending old-id order, keeping deterministic
+/// tie-breaks stable relative to the original graph.
+///
+/// `hops == 0` keeps only the seeds themselves (and their mutual edges).
+/// Fails with InvalidArgument on an out-of-range seed.
+Result<Subgraph> ExtractNeighborhood(const HinGraph& g,
+                                     const std::vector<NodeId>& seeds,
+                                     size_t hops);
+
+}  // namespace emigre::graph
+
+#endif  // EMIGRE_GRAPH_SUBGRAPH_H_

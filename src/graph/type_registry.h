@@ -1,0 +1,62 @@
+#ifndef EMIGRE_GRAPH_TYPE_REGISTRY_H_
+#define EMIGRE_GRAPH_TYPE_REGISTRY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace emigre::graph {
+
+/// \brief Bidirectional mapping between type names and dense ids.
+///
+/// One instance exists for node types and one for edge types inside each
+/// `HinGraph` (the θ mapping of Definition 3.1). Ids are assigned in
+/// registration order, so graphs built deterministically get deterministic
+/// ids.
+template <typename IdType>
+class TypeRegistry {
+ public:
+  /// Returns the id for `name`, registering it if new.
+  IdType GetOrRegister(std::string_view name) {
+    auto it = by_name_.find(std::string(name));
+    if (it != by_name_.end()) return it->second;
+    IdType id = static_cast<IdType>(names_.size());
+    names_.emplace_back(name);
+    by_name_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `name`, or the invalid sentinel if unregistered.
+  IdType Find(std::string_view name) const {
+    auto it = by_name_.find(std::string(name));
+    if (it == by_name_.end()) {
+      return static_cast<IdType>(std::numeric_limits<IdType>::max());
+    }
+    return it->second;
+  }
+
+  bool Contains(std::string_view name) const {
+    return by_name_.count(std::string(name)) > 0;
+  }
+
+  /// Name lookup; `id` must be a registered id.
+  const std::string& Name(IdType id) const { return names_.at(id); }
+
+  size_t size() const { return names_.size(); }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, IdType> by_name_;
+};
+
+using NodeTypeRegistry = TypeRegistry<NodeTypeId>;
+using EdgeTypeRegistry = TypeRegistry<EdgeTypeId>;
+
+}  // namespace emigre::graph
+
+#endif  // EMIGRE_GRAPH_TYPE_REGISTRY_H_

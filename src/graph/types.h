@@ -1,0 +1,61 @@
+#ifndef EMIGRE_GRAPH_TYPES_H_
+#define EMIGRE_GRAPH_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace emigre::graph {
+
+/// Dense node identifier: index into the graph's node arrays.
+using NodeId = uint32_t;
+/// Identifier of a node type ("user", "item", ...), registry-assigned.
+using NodeTypeId = uint16_t;
+/// Identifier of an edge type ("rated", "belongs-to", ...), registry-assigned.
+using EdgeTypeId = uint16_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+/// Sentinel for "no type".
+inline constexpr NodeTypeId kInvalidNodeType =
+    std::numeric_limits<NodeTypeId>::max();
+inline constexpr EdgeTypeId kInvalidEdgeType =
+    std::numeric_limits<EdgeTypeId>::max();
+
+/// \brief One directed, typed, weighted adjacency entry.
+///
+/// Stored in both out-lists (where `node` is the destination) and in-lists
+/// (where `node` is the source).
+struct Edge {
+  NodeId node = kInvalidNode;
+  EdgeTypeId type = kInvalidEdgeType;
+  double weight = 1.0;
+};
+
+/// \brief Fully-qualified directed edge, used as a set/map key and as the
+/// unit of Why-Not explanations (a user "action").
+struct EdgeRef {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  EdgeTypeId type = kInvalidEdgeType;
+
+  friend bool operator==(const EdgeRef&, const EdgeRef&) = default;
+  friend auto operator<=>(const EdgeRef&, const EdgeRef&) = default;
+};
+
+struct EdgeRefHash {
+  size_t operator()(const EdgeRef& e) const {
+    uint64_t key = (static_cast<uint64_t>(e.src) << 32) | e.dst;
+    // SplitMix64 finalizer; mixes in the type so multigraph edges between
+    // the same endpoints hash apart.
+    key ^= static_cast<uint64_t>(e.type) << 17;
+    key = (key ^ (key >> 30)) * 0xBF58476D1CE4E5B9ull;
+    key = (key ^ (key >> 27)) * 0x94D049BB133111EBull;
+    return static_cast<size_t>(key ^ (key >> 31));
+  }
+};
+
+}  // namespace emigre::graph
+
+#endif  // EMIGRE_GRAPH_TYPES_H_

@@ -1,0 +1,66 @@
+#include "graph/validate.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace emigre::graph {
+
+Status ValidateGraph(const HinGraph& g) {
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    if (g.NodeType(n) >= g.NumNodeTypes()) {
+      return Status::Internal(
+          StrFormat("node %u has unregistered type %u", n, g.NodeType(n)));
+    }
+    double out_sum = 0.0;
+    for (const Edge& e : g.OutEdges(n)) {
+      if (!g.IsValidNode(e.node)) {
+        return Status::Internal(
+            StrFormat("node %u has out-edge to invalid node %u", n, e.node));
+      }
+      if (e.type >= g.NumEdgeTypes()) {
+        return Status::Internal(
+            StrFormat("edge (%u, %u) has unregistered type %u", n, e.node,
+                      e.type));
+      }
+      if (!(e.weight > 0.0) || !std::isfinite(e.weight)) {
+        return Status::Internal(
+            StrFormat("edge (%u, %u) has non-positive weight %f", n, e.node,
+                      e.weight));
+      }
+      out_sum += e.weight;
+
+      // The in-list of the destination must mirror this edge exactly.
+      bool mirrored = false;
+      for (const Edge& back : g.InEdges(e.node)) {
+        if (back.node == n && back.type == e.type &&
+            back.weight == e.weight) {
+          mirrored = true;
+          break;
+        }
+      }
+      if (!mirrored) {
+        return Status::Internal(StrFormat(
+            "edge (%u, %u, type=%u) missing from destination in-list", n,
+            e.node, e.type));
+      }
+    }
+    if (std::abs(out_sum - g.OutWeight(n)) > 1e-9 * (1.0 + out_sum)) {
+      return Status::Internal(
+          StrFormat("node %u cached out-weight %f != recomputed %f", n,
+                    g.OutWeight(n), out_sum));
+    }
+  }
+
+  // In-edges must also originate from valid out-lists (count symmetry).
+  size_t in_total = 0;
+  for (NodeId n = 0; n < g.NumNodes(); ++n) in_total += g.InDegree(n);
+  if (in_total != g.NumEdges()) {
+    return Status::Internal(
+        StrFormat("in-edge total %zu != edge count %zu", in_total,
+                  g.NumEdges()));
+  }
+  return Status::OK();
+}
+
+}  // namespace emigre::graph

@@ -1,0 +1,20 @@
+#ifndef EMIGRE_GRAPH_VALIDATE_H_
+#define EMIGRE_GRAPH_VALIDATE_H_
+
+#include "graph/hin_graph.h"
+#include "util/status.h"
+
+namespace emigre::graph {
+
+/// Verifies internal invariants of the graph:
+///  - every out-edge has a mirroring in-edge with identical type and weight,
+///  - cached out-weights equal the sum of out-edge weights,
+///  - all weights are positive and finite,
+///  - node/edge types are registered.
+/// Returns the first violation found, or OK. Intended for tests and for
+/// validating externally loaded graphs.
+Status ValidateGraph(const HinGraph& g);
+
+}  // namespace emigre::graph
+
+#endif  // EMIGRE_GRAPH_VALIDATE_H_

@@ -1,0 +1,109 @@
+#ifndef EMIGRE_PPR_CACHE_H_
+#define EMIGRE_PPR_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/traits.h"
+#include "graph/types.h"
+#include "ppr/options.h"
+#include "ppr/reverse_push.h"
+
+namespace emigre::ppr {
+
+/// \brief Thread-safe LRU cache of Reverse-Local-Push estimate vectors.
+///
+/// EMiGRe's phases repeatedly need PPR(·, t) for the same handful of
+/// targets: the search space computes it for `rec` and `WNI`, the
+/// Exhaustive Comparison for every item in the recommendation list, and the
+/// evaluation harness runs eight methods over the *same* scenario. Over an
+/// immutable graph those vectors are identical across calls; this cache
+/// shares them.
+///
+/// Entries are `shared_ptr<const vector>` so a caller may keep using a
+/// vector after it is evicted. The cache must only be used while the
+/// underlying graph is unchanged — the owner (e.g. `explain::Emigre`)
+/// guarantees that by construction.
+template <graph::GraphLike G>
+class ReversePushCache {
+ public:
+  using Vector = std::vector<double>;
+
+  /// `capacity` bounds resident vectors (each is O(num_nodes) doubles).
+  ReversePushCache(const G& g, const PprOptions& opts, size_t capacity = 64)
+      : g_(&g), opts_(opts), capacity_(capacity > 0 ? capacity : 1) {}
+
+  /// The PPR(·, target) estimate vector, computed on first use.
+  std::shared_ptr<const Vector> Get(graph::NodeId target) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = index_.find(target);
+      if (it != index_.end()) {
+        // Refresh LRU position.
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        ++hits_;
+        return it->second.vector;
+      }
+      ++misses_;
+    }
+    // Compute outside the lock: pushes can be slow and independent targets
+    // should not serialize. A racing duplicate computation is harmless
+    // (same immutable result); last writer wins.
+    auto vector = std::make_shared<const Vector>(
+        ReversePush(*g_, target, opts_).estimate);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(target);
+    if (it != index_.end()) return it->second.vector;  // raced; reuse
+    lru_.push_front(target);
+    index_.emplace(target, Entry{vector, lru_.begin()});
+    if (index_.size() > capacity_) {
+      index_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    return vector;
+  }
+
+  /// Diagnostics.
+  size_t hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+  size_t misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_.size();
+  }
+
+  /// Drops all entries (e.g. after the owner mutated the graph).
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    index_.clear();
+    lru_.clear();
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Vector> vector;
+    std::list<graph::NodeId>::iterator lru_it;
+  };
+
+  const G* g_;
+  PprOptions opts_;
+  size_t capacity_;
+
+  mutable std::mutex mutex_;
+  std::list<graph::NodeId> lru_;  // front = most recent
+  std::unordered_map<graph::NodeId, Entry> index_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace emigre::ppr
+
+#endif  // EMIGRE_PPR_CACHE_H_

@@ -1,0 +1,153 @@
+#ifndef EMIGRE_PPR_DYNAMIC_H_
+#define EMIGRE_PPR_DYNAMIC_H_
+
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/traits.h"
+#include "graph/types.h"
+#include "ppr/forward_push.h"
+#include "ppr/options.h"
+
+namespace emigre::ppr {
+
+/// \brief Incrementally maintained Forward Push state under edge updates.
+///
+/// Implements the dynamic-graph PPR maintenance of Zhang, Lofgren & Goel
+/// (KDD'16) — the paper's reference [38] — for a fixed source: instead of
+/// recomputing PPR(s,·) from scratch after each graph edit, repair the
+/// push invariant locally and re-push.
+///
+/// A valid forward-push state satisfies (in vector form)
+///   r = e_s − p/α + (1−α)/α · (p·W).
+/// When the out-edge set of a single node u changes, only the row W(u,·)
+/// changes, so the repair touches exactly u's old and new out-neighbors:
+///   r(v) += (1−α)/α · p(u) · (W′(u,v) − W(u,v)).
+/// Residuals may turn negative after deletions; the refine loop pushes
+/// signed residuals symmetrically.
+///
+/// Usage: construct over a mutable graph view, then for each edit call
+/// `BeforeOutEdgeChange(u)`, mutate the graph, call `AfterOutEdgeChange(u)`.
+template <graph::GraphLike G>
+class DynamicForwardPush {
+ public:
+  /// Runs the initial push from `source` over the current state of `g`.
+  /// The referenced graph must outlive this object.
+  DynamicForwardPush(const G& g, graph::NodeId source,
+                     const PprOptions& opts = {})
+      : g_(&g), source_(source), opts_(opts) {
+    state_ = ForwardPush(g, source, opts);
+  }
+
+  /// Snapshots the transition row of `u` ahead of an out-edge mutation.
+  void BeforeOutEdgeChange(graph::NodeId u) {
+    pending_node_ = u;
+    pending_row_ = TransitionRow(u);
+  }
+
+  /// Repairs the invariant after the out-edges of the node passed to
+  /// `BeforeOutEdgeChange` were mutated, then re-pushes to convergence.
+  void AfterOutEdgeChange(graph::NodeId u) {
+    std::unordered_map<graph::NodeId, double> new_row = TransitionRow(u);
+    double scale = (1.0 - opts_.alpha) / opts_.alpha * state_.estimate[u];
+    if (scale != 0.0) {
+      for (const auto& [v, w_new] : new_row) {
+        double w_old = 0.0;
+        if (auto it = pending_row_.find(v); it != pending_row_.end()) {
+          w_old = it->second;
+        }
+        state_.residual[v] += scale * (w_new - w_old);
+      }
+      for (const auto& [v, w_old] : pending_row_) {
+        if (new_row.count(v) == 0) {
+          state_.residual[v] -= scale * w_old;
+        }
+      }
+    }
+    pending_row_.clear();
+    pending_node_ = graph::kInvalidNode;
+    Refine();
+  }
+
+  /// Current estimate of PPR(source, t).
+  double Estimate(graph::NodeId t) const { return state_.estimate[t]; }
+  const std::vector<double>& Estimates() const { return state_.estimate; }
+  const std::vector<double>& Residuals() const { return state_.residual; }
+
+  /// Total absolute residual mass (error bound on the estimates).
+  double AbsResidualMass() const {
+    double total = 0.0;
+    for (double r : state_.residual) total += std::abs(r);
+    return total;
+  }
+
+ private:
+  /// Transition probabilities out of u, with the implicit dangling
+  /// self-loop materialized.
+  std::unordered_map<graph::NodeId, double> TransitionRow(
+      graph::NodeId u) const {
+    std::unordered_map<graph::NodeId, double> row;
+    double out_w = g_->OutWeight(u);
+    if (out_w <= 0.0) {
+      row[u] = 1.0;
+      return row;
+    }
+    g_->ForEachOutEdge(u, [&](graph::NodeId v, graph::EdgeTypeId, double w) {
+      row[v] += w / out_w;
+    });
+    return row;
+  }
+
+  /// Forward push over the existing state with signed residuals.
+  void Refine() {
+    const size_t n = g_->NumNodes();
+    std::deque<graph::NodeId> queue;
+    std::vector<char> queued(n, 0);
+    auto threshold = [&](graph::NodeId v) {
+      size_t deg = g_->OutDegree(v);
+      return opts_.epsilon * static_cast<double>(deg > 0 ? deg : 1);
+    };
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (std::abs(state_.residual[v]) >= threshold(v)) {
+        queue.push_back(v);
+        queued[v] = 1;
+      }
+    }
+    while (!queue.empty()) {
+      graph::NodeId u = queue.front();
+      queue.pop_front();
+      queued[u] = 0;
+      double r = state_.residual[u];
+      if (std::abs(r) < threshold(u)) continue;
+      state_.residual[u] = 0.0;
+      double out_w = g_->OutWeight(u);
+      if (out_w <= 0.0) {
+        state_.estimate[u] += r;
+        continue;
+      }
+      state_.estimate[u] += opts_.alpha * r;
+      double spread = (1.0 - opts_.alpha) * r / out_w;
+      g_->ForEachOutEdge(u, [&](graph::NodeId v, graph::EdgeTypeId,
+                                double w) {
+        state_.residual[v] += spread * w;
+        if (!queued[v] && std::abs(state_.residual[v]) >= threshold(v)) {
+          queued[v] = 1;
+          queue.push_back(v);
+        }
+      });
+    }
+  }
+
+  const G* g_;
+  graph::NodeId source_;
+  PprOptions opts_;
+  PushResult state_;
+  graph::NodeId pending_node_ = graph::kInvalidNode;
+  std::unordered_map<graph::NodeId, double> pending_row_;
+};
+
+}  // namespace emigre::ppr
+
+#endif  // EMIGRE_PPR_DYNAMIC_H_

@@ -1,0 +1,42 @@
+#ifndef EMIGRE_PPR_OPTIONS_H_
+#define EMIGRE_PPR_OPTIONS_H_
+
+#include <cstddef>
+
+namespace emigre::ppr {
+
+/// \brief Shared parameters of the Personalized PageRank computations.
+///
+/// Defaults follow the paper's experimental setting (§6.1): teleport
+/// probability α = 0.15 and local-push tolerance ε = 2.7e-8. The push ε is
+/// intentionally configurable: the benchmark harness relaxes it on scaled-
+/// down graphs where the paper-tight value buys nothing.
+struct PprOptions {
+  /// Teleportation (restart) probability α of Eq. 1.
+  double alpha = 0.15;
+
+  /// Residual threshold ε of the Forward/Reverse Local Push methods [39].
+  double epsilon = 2.7e-8;
+
+  /// Convergence threshold (L1 change between iterations) for power
+  /// iteration.
+  double power_tolerance = 1e-12;
+
+  /// Iteration cap for power iteration; (1-α)^k bounds the residual mass,
+  /// so 300 iterations at α=0.15 is far beyond any practical tolerance.
+  size_t max_power_iterations = 300;
+};
+
+/// \brief Dangling-node convention.
+///
+/// A random walk that reaches a node without outgoing edges has nowhere to
+/// continue. We pin such walks in place (an implicit self-loop), which keeps
+/// the transition matrix independent of the walk's source — a property the
+/// Reverse Local Push requires (its estimates hold for *all* sources at
+/// once). This matters only for isolated nodes in practice: the dataset
+/// pipeline bidirectionalizes relations (paper §6.1), so true sinks are rare.
+inline constexpr bool kDanglingSelfLoop = true;
+
+}  // namespace emigre::ppr
+
+#endif  // EMIGRE_PPR_OPTIONS_H_

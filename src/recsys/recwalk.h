@@ -1,0 +1,52 @@
+#ifndef EMIGRE_RECSYS_RECWALK_H_
+#define EMIGRE_RECSYS_RECWALK_H_
+
+#include <cstddef>
+
+#include "graph/hin_graph.h"
+#include "util/result.h"
+
+namespace emigre::recsys {
+
+/// \brief Parameters for the RecWalk-style graph augmentation.
+struct RecWalkOptions {
+  /// Mixing weight β between the original inter-entity transitions and the
+  /// item–item similarity model (paper §6.1 sets β = 0.5). β = 1 reduces to
+  /// the plain HIN walk.
+  double beta = 0.5;
+
+  /// Keep, per item, at most this many most-similar items (sparsifies the
+  /// similarity model; 0 means keep all).
+  size_t top_k_similar = 10;
+
+  /// Discard similarity scores below this threshold.
+  double min_similarity = 0.05;
+};
+
+/// \brief Builds the RecWalk-augmented graph of Nikolakopoulos & Karypis
+/// (the paper's substrate [24]), adapted to the HIN setting.
+///
+/// RecWalk defines a nearly uncoupled walk whose item-level transition is
+///   M = β·H + (1−β)·S,
+/// where H is the original transition and S an item–item similarity model.
+/// We realize M by graph rewriting, which keeps every PPR engine unchanged:
+/// item–item "similar-to" edges (cosine similarity over co-interaction
+/// vectors) are added, and weights are scaled per item so that a walk at an
+/// item follows an original edge with probability β and a similarity edge
+/// with probability 1−β. Items with no similar neighbors keep their
+/// original transitions intact.
+///
+/// `item_type` selects which nodes participate in the similarity model;
+/// similarity is computed from common in-neighbors of user type
+/// `user_type` ("users who interacted with both").
+///
+/// Returns the augmented copy of `g` (the input is not modified) with a new
+/// edge type "similar-to" registered.
+Result<graph::HinGraph> BuildRecWalkGraph(const graph::HinGraph& g,
+                                          graph::NodeTypeId item_type,
+                                          graph::NodeTypeId user_type,
+                                          const RecWalkOptions& opts = {});
+
+}  // namespace emigre::recsys
+
+#endif  // EMIGRE_RECSYS_RECWALK_H_

@@ -1,0 +1,130 @@
+#include "util/csv.h"
+
+namespace emigre {
+
+CsvWriter::CsvWriter(const std::string& path, char delim)
+    : out_(path), delim_(delim) {
+  if (!out_.is_open()) {
+    status_ = Status::IOError("cannot open for writing: " + path);
+  }
+}
+
+std::string CsvWriter::Escape(std::string_view field) const {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == delim_ || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!status_.ok()) return status_;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << delim_;
+    out_ << Escape(fields[i]);
+  }
+  out_ << '\n';
+  if (!out_.good()) {
+    status_ = Status::IOError("write failed");
+  }
+  return status_;
+}
+
+Status CsvWriter::Close() {
+  if (out_.is_open()) {
+    out_.close();
+    if (!out_.good() && status_.ok()) {
+      status_ = Status::IOError("close failed");
+    }
+  }
+  return status_;
+}
+
+CsvReader::CsvReader(const std::string& path, char delim)
+    : in_(path), delim_(delim) {
+  if (!in_.is_open()) {
+    status_ = Status::IOError("cannot open for reading: " + path);
+  }
+}
+
+bool CsvReader::ReadRow(std::vector<std::string>* fields) {
+  if (!status_.ok()) return false;
+  fields->clear();
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  int c;
+  while ((c = in_.get()) != EOF) {
+    saw_any = true;
+    char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == '"') {
+        if (in_.peek() == '"') {
+          in_.get();
+          field += '"';
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += ch;
+      }
+    } else if (ch == '"') {
+      in_quotes = true;
+    } else if (ch == delim_) {
+      fields->push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\r') {
+      // Tolerate CRLF: swallow, the '\n' terminates the row.
+    } else if (ch == '\n') {
+      fields->push_back(std::move(field));
+      return true;
+    } else {
+      field += ch;
+    }
+  }
+  if (!saw_any) return false;
+  fields->push_back(std::move(field));
+  return true;
+}
+
+std::vector<std::string> ParseCsvLine(std::string_view line, char delim) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char ch = line[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += ch;
+      }
+    } else if (ch == '"') {
+      in_quotes = true;
+    } else if (ch == delim) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += ch;
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+}  // namespace emigre

@@ -1,0 +1,61 @@
+#ifndef EMIGRE_UTIL_CSV_H_
+#define EMIGRE_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace emigre {
+
+/// \brief RFC-4180-ish CSV writer (quotes fields containing delimiter,
+/// quote, or newline).
+///
+/// Used by the experiment harness to export per-scenario measurements so
+/// results can be post-processed outside the binary.
+class CsvWriter {
+ public:
+  /// Opens `path` for (over)writing. Check `status()` before use.
+  explicit CsvWriter(const std::string& path, char delim = ',');
+
+  Status status() const { return status_; }
+
+  /// Writes one row; fields are escaped as needed.
+  Status WriteRow(const std::vector<std::string>& fields);
+
+  /// Flushes and closes the underlying stream.
+  Status Close();
+
+ private:
+  std::string Escape(std::string_view field) const;
+
+  std::ofstream out_;
+  char delim_;
+  Status status_;
+};
+
+/// \brief Matching CSV reader; handles quoted fields and escaped quotes.
+class CsvReader {
+ public:
+  explicit CsvReader(const std::string& path, char delim = ',');
+
+  Status status() const { return status_; }
+
+  /// Reads the next row into `fields`. Returns false at EOF.
+  bool ReadRow(std::vector<std::string>* fields);
+
+ private:
+  std::ifstream in_;
+  char delim_;
+  Status status_;
+};
+
+/// Parses one CSV line (no embedded newlines) into fields.
+std::vector<std::string> ParseCsvLine(std::string_view line, char delim = ',');
+
+}  // namespace emigre
+
+#endif  // EMIGRE_UTIL_CSV_H_

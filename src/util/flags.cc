@@ -1,0 +1,117 @@
+#include "util/flags.h"
+
+#include "util/string_util.h"
+
+namespace emigre {
+
+void FlagParser::AddFlag(const std::string& name, const std::string& help,
+                         const std::string& default_value) {
+  flags_[name] = Flag{help, default_value, false};
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return Parse(args);
+}
+
+Status FlagParser::Parse(const std::vector<std::string>& args) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name + "\n" +
+                                     Help());
+    }
+    if (!has_value) {
+      // `--flag value` when the next token is not a flag; bare boolean
+      // otherwise.
+      if (i + 1 < args.size() && !StartsWith(args[i + 1], "--")) {
+        value = args[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+    it->second.set = true;
+  }
+  return Status::OK();
+}
+
+Result<std::string> FlagParser::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("undeclared flag --" + name);
+  }
+  return it->second.value;
+}
+
+Result<int64_t> FlagParser::GetInt(const std::string& name) const {
+  EMIGRE_ASSIGN_OR_RETURN(std::string text, GetString(name));
+  int64_t value = 0;
+  if (!ParseInt64(text, &value)) {
+    return Status::InvalidArgument(
+        StrFormat("flag --%s: '%s' is not an integer", name.c_str(),
+                  text.c_str()));
+  }
+  return value;
+}
+
+Result<double> FlagParser::GetDouble(const std::string& name) const {
+  EMIGRE_ASSIGN_OR_RETURN(std::string text, GetString(name));
+  double value = 0.0;
+  if (!ParseDouble(text, &value)) {
+    return Status::InvalidArgument(
+        StrFormat("flag --%s: '%s' is not a number", name.c_str(),
+                  text.c_str()));
+  }
+  return value;
+}
+
+Result<bool> FlagParser::GetBool(const std::string& name) const {
+  EMIGRE_ASSIGN_OR_RETURN(std::string text, GetString(name));
+  std::string lower = ToLower(text);
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on") {
+    return true;
+  }
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off") {
+    return false;
+  }
+  return Status::InvalidArgument(
+      StrFormat("flag --%s: '%s' is not a boolean", name.c_str(),
+                text.c_str()));
+}
+
+bool FlagParser::WasSet(const std::string& name) const {
+  auto it = flags_.find(name);
+  return it != flags_.end() && it->second.set;
+}
+
+std::string FlagParser::Help() const {
+  std::string out = description_ + "\nflags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out += StrFormat("  --%-24s %s (default: %s)\n", name.c_str(),
+                     flag.help.c_str(), flag.value.empty()
+                                            ? "\"\""
+                                            : flag.value.c_str());
+  }
+  return out;
+}
+
+}  // namespace emigre

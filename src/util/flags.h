@@ -1,0 +1,70 @@
+#ifndef EMIGRE_UTIL_FLAGS_H_
+#define EMIGRE_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace emigre {
+
+/// \brief Minimal command-line parser for the CLI tools.
+///
+/// Understands `--flag=value`, `--flag value`, bare `--flag` (boolean
+/// true), and positional arguments. Flags are declared up front so unknown
+/// ones are rejected with a helpful message; typed getters validate values
+/// at access time.
+///
+///   FlagParser parser("emigre graph tool");
+///   parser.AddFlag("seed", "RNG seed", "42");
+///   parser.AddFlag("verbose", "chatty output", "false");
+///   EMIGRE_RETURN_IF_ERROR(parser.Parse(argc, argv));
+///   uint64_t seed = parser.GetInt("seed").ValueOrDie();
+class FlagParser {
+ public:
+  explicit FlagParser(std::string description)
+      : description_(std::move(description)) {}
+
+  /// Declares a flag with its help text and default value (as text).
+  void AddFlag(const std::string& name, const std::string& help,
+               const std::string& default_value);
+
+  /// Parses argv (excluding argv[0]). Fails on unknown or malformed flags.
+  Status Parse(int argc, const char* const* argv);
+
+  /// Same, for pre-split arguments.
+  Status Parse(const std::vector<std::string>& args);
+
+  /// Typed access. Get* fail if the flag is undeclared or unparsable.
+  Result<std::string> GetString(const std::string& name) const;
+  Result<int64_t> GetInt(const std::string& name) const;
+  Result<double> GetDouble(const std::string& name) const;
+  Result<bool> GetBool(const std::string& name) const;
+
+  /// True if the flag was explicitly set on the command line.
+  bool WasSet(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders a usage/help string listing all flags.
+  std::string Help() const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string value;
+    bool set = false;
+  };
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;  // ordered for stable Help()
+  std::vector<std::string> positional_;
+};
+
+}  // namespace emigre
+
+#endif  // EMIGRE_UTIL_FLAGS_H_

@@ -1,0 +1,86 @@
+#ifndef EMIGRE_UTIL_LOGGING_H_
+#define EMIGRE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace emigre {
+
+/// \brief Severity levels for the library logger.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// \brief Minimal leveled logger writing to stderr.
+///
+/// The global threshold defaults to kInfo and can be raised to silence
+/// library chatter in benchmarks (`Logger::SetLevel(LogLevel::kWarning)`).
+/// Not a general-purpose logging framework on purpose: the library's needs
+/// are progress lines and diagnostics.
+class Logger {
+ public:
+  /// Sets the global minimum level that is actually emitted.
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+
+  /// True if a message at `level` would be emitted.
+  static bool IsEnabled(LogLevel level);
+
+  /// Emits one line: "[LEVEL] message". kFatal aborts after emitting.
+  static void Log(LogLevel level, const std::string& message);
+};
+
+namespace internal {
+
+/// Stream-style log statement collector; emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+class NullLogMessage {
+ public:
+  template <typename T>
+  NullLogMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace emigre
+
+#define EMIGRE_LOG(level)                                     \
+  if (!::emigre::Logger::IsEnabled(::emigre::LogLevel::level)) \
+    ;                                                         \
+  else                                                        \
+    ::emigre::internal::LogMessage(::emigre::LogLevel::level)
+
+/// Library invariant check, active in all build types.
+#define EMIGRE_CHECK(cond)                                           \
+  if (cond)                                                          \
+    ;                                                                \
+  else                                                               \
+    ::emigre::internal::LogMessage(::emigre::LogLevel::kFatal)       \
+        << "Check failed: " #cond " at " << __FILE__ << ":" << __LINE__ \
+        << " "
+
+#endif  // EMIGRE_UTIL_LOGGING_H_

@@ -1,0 +1,105 @@
+#ifndef EMIGRE_UTIL_RESULT_H_
+#define EMIGRE_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace emigre {
+
+/// \brief Value-or-error, the library's counterpart to `arrow::Result<T>`.
+///
+/// A `Result<T>` holds either a `T` or a non-OK `Status`. Construct from a
+/// value or from an error status; constructing from an OK status is a
+/// programming error (there would be no value to return) and aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (this->status().ok()) {
+      std::fprintf(stderr, "Result<T> constructed from OK Status\n");
+      std::abort();
+    }
+  }
+
+  Result(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; `Status::OK()` when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// The held value. Aborts if this holds an error — call `ok()` first,
+  /// or use `ValueOrDie()` in contexts where failure is a bug.
+  const T& value() const& {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    DieIfError();
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Alias for `value()` that spells out intent at call sites in tests,
+  /// examples and benchmarks.
+  const T& ValueOrDie() const& { return value(); }
+  T&& ValueOrDie() && { return std::move(*this).value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(repr_);
+    return fallback;
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result accessed with error: %s\n",
+                   std::get<Status>(repr_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace emigre
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status to the caller. `lhs` may include a declaration:
+///   EMIGRE_ASSIGN_OR_RETURN(auto graph, BuildGraph(spec));
+#define EMIGRE_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                 \
+  if (!result_name.ok()) return result_name.status();         \
+  lhs = std::move(result_name).value()
+
+#define EMIGRE_ASSIGN_OR_RETURN_CONCAT_INNER(x, y) x##y
+#define EMIGRE_ASSIGN_OR_RETURN_CONCAT(x, y) \
+  EMIGRE_ASSIGN_OR_RETURN_CONCAT_INNER(x, y)
+
+#define EMIGRE_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  EMIGRE_ASSIGN_OR_RETURN_IMPL(                                              \
+      EMIGRE_ASSIGN_OR_RETURN_CONCAT(_emigre_result_, __LINE__), lhs, rexpr)
+
+#endif  // EMIGRE_UTIL_RESULT_H_

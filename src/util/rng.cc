@@ -1,0 +1,100 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace emigre {
+
+uint64_t Rng::NextUint64() {
+  // SplitMix64 (Steele, Lea, Flood 2014). Small state, excellent statistical
+  // quality for non-cryptographic use, trivially portable.
+  state_ += 0x9E3779B97F4A7C15ull;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  EMIGRE_CHECK(bound > 0) << "NextBounded requires bound > 0";
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0ull - bound) % bound;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  EMIGRE_CHECK(lo <= hi) << "NextInt requires lo <= hi";
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  // Box–Muller transform; draw u1 away from zero to keep log finite.
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+size_t Rng::NextZipf(size_t n, double s) {
+  EMIGRE_CHECK(n > 0) << "NextZipf requires n > 0";
+  // Inverse-CDF over the (truncated) Zipf pmf. n is small in our use
+  // (categories, popularity buckets), so the linear scan is fine.
+  double norm = 0.0;
+  for (size_t k = 0; k < n; ++k) norm += 1.0 / std::pow(k + 1, s);
+  double u = NextDouble() * norm;
+  double acc = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(k + 1, s);
+    if (u <= acc) return k;
+  }
+  return n - 1;
+}
+
+size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  EMIGRE_CHECK(!weights.empty()) << "NextWeighted requires weights";
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  EMIGRE_CHECK(total > 0.0) << "NextWeighted requires positive total weight";
+  double u = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u <= acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  if (k > n) k = n;
+  std::vector<size_t> all(n);
+  std::iota(all.begin(), all.end(), size_t{0});
+  // Partial Fisher–Yates: the first k positions become the sample.
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + NextBounded(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64() ^ 0xA5A5A5A5A5A5A5A5ull); }
+
+}  // namespace emigre

@@ -1,0 +1,44 @@
+#ifndef EMIGRE_UTIL_STRING_UTIL_H_
+#define EMIGRE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace emigre {
+
+/// Splits `input` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Joins `parts` with `delim` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Lower-cases ASCII characters.
+std::string ToLower(std::string_view s);
+
+/// Parses helpers; return false on malformed input without touching `out`.
+bool ParseInt64(std::string_view s, int64_t* out);
+bool ParseDouble(std::string_view s, double* out);
+
+/// Formats a double with `precision` significant decimal digits after the
+/// point, trimming trailing zeros ("1.5", "0.003", "12").
+std::string FormatDouble(double value, int precision = 4);
+
+/// Formats seconds compactly for reports ("3.2ms", "1.45s", "2m03s").
+std::string FormatDuration(double seconds);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace emigre
+
+#endif  // EMIGRE_UTIL_STRING_UTIL_H_

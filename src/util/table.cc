@@ -1,0 +1,94 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace emigre {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kLeft) {}
+
+void TextTable::SetAlign(size_t col, Align align) {
+  if (col < aligns_.size()) aligns_[col] = align;
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  is_separator_.push_back(false);
+}
+
+void TextTable::AddSeparator() {
+  rows_.emplace_back();
+  is_separator_.push_back(true);
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (is_separator_[r]) continue;
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = std::max(widths[c], rows_[r][c].size());
+    }
+  }
+
+  auto render_cell = [&](const std::string& text, size_t col) {
+    std::string pad(widths[col] - std::min(widths[col], text.size()), ' ');
+    return aligns_[col] == Align::kLeft ? text + pad : pad + text;
+  };
+  auto render_rule = [&]() {
+    std::string line;
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) line += "-+-";
+      line += std::string(widths[c], '-');
+    }
+    return line + "\n";
+  };
+
+  std::string out;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) out += " | ";
+    out += render_cell(headers_[c], c);
+  }
+  out += "\n";
+  out += render_rule();
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (is_separator_[r]) {
+      out += render_rule();
+      continue;
+    }
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) out += " | ";
+      out += render_cell(rows_[r][c], c);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string BarChart(const std::vector<std::string>& labels,
+                     const std::vector<double>& values, double scale_max,
+                     const std::string& suffix, int width) {
+  size_t label_width = 0;
+  for (const auto& l : labels) label_width = std::max(label_width, l.size());
+  if (scale_max <= 0) scale_max = 1.0;
+
+  std::string out;
+  for (size_t i = 0; i < labels.size() && i < values.size(); ++i) {
+    double frac = std::clamp(values[i] / scale_max, 0.0, 1.0);
+    int filled = static_cast<int>(frac * width + 0.5);
+    out += labels[i];
+    out += std::string(label_width - labels[i].size(), ' ');
+    out += " | ";
+    out += std::string(filled, '#');
+    out += std::string(width - filled, '.');
+    out += " ";
+    out += FormatDouble(values[i], 2) + suffix;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace emigre

@@ -1,0 +1,53 @@
+#ifndef EMIGRE_UTIL_TABLE_H_
+#define EMIGRE_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace emigre {
+
+/// \brief Column alignment for `TextTable`.
+enum class Align { kLeft, kRight };
+
+/// \brief Plain-text table renderer used by the benchmark harness to print
+/// paper-style tables and "figures" (bar charts) to stdout.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers; all columns default to
+  /// left alignment.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Sets the alignment of column `col`.
+  void SetAlign(size_t col, Align align);
+
+  /// Appends one row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator after the current last row.
+  void AddSeparator();
+
+  /// Renders the table with a header rule, e.g.
+  ///   Method            | Success
+  ///   ------------------+--------
+  ///   add_Incremental   |   61.0%
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;   // empty row == separator
+  std::vector<bool> is_separator_;
+};
+
+/// Renders a horizontal ASCII bar chart (one row per label), used to print
+/// the paper's figures in a terminal:
+///   add_ex            | ######################........ 75.0%
+/// `scale_max` is the value corresponding to a full-width bar; values are
+/// clamped to it. `suffix` is appended to the printed value (e.g. "%").
+std::string BarChart(const std::vector<std::string>& labels,
+                     const std::vector<double>& values, double scale_max,
+                     const std::string& suffix = "", int width = 40);
+
+}  // namespace emigre
+
+#endif  // EMIGRE_UTIL_TABLE_H_

@@ -1,0 +1,56 @@
+#ifndef EMIGRE_UTIL_THREAD_POOL_H_
+#define EMIGRE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace emigre {
+
+/// \brief Fixed-size worker pool for embarrassingly parallel work.
+///
+/// The experiment runner uses it to fan scenarios across cores; each scenario
+/// operates on its own `GraphOverlay`, so tasks share only the immutable base
+/// graph. The pool joins in the destructor.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (0 → hardware_concurrency, min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after Wait() started from another
+  /// thread without external synchronization.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  /// Convenience for parallel for-loops over scenarios.
+  static void ParallelFor(size_t n, size_t num_threads,
+                          const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace emigre
+
+#endif  // EMIGRE_UTIL_THREAD_POOL_H_

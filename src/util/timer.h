@@ -1,0 +1,59 @@
+#ifndef EMIGRE_UTIL_TIMER_H_
+#define EMIGRE_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace emigre {
+
+/// \brief Monotonic wall-clock stopwatch.
+///
+/// Used by the experiment runner to time explanation methods (paper Table 5)
+/// and by algorithm wall-clock budgets.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Wall-clock budget: lets long-running searches (Powerset,
+/// Exhaustive, Brute force) bail out deterministically at a deadline.
+/// A non-positive budget means "unlimited".
+class Deadline {
+ public:
+  /// Unlimited deadline.
+  Deadline() : seconds_(0.0) {}
+  explicit Deadline(double seconds) : seconds_(seconds) {}
+
+  bool Expired() const {
+    return seconds_ > 0.0 && timer_.ElapsedSeconds() >= seconds_;
+  }
+
+  double BudgetSeconds() const { return seconds_; }
+
+ private:
+  double seconds_;
+  WallTimer timer_;
+};
+
+}  // namespace emigre
+
+#endif  // EMIGRE_UTIL_TIMER_H_

@@ -1,0 +1,181 @@
+#include "data/amazon_lite.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "data/synthetic_amazon.h"
+#include "graph/validate.h"
+
+namespace emigre::data {
+namespace {
+
+SyntheticAmazonOptions SmallDataOptions() {
+  SyntheticAmazonOptions opts;
+  opts.num_users = 40;
+  opts.num_items = 300;
+  opts.num_categories = 8;
+  opts.min_actions_per_user = 8;
+  opts.max_actions_per_user = 30;
+  return opts;
+}
+
+AmazonLiteOptions SmallLiteOptions() {
+  AmazonLiteOptions opts;
+  opts.sample_users = 10;
+  opts.min_user_actions = 5;
+  opts.max_user_actions = 100;
+  return opts;
+}
+
+class AmazonLiteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<Dataset> ds = GenerateSyntheticAmazon(SmallDataOptions());
+    ASSERT_TRUE(ds.ok()) << ds.status();
+    ds_ = std::move(ds).value();
+    Result<AmazonLiteGraph> lite = BuildAmazonLite(ds_, SmallLiteOptions());
+    ASSERT_TRUE(lite.ok()) << lite.status();
+    lite_ = std::move(lite).value();
+  }
+
+  Dataset ds_;
+  AmazonLiteGraph lite_;
+};
+
+TEST_F(AmazonLiteTest, GraphIsValidAndTyped) {
+  EXPECT_TRUE(graph::ValidateGraph(lite_.graph).ok());
+  EXPECT_EQ(lite_.graph.NodeTypeName(lite_.user_type), "user");
+  EXPECT_EQ(lite_.graph.NodeTypeName(lite_.item_type), "item");
+  EXPECT_EQ(lite_.graph.NodeTypeName(lite_.review_type), "review");
+  EXPECT_EQ(lite_.graph.NodeTypeName(lite_.category_type), "category");
+  EXPECT_EQ(lite_.graph.EdgeTypeName(lite_.rated_type), "rated");
+  EXPECT_GT(lite_.graph.NumNodes(), 0u);
+  EXPECT_GT(lite_.graph.NumEdges(), 0u);
+}
+
+TEST_F(AmazonLiteTest, AllRelationsBidirectional) {
+  const graph::HinGraph& g = lite_.graph;
+  for (const graph::EdgeRef& e : g.AllEdges()) {
+    EXPECT_TRUE(g.HasEdge(e.dst, e.src, e.type))
+        << "edge " << e.src << "->" << e.dst << " lacks its mirror";
+  }
+}
+
+TEST_F(AmazonLiteTest, SampledUsersAreModerateActive) {
+  AmazonLiteOptions opts = SmallLiteOptions();
+  EXPECT_GT(lite_.eval_users.size(), 0u);
+  EXPECT_LE(lite_.eval_users.size(), opts.sample_users);
+  for (graph::NodeId u : lite_.eval_users) {
+    ASSERT_TRUE(lite_.graph.IsValidNode(u));
+    EXPECT_EQ(lite_.graph.NodeType(u), lite_.user_type);
+    size_t actions = 0;
+    for (const graph::Edge& e : lite_.graph.OutEdges(u)) {
+      if (e.type == lite_.rated_type || e.type == lite_.reviewed_type) {
+        ++actions;
+      }
+    }
+    EXPECT_GE(actions, opts.min_user_actions);
+    EXPECT_LE(actions, opts.max_user_actions);
+  }
+}
+
+TEST_F(AmazonLiteTest, EveryNodeWithinHopLimit) {
+  AmazonLiteOptions opts = SmallLiteOptions();
+  // BFS from all sampled users: every surviving node must be reachable
+  // within the hop limit.
+  const graph::HinGraph& g = lite_.graph;
+  std::vector<int> dist(g.NumNodes(), -1);
+  std::deque<graph::NodeId> frontier;
+  for (graph::NodeId u : lite_.eval_users) {
+    dist[u] = 0;
+    frontier.push_back(u);
+  }
+  while (!frontier.empty()) {
+    graph::NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const graph::Edge& e : g.OutEdges(u)) {
+      if (dist[e.node] < 0) {
+        dist[e.node] = dist[u] + 1;
+        frontier.push_back(e.node);
+      }
+    }
+  }
+  for (graph::NodeId n = 0; n < g.NumNodes(); ++n) {
+    ASSERT_GE(dist[n], 0) << "node " << n << " unreachable";
+    EXPECT_LE(static_cast<size_t>(dist[n]), opts.neighborhood_hops);
+  }
+}
+
+TEST_F(AmazonLiteTest, OnlyGoodRatingsSurvive) {
+  // Count kept user->item rated edges in the *full* (unrestricted) build
+  // against the good ratings in the dataset.
+  AmazonLiteOptions opts = SmallLiteOptions();
+  opts.neighborhood_hops = 0;  // keep everything for exact accounting
+  Result<AmazonLiteGraph> full = BuildAmazonLite(ds_, opts);
+  ASSERT_TRUE(full.ok());
+  size_t good = 0;
+  for (const Rating& r : ds_.ratings) {
+    if (r.stars > opts.min_stars_exclusive) ++good;
+  }
+  size_t rated_edges = 0;
+  const graph::HinGraph& g = full->graph;
+  for (graph::NodeId n = 0; n < g.NumNodes(); ++n) {
+    if (g.NodeType(n) != full->user_type) continue;
+    for (const graph::Edge& e : g.OutEdges(n)) {
+      if (e.type == full->rated_type) ++rated_edges;
+    }
+  }
+  EXPECT_EQ(rated_edges, good);
+}
+
+TEST_F(AmazonLiteTest, ReviewNodesHaveItemAnchors) {
+  const graph::HinGraph& g = lite_.graph;
+  for (graph::NodeId n = 0; n < g.NumNodes(); ++n) {
+    if (g.NodeType(n) != lite_.review_type) continue;
+    bool anchored = false;
+    for (const graph::Edge& e : g.OutEdges(n)) {
+      if (e.type == lite_.has_review_type &&
+          g.NodeType(e.node) == lite_.item_type) {
+        anchored = true;
+      }
+    }
+    EXPECT_TRUE(anchored) << "review node " << n << " has no item";
+  }
+}
+
+TEST_F(AmazonLiteTest, SimilarityEdgesRespectThresholdAndWeight) {
+  AmazonLiteOptions opts = SmallLiteOptions();
+  const graph::HinGraph& g = lite_.graph;
+  size_t sim_edges = 0;
+  for (const graph::EdgeRef& e : g.AllEdges()) {
+    if (e.type != lite_.similar_type) continue;
+    ++sim_edges;
+    EXPECT_EQ(g.NodeType(e.src), lite_.review_type);
+    EXPECT_EQ(g.NodeType(e.dst), lite_.review_type);
+    double w = g.EdgeWeight(e.src, e.dst, e.type);
+    EXPECT_GE(w, opts.review_similarity_threshold);
+    EXPECT_LE(w, 1.0 + 1e-9);
+  }
+  // Topic-correlated embeddings must produce at least some links.
+  EXPECT_GT(sim_edges, 0u);
+}
+
+TEST_F(AmazonLiteTest, HopZeroKeepsFullGraph) {
+  AmazonLiteOptions opts = SmallLiteOptions();
+  opts.neighborhood_hops = 0;
+  Result<AmazonLiteGraph> full = BuildAmazonLite(ds_, opts);
+  ASSERT_TRUE(full.ok());
+  EXPECT_GE(full->graph.NumNodes(), lite_.graph.NumNodes());
+}
+
+TEST_F(AmazonLiteTest, DeterministicSampling) {
+  Result<AmazonLiteGraph> again = BuildAmazonLite(ds_, SmallLiteOptions());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->eval_users, lite_.eval_users);
+  EXPECT_EQ(again->graph.NumNodes(), lite_.graph.NumNodes());
+  EXPECT_EQ(again->graph.NumEdges(), lite_.graph.NumEdges());
+}
+
+}  // namespace
+}  // namespace emigre::data

@@ -1,0 +1,76 @@
+#include "data/csv_io.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_amazon.h"
+#include "test_util.h"
+
+namespace emigre::data {
+namespace {
+
+TEST(DatasetCsvTest, RoundTripPreservesEverything) {
+  SyntheticAmazonOptions gen;
+  gen.num_users = 15;
+  gen.num_items = 80;
+  gen.num_categories = 5;
+  gen.min_actions_per_user = 4;
+  gen.max_actions_per_user = 10;
+  Result<Dataset> ds = GenerateSyntheticAmazon(gen);
+  ASSERT_TRUE(ds.ok());
+
+  std::string dir = test::MakeTempDir("dataset");
+  ASSERT_TRUE(SaveDatasetCsv(ds.value(), dir).ok());
+  Result<Dataset> loaded = LoadDatasetCsv(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_EQ(loaded->categories.size(), ds->categories.size());
+  EXPECT_EQ(loaded->items.size(), ds->items.size());
+  EXPECT_EQ(loaded->users.size(), ds->users.size());
+  EXPECT_EQ(loaded->ratings.size(), ds->ratings.size());
+  EXPECT_EQ(loaded->reviews.size(), ds->reviews.size());
+
+  for (size_t i = 0; i < ds->items.size(); ++i) {
+    EXPECT_EQ(loaded->items[i].name, ds->items[i].name);
+    EXPECT_EQ(loaded->items[i].category, ds->items[i].category);
+    EXPECT_NEAR(loaded->items[i].popularity, ds->items[i].popularity, 1e-9);
+    EXPECT_NEAR(loaded->items[i].quality, ds->items[i].quality, 1e-9);
+  }
+  for (size_t i = 0; i < ds->users.size(); ++i) {
+    EXPECT_EQ(loaded->users[i].preferences.size(),
+              ds->users[i].preferences.size());
+    EXPECT_NEAR(loaded->users[i].rating_bias, ds->users[i].rating_bias,
+                1e-9);
+  }
+  for (size_t i = 0; i < ds->ratings.size(); ++i) {
+    EXPECT_EQ(loaded->ratings[i].user, ds->ratings[i].user);
+    EXPECT_EQ(loaded->ratings[i].item, ds->ratings[i].item);
+    EXPECT_EQ(loaded->ratings[i].stars, ds->ratings[i].stars);
+  }
+  for (size_t i = 0; i < ds->reviews.size(); ++i) {
+    ASSERT_EQ(loaded->reviews[i].embedding.size(),
+              ds->reviews[i].embedding.size());
+    for (size_t k = 0; k < ds->reviews[i].embedding.size(); ++k) {
+      EXPECT_NEAR(loaded->reviews[i].embedding[k],
+                  ds->reviews[i].embedding[k], 1e-5);
+    }
+  }
+}
+
+TEST(DatasetCsvTest, MissingDirectoryFails) {
+  Dataset ds;
+  EXPECT_TRUE(SaveDatasetCsv(ds, "/nonexistent/dir").IsIOError());
+  EXPECT_TRUE(LoadDatasetCsv("/nonexistent/dir").status().IsIOError());
+}
+
+TEST(DatasetCsvTest, EmptyDatasetRoundTrips) {
+  Dataset ds;
+  std::string dir = test::MakeTempDir("dataset");
+  ASSERT_TRUE(SaveDatasetCsv(ds, dir).ok());
+  Result<Dataset> loaded = LoadDatasetCsv(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->users.empty());
+  EXPECT_TRUE(loaded->ratings.empty());
+}
+
+}  // namespace
+}  // namespace emigre::data

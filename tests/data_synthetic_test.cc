@@ -1,0 +1,178 @@
+#include "data/synthetic_amazon.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/embedding.h"
+#include "util/rng.h"
+
+namespace emigre::data {
+namespace {
+
+SyntheticAmazonOptions SmallOptions() {
+  SyntheticAmazonOptions opts;
+  opts.num_users = 30;
+  opts.num_items = 200;
+  opts.num_categories = 8;
+  opts.min_actions_per_user = 5;
+  opts.max_actions_per_user = 20;
+  return opts;
+}
+
+TEST(SyntheticAmazonTest, GeneratesRequestedCounts) {
+  Result<Dataset> ds = GenerateSyntheticAmazon(SmallOptions());
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  EXPECT_EQ(ds->users.size(), 30u);
+  EXPECT_EQ(ds->items.size(), 200u);
+  EXPECT_EQ(ds->categories.size(), 8u);
+  EXPECT_GT(ds->ratings.size(), 0u);
+  EXPECT_GT(ds->reviews.size(), 0u);
+}
+
+TEST(SyntheticAmazonTest, DeterministicForSameSeed) {
+  Result<Dataset> a = GenerateSyntheticAmazon(SmallOptions());
+  Result<Dataset> b = GenerateSyntheticAmazon(SmallOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->ratings.size(), b->ratings.size());
+  for (size_t i = 0; i < a->ratings.size(); ++i) {
+    EXPECT_EQ(a->ratings[i].user, b->ratings[i].user);
+    EXPECT_EQ(a->ratings[i].item, b->ratings[i].item);
+    EXPECT_EQ(a->ratings[i].stars, b->ratings[i].stars);
+  }
+  ASSERT_EQ(a->reviews.size(), b->reviews.size());
+  for (size_t i = 0; i < a->reviews.size(); ++i) {
+    EXPECT_EQ(a->reviews[i].embedding, b->reviews[i].embedding);
+  }
+}
+
+TEST(SyntheticAmazonTest, DifferentSeedsDiffer) {
+  SyntheticAmazonOptions o1 = SmallOptions();
+  SyntheticAmazonOptions o2 = SmallOptions();
+  o2.seed = o1.seed + 1;
+  Result<Dataset> a = GenerateSyntheticAmazon(o1);
+  Result<Dataset> b = GenerateSyntheticAmazon(o2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool differs = a->ratings.size() != b->ratings.size();
+  for (size_t i = 0; !differs && i < a->ratings.size(); ++i) {
+    differs = a->ratings[i].item != b->ratings[i].item;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SyntheticAmazonTest, StarsInRangeAndSkewedPositive) {
+  Result<Dataset> ds = GenerateSyntheticAmazon(SmallOptions());
+  ASSERT_TRUE(ds.ok());
+  size_t good = 0;
+  for (const Rating& r : ds->ratings) {
+    ASSERT_GE(r.stars, 1);
+    ASSERT_LE(r.stars, 5);
+    if (r.stars > 3) ++good;
+  }
+  // The positive skew must leave a solid majority of ratings above 3, so
+  // the good-ratings filter keeps most of the graph.
+  EXPECT_GT(static_cast<double>(good) / ds->ratings.size(), 0.5);
+}
+
+TEST(SyntheticAmazonTest, NoDuplicateUserItemPairs) {
+  Result<Dataset> ds = GenerateSyntheticAmazon(SmallOptions());
+  ASSERT_TRUE(ds.ok());
+  std::set<std::pair<UserId, ItemId>> pairs;
+  for (const Rating& r : ds->ratings) {
+    EXPECT_TRUE(pairs.insert({r.user, r.item}).second)
+        << "duplicate rating " << r.user << "," << r.item;
+  }
+}
+
+TEST(SyntheticAmazonTest, ActionsPerUserWithinBounds) {
+  Result<Dataset> ds = GenerateSyntheticAmazon(SmallOptions());
+  ASSERT_TRUE(ds.ok());
+  std::vector<size_t> counts(30, 0);
+  for (const Rating& r : ds->ratings) ++counts[r.user];
+  for (size_t c : counts) {
+    EXPECT_LE(c, 20u);
+    // The redraw loop can fall slightly short in tiny catalogs, but not to
+    // zero.
+    EXPECT_GT(c, 0u);
+  }
+}
+
+TEST(SyntheticAmazonTest, ReviewsReferenceExistingRatings) {
+  Result<Dataset> ds = GenerateSyntheticAmazon(SmallOptions());
+  ASSERT_TRUE(ds.ok());
+  std::set<std::pair<UserId, ItemId>> rated;
+  for (const Rating& r : ds->ratings) rated.insert({r.user, r.item});
+  for (const Review& review : ds->reviews) {
+    EXPECT_TRUE(rated.count({review.user, review.item}) > 0);
+    EXPECT_EQ(review.embedding.size(), SmallOptions().embedding_dim);
+  }
+}
+
+TEST(SyntheticAmazonTest, CategorySizesAreHeavyTailed) {
+  Result<Dataset> ds = GenerateSyntheticAmazon(SmallOptions());
+  ASSERT_TRUE(ds.ok());
+  std::vector<size_t> sizes(8, 0);
+  for (const Item& item : ds->items) ++sizes[item.category];
+  // The Zipf draw makes category 0 the largest by a clear margin.
+  size_t max_size = *std::max_element(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes[0], max_size);
+  EXPECT_GT(sizes[0], ds->items.size() / 8);
+}
+
+TEST(SyntheticAmazonTest, RejectsBadOptions) {
+  SyntheticAmazonOptions opts = SmallOptions();
+  opts.num_users = 0;
+  EXPECT_TRUE(GenerateSyntheticAmazon(opts).status().IsInvalidArgument());
+  opts = SmallOptions();
+  opts.min_actions_per_user = 50;
+  opts.max_actions_per_user = 10;
+  EXPECT_TRUE(GenerateSyntheticAmazon(opts).status().IsInvalidArgument());
+  opts = SmallOptions();
+  opts.min_user_categories = 0;
+  EXPECT_TRUE(GenerateSyntheticAmazon(opts).status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Embeddings
+// ---------------------------------------------------------------------------
+
+TEST(EmbeddingTest, TopicsAreUnitNorm) {
+  TopicEmbedder embedder(32, 8, 42);
+  for (size_t t = 0; t < 8; ++t) {
+    double norm = 0.0;
+    for (float x : embedder.Topic(t)) norm += static_cast<double>(x) * x;
+    EXPECT_NEAR(norm, 1.0, 1e-5);
+  }
+}
+
+TEST(EmbeddingTest, SameTopicMoreSimilarThanCrossTopic) {
+  TopicEmbedder embedder(32, 4, 7);
+  Rng rng(9);
+  double same = 0.0;
+  double cross = 0.0;
+  const int trials = 50;
+  for (int i = 0; i < trials; ++i) {
+    auto a = embedder.Embed(0, 0.3, rng);
+    auto b = embedder.Embed(0, 0.3, rng);
+    auto c = embedder.Embed(1, 0.3, rng);
+    same += CosineSimilarity(a, b);
+    cross += CosineSimilarity(a, c);
+  }
+  EXPECT_GT(same / trials, cross / trials + 0.15);
+}
+
+TEST(EmbeddingTest, CosineEdgeCases) {
+  std::vector<float> a = {1, 0};
+  std::vector<float> b = {0, 1};
+  std::vector<float> zero = {0, 0};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, zero), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, {1, 0, 0}), 0.0);  // size mismatch
+  EXPECT_DOUBLE_EQ(CosineSimilarity({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace emigre::data

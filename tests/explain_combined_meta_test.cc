@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "explain/combined.h"
+#include "explain/emigre.h"
+#include "explain/meta.h"
+#include "explain/search_space.h"
+#include "explain/tester.h"
+#include "recsys/recommender.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace emigre::explain {
+namespace {
+
+using graph::NodeId;
+
+// ---------------------------------------------------------------------------
+// Combined Add/Remove mode
+// ---------------------------------------------------------------------------
+
+TEST(CombinedTest, FindsVerifiedMixedExplanation) {
+  test::ScenarioFixture f = test::MakeRemoveFriendlyCase();
+  const graph::HinGraph& g = f.g;
+  const EmigreOptions& opts = f.opts;
+  NodeId user = f.user;
+  NodeId wni = f.wni;
+
+  Result<CombinedExplanation> r =
+      RunCombinedIncremental(g, WhyNotQuestion{user, wni}, opts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_TRUE(r->found) << FailureReasonName(r->failure);
+  EXPECT_EQ(r->new_rec, wni);
+  EXPECT_GT(r->size(), 0u);
+
+  // Re-verify through a mixed tester.
+  ExplanationTester checker(g, user, wni, opts);
+  std::vector<ExplanationTester::ModedEdit> edits;
+  for (const graph::EdgeRef& e : r->added) {
+    edits.push_back({e, Mode::kAdd});
+  }
+  for (const graph::EdgeRef& e : r->removed) {
+    edits.push_back({e, Mode::kRemove});
+  }
+  EXPECT_TRUE(checker.TestMixed(edits));
+}
+
+TEST(CombinedTest, EditsAreWellFormed) {
+  test::BookGraph bg = test::MakeBookGraph();
+  EmigreOptions opts = test::MakeBookOptions(bg);
+  Emigre engine(bg.g, opts);
+  recsys::RecommendationList ranking = engine.CurrentRanking(bg.paul);
+  NodeId wni = ranking.at(ranking.size() - 1).item;
+  Result<CombinedExplanation> r =
+      RunCombinedIncremental(bg.g, WhyNotQuestion{bg.paul, wni}, opts);
+  ASSERT_TRUE(r.ok());
+  for (const graph::EdgeRef& e : r->removed) {
+    EXPECT_TRUE(bg.g.HasEdge(e.src, e.dst, e.type));
+    EXPECT_EQ(e.src, bg.paul);
+  }
+  for (const graph::EdgeRef& e : r->added) {
+    EXPECT_FALSE(bg.g.HasEdge(e.src, e.dst, e.type));
+    EXPECT_EQ(e.src, bg.paul);
+  }
+}
+
+TEST(CombinedTest, SucceedsAtLeastWhereSingleModesDo) {
+  Rng rng(90210);
+  for (int trial = 0; trial < 6; ++trial) {
+    test::RandomHin rh = test::MakeRandomHin(rng, 5, 15, 3, 5);
+    EmigreOptions opts = test::MakeRandomHinOptions(rh);
+    Emigre engine(rh.g, opts);
+    NodeId user = rh.users[0];
+    recsys::RecommendationList ranking = engine.CurrentRanking(user);
+    if (ranking.size() < 2) continue;
+    NodeId wni = ranking.at(1).item;
+
+    Result<Explanation> add = engine.Explain(WhyNotQuestion{user, wni},
+                                             Mode::kAdd,
+                                             Heuristic::kIncremental);
+    ASSERT_TRUE(add.ok());
+    Result<CombinedExplanation> combined =
+        RunCombinedIncremental(rh.g, WhyNotQuestion{user, wni}, opts);
+    ASSERT_TRUE(combined.ok());
+    // Combined merges both candidate lists; greedy order may differ, but
+    // when the add-only greedy finds a solution, the merged greedy should
+    // too (its candidate stream is a superset).
+    if (add->found) {
+      EXPECT_TRUE(combined->found);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Meta-explanations (§6.4)
+// ---------------------------------------------------------------------------
+
+TEST(MetaTest, DiagnosesColdStart) {
+  test::BookGraph bg = test::MakeBookGraph();
+  EmigreOptions opts = test::MakeBookOptions(bg);
+  NodeId newbie = bg.g.AddNode(bg.user_type, "Newbie");
+
+  Result<SearchSpace> space = BuildRemoveSearchSpace(
+      bg.g, newbie, graph::kInvalidNode, bg.lotr, opts);
+  ASSERT_TRUE(space.ok()) << space.status();
+  Explanation failed;
+  failed.found = false;
+  failed.failure = FailureReason::kColdStart;
+  MetaExplanation meta = DiagnoseFailure(bg.g, space.value(), failed, opts);
+  EXPECT_EQ(meta.reason, FailureReason::kColdStart);
+  EXPECT_NE(meta.message.find("cold start"), std::string::npos);
+  EXPECT_NE(meta.message.find("Newbie"), std::string::npos);
+}
+
+TEST(MetaTest, DiagnosesPopularItem) {
+  // A hub item endorsed by many users dominates; the probe user's single
+  // removable action cannot demote it (paper Fig. 7).
+  graph::HinGraph g;
+  graph::NodeTypeId user_type = g.RegisterNodeType("user");
+  graph::NodeTypeId item_type = g.RegisterNodeType("item");
+  graph::EdgeTypeId rated = g.RegisterEdgeType("rated");
+
+  NodeId probe = g.AddNode(user_type, "Paul");
+  NodeId hub = g.AddNode(item_type, "Bestseller");
+  NodeId niche = g.AddNode(item_type, "Niche");
+  NodeId bridge = g.AddNode(item_type, "Bridge");
+  // The probe's one action points at a bridge item linked to the hub.
+  ASSERT_TRUE(g.AddBidirectional(probe, bridge, rated).ok());
+  ASSERT_TRUE(g.AddBidirectional(bridge, hub, rated).ok());
+  ASSERT_TRUE(g.AddBidirectional(bridge, niche, rated).ok());
+  // Ten other fans pump the hub's popularity.
+  for (int i = 0; i < 10; ++i) {
+    NodeId fan = g.AddNode(user_type);
+    ASSERT_TRUE(g.AddBidirectional(fan, hub, rated).ok());
+  }
+
+  EmigreOptions opts;
+  opts.rec.item_type = item_type;
+  opts.allowed_edge_types = {rated};
+  opts.add_edge_type = rated;
+
+  Emigre engine(g, opts);
+  NodeId rec = engine.CurrentRanking(probe).Top();
+  ASSERT_EQ(rec, hub);  // the hub wins on popularity
+
+  Result<Explanation> r = engine.Explain(WhyNotQuestion{probe, niche},
+                                         Mode::kRemove,
+                                         Heuristic::kBruteForce);
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->found);
+
+  Result<SearchSpace> space =
+      BuildRemoveSearchSpace(g, probe, rec, niche, opts);
+  ASSERT_TRUE(space.ok());
+  MetaExplanation meta = DiagnoseFailure(g, space.value(), r.value(), opts);
+  EXPECT_EQ(meta.reason, FailureReason::kPopularItem);
+  EXPECT_NE(meta.message.find("popular"), std::string::npos);
+}
+
+TEST(MetaTest, NoDiagnosisForSuccess) {
+  test::BookGraph bg = test::MakeBookGraph();
+  EmigreOptions opts = test::MakeBookOptions(bg);
+  Explanation ok_expl;
+  ok_expl.found = true;
+  SearchSpace dummy;
+  dummy.user = bg.paul;
+  MetaExplanation meta = DiagnoseFailure(bg.g, dummy, ok_expl, opts);
+  EXPECT_EQ(meta.reason, FailureReason::kNone);
+}
+
+TEST(MetaTest, BudgetExceededPassesThroughInAddMode) {
+  // The popular-item probe applies to Remove mode only; an Add-mode budget
+  // failure is reported as such.
+  test::BookGraph bg = test::MakeBookGraph();
+  EmigreOptions opts = test::MakeBookOptions(bg);
+  Emigre engine(bg.g, opts);
+  recsys::RecommendationList ranking = engine.CurrentRanking(bg.paul);
+  NodeId wni = ranking.at(1).item;
+  Result<SearchSpace> space =
+      BuildAddSearchSpace(bg.g, bg.paul, ranking.Top(), wni, opts);
+  ASSERT_TRUE(space.ok());
+  ASSERT_FALSE(space->actions.empty());
+  Explanation failed;
+  failed.found = false;
+  failed.failure = FailureReason::kBudgetExceeded;
+  MetaExplanation meta = DiagnoseFailure(bg.g, space.value(), failed, opts);
+  EXPECT_EQ(meta.reason, FailureReason::kBudgetExceeded);
+}
+
+TEST(MetaTest, OutOfScopeSuggestsCombinedMode) {
+  test::BookGraph bg = test::MakeBookGraph();
+  EmigreOptions opts = test::MakeBookOptions(bg);
+  Emigre engine(bg.g, opts);
+  recsys::RecommendationList ranking = engine.CurrentRanking(bg.paul);
+  NodeId wni = ranking.at(1).item;
+  Result<SearchSpace> space =
+      BuildAddSearchSpace(bg.g, bg.paul, ranking.Top(), wni, opts);
+  ASSERT_TRUE(space.ok());
+  ASSERT_FALSE(space->actions.empty());
+  Explanation failed;
+  failed.found = false;
+  failed.failure = FailureReason::kSearchExhausted;
+  MetaExplanation meta = DiagnoseFailure(bg.g, space.value(), failed, opts);
+  EXPECT_EQ(meta.reason, FailureReason::kSearchExhausted);
+  EXPECT_NE(meta.message.find("combined"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emigre::explain

@@ -1,0 +1,100 @@
+#include "explain/format.h"
+
+#include <gtest/gtest.h>
+
+#include "explain/emigre.h"
+#include "explain/weighted.h"
+#include "test_util.h"
+
+namespace emigre::explain {
+namespace {
+
+using graph::EdgeRef;
+
+TEST(FormatTest, RemoveSentenceMatchesPaperPhrasing) {
+  test::BookGraph bg = test::MakeBookGraph();
+  Explanation e;
+  e.found = true;
+  e.mode = Mode::kRemove;
+  e.edges = {EdgeRef{bg.paul, bg.candide, bg.rated},
+             EdgeRef{bg.paul, bg.c_lang, bg.rated}};
+  e.new_rec = bg.harry_potter;
+  EXPECT_EQ(FormatExplanationSentence(bg.g, e),
+            "Had you not interacted with Candide and C, your top "
+            "recommendation would be Harry Potter.");
+}
+
+TEST(FormatTest, AddSentenceSingleAction) {
+  test::BookGraph bg = test::MakeBookGraph();
+  Explanation e;
+  e.found = true;
+  e.mode = Mode::kAdd;
+  e.edges = {EdgeRef{bg.paul, bg.lotr, bg.rated}};
+  e.new_rec = bg.harry_potter;
+  EXPECT_EQ(FormatExplanationSentence(bg.g, e),
+            "Had you interacted with The Lord of the Rings, your top "
+            "recommendation would be Harry Potter.");
+}
+
+TEST(FormatTest, ThreeActionsUseCommaAndConjunction) {
+  test::BookGraph bg = test::MakeBookGraph();
+  Explanation e;
+  e.found = true;
+  e.mode = Mode::kAdd;
+  e.edges = {EdgeRef{bg.paul, bg.lotr, bg.rated},
+             EdgeRef{bg.paul, bg.python, bg.rated},
+             EdgeRef{bg.paul, bg.alchemist, bg.rated}};
+  e.new_rec = bg.harry_potter;
+  std::string s = FormatExplanationSentence(bg.g, e);
+  EXPECT_NE(s.find("The Lord of the Rings, Python and The Alchemist"),
+            std::string::npos);
+}
+
+TEST(FormatTest, FailureSentence) {
+  test::BookGraph bg = test::MakeBookGraph();
+  Explanation e;
+  e.found = false;
+  e.failure = FailureReason::kPopularItem;
+  EXPECT_EQ(FormatExplanationSentence(bg.g, e),
+            "No explanation: popular-item.");
+}
+
+TEST(FormatTest, CombinedSentenceListsBothDirections) {
+  test::BookGraph bg = test::MakeBookGraph();
+  CombinedExplanation e;
+  e.found = true;
+  e.added = {EdgeRef{bg.paul, bg.lotr, bg.rated}};
+  e.removed = {EdgeRef{bg.paul, bg.c_lang, bg.rated}};
+  e.new_rec = bg.harry_potter;
+  EXPECT_EQ(FormatCombinedSentence(bg.g, e),
+            "Had you interacted with The Lord of the Rings and not "
+            "interacted with C, your top recommendation would be Harry "
+            "Potter.");
+}
+
+TEST(FormatTest, WeightedSentenceShowsOldAndNewRatings) {
+  test::BookGraph bg = test::MakeBookGraph();
+  WeightedExplanation e;
+  e.found = true;
+  e.adjustments = {WeightAdjustment{
+      EdgeRef{bg.paul, bg.c_lang, bg.rated}, 5.0, 0.2}};
+  e.new_rec = bg.harry_potter;
+  EXPECT_EQ(FormatWeightedSentence(bg.g, e),
+            "Had you rated C 0.2 (instead of 5), your top recommendation "
+            "would be Harry Potter.");
+}
+
+TEST(FormatTest, EndToEndSentenceFromEngine) {
+  test::ScenarioFixture f = test::MakeRemoveFriendlyCase();
+  Emigre engine(f.g, f.opts);
+  auto r = engine.Explain(WhyNotQuestion{f.user, f.wni}, Mode::kRemove,
+                          Heuristic::kPowerset);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->found);
+  std::string s = FormatExplanationSentence(f.g, r.value());
+  EXPECT_NE(s.find("Had you not interacted with"), std::string::npos);
+  EXPECT_NE(s.find(f.g.DisplayName(f.wni)), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emigre::explain

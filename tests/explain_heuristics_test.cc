@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "explain/brute_force.h"
+#include "explain/emigre.h"
+#include "explain/exhaustive.h"
+#include "explain/incremental.h"
+#include "explain/powerset.h"
+#include "explain/search_space.h"
+#include "explain/tester.h"
+#include "recsys/recommender.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace emigre::explain {
+namespace {
+
+using graph::NodeId;
+
+/// Independently re-verifies a found explanation: applying its edges must
+/// make the Why-Not item the top recommendation.
+void ExpectExplanationCorrect(const graph::HinGraph& g, NodeId user,
+                              NodeId wni, const Explanation& e,
+                              const EmigreOptions& opts) {
+  ASSERT_TRUE(e.found);
+  ASSERT_FALSE(e.edges.empty());
+  ExplanationTester checker(g, user, wni, opts);
+  EXPECT_TRUE(checker.Test(e.edges, e.mode))
+      << "explanation of size " << e.size() << " in "
+      << ModeName(e.mode) << " mode does not verify";
+}
+
+class HeuristicsBookTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    bg_ = test::MakeBookGraph();
+    opts_ = test::MakeBookOptions(bg_);
+    engine_ = std::make_unique<Emigre>(bg_.g, opts_);
+    ranking_ = engine_->CurrentRanking(bg_.paul);
+    ASSERT_GE(ranking_.size(), 2u);
+    rec_ = ranking_.Top();
+    wni_ = ranking_.at(1).item;  // the runner-up as the Why-Not item
+  }
+
+  Explanation Run(Mode mode, Heuristic h) {
+    Result<Explanation> r =
+        engine_->Explain(WhyNotQuestion{bg_.paul, wni_}, mode, h);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return r.ok() ? r.value() : Explanation{};
+  }
+
+  test::BookGraph bg_;
+  EmigreOptions opts_;
+  std::unique_ptr<Emigre> engine_;
+  recsys::RecommendationList ranking_;
+  NodeId rec_ = graph::kInvalidNode;
+  NodeId wni_ = graph::kInvalidNode;
+};
+
+// On the crafted Add-friendly case every search strategy must succeed in
+// both modes with a single-edge explanation.
+TEST(HeuristicsCraftedTest, AddFriendlyCaseSolvedByAllStrategies) {
+  test::ScenarioFixture f = test::MakeAddFriendlyCase();
+  Emigre engine(f.g, f.opts);
+  for (Heuristic h : {Heuristic::kIncremental, Heuristic::kPowerset,
+                      Heuristic::kExhaustive, Heuristic::kBruteForce}) {
+    Result<Explanation> r =
+        engine.Explain(WhyNotQuestion{f.user, f.wni}, Mode::kAdd, h);
+    ASSERT_TRUE(r.ok()) << r.status();
+    ASSERT_TRUE(r->found) << HeuristicName(h) << ": "
+                          << FailureReasonName(r->failure);
+    EXPECT_TRUE(r->verified);
+    EXPECT_EQ(r->new_rec, f.wni);
+    ExpectExplanationCorrect(f.g, f.user, f.wni, r.value(), f.opts);
+  }
+}
+
+TEST(HeuristicsCraftedTest, RemoveFriendlyCaseSolvedByAllStrategies) {
+  test::ScenarioFixture f = test::MakeRemoveFriendlyCase();
+  Emigre engine(f.g, f.opts);
+  for (Heuristic h : {Heuristic::kIncremental, Heuristic::kPowerset,
+                      Heuristic::kExhaustive, Heuristic::kBruteForce}) {
+    Result<Explanation> r =
+        engine.Explain(WhyNotQuestion{f.user, f.wni}, Mode::kRemove, h);
+    ASSERT_TRUE(r.ok()) << r.status();
+    ASSERT_TRUE(r->found) << HeuristicName(h) << ": "
+                          << FailureReasonName(r->failure);
+    EXPECT_TRUE(r->verified);
+    ExpectExplanationCorrect(f.g, f.user, f.wni, r.value(), f.opts);
+    // The crafted conduit is a single edge; size-optimizing searches find
+    // exactly it.
+    if (h != Heuristic::kIncremental) EXPECT_EQ(r->size(), 1u);
+  }
+}
+
+TEST(HeuristicsCraftedTest, PowersetNoLargerThanIncremental) {
+  test::ScenarioFixture f = test::MakeAddFriendlyCase();
+  Emigre engine(f.g, f.opts);
+  Result<Explanation> inc = engine.Explain(WhyNotQuestion{f.user, f.wni},
+                                           Mode::kAdd,
+                                           Heuristic::kIncremental);
+  Result<Explanation> pow = engine.Explain(WhyNotQuestion{f.user, f.wni},
+                                           Mode::kAdd, Heuristic::kPowerset);
+  ASSERT_TRUE(inc.ok());
+  ASSERT_TRUE(pow.ok());
+  ASSERT_TRUE(inc->found);
+  ASSERT_TRUE(pow->found);
+  EXPECT_LE(pow->size(), inc->size());
+}
+
+TEST_F(HeuristicsBookTest, AddExhaustiveVerifiesWhenItFinds) {
+  Explanation e = Run(Mode::kAdd, Heuristic::kExhaustive);
+  if (e.found) {
+    EXPECT_TRUE(e.verified);
+    ExpectExplanationCorrect(bg_.g, bg_.paul, wni_, e, opts_);
+  }
+}
+
+TEST_F(HeuristicsBookTest, RemoveHeuristicsAgreeWithBruteForceOracle) {
+  Explanation brute = Run(Mode::kRemove, Heuristic::kBruteForce);
+  Explanation powerset = Run(Mode::kRemove, Heuristic::kPowerset);
+  Explanation exhaustive = Run(Mode::kRemove, Heuristic::kExhaustive);
+
+  if (brute.found) {
+    ExpectExplanationCorrect(bg_.g, bg_.paul, wni_, brute, opts_);
+    // Brute force finds a minimum-size explanation.
+    if (powerset.found) EXPECT_LE(brute.size(), powerset.size());
+    if (exhaustive.found) EXPECT_LE(brute.size(), exhaustive.size());
+  } else {
+    // The oracle says no Remove explanation exists (within caps): the
+    // pruned searches must not claim success either.
+    EXPECT_FALSE(powerset.found);
+    EXPECT_FALSE(exhaustive.found);
+  }
+}
+
+TEST_F(HeuristicsBookTest, DirectReturnsUnverifiedCandidates) {
+  Explanation direct = Run(Mode::kRemove, Heuristic::kExhaustiveDirect);
+  if (direct.found) {
+    EXPECT_FALSE(direct.verified);
+    EXPECT_EQ(direct.tests_performed, 0u);
+  }
+}
+
+TEST(HeuristicsCraftedTest, StatsArePopulated) {
+  test::ScenarioFixture f = test::MakeAddFriendlyCase();
+  Emigre engine(f.g, f.opts);
+  Result<Explanation> r = engine.Explain(WhyNotQuestion{f.user, f.wni},
+                                         Mode::kAdd,
+                                         Heuristic::kIncremental);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->search_space_size, 0u);
+  EXPECT_GT(r->candidates_considered, 0u);
+  EXPECT_GE(r->seconds, 0.0);
+  ASSERT_TRUE(r->found);
+  EXPECT_GE(r->tests_performed, 1u);
+}
+
+TEST_F(HeuristicsBookTest, ColdStartUserReportsColdStart) {
+  // A brand-new user with no actions at all.
+  NodeId newbie = bg_.g.AddNode(bg_.user_type, "Newbie");
+  Emigre engine(bg_.g, opts_);
+  // The recommender has no signal; any item question is answerable only in
+  // Add mode, and Remove mode must report a cold start.
+  Result<Explanation> r = engine.Explain(
+      WhyNotQuestion{newbie, bg_.lotr}, Mode::kRemove,
+      Heuristic::kIncremental);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_FALSE(r->found);
+  EXPECT_EQ(r->failure, FailureReason::kColdStart);
+}
+
+TEST(HeuristicsCraftedTest, BudgetCapReportsBudgetExceeded) {
+  test::ScenarioFixture f = test::MakeAddFriendlyCase();
+  EmigreOptions tight = f.opts;
+  tight.max_tests = 0;            // unlimited tests ...
+  tight.deadline_seconds = 1e-9;  // ... but no time at all
+  Emigre engine(f.g, tight);
+  Result<Explanation> r = engine.Explain(WhyNotQuestion{f.user, f.wni},
+                                         Mode::kAdd, Heuristic::kPowerset);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->found);
+  EXPECT_EQ(r->failure, FailureReason::kBudgetExceeded);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep over random graphs: every explanation any heuristic
+// returns as verified must actually flip the recommendation to the WNI.
+// ---------------------------------------------------------------------------
+class HeuristicsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HeuristicsPropertyTest, AllFoundExplanationsVerify) {
+  Rng rng(GetParam());
+  test::RandomHin rh = test::MakeRandomHin(rng, 6, 18, 3, 5);
+  EmigreOptions opts = test::MakeRandomHinOptions(rh);
+  Emigre engine(rh.g, opts);
+
+  for (NodeId user : rh.users) {
+    recsys::RecommendationList ranking = engine.CurrentRanking(user);
+    if (ranking.size() < 3) continue;
+    // Ask about the 2nd and last-ranked items.
+    for (size_t rank : {size_t{1}, ranking.size() - 1}) {
+      NodeId wni = ranking.at(rank).item;
+      for (Mode mode : {Mode::kRemove, Mode::kAdd}) {
+        for (Heuristic h :
+             {Heuristic::kIncremental, Heuristic::kPowerset,
+              Heuristic::kExhaustive, Heuristic::kBruteForce}) {
+          Result<Explanation> r =
+              engine.Explain(WhyNotQuestion{user, wni}, mode, h);
+          ASSERT_TRUE(r.ok()) << r.status();
+          if (r->found) {
+            EXPECT_TRUE(r->verified);
+            ExpectExplanationCorrect(rh.g, user, wni, r.value(), opts);
+            EXPECT_EQ(r->new_rec, wni);
+          }
+        }
+      }
+    }
+    break;  // one user per seed keeps the sweep fast; seeds vary users
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeuristicsPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+// Oracle-dominance property: on scenarios where size-capped searches find
+// explanations, brute force (same caps) must find one at most as large.
+TEST(HeuristicsOracleTest, BruteForceDominatesPrunedSearches) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 5; ++trial) {
+    test::RandomHin rh = test::MakeRandomHin(rng, 5, 15, 3, 4);
+    EmigreOptions opts = test::MakeRandomHinOptions(rh);
+    Emigre engine(rh.g, opts);
+    NodeId user = rh.users[0];
+    recsys::RecommendationList ranking = engine.CurrentRanking(user);
+    if (ranking.size() < 2) continue;
+    NodeId wni = ranking.at(1).item;
+
+    Result<Explanation> brute = engine.Explain(
+        WhyNotQuestion{user, wni}, Mode::kRemove, Heuristic::kBruteForce);
+    ASSERT_TRUE(brute.ok());
+    for (Heuristic h : {Heuristic::kPowerset, Heuristic::kExhaustive}) {
+      Result<Explanation> other =
+          engine.Explain(WhyNotQuestion{user, wni}, Mode::kRemove, h);
+      ASSERT_TRUE(other.ok());
+      if (other->found) {
+        ASSERT_TRUE(brute->found)
+            << "pruned search found an explanation the oracle missed";
+        EXPECT_LE(brute->size(), other->size());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emigre::explain

@@ -1,0 +1,165 @@
+#include "explain/internal.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "explain/tester.h"
+#include "test_util.h"
+
+namespace emigre::explain::internal {
+namespace {
+
+TEST(CombinationTest, EnumeratesAllSubsetsOfSizeK) {
+  std::set<std::vector<size_t>> seen;
+  ForEachCombination(5, 2, [&](const std::vector<size_t>& idx) {
+    EXPECT_EQ(idx.size(), 2u);
+    EXPECT_LT(idx[0], idx[1]);
+    EXPECT_LT(idx[1], 5u);
+    EXPECT_TRUE(seen.insert(idx).second) << "duplicate combination";
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 10u);  // C(5,2)
+}
+
+TEST(CombinationTest, LexicographicOrder) {
+  std::vector<std::vector<size_t>> order;
+  ForEachCombination(4, 2, [&](const std::vector<size_t>& idx) {
+    order.push_back(idx);
+    return true;
+  });
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_EQ(order.front(), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(order.back(), (std::vector<size_t>{2, 3}));
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LT(order[i - 1], order[i]);
+  }
+}
+
+TEST(CombinationTest, EarlyStopPropagates) {
+  int count = 0;
+  bool completed = ForEachCombination(6, 3, [&](const std::vector<size_t>&) {
+    return ++count < 4;
+  });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(CombinationTest, EdgeCases) {
+  int count = 0;
+  auto counter = [&](const std::vector<size_t>&) {
+    ++count;
+    return true;
+  };
+  // k == n: exactly one combination.
+  count = 0;
+  EXPECT_TRUE(ForEachCombination(3, 3, counter));
+  EXPECT_EQ(count, 1);
+  // k > n: none.
+  count = 0;
+  EXPECT_TRUE(ForEachCombination(3, 4, counter));
+  EXPECT_EQ(count, 0);
+  // k == 0: the empty combination, once.
+  count = 0;
+  EXPECT_TRUE(ForEachCombination(3, 0, counter));
+  EXPECT_EQ(count, 1);
+  // n == 1.
+  count = 0;
+  EXPECT_TRUE(ForEachCombination(1, 1, counter));
+  EXPECT_EQ(count, 1);
+}
+
+TEST(BinomialCappedTest, ExactSmallValues) {
+  EXPECT_EQ(BinomialCapped(5, 2, 1000), 10u);
+  EXPECT_EQ(BinomialCapped(10, 0, 1000), 1u);
+  EXPECT_EQ(BinomialCapped(10, 10, 1000), 1u);
+  EXPECT_EQ(BinomialCapped(10, 3, 1000), 120u);
+  EXPECT_EQ(BinomialCapped(3, 5, 1000), 0u);
+  EXPECT_EQ(BinomialCapped(18, 9, 1u << 30), 48620u);
+}
+
+TEST(BinomialCappedTest, SaturatesAtCap) {
+  EXPECT_EQ(BinomialCapped(10, 3, 50), 50u);
+  EXPECT_EQ(BinomialCapped(64, 32, 1000), 1000u);
+  // Would overflow size_t without saturation.
+  EXPECT_EQ(BinomialCapped(200, 100, 12345), 12345u);
+}
+
+TEST(SearchBudgetTest, TestCapAndUnlimited) {
+  EmigreOptions opts;
+  opts.max_tests = 3;
+  opts.deadline_seconds = 0.0;
+  SearchBudget budget(opts);
+  EXPECT_FALSE(budget.Exhausted(0));
+  EXPECT_FALSE(budget.Exhausted(2));
+  EXPECT_TRUE(budget.Exhausted(3));
+  EXPECT_TRUE(budget.Exhausted(10));
+
+  opts.max_tests = 0;  // unlimited
+  SearchBudget unlimited(opts);
+  EXPECT_FALSE(unlimited.Exhausted(1u << 30));
+}
+
+TEST(SearchBudgetTest, DeadlineExpires) {
+  EmigreOptions opts;
+  opts.max_tests = 0;
+  opts.deadline_seconds = 1e-9;
+  SearchBudget budget(opts);
+  // The clock has certainly advanced past a nanosecond by now.
+  EXPECT_TRUE(budget.Exhausted(0));
+}
+
+// ---------------------------------------------------------------------------
+// The TEST verifier itself.
+// ---------------------------------------------------------------------------
+
+TEST(TesterTest, CountsInvocationsAndReportsNewRec) {
+  test::ScenarioFixture f = test::MakeRemoveFriendlyCase();
+  ExplanationTester tester(f.g, f.user, f.wni, f.opts);
+  EXPECT_EQ(tester.num_tests(), 0u);
+
+  // Removing nothing keeps the original recommendation.
+  graph::NodeId new_rec = graph::kInvalidNode;
+  EXPECT_FALSE(tester.Test({}, Mode::kRemove, &new_rec));
+  EXPECT_EQ(tester.num_tests(), 1u);
+  EXPECT_NE(new_rec, f.wni);
+
+  // A malformed candidate (removing a non-existent edge) is never valid.
+  EXPECT_FALSE(tester.Test({graph::EdgeRef{f.user, f.wni, 0}},
+                           Mode::kRemove, &new_rec));
+  EXPECT_EQ(new_rec, graph::kInvalidNode);
+  EXPECT_EQ(tester.num_tests(), 2u);
+}
+
+TEST(TesterTest, AddModeDuplicateEdgeRejected) {
+  test::ScenarioFixture f = test::MakeAddFriendlyCase();
+  ExplanationTester tester(f.g, f.user, f.wni, f.opts);
+  // The user's existing action cannot be "added" again.
+  graph::EdgeRef existing{f.user, graph::kInvalidNode, 0};
+  for (const graph::Edge& e : f.g.OutEdges(f.user)) {
+    existing = graph::EdgeRef{f.user, e.node, e.type};
+    break;
+  }
+  EXPECT_FALSE(tester.Test({existing}, Mode::kAdd));
+}
+
+TEST(TesterTest, MixedEditsApplyBothDirections) {
+  test::ScenarioFixture f = test::MakeRemoveFriendlyCase();
+  ExplanationTester tester(f.g, f.user, f.wni, f.opts);
+  // Find the conduit edge whose removal promotes the WNI.
+  std::vector<graph::EdgeRef> removal;
+  for (const graph::Edge& e : f.g.OutEdges(f.user)) {
+    if (f.g.Label(e.node) == "D") {
+      removal.push_back(graph::EdgeRef{f.user, e.node, e.type});
+    }
+  }
+  ASSERT_EQ(removal.size(), 1u);
+  EXPECT_TRUE(tester.Test(removal, Mode::kRemove));
+  // The same candidate expressed through the mixed interface.
+  EXPECT_TRUE(tester.TestMixed(
+      {ExplanationTester::ModedEdit{removal[0], Mode::kRemove}}));
+}
+
+}  // namespace
+}  // namespace emigre::explain::internal

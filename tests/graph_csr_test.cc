@@ -1,0 +1,100 @@
+#include "graph/csr.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "graph/overlay.h"
+#include "recsys/recommender.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace emigre::graph {
+namespace {
+
+using Snapshot = std::map<std::tuple<NodeId, NodeId, EdgeTypeId>, double>;
+
+template <typename G>
+Snapshot SnapshotOut(const G& g) {
+  Snapshot snap;
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    g.ForEachOutEdge(n, [&](NodeId dst, EdgeTypeId t, double w) {
+      snap[{n, dst, t}] += w;
+    });
+  }
+  return snap;
+}
+
+template <typename G>
+Snapshot SnapshotIn(const G& g) {
+  Snapshot snap;
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    g.ForEachInEdge(n, [&](NodeId src, EdgeTypeId t, double w) {
+      snap[{src, n, t}] += w;
+    });
+  }
+  return snap;
+}
+
+TEST(CsrGraphTest, MatchesHinGraph) {
+  test::BookGraph bg = test::MakeBookGraph();
+  CsrGraph csr(bg.g);
+  EXPECT_EQ(csr.NumNodes(), bg.g.NumNodes());
+  EXPECT_EQ(csr.NumEdges(), bg.g.NumEdges());
+  EXPECT_EQ(SnapshotOut(csr), SnapshotOut(bg.g));
+  EXPECT_EQ(SnapshotIn(csr), SnapshotIn(bg.g));
+  for (NodeId n = 0; n < csr.NumNodes(); ++n) {
+    EXPECT_EQ(csr.OutDegree(n), bg.g.OutDegree(n));
+    EXPECT_EQ(csr.InDegree(n), bg.g.InDegree(n));
+    EXPECT_DOUBLE_EQ(csr.OutWeight(n), bg.g.OutWeight(n));
+    EXPECT_EQ(csr.NodeType(n), bg.g.NodeType(n));
+  }
+}
+
+TEST(CsrGraphTest, SnapshotsOverlayIncludingEdits) {
+  test::BookGraph bg = test::MakeBookGraph();
+  GraphOverlay o(bg.g);
+  ASSERT_TRUE(o.AddEdge(bg.paul, bg.lotr, bg.rated, 0.5).ok());
+  ASSERT_TRUE(o.RemoveEdge(bg.paul, bg.candide, bg.rated).ok());
+  CsrGraph csr(o, 0);
+  EXPECT_EQ(SnapshotOut(csr), SnapshotOut(o));
+  EXPECT_EQ(SnapshotIn(csr), SnapshotIn(o));
+  EXPECT_EQ(csr.NumEdges(), bg.g.NumEdges());  // one added, one removed
+}
+
+TEST(CsrGraphTest, EmptyGraph) {
+  HinGraph g;
+  CsrGraph csr(g);
+  EXPECT_EQ(csr.NumNodes(), 0u);
+  EXPECT_EQ(csr.NumEdges(), 0u);
+}
+
+TEST(CsrGraphTest, RecommenderRunsIdenticallyOnCsrSnapshot) {
+  // CsrGraph models GraphLike, so the whole recommender stack runs on it;
+  // results must coincide with the mutable graph's.
+  test::BookGraph bg = test::MakeBookGraph();
+  CsrGraph csr(bg.g);
+  recsys::RecommenderOptions opts;
+  opts.item_type = bg.item_type;
+  recsys::RecommendationList a = recsys::RankItems(bg.g, bg.paul, opts);
+  recsys::RecommendationList b = recsys::RankItems(csr, bg.paul, opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.at(i).item, b.at(i).item);
+    EXPECT_NEAR(a.at(i).score, b.at(i).score, 1e-12);
+  }
+}
+
+TEST(CsrGraphTest, RandomGraphsMatch) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    test::RandomHin rh = test::MakeRandomHin(rng, 8, 30, 4, 10);
+    CsrGraph csr(rh.g);
+    EXPECT_EQ(SnapshotOut(csr), SnapshotOut(rh.g));
+    EXPECT_EQ(SnapshotIn(csr), SnapshotIn(rh.g));
+  }
+}
+
+}  // namespace
+}  // namespace emigre::graph

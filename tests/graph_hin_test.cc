@@ -1,0 +1,182 @@
+#include "graph/hin_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/validate.h"
+#include "test_util.h"
+
+namespace emigre::graph {
+namespace {
+
+TEST(HinGraphTest, AddNodesAssignsDenseIds) {
+  HinGraph g;
+  NodeTypeId user = g.RegisterNodeType("user");
+  NodeTypeId item = g.RegisterNodeType("item");
+  EXPECT_EQ(g.AddNode(user, "u0"), 0u);
+  EXPECT_EQ(g.AddNode(item, "i0"), 1u);
+  EXPECT_EQ(g.NumNodes(), 2u);
+  EXPECT_EQ(g.NodeType(0), user);
+  EXPECT_EQ(g.NodeType(1), item);
+  EXPECT_EQ(g.Label(0), "u0");
+  EXPECT_TRUE(g.IsValidNode(1));
+  EXPECT_FALSE(g.IsValidNode(2));
+}
+
+TEST(HinGraphTest, TypeRegistryRoundTrip) {
+  HinGraph g;
+  NodeTypeId user = g.RegisterNodeType("user");
+  EXPECT_EQ(g.RegisterNodeType("user"), user);  // idempotent
+  EXPECT_EQ(g.FindNodeType("user"), user);
+  EXPECT_EQ(g.FindNodeType("ghost"), kInvalidNodeType);
+  EXPECT_EQ(g.NodeTypeName(user), "user");
+  EdgeTypeId rated = g.RegisterEdgeType("rated");
+  EXPECT_EQ(g.FindEdgeType("rated"), rated);
+  EXPECT_EQ(g.EdgeTypeName(rated), "rated");
+  EXPECT_EQ(g.NumNodeTypes(), 1u);
+  EXPECT_EQ(g.NumEdgeTypes(), 1u);
+}
+
+TEST(HinGraphTest, AddEdgeMaintainsBothAdjacencies) {
+  HinGraph g;
+  NodeId a = g.AddNode("n");
+  NodeId b = g.AddNode("n");
+  EdgeTypeId t = g.RegisterEdgeType("e");
+  ASSERT_TRUE(g.AddEdge(a, b, t, 2.5).ok());
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.OutDegree(a), 1u);
+  EXPECT_EQ(g.InDegree(b), 1u);
+  EXPECT_EQ(g.OutDegree(b), 0u);
+  EXPECT_EQ(g.InDegree(a), 0u);
+  EXPECT_DOUBLE_EQ(g.OutWeight(a), 2.5);
+  EXPECT_TRUE(g.HasEdge(a, b));
+  EXPECT_TRUE(g.HasEdge(a, b, t));
+  EXPECT_FALSE(g.HasEdge(b, a));
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(a, b, t), 2.5);
+}
+
+TEST(HinGraphTest, RejectsBadEdges) {
+  HinGraph g;
+  NodeId a = g.AddNode("n");
+  NodeId b = g.AddNode("n");
+  EdgeTypeId t = g.RegisterEdgeType("e");
+  EXPECT_TRUE(g.AddEdge(a, 99, t).IsInvalidArgument());
+  EXPECT_TRUE(g.AddEdge(99, b, t).IsInvalidArgument());
+  EXPECT_TRUE(g.AddEdge(a, b, t, 0.0).IsInvalidArgument());
+  EXPECT_TRUE(g.AddEdge(a, b, t, -1.0).IsInvalidArgument());
+  ASSERT_TRUE(g.AddEdge(a, b, t).ok());
+  EXPECT_TRUE(g.AddEdge(a, b, t).IsAlreadyExists());
+}
+
+TEST(HinGraphTest, MultiEdgesWithDistinctTypes) {
+  HinGraph g;
+  NodeId u = g.AddNode("user");
+  NodeId i = g.AddNode("item");
+  EdgeTypeId rated = g.RegisterEdgeType("rated");
+  EdgeTypeId reviewed = g.RegisterEdgeType("reviewed");
+  ASSERT_TRUE(g.AddEdge(u, i, rated, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(u, i, reviewed, 0.5).ok());
+  EXPECT_EQ(g.OutDegree(u), 2u);
+  EXPECT_DOUBLE_EQ(g.OutWeight(u), 1.5);
+  EXPECT_TRUE(g.HasEdge(u, i, rated));
+  EXPECT_TRUE(g.HasEdge(u, i, reviewed));
+}
+
+TEST(HinGraphTest, RemoveEdgeRestoresState) {
+  HinGraph g;
+  NodeId a = g.AddNode("n");
+  NodeId b = g.AddNode("n");
+  EdgeTypeId t = g.RegisterEdgeType("e");
+  ASSERT_TRUE(g.AddEdge(a, b, t, 2.0).ok());
+  ASSERT_TRUE(g.RemoveEdge(a, b, t).ok());
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.OutDegree(a), 0u);
+  EXPECT_EQ(g.InDegree(b), 0u);
+  EXPECT_DOUBLE_EQ(g.OutWeight(a), 0.0);
+  EXPECT_FALSE(g.HasEdge(a, b));
+  EXPECT_TRUE(g.RemoveEdge(a, b, t).IsNotFound());
+}
+
+TEST(HinGraphTest, RemoveEdgesBetweenClearsAllTypes) {
+  HinGraph g;
+  NodeId u = g.AddNode("user");
+  NodeId i = g.AddNode("item");
+  EdgeTypeId rated = g.RegisterEdgeType("rated");
+  EdgeTypeId reviewed = g.RegisterEdgeType("reviewed");
+  ASSERT_TRUE(g.AddEdge(u, i, rated).ok());
+  ASSERT_TRUE(g.AddEdge(u, i, reviewed).ok());
+  EXPECT_EQ(g.RemoveEdgesBetween(u, i), 2u);
+  EXPECT_FALSE(g.HasEdge(u, i));
+  EXPECT_EQ(g.RemoveEdgesBetween(u, i), 0u);
+}
+
+TEST(HinGraphTest, AddBidirectionalCreatesBothDirections) {
+  HinGraph g;
+  NodeId a = g.AddNode("n");
+  NodeId b = g.AddNode("n");
+  EdgeTypeId t = g.RegisterEdgeType("e");
+  ASSERT_TRUE(g.AddBidirectional(a, b, t, 1.5).ok());
+  EXPECT_TRUE(g.HasEdge(a, b, t));
+  EXPECT_TRUE(g.HasEdge(b, a, t));
+  EXPECT_EQ(g.NumEdges(), 2u);
+}
+
+TEST(HinGraphTest, NodesOfTypeAndDisplayName) {
+  HinGraph g;
+  NodeTypeId user = g.RegisterNodeType("user");
+  NodeTypeId item = g.RegisterNodeType("item");
+  NodeId u = g.AddNode(user, "Paul");
+  NodeId i = g.AddNode(item);
+  g.AddNode(user, "Alice");
+  EXPECT_EQ(g.NodesOfType(user).size(), 2u);
+  EXPECT_EQ(g.NodesOfType(item).size(), 1u);
+  EXPECT_EQ(g.DisplayName(u), "Paul");
+  EXPECT_EQ(g.DisplayName(i), "#1");
+  g.SetLabel(i, "Python");
+  EXPECT_EQ(g.DisplayName(i), "Python");
+}
+
+TEST(HinGraphTest, AllEdgesEnumerates) {
+  test::BookGraph bg = test::MakeBookGraph();
+  std::vector<EdgeRef> edges = bg.g.AllEdges();
+  EXPECT_EQ(edges.size(), bg.g.NumEdges());
+  for (const EdgeRef& e : edges) {
+    EXPECT_TRUE(bg.g.HasEdge(e.src, e.dst, e.type));
+  }
+}
+
+TEST(HinGraphTest, CopyIsIndependent) {
+  test::BookGraph bg = test::MakeBookGraph();
+  HinGraph copy = bg.g;
+  ASSERT_TRUE(copy.RemoveEdge(bg.paul, bg.candide, bg.rated).ok());
+  EXPECT_TRUE(bg.g.HasEdge(bg.paul, bg.candide, bg.rated));
+  EXPECT_FALSE(copy.HasEdge(bg.paul, bg.candide, bg.rated));
+}
+
+TEST(ValidateTest, BookGraphIsConsistent) {
+  test::BookGraph bg = test::MakeBookGraph();
+  EXPECT_TRUE(ValidateGraph(bg.g).ok());
+}
+
+TEST(ValidateTest, DetectsMutationConsistency) {
+  test::BookGraph bg = test::MakeBookGraph();
+  // A long add/remove sequence keeps the graph valid.
+  ASSERT_TRUE(bg.g.RemoveEdge(bg.paul, bg.c_lang, bg.rated).ok());
+  ASSERT_TRUE(bg.g.AddEdge(bg.paul, bg.python, bg.rated, 0.7).ok());
+  ASSERT_TRUE(bg.g.RemoveEdge(bg.alice, bg.candide, bg.rated).ok());
+  EXPECT_TRUE(ValidateGraph(bg.g).ok());
+}
+
+TEST(EdgeRefTest, OrderingAndHashing) {
+  EdgeRef a{1, 2, 0};
+  EdgeRef b{1, 2, 1};
+  EdgeRef c{1, 3, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(a, (EdgeRef{1, 2, 0}));
+  EdgeRefHash hash;
+  EXPECT_NE(hash(a), hash(b));
+  EXPECT_NE(hash(a), hash(c));
+}
+
+}  // namespace
+}  // namespace emigre::graph

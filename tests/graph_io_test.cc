@@ -1,0 +1,95 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "graph/validate.h"
+#include "test_util.h"
+
+namespace emigre::graph {
+namespace {
+
+TEST(GraphIoTest, SaveLoadRoundTrip) {
+  test::BookGraph bg = test::MakeBookGraph();
+  std::string path = test::MakeTempDir("graphio") + "/book.graph";
+  ASSERT_TRUE(SaveGraph(bg.g, path).ok());
+
+  Result<HinGraph> loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const HinGraph& g2 = loaded.value();
+
+  EXPECT_EQ(g2.NumNodes(), bg.g.NumNodes());
+  EXPECT_EQ(g2.NumEdges(), bg.g.NumEdges());
+  EXPECT_TRUE(ValidateGraph(g2).ok());
+  for (NodeId n = 0; n < bg.g.NumNodes(); ++n) {
+    EXPECT_EQ(g2.Label(n), bg.g.Label(n));
+    EXPECT_EQ(g2.NodeTypeName(g2.NodeType(n)),
+              bg.g.NodeTypeName(bg.g.NodeType(n)));
+  }
+  for (const EdgeRef& e : bg.g.AllEdges()) {
+    EXPECT_TRUE(g2.HasEdge(e.src, e.dst)) << e.src << "->" << e.dst;
+  }
+  // Weights preserved exactly.
+  EXPECT_DOUBLE_EQ(
+      g2.EdgeWeight(bg.paul, bg.candide, g2.FindEdgeType("rated")),
+      bg.g.EdgeWeight(bg.paul, bg.candide, bg.rated));
+}
+
+TEST(GraphIoTest, PreservesFractionalWeights) {
+  HinGraph g;
+  NodeId a = g.AddNode("n");
+  NodeId b = g.AddNode("n");
+  EdgeTypeId t = g.RegisterEdgeType("sim");
+  ASSERT_TRUE(g.AddEdge(a, b, t, 0.123456789012345).ok());
+  std::string path = test::MakeTempDir("graphio") + "/w.graph";
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+  Result<HinGraph> loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded->EdgeWeight(a, b, loaded->FindEdgeType("sim")),
+                   0.123456789012345);
+}
+
+TEST(GraphIoTest, MissingFileFails) {
+  EXPECT_TRUE(LoadGraph("/nonexistent/x.graph").status().IsIOError());
+  HinGraph g;
+  EXPECT_TRUE(SaveGraph(g, "/nonexistent/dir/x.graph").IsIOError());
+}
+
+TEST(GraphIoTest, RejectsMissingHeader) {
+  std::string path = test::MakeTempDir("graphio") + "/bad.graph";
+  std::ofstream(path) << "N\t0\tuser\tlabel\n";
+  EXPECT_TRUE(LoadGraph(path).status().IsInvalidArgument());
+}
+
+TEST(GraphIoTest, RejectsMalformedLines) {
+  std::string dir = test::MakeTempDir("graphio");
+  {
+    std::ofstream f(dir + "/badnode.graph");
+    f << "# emigre-graph v1\nN\tzero\tuser\tx\n";
+  }
+  EXPECT_TRUE(LoadGraph(dir + "/badnode.graph").status().IsInvalidArgument());
+  {
+    std::ofstream f(dir + "/badedge.graph");
+    f << "# emigre-graph v1\nN\t0\tuser\t\nE\t0\t0\trated\n";
+  }
+  EXPECT_TRUE(LoadGraph(dir + "/badedge.graph").status().IsInvalidArgument());
+  {
+    std::ofstream f(dir + "/badtype.graph");
+    f << "# emigre-graph v1\nX\t0\n";
+  }
+  EXPECT_TRUE(LoadGraph(dir + "/badtype.graph").status().IsInvalidArgument());
+}
+
+TEST(GraphIoTest, EmptyGraphRoundTrips) {
+  HinGraph g;
+  std::string path = test::MakeTempDir("graphio") + "/empty.graph";
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+  Result<HinGraph> loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumNodes(), 0u);
+  EXPECT_EQ(loaded->NumEdges(), 0u);
+}
+
+}  // namespace
+}  // namespace emigre::graph

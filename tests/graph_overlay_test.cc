@@ -1,0 +1,171 @@
+#include "graph/overlay.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace emigre::graph {
+namespace {
+
+using Snapshot = std::map<std::tuple<NodeId, NodeId, EdgeTypeId>, double>;
+
+// Materializes the effective out-edge set of a GraphLike view.
+template <typename G>
+Snapshot SnapshotOutEdges(const G& g) {
+  Snapshot snap;
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    g.ForEachOutEdge(n, [&](NodeId dst, EdgeTypeId t, double w) {
+      snap[{n, dst, t}] += w;
+    });
+  }
+  return snap;
+}
+
+template <typename G>
+Snapshot SnapshotInEdges(const G& g) {
+  Snapshot snap;
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    g.ForEachInEdge(n, [&](NodeId src, EdgeTypeId t, double w) {
+      snap[{src, n, t}] += w;
+    });
+  }
+  return snap;
+}
+
+TEST(OverlayTest, TransparentWithoutEdits) {
+  test::BookGraph bg = test::MakeBookGraph();
+  GraphOverlay o(bg.g);
+  EXPECT_FALSE(o.HasEdits());
+  EXPECT_EQ(SnapshotOutEdges(o), SnapshotOutEdges(bg.g));
+  EXPECT_EQ(SnapshotInEdges(o), SnapshotInEdges(bg.g));
+  for (NodeId n = 0; n < bg.g.NumNodes(); ++n) {
+    EXPECT_DOUBLE_EQ(o.OutWeight(n), bg.g.OutWeight(n));
+    EXPECT_EQ(o.OutDegree(n), bg.g.OutDegree(n));
+    EXPECT_EQ(o.InDegree(n), bg.g.InDegree(n));
+  }
+}
+
+TEST(OverlayTest, RemoveMasksBaseEdge) {
+  test::BookGraph bg = test::MakeBookGraph();
+  GraphOverlay o(bg.g);
+  ASSERT_TRUE(o.RemoveEdge(bg.paul, bg.candide, bg.rated).ok());
+  EXPECT_FALSE(o.HasEdge(bg.paul, bg.candide, bg.rated));
+  EXPECT_TRUE(bg.g.HasEdge(bg.paul, bg.candide, bg.rated));  // base intact
+  EXPECT_EQ(o.OutDegree(bg.paul), bg.g.OutDegree(bg.paul) - 1);
+  EXPECT_EQ(o.InDegree(bg.candide), bg.g.InDegree(bg.candide) - 1);
+  EXPECT_DOUBLE_EQ(o.OutWeight(bg.paul), bg.g.OutWeight(bg.paul) - 1.0);
+  EXPECT_EQ(o.NumRemoved(), 1u);
+  // Double removal fails.
+  EXPECT_TRUE(o.RemoveEdge(bg.paul, bg.candide, bg.rated).IsNotFound());
+}
+
+TEST(OverlayTest, AddCreatesEdge) {
+  test::BookGraph bg = test::MakeBookGraph();
+  GraphOverlay o(bg.g);
+  ASSERT_TRUE(o.AddEdge(bg.paul, bg.lotr, bg.rated, 1.0).ok());
+  EXPECT_TRUE(o.HasEdge(bg.paul, bg.lotr, bg.rated));
+  EXPECT_FALSE(bg.g.HasEdge(bg.paul, bg.lotr));
+  EXPECT_EQ(o.OutDegree(bg.paul), bg.g.OutDegree(bg.paul) + 1);
+  EXPECT_EQ(o.InDegree(bg.lotr), bg.g.InDegree(bg.lotr) + 1);
+  EXPECT_DOUBLE_EQ(o.OutWeight(bg.paul), bg.g.OutWeight(bg.paul) + 1.0);
+  // Duplicate add fails.
+  EXPECT_TRUE(o.AddEdge(bg.paul, bg.lotr, bg.rated).IsAlreadyExists());
+  // Adding an edge that exists in base fails too.
+  EXPECT_TRUE(o.AddEdge(bg.paul, bg.candide, bg.rated).IsAlreadyExists());
+}
+
+TEST(OverlayTest, RemoveThenAddRestoresBaseWeight) {
+  test::BookGraph bg = test::MakeBookGraph();
+  GraphOverlay o(bg.g);
+  ASSERT_TRUE(o.RemoveEdge(bg.paul, bg.c_lang, bg.rated).ok());
+  ASSERT_TRUE(o.AddEdge(bg.paul, bg.c_lang, bg.rated, 42.0).ok());
+  // Un-removal restores the *base* weight, not the requested one.
+  EXPECT_EQ(SnapshotOutEdges(o), SnapshotOutEdges(bg.g));
+  EXPECT_DOUBLE_EQ(o.OutWeight(bg.paul), bg.g.OutWeight(bg.paul));
+  EXPECT_EQ(o.NumRemoved(), 0u);
+  EXPECT_EQ(o.NumAdded(), 0u);
+}
+
+TEST(OverlayTest, AddThenRemoveIsNoop) {
+  test::BookGraph bg = test::MakeBookGraph();
+  GraphOverlay o(bg.g);
+  ASSERT_TRUE(o.AddEdge(bg.paul, bg.lotr, bg.rated).ok());
+  ASSERT_TRUE(o.RemoveEdge(bg.paul, bg.lotr, bg.rated).ok());
+  EXPECT_FALSE(o.HasEdits());
+  EXPECT_EQ(SnapshotOutEdges(o), SnapshotOutEdges(bg.g));
+  EXPECT_EQ(SnapshotInEdges(o), SnapshotInEdges(bg.g));
+}
+
+TEST(OverlayTest, ClearDropsAllEdits) {
+  test::BookGraph bg = test::MakeBookGraph();
+  GraphOverlay o(bg.g);
+  ASSERT_TRUE(o.AddEdge(bg.paul, bg.lotr, bg.rated).ok());
+  ASSERT_TRUE(o.RemoveEdge(bg.paul, bg.candide, bg.rated).ok());
+  o.Clear();
+  EXPECT_FALSE(o.HasEdits());
+  EXPECT_EQ(SnapshotOutEdges(o), SnapshotOutEdges(bg.g));
+}
+
+TEST(OverlayTest, EditListsAreSorted) {
+  test::BookGraph bg = test::MakeBookGraph();
+  GraphOverlay o(bg.g);
+  ASSERT_TRUE(o.AddEdge(bg.paul, bg.python, bg.rated).ok());
+  ASSERT_TRUE(o.AddEdge(bg.paul, bg.lotr, bg.rated).ok());
+  ASSERT_TRUE(o.RemoveEdge(bg.paul, bg.candide, bg.rated).ok());
+  auto added = o.AddedEdges();
+  ASSERT_EQ(added.size(), 2u);
+  EXPECT_LT(added[0], added[1]);
+  auto removed = o.RemovedEdges();
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0], (EdgeRef{bg.paul, bg.candide, bg.rated}));
+}
+
+TEST(OverlayTest, RemoveMissingEdgeFails) {
+  test::BookGraph bg = test::MakeBookGraph();
+  GraphOverlay o(bg.g);
+  EXPECT_TRUE(o.RemoveEdge(bg.paul, bg.lotr, bg.rated).IsNotFound());
+  EXPECT_TRUE(o.RemoveEdge(bg.paul, 999, bg.rated).IsInvalidArgument());
+  EXPECT_TRUE(o.AddEdge(bg.paul, 999, bg.rated).IsInvalidArgument());
+  EXPECT_TRUE(o.AddEdge(bg.paul, bg.lotr, bg.rated, -1.0)
+                  .IsInvalidArgument());
+}
+
+// Property: a random edit sequence applied to an overlay matches the same
+// sequence applied to a mutable copy of the graph.
+TEST(OverlayTest, RandomEditsMatchMutatedCopy) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    test::RandomHin rh = test::MakeRandomHin(rng, 5, 20, 3, 6);
+    GraphOverlay overlay(rh.g);
+    HinGraph mutated = rh.g;
+
+    for (int step = 0; step < 30; ++step) {
+      NodeId src = static_cast<NodeId>(rng.NextBounded(rh.g.NumNodes()));
+      NodeId dst = static_cast<NodeId>(rng.NextBounded(rh.g.NumNodes()));
+      EdgeTypeId type = rng.NextBool() ? rh.rated : rh.belongs_to;
+      if (rng.NextBool()) {
+        Status a = overlay.AddEdge(src, dst, type, 1.0);
+        Status b = mutated.AddEdge(src, dst, type, 1.0);
+        EXPECT_EQ(a.ok(), b.ok()) << a << " vs " << b;
+      } else {
+        Status a = overlay.RemoveEdge(src, dst, type);
+        Status b = mutated.RemoveEdge(src, dst, type);
+        EXPECT_EQ(a.ok(), b.ok()) << a << " vs " << b;
+      }
+    }
+    EXPECT_EQ(SnapshotOutEdges(overlay), SnapshotOutEdges(mutated));
+    EXPECT_EQ(SnapshotInEdges(overlay), SnapshotInEdges(mutated));
+    for (NodeId n = 0; n < rh.g.NumNodes(); ++n) {
+      EXPECT_NEAR(overlay.OutWeight(n), mutated.OutWeight(n), 1e-12);
+      EXPECT_EQ(overlay.OutDegree(n), mutated.OutDegree(n));
+      EXPECT_EQ(overlay.InDegree(n), mutated.InDegree(n));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emigre::graph

@@ -1,0 +1,62 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace emigre::graph {
+namespace {
+
+TEST(DegreeStatsTest, CountsPerType) {
+  test::BookGraph bg = test::MakeBookGraph();
+  std::vector<TypeDegreeStats> stats = ComputeDegreeStats(bg.g);
+  ASSERT_EQ(stats.size(), 3u);  // user, item, category
+  EXPECT_EQ(stats[bg.user_type].type_name, "user");
+  EXPECT_EQ(stats[bg.user_type].num_nodes, 3u);
+  EXPECT_EQ(stats[bg.item_type].num_nodes, 6u);
+  EXPECT_EQ(stats[bg.category_type].num_nodes, 3u);
+}
+
+TEST(DegreeStatsTest, MeanMatchesHandCount) {
+  // Two users, one item: u0 -> i (directed), u1 <-> i (bidirectional).
+  HinGraph g;
+  NodeTypeId user = g.RegisterNodeType("user");
+  NodeTypeId item = g.RegisterNodeType("item");
+  EdgeTypeId rated = g.RegisterEdgeType("rated");
+  NodeId u0 = g.AddNode(user);
+  NodeId u1 = g.AddNode(user);
+  NodeId i = g.AddNode(item);
+  ASSERT_TRUE(g.AddEdge(u0, i, rated).ok());
+  ASSERT_TRUE(g.AddBidirectional(u1, i, rated).ok());
+
+  std::vector<TypeDegreeStats> stats = ComputeDegreeStats(g);
+  // u0: out 1, in 0 -> degree 1; u1: out 1, in 1 -> degree 2.
+  EXPECT_DOUBLE_EQ(stats[user].mean_degree, 1.5);
+  EXPECT_DOUBLE_EQ(stats[user].degree_stddev, 0.5);
+  // item: in 2, out 1 -> degree 3.
+  EXPECT_DOUBLE_EQ(stats[item].mean_degree, 3.0);
+  EXPECT_DOUBLE_EQ(stats[item].degree_stddev, 0.0);
+}
+
+TEST(DegreeStatsTest, EmptyTypeHasZeroes) {
+  HinGraph g;
+  g.RegisterNodeType("user");
+  g.RegisterNodeType("ghost");
+  g.AddNode("user");
+  std::vector<TypeDegreeStats> stats = ComputeDegreeStats(g);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[1].num_nodes, 0u);
+  EXPECT_DOUBLE_EQ(stats[1].mean_degree, 0.0);
+}
+
+TEST(DegreeStatsTest, FormatIncludesAllTypes) {
+  test::BookGraph bg = test::MakeBookGraph();
+  std::string s = FormatDegreeStats(ComputeDegreeStats(bg.g));
+  EXPECT_NE(s.find("user"), std::string::npos);
+  EXPECT_NE(s.find("item"), std::string::npos);
+  EXPECT_NE(s.find("category"), std::string::npos);
+  EXPECT_NE(s.find("Average Degree"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emigre::graph

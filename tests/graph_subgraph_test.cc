@@ -1,0 +1,138 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <set>
+
+#include "graph/validate.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace emigre::graph {
+namespace {
+
+TEST(SubgraphTest, HopZeroKeepsSeedsAndTheirMutualEdges) {
+  test::BookGraph bg = test::MakeBookGraph();
+  Result<Subgraph> sub =
+      ExtractNeighborhood(bg.g, {bg.paul, bg.alice}, 0);
+  ASSERT_TRUE(sub.ok()) << sub.status();
+  EXPECT_EQ(sub->graph.NumNodes(), 2u);
+  // Paul follows Alice: the induced edge survives.
+  NodeId new_paul = sub->old_to_new[bg.paul];
+  NodeId new_alice = sub->old_to_new[bg.alice];
+  ASSERT_NE(new_paul, kInvalidNode);
+  ASSERT_NE(new_alice, kInvalidNode);
+  EXPECT_TRUE(sub->graph.HasEdge(new_paul, new_alice));
+  EXPECT_TRUE(ValidateGraph(sub->graph).ok());
+}
+
+TEST(SubgraphTest, OneHopCoversDirectNeighbors) {
+  test::BookGraph bg = test::MakeBookGraph();
+  Result<Subgraph> sub = ExtractNeighborhood(bg.g, {bg.paul}, 1);
+  ASSERT_TRUE(sub.ok());
+  // Paul's one-hop ball: himself, rated books (Candide, C), followed users
+  // (Alice, Bob) — plus in-neighbors (the rated edges are bidirectional).
+  std::set<NodeId> expected = {bg.paul, bg.candide, bg.c_lang, bg.alice,
+                               bg.bob};
+  for (NodeId n : expected) {
+    EXPECT_NE(sub->old_to_new[n], kInvalidNode) << bg.g.DisplayName(n);
+  }
+  // Two hops away: Harry Potter (via Alice) must be absent.
+  EXPECT_EQ(sub->old_to_new[bg.harry_potter], kInvalidNode);
+  EXPECT_EQ(sub->graph.NumNodes(), expected.size());
+}
+
+TEST(SubgraphTest, LargeHopRecoversConnectedComponent) {
+  test::BookGraph bg = test::MakeBookGraph();
+  Result<Subgraph> sub = ExtractNeighborhood(bg.g, {bg.paul}, 10);
+  ASSERT_TRUE(sub.ok());
+  // The book graph is connected: everything survives, edges included.
+  EXPECT_EQ(sub->graph.NumNodes(), bg.g.NumNodes());
+  EXPECT_EQ(sub->graph.NumEdges(), bg.g.NumEdges());
+}
+
+TEST(SubgraphTest, MappingsAreConsistentAndOrderPreserving) {
+  test::BookGraph bg = test::MakeBookGraph();
+  Result<Subgraph> sub = ExtractNeighborhood(bg.g, {bg.alice}, 2);
+  ASSERT_TRUE(sub.ok());
+  ASSERT_EQ(sub->new_to_old.size(), sub->graph.NumNodes());
+  for (NodeId new_id = 0; new_id < sub->graph.NumNodes(); ++new_id) {
+    NodeId old_id = sub->new_to_old[new_id];
+    EXPECT_EQ(sub->old_to_new[old_id], new_id);
+    EXPECT_EQ(sub->graph.Label(new_id), bg.g.Label(old_id));
+    EXPECT_EQ(sub->graph.NodeTypeName(sub->graph.NodeType(new_id)),
+              bg.g.NodeTypeName(bg.g.NodeType(old_id)));
+    if (new_id > 0) {
+      EXPECT_LT(sub->new_to_old[new_id - 1], old_id);  // ascending order
+    }
+  }
+}
+
+TEST(SubgraphTest, EdgeWeightsAndTypesPreserved) {
+  test::BookGraph bg = test::MakeBookGraph();
+  Result<Subgraph> sub = ExtractNeighborhood(bg.g, {bg.paul}, 4);
+  ASSERT_TRUE(sub.ok());
+  for (const EdgeRef& e : sub->graph.AllEdges()) {
+    NodeId old_src = sub->new_to_old[e.src];
+    NodeId old_dst = sub->new_to_old[e.dst];
+    EXPECT_DOUBLE_EQ(sub->graph.EdgeWeight(e.src, e.dst, e.type),
+                     bg.g.EdgeWeight(old_src, old_dst, e.type));
+  }
+}
+
+TEST(SubgraphTest, RejectsInvalidSeed) {
+  test::BookGraph bg = test::MakeBookGraph();
+  EXPECT_TRUE(
+      ExtractNeighborhood(bg.g, {999}, 2).status().IsInvalidArgument());
+}
+
+TEST(SubgraphTest, DuplicateSeedsAreHarmless) {
+  test::BookGraph bg = test::MakeBookGraph();
+  Result<Subgraph> a = ExtractNeighborhood(bg.g, {bg.paul}, 1);
+  Result<Subgraph> b =
+      ExtractNeighborhood(bg.g, {bg.paul, bg.paul, bg.paul}, 1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->graph.NumNodes(), b->graph.NumNodes());
+  EXPECT_EQ(a->graph.NumEdges(), b->graph.NumEdges());
+}
+
+TEST(SubgraphTest, BfsDistancePropertyOnRandomGraphs) {
+  Rng rng(31415);
+  for (int trial = 0; trial < 5; ++trial) {
+    test::RandomHin rh = test::MakeRandomHin(rng, 5, 25, 3, 4);
+    NodeId seed = rh.users[rng.NextBounded(rh.users.size())];
+    const size_t hops = 2;
+    Result<Subgraph> sub = ExtractNeighborhood(rh.g, {seed}, hops);
+    ASSERT_TRUE(sub.ok());
+    ASSERT_TRUE(ValidateGraph(sub->graph).ok());
+
+    // Every kept node is within `hops` of the seed *in the subgraph* too
+    // (BFS over the undirected closure).
+    std::vector<int> dist(sub->graph.NumNodes(), -1);
+    std::deque<NodeId> frontier;
+    NodeId new_seed = sub->old_to_new[seed];
+    dist[new_seed] = 0;
+    frontier.push_back(new_seed);
+    while (!frontier.empty()) {
+      NodeId u = frontier.front();
+      frontier.pop_front();
+      auto visit = [&](NodeId v, EdgeTypeId, double) {
+        if (dist[v] < 0) {
+          dist[v] = dist[u] + 1;
+          frontier.push_back(v);
+        }
+      };
+      sub->graph.ForEachOutEdge(u, visit);
+      sub->graph.ForEachInEdge(u, visit);
+    }
+    for (NodeId n = 0; n < sub->graph.NumNodes(); ++n) {
+      ASSERT_GE(dist[n], 0);
+      EXPECT_LE(static_cast<size_t>(dist[n]), hops);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emigre::graph

@@ -1,0 +1,164 @@
+// End-to-end integration: dataset synthesis -> §6.1 preprocessing ->
+// scenario generation -> all eight §6.2 methods -> aggregation, checking
+// the cross-module invariants the paper's evaluation relies on.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/amazon_lite.h"
+#include "data/synthetic_amazon.h"
+#include "eval/methods.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "eval/runner.h"
+#include "eval/scenario.h"
+#include "explain/emigre.h"
+#include "explain/tester.h"
+#include "graph/validate.h"
+#include "recsys/recommender.h"
+
+namespace emigre {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SyntheticAmazonOptions gen;
+    gen.num_users = 40;
+    gen.num_items = 250;
+    gen.num_categories = 8;
+    gen.min_actions_per_user = 6;
+    gen.max_actions_per_user = 25;
+    Result<data::Dataset> ds = data::GenerateSyntheticAmazon(gen);
+    ASSERT_TRUE(ds.ok()) << ds.status();
+
+    data::AmazonLiteOptions lite_opts;
+    lite_opts.sample_users = 6;
+    lite_opts.min_user_actions = 5;
+    Result<data::AmazonLiteGraph> lite =
+        data::BuildAmazonLite(ds.value(), lite_opts);
+    ASSERT_TRUE(lite.ok()) << lite.status();
+    lite_ = new data::AmazonLiteGraph(std::move(lite).value());
+
+    opts_ = new explain::EmigreOptions();
+    opts_->rec.item_type = lite_->item_type;
+    opts_->allowed_edge_types = {lite_->rated_type, lite_->reviewed_type};
+    opts_->add_edge_type = lite_->rated_type;
+    opts_->rec.ppr.epsilon = 1e-7;
+    opts_->deadline_seconds = 1.0;
+
+    Result<std::vector<eval::Scenario>> scenarios = eval::GenerateScenarios(
+        lite_->graph, lite_->eval_users, *opts_, 4, 2);
+    ASSERT_TRUE(scenarios.ok());
+    scenarios_ = new std::vector<eval::Scenario>(std::move(scenarios).value());
+    ASSERT_FALSE(scenarios_->empty());
+
+    Result<eval::ExperimentResult> result = eval::RunExperiment(
+        lite_->graph, *scenarios_, eval::PaperMethods(), *opts_);
+    ASSERT_TRUE(result.ok()) << result.status();
+    result_ = new eval::ExperimentResult(std::move(result).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete result_;
+    delete scenarios_;
+    delete opts_;
+    delete lite_;
+  }
+
+  static data::AmazonLiteGraph* lite_;
+  static explain::EmigreOptions* opts_;
+  static std::vector<eval::Scenario>* scenarios_;
+  static eval::ExperimentResult* result_;
+};
+
+data::AmazonLiteGraph* PipelineTest::lite_ = nullptr;
+explain::EmigreOptions* PipelineTest::opts_ = nullptr;
+std::vector<eval::Scenario>* PipelineTest::scenarios_ = nullptr;
+eval::ExperimentResult* PipelineTest::result_ = nullptr;
+
+TEST_F(PipelineTest, GraphIsStructurallySound) {
+  EXPECT_TRUE(graph::ValidateGraph(lite_->graph).ok());
+  EXPECT_GT(lite_->graph.NumNodes(), 100u);
+  EXPECT_GT(lite_->graph.NumEdges(), 200u);
+}
+
+TEST_F(PipelineTest, RecordsCoverEveryMethodScenarioPair) {
+  EXPECT_EQ(result_->records.size(), scenarios_->size() * 8);
+  std::set<std::string> methods;
+  for (const auto& r : result_->records) methods.insert(r.method);
+  EXPECT_EQ(methods.size(), 8u);
+}
+
+TEST_F(PipelineTest, InternallyVerifiedMethodsAreAlwaysCorrect) {
+  for (const auto& r : result_->records) {
+    if (r.method != "remove_ex_direct" && r.returned) {
+      EXPECT_TRUE(r.correct) << r.method << " user " << r.scenario.user;
+    }
+  }
+}
+
+TEST_F(PipelineTest, DirectNeverBeatsVerifiedExhaustive) {
+  // remove_ex_direct returns the same candidates remove_ex would test
+  // first; its *correct* count cannot exceed remove_ex's.
+  auto aggs = eval::Aggregate(*result_, {"remove_ex", "remove_ex_direct"});
+  EXPECT_GE(aggs[0].correct, aggs[1].correct);
+}
+
+TEST_F(PipelineTest, OracleDominatesSizeCappedRemoveSearches) {
+  // On every scenario where a size-capped remove search succeeded, the
+  // brute-force oracle (same caps, bigger enumeration) succeeded too.
+  std::set<std::pair<graph::NodeId, graph::NodeId>> solved_by_oracle;
+  for (const auto& r : result_->records) {
+    if (r.method == "remove_brute" && r.correct) {
+      solved_by_oracle.insert({r.scenario.user, r.scenario.wni});
+    }
+  }
+  for (const auto& r : result_->records) {
+    if ((r.method == "remove_Powerset" || r.method == "remove_ex") &&
+        r.correct && r.failure != explain::FailureReason::kBudgetExceeded) {
+      EXPECT_TRUE(solved_by_oracle.count(
+                      {r.scenario.user, r.scenario.wni}) > 0)
+          << r.method << " solved a scenario the oracle missed (user "
+          << r.scenario.user << ", wni " << r.scenario.wni << ")";
+    }
+  }
+}
+
+TEST_F(PipelineTest, ExplanationsReVerifyAgainstTheGraph) {
+  // Spot-check: re-run two methods and confirm every found explanation
+  // actually flips the recommendation.
+  explain::Emigre engine(lite_->graph, *opts_);
+  size_t verified = 0;
+  for (const eval::Scenario& s : *scenarios_) {
+    for (explain::Mode mode :
+         {explain::Mode::kRemove, explain::Mode::kAdd}) {
+      Result<explain::Explanation> e =
+          engine.Explain(explain::WhyNotQuestion{s.user, s.wni}, mode,
+                         explain::Heuristic::kIncremental);
+      ASSERT_TRUE(e.ok());
+      if (!e->found) continue;
+      explain::ExplanationTester checker(lite_->graph, s.user, s.wni,
+                                         *opts_);
+      EXPECT_TRUE(checker.Test(e->edges, mode));
+      ++verified;
+    }
+  }
+  EXPECT_GT(verified, 0u) << "no scenario produced an explanation at all";
+}
+
+TEST_F(PipelineTest, ReportsRenderForRealAggregates) {
+  std::vector<std::string> names;
+  for (const auto& m : eval::PaperMethods()) names.push_back(m.name);
+  auto aggs = eval::Aggregate(*result_, names);
+  EXPECT_FALSE(eval::FormatFigure4(aggs).empty());
+  EXPECT_FALSE(eval::FormatFigure6(aggs).empty());
+  EXPECT_FALSE(eval::FormatTable5(aggs).empty());
+  auto solvable = eval::OracleSolvableScenarios(*result_, "remove_brute");
+  auto fig5 = eval::AggregateOnScenarios(*result_, names, solvable);
+  EXPECT_FALSE(eval::FormatFigure5(fig5, "remove_brute").empty());
+}
+
+}  // namespace
+}  // namespace emigre

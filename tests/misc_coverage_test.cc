@@ -1,0 +1,165 @@
+// Coverage for small utilities and option paths not exercised elsewhere:
+// logger levels, wall-clock deadlines, the action-vocabulary filter, the
+// unidirectional dataset pipeline, and RecWalk degenerate inputs.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "data/amazon_lite.h"
+#include "data/synthetic_amazon.h"
+#include "explain/options.h"
+#include "recsys/recwalk.h"
+#include "test_util.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace emigre {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(Logger::GetLevel()) {}
+  ~LogLevelGuard() { Logger::SetLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, LevelThresholdControlsEmission) {
+  LogLevelGuard guard;
+  Logger::SetLevel(LogLevel::kWarning);
+  EXPECT_FALSE(Logger::IsEnabled(LogLevel::kDebug));
+  EXPECT_FALSE(Logger::IsEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::IsEnabled(LogLevel::kWarning));
+  EXPECT_TRUE(Logger::IsEnabled(LogLevel::kError));
+  // Fatal always fires (it precedes an abort).
+  Logger::SetLevel(LogLevel::kFatal);
+  EXPECT_TRUE(Logger::IsEnabled(LogLevel::kFatal));
+  EXPECT_FALSE(Logger::IsEnabled(LogLevel::kError));
+}
+
+TEST(LoggingTest, MacroCompilesAndRespectsLevel) {
+  LogLevelGuard guard;
+  Logger::SetLevel(LogLevel::kError);
+  // Streamed expressions below the threshold must not be evaluated.
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return "x";
+  };
+  EMIGRE_LOG(kInfo) << count();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(TimerTest, WallTimerAdvances) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(timer.ElapsedSeconds(), 0.004);
+  EXPECT_GE(timer.ElapsedMicros(), 4000);
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.004);
+}
+
+TEST(TimerTest, DeadlineSemantics) {
+  Deadline unlimited;
+  EXPECT_FALSE(unlimited.Expired());
+  EXPECT_DOUBLE_EQ(unlimited.BudgetSeconds(), 0.0);
+
+  Deadline tiny(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(tiny.Expired());
+
+  Deadline generous(60.0);
+  EXPECT_FALSE(generous.Expired());
+}
+
+TEST(OptionsTest, AllowedEdgeTypeFilter) {
+  explain::EmigreOptions opts;
+  EXPECT_TRUE(opts.IsAllowedEdgeType(0));  // empty list = allow all
+  EXPECT_TRUE(opts.IsAllowedEdgeType(17));
+  opts.allowed_edge_types = {1, 3};
+  EXPECT_FALSE(opts.IsAllowedEdgeType(0));
+  EXPECT_TRUE(opts.IsAllowedEdgeType(1));
+  EXPECT_FALSE(opts.IsAllowedEdgeType(2));
+  EXPECT_TRUE(opts.IsAllowedEdgeType(3));
+}
+
+TEST(AmazonLiteTest, UnidirectionalPipelineOmitsMirrors) {
+  data::SyntheticAmazonOptions gen;
+  gen.num_users = 20;
+  gen.num_items = 100;
+  gen.num_categories = 5;
+  gen.min_actions_per_user = 4;
+  gen.max_actions_per_user = 10;
+  auto ds = data::GenerateSyntheticAmazon(gen);
+  ASSERT_TRUE(ds.ok());
+
+  data::AmazonLiteOptions opts;
+  opts.bidirectional = false;
+  opts.neighborhood_hops = 0;
+  opts.sample_users = 4;
+  opts.min_user_actions = 1;
+  auto lite = data::BuildAmazonLite(ds.value(), opts);
+  ASSERT_TRUE(lite.ok()) << lite.status();
+
+  // rated edges point user -> item only.
+  size_t forward = 0;
+  size_t backward = 0;
+  const graph::HinGraph& g = lite->graph;
+  for (const graph::EdgeRef& e : g.AllEdges()) {
+    if (e.type != lite->rated_type) continue;
+    if (g.NodeType(e.src) == lite->user_type) ++forward;
+    if (g.NodeType(e.src) == lite->item_type) ++backward;
+  }
+  EXPECT_GT(forward, 0u);
+  EXPECT_EQ(backward, 0u);
+}
+
+TEST(RecWalkTest, GraphWithoutUsersYieldsNoSimilarityEdges) {
+  graph::HinGraph g;
+  auto user_type = g.RegisterNodeType("user");
+  auto item_type = g.RegisterNodeType("item");
+  (void)user_type;
+  g.AddNode(item_type, "i0");
+  g.AddNode(item_type, "i1");
+  auto rw = recsys::BuildRecWalkGraph(g, item_type, user_type,
+                                      recsys::RecWalkOptions{});
+  ASSERT_TRUE(rw.ok());
+  EXPECT_EQ(rw->NumEdges(), 0u);
+}
+
+TEST(RecWalkTest, RejectsUnknownTypes) {
+  graph::HinGraph g;
+  g.RegisterNodeType("user");
+  EXPECT_TRUE(recsys::BuildRecWalkGraph(g, 7, 0, recsys::RecWalkOptions{})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(RecWalkTest, SingleSharedUserCreatesSymmetricSimilarity) {
+  graph::HinGraph g;
+  auto user_type = g.RegisterNodeType("user");
+  auto item_type = g.RegisterNodeType("item");
+  auto rated = g.RegisterEdgeType("rated");
+  graph::NodeId u = g.AddNode(user_type);
+  graph::NodeId a = g.AddNode(item_type, "a");
+  graph::NodeId b = g.AddNode(item_type, "b");
+  ASSERT_TRUE(g.AddBidirectional(u, a, rated).ok());
+  ASSERT_TRUE(g.AddBidirectional(u, b, rated).ok());
+  recsys::RecWalkOptions opts;
+  opts.min_similarity = 0.0;
+  auto rw = recsys::BuildRecWalkGraph(g, item_type, user_type, opts);
+  ASSERT_TRUE(rw.ok());
+  auto sim = rw->FindEdgeType("similar-to");
+  EXPECT_TRUE(rw->HasEdge(a, b, sim));
+  EXPECT_TRUE(rw->HasEdge(b, a, sim));
+  // Cosine of two identical one-hot user vectors is 1: the similarity
+  // block gets (1-beta) of each item's original out-weight.
+  double w_ab = rw->EdgeWeight(a, b, sim);
+  double expected = (1.0 - opts.beta) * g.OutWeight(a);
+  EXPECT_NEAR(w_ab, expected, 1e-12);
+}
+
+}  // namespace
+}  // namespace emigre

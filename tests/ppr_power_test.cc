@@ -1,0 +1,138 @@
+#include "ppr/power_iteration.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/overlay.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace emigre::ppr {
+namespace {
+
+using graph::HinGraph;
+using graph::NodeId;
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(PowerIterationTest, DistributionSumsToOne) {
+  test::BookGraph bg = test::MakeBookGraph();
+  PprOptions opts;
+  std::vector<double> p = PowerIterationPpr(bg.g, bg.paul, opts);
+  EXPECT_NEAR(Sum(p), 1.0, 1e-9);
+  for (double x : p) EXPECT_GE(x, 0.0);
+}
+
+TEST(PowerIterationTest, SeedKeepsAtLeastAlpha) {
+  test::BookGraph bg = test::MakeBookGraph();
+  PprOptions opts;
+  opts.alpha = 0.15;
+  std::vector<double> p = PowerIterationPpr(bg.g, bg.paul, opts);
+  EXPECT_GE(p[bg.paul], opts.alpha - 1e-9);
+}
+
+TEST(PowerIterationTest, IsolatedSeedConcentratesAllMass) {
+  HinGraph g;
+  NodeId a = g.AddNode("n");
+  g.AddNode("n");
+  std::vector<double> p = PowerIterationPpr(g, a, PprOptions{});
+  EXPECT_NEAR(p[a], 1.0, 1e-9);
+  EXPECT_NEAR(p[1], 0.0, 1e-12);
+}
+
+TEST(PowerIterationTest, DanglingTwoNodeAnalytic) {
+  // u -> d with d dangling (self-loop convention):
+  // PPR(u,u) = alpha, PPR(u,d) = 1 - alpha.
+  HinGraph g;
+  NodeId u = g.AddNode("n");
+  NodeId d = g.AddNode("n");
+  ASSERT_TRUE(g.AddEdge(u, d, g.RegisterEdgeType("e")).ok());
+  for (double alpha : {0.15, 0.5, 0.85}) {
+    PprOptions opts;
+    opts.alpha = alpha;
+    std::vector<double> p = PowerIterationPpr(g, u, opts);
+    EXPECT_NEAR(p[u], alpha, 1e-9) << "alpha=" << alpha;
+    EXPECT_NEAR(p[d], 1.0 - alpha, 1e-9) << "alpha=" << alpha;
+  }
+}
+
+TEST(PowerIterationTest, DirectedCycleAnalytic) {
+  // On a directed n-cycle, PPR(s, k steps ahead) =
+  // alpha (1-a)^k / (1 - (1-a)^n).
+  const size_t n = 5;
+  HinGraph g;
+  graph::EdgeTypeId t = g.RegisterEdgeType("e");
+  for (size_t i = 0; i < n; ++i) g.AddNode("n");
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(
+        g.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n), t)
+            .ok());
+  }
+  PprOptions opts;
+  opts.alpha = 0.2;
+  std::vector<double> p = PowerIterationPpr(g, 0, opts);
+  double beta = 1.0 - opts.alpha;
+  double denom = 1.0 - std::pow(beta, static_cast<double>(n));
+  for (size_t k = 0; k < n; ++k) {
+    double expected = opts.alpha * std::pow(beta, static_cast<double>(k)) /
+                      denom;
+    EXPECT_NEAR(p[k], expected, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(PowerIterationTest, EdgeWeightsSkewTransitions) {
+  // s has two out-edges with weights 3 and 1: the heavy target must get
+  // three times the light target's score (they are symmetric sinks).
+  HinGraph g;
+  graph::EdgeTypeId t = g.RegisterEdgeType("e");
+  NodeId s = g.AddNode("n");
+  NodeId heavy = g.AddNode("n");
+  NodeId light = g.AddNode("n");
+  ASSERT_TRUE(g.AddEdge(s, heavy, t, 3.0).ok());
+  ASSERT_TRUE(g.AddEdge(s, light, t, 1.0).ok());
+  std::vector<double> p = PowerIterationPpr(g, s, PprOptions{});
+  EXPECT_NEAR(p[heavy] / p[light], 3.0, 1e-6);
+}
+
+TEST(PowerIterationTest, AddingDirectEdgeRaisesTargetScore) {
+  test::BookGraph bg = test::MakeBookGraph();
+  PprOptions opts;
+  std::vector<double> before = PowerIterationPpr(bg.g, bg.paul, opts);
+  graph::GraphOverlay o(bg.g);
+  ASSERT_TRUE(o.AddEdge(bg.paul, bg.lotr, bg.rated, 1.0).ok());
+  std::vector<double> after = PowerIterationPpr(o, bg.paul, opts);
+  EXPECT_GT(after[bg.lotr], before[bg.lotr]);
+}
+
+TEST(PowerIterationTest, RemovingEdgeLowersTargetScore) {
+  test::BookGraph bg = test::MakeBookGraph();
+  PprOptions opts;
+  std::vector<double> before = PowerIterationPpr(bg.g, bg.paul, opts);
+  graph::GraphOverlay o(bg.g);
+  ASSERT_TRUE(o.RemoveEdge(bg.paul, bg.candide, bg.rated).ok());
+  std::vector<double> after = PowerIterationPpr(o, bg.paul, opts);
+  EXPECT_LT(after[bg.candide], before[bg.candide]);
+}
+
+TEST(PowerIterationTest, InvalidSeedYieldsZeroVector) {
+  test::BookGraph bg = test::MakeBookGraph();
+  std::vector<double> p =
+      PowerIterationPpr(bg.g, graph::kInvalidNode, PprOptions{});
+  EXPECT_NEAR(Sum(p), 0.0, 1e-12);
+}
+
+TEST(PowerIterationTest, RandomGraphsSumToOne) {
+  Rng rng(5150);
+  for (int trial = 0; trial < 10; ++trial) {
+    test::RandomHin rh = test::MakeRandomHin(rng, 6, 25, 4, 8);
+    NodeId seed = rh.users[rng.NextBounded(rh.users.size())];
+    std::vector<double> p = PowerIterationPpr(rh.g, seed, PprOptions{});
+    EXPECT_NEAR(Sum(p), 1.0, 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace emigre::ppr

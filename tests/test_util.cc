@@ -1,0 +1,219 @@
+#include "test_util.h"
+
+#include <cstdlib>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace emigre::test {
+
+BookGraph MakeBookGraph() {
+  BookGraph bg;
+  graph::HinGraph& g = bg.g;
+  bg.user_type = g.RegisterNodeType("user");
+  bg.item_type = g.RegisterNodeType("item");
+  bg.category_type = g.RegisterNodeType("category");
+  bg.rated = g.RegisterEdgeType("rated");
+  bg.follows = g.RegisterEdgeType("follows");
+  bg.belongs_to = g.RegisterEdgeType("belongs-to");
+
+  bg.paul = g.AddNode(bg.user_type, "Paul");
+  bg.alice = g.AddNode(bg.user_type, "Alice");
+  bg.bob = g.AddNode(bg.user_type, "Bob");
+
+  bg.harry_potter = g.AddNode(bg.item_type, "Harry Potter");
+  bg.lotr = g.AddNode(bg.item_type, "The Lord of the Rings");
+  bg.python = g.AddNode(bg.item_type, "Python");
+  bg.c_lang = g.AddNode(bg.item_type, "C");
+  bg.candide = g.AddNode(bg.item_type, "Candide");
+  bg.alchemist = g.AddNode(bg.item_type, "The Alchemist");
+
+  bg.fantasy = g.AddNode(bg.category_type, "Fantasy");
+  bg.programming = g.AddNode(bg.category_type, "Programming");
+  bg.classics = g.AddNode(bg.category_type, "Classics");
+
+  auto rated = [&](graph::NodeId u, graph::NodeId i) {
+    g.AddBidirectional(u, i, bg.rated).CheckOK();
+  };
+  auto belongs = [&](graph::NodeId i, graph::NodeId c) {
+    g.AddBidirectional(i, c, bg.belongs_to).CheckOK();
+  };
+
+  belongs(bg.harry_potter, bg.fantasy);
+  belongs(bg.lotr, bg.fantasy);
+  belongs(bg.python, bg.programming);
+  belongs(bg.c_lang, bg.programming);
+  belongs(bg.candide, bg.classics);
+  belongs(bg.alchemist, bg.classics);
+
+  rated(bg.alice, bg.harry_potter);
+  rated(bg.alice, bg.lotr);
+  rated(bg.alice, bg.candide);
+  rated(bg.bob, bg.python);
+  rated(bg.bob, bg.c_lang);
+  rated(bg.bob, bg.harry_potter);
+  rated(bg.paul, bg.candide);
+  rated(bg.paul, bg.c_lang);
+
+  // Social edges are directed (follower -> followed), as in the paper's
+  // modeling discussion (§3).
+  g.AddEdge(bg.paul, bg.alice, bg.follows).CheckOK();
+  g.AddEdge(bg.paul, bg.bob, bg.follows).CheckOK();
+
+  return bg;
+}
+
+explain::EmigreOptions MakeBookOptions(const BookGraph& bg) {
+  explain::EmigreOptions opts;
+  opts.rec.item_type = bg.item_type;
+  opts.allowed_edge_types = {bg.rated};
+  opts.add_edge_type = bg.rated;
+  // Tiny graph: relaxed push epsilon is plenty and keeps tests fast.
+  opts.rec.ppr.epsilon = 1e-9;
+  return opts;
+}
+
+RandomHin MakeRandomHin(Rng& rng, size_t num_users, size_t num_items,
+                        size_t num_categories, size_t actions_per_user) {
+  RandomHin rh;
+  graph::HinGraph& g = rh.g;
+  rh.user_type = g.RegisterNodeType("user");
+  rh.item_type = g.RegisterNodeType("item");
+  rh.category_type = g.RegisterNodeType("category");
+  rh.rated = g.RegisterEdgeType("rated");
+  rh.belongs_to = g.RegisterEdgeType("belongs-to");
+
+  for (size_t u = 0; u < num_users; ++u) {
+    rh.users.push_back(g.AddNode(rh.user_type, StrFormat("u%zu", u)));
+  }
+  for (size_t i = 0; i < num_items; ++i) {
+    rh.items.push_back(g.AddNode(rh.item_type, StrFormat("i%zu", i)));
+  }
+  std::vector<graph::NodeId> cats;
+  for (size_t c = 0; c < num_categories; ++c) {
+    cats.push_back(g.AddNode(rh.category_type, StrFormat("c%zu", c)));
+  }
+  for (size_t i = 0; i < num_items; ++i) {
+    g.AddBidirectional(rh.items[i], cats[rng.NextBounded(num_categories)],
+                       rh.belongs_to)
+        .CheckOK();
+  }
+  for (graph::NodeId u : rh.users) {
+    std::unordered_set<graph::NodeId> seen;
+    for (size_t a = 0; a < actions_per_user; ++a) {
+      graph::NodeId item = rh.items[rng.NextBounded(num_items)];
+      if (!seen.insert(item).second) continue;
+      g.AddBidirectional(u, item, rh.rated).CheckOK();
+    }
+  }
+  return rh;
+}
+
+explain::EmigreOptions MakeRandomHinOptions(const RandomHin& rh) {
+  explain::EmigreOptions opts;
+  opts.rec.item_type = rh.item_type;
+  opts.allowed_edge_types = {rh.rated};
+  opts.add_edge_type = rh.rated;
+  opts.rec.ppr.epsilon = 1e-8;
+  return opts;
+}
+
+ScenarioFixture MakeAddFriendlyCase() {
+  ScenarioFixture f;
+  graph::HinGraph& g = f.g;
+  graph::NodeTypeId user_t = g.RegisterNodeType("user");
+  graph::NodeTypeId item_t = g.RegisterNodeType("item");
+  graph::NodeTypeId cat_t = g.RegisterNodeType("category");
+  graph::EdgeTypeId rated = g.RegisterEdgeType("rated");
+  graph::EdgeTypeId belongs = g.RegisterEdgeType("belongs-to");
+
+  graph::NodeId paul = g.AddNode(user_t, "Paul");
+  graph::NodeId mary = g.AddNode(user_t, "Mary");
+  graph::NodeId dave = g.AddNode(user_t, "Dave");
+  // W first so it wins deterministic id tie-breaks among zero-score items.
+  graph::NodeId w = g.AddNode(item_t, "W");
+  graph::NodeId a = g.AddNode(item_t, "A");
+  graph::NodeId b = g.AddNode(item_t, "B");
+  graph::NodeId x = g.AddNode(item_t, "X");
+  graph::NodeId c = g.AddNode(item_t, "C");
+  graph::NodeId alpha = g.AddNode(cat_t, "Alpha");
+  graph::NodeId beta = g.AddNode(cat_t, "Beta");
+
+  auto rate = [&](graph::NodeId u, graph::NodeId i) {
+    g.AddBidirectional(u, i, rated).CheckOK();
+  };
+  g.AddBidirectional(a, alpha, belongs).CheckOK();
+  g.AddBidirectional(b, alpha, belongs).CheckOK();
+  g.AddBidirectional(c, alpha, belongs).CheckOK();
+  g.AddBidirectional(x, beta, belongs).CheckOK();
+  g.AddBidirectional(w, beta, belongs).CheckOK();
+  // Mary carries the Alpha cluster (diluted across three items); Dave
+  // carries the Beta cluster tightly (X and W only).
+  rate(mary, a);
+  rate(mary, b);
+  rate(mary, c);
+  rate(dave, x);
+  rate(dave, w);
+  rate(paul, a);  // Paul's lone action: the Alpha side recommends B/C.
+
+  f.opts = explain::EmigreOptions{};
+  f.opts.rec.item_type = item_t;
+  f.opts.allowed_edge_types = {rated};
+  f.opts.add_edge_type = rated;
+  f.opts.rec.ppr.epsilon = 1e-9;
+  f.user = paul;
+  f.wni = w;  // promoted by adding (Paul, X)
+  return f;
+}
+
+ScenarioFixture MakeRemoveFriendlyCase() {
+  ScenarioFixture f;
+  graph::HinGraph& g = f.g;
+  graph::NodeTypeId user_t = g.RegisterNodeType("user");
+  graph::NodeTypeId item_t = g.RegisterNodeType("item");
+  graph::EdgeTypeId rated = g.RegisterEdgeType("rated");
+
+  graph::NodeId paul = g.AddNode(user_t, "Paul");
+  graph::NodeId mary = g.AddNode(user_t, "Mary");
+  graph::NodeId dave = g.AddNode(user_t, "Dave");
+  graph::NodeId w = g.AddNode(item_t, "W");
+  graph::NodeId a = g.AddNode(item_t, "A");
+  graph::NodeId b = g.AddNode(item_t, "B");
+  graph::NodeId d = g.AddNode(item_t, "D");
+  graph::NodeId c2 = g.AddNode(item_t, "C2");
+
+  auto rate = [&](graph::NodeId u, graph::NodeId i) {
+    g.AddBidirectional(u, i, rated).CheckOK();
+  };
+  // W reaches Paul only through A (diluted by Mary's three ratings); the
+  // recommendation B reaches him through D (Dave rates only D and B, a
+  // tight conduit). Removing (Paul, D) starves B and W takes the top.
+  rate(mary, a);
+  rate(mary, w);
+  rate(mary, c2);
+  rate(dave, d);
+  rate(dave, b);
+  rate(paul, a);
+  rate(paul, d);
+
+  f.opts = explain::EmigreOptions{};
+  f.opts.rec.item_type = item_t;
+  f.opts.allowed_edge_types = {rated};
+  f.opts.add_edge_type = rated;
+  f.opts.rec.ppr.epsilon = 1e-9;
+  f.user = paul;
+  f.wni = w;
+  return f;
+}
+
+std::string MakeTempDir(const std::string& prefix) {
+  std::string tmpl = "/tmp/" + prefix + "_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  char* dir = mkdtemp(buf.data());
+  EMIGRE_CHECK(dir != nullptr) << "mkdtemp failed for " << tmpl;
+  return std::string(dir);
+}
+
+}  // namespace emigre::test

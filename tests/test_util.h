@@ -1,0 +1,79 @@
+#ifndef EMIGRE_TESTS_TEST_UTIL_H_
+#define EMIGRE_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "explain/options.h"
+#include "graph/hin_graph.h"
+#include "util/rng.h"
+
+namespace emigre::test {
+
+/// \brief The running-example-style book store fixture (paper Fig. 1).
+///
+/// Three users, six books in three categories, bidirectional rated /
+/// belongs-to edges and directed follows edges. Small enough for exact
+/// reasoning, rich enough that Remove and Add explanations both exist for
+/// some Why-Not questions.
+struct BookGraph {
+  graph::HinGraph g;
+  graph::NodeTypeId user_type, item_type, category_type;
+  graph::EdgeTypeId rated, follows, belongs_to;
+
+  graph::NodeId paul, alice, bob;
+  graph::NodeId harry_potter, lotr, python, c_lang, candide, alchemist;
+  graph::NodeId fantasy, programming, classics;
+};
+
+/// Builds the fixture. All tests share this exact topology.
+BookGraph MakeBookGraph();
+
+/// EmigreOptions pre-wired for a BookGraph (item type, rated-only action
+/// vocabulary, rated as the add-edge type).
+explain::EmigreOptions MakeBookOptions(const BookGraph& bg);
+
+/// \brief A random user–item–category HIN for property sweeps.
+///
+/// `num_users` users each rate `actions` items drawn at random (duplicates
+/// skipped); items spread over `num_categories` categories; everything
+/// bidirectional. Node ids: users first, then items, then categories.
+struct RandomHin {
+  graph::HinGraph g;
+  graph::NodeTypeId user_type, item_type, category_type;
+  graph::EdgeTypeId rated, belongs_to;
+  std::vector<graph::NodeId> users;
+  std::vector<graph::NodeId> items;
+};
+
+RandomHin MakeRandomHin(Rng& rng, size_t num_users, size_t num_items,
+                        size_t num_categories, size_t actions_per_user);
+
+/// EmigreOptions pre-wired for a RandomHin.
+explain::EmigreOptions MakeRandomHinOptions(const RandomHin& rh);
+
+/// \brief A crafted single-scenario case: graph + options + a Why-Not
+/// question with a known-solvable structure.
+struct ScenarioFixture {
+  graph::HinGraph g;
+  explain::EmigreOptions opts;
+  graph::NodeId user = graph::kInvalidNode;
+  graph::NodeId wni = graph::kInvalidNode;
+};
+
+/// A case where ADD mode provably succeeds with a single positive-
+/// contribution edge (and Remove mode also has a solution): the user's
+/// lone action funnels score into the recommended cluster, while an
+/// un-interacted "bridge" item funnels into the Why-Not item's cluster.
+ScenarioFixture MakeAddFriendlyCase();
+
+/// A case where REMOVE mode provably succeeds by undoing the single edge
+/// that carries the recommendation's score.
+ScenarioFixture MakeRemoveFriendlyCase();
+
+/// Creates a unique temporary directory for a test and returns its path.
+std::string MakeTempDir(const std::string& prefix);
+
+}  // namespace emigre::test
+
+#endif  // EMIGRE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,83 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace emigre {
+namespace {
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  std::string dir = test::MakeTempDir("csv");
+  std::string path = dir + "/t.csv";
+  {
+    CsvWriter w(path);
+    ASSERT_TRUE(w.status().ok());
+    ASSERT_TRUE(w.WriteRow({"a", "b", "c"}).ok());
+    ASSERT_TRUE(w.WriteRow({"1", "2", "3"}).ok());
+    ASSERT_TRUE(w.Close().ok());
+  }
+  CsvReader r(path);
+  ASSERT_TRUE(r.status().ok());
+  std::vector<std::string> row;
+  ASSERT_TRUE(r.ReadRow(&row));
+  EXPECT_EQ(row, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_TRUE(r.ReadRow(&row));
+  EXPECT_EQ(row, (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_FALSE(r.ReadRow(&row));
+}
+
+TEST(CsvTest, QuotingRoundTrip) {
+  std::string dir = test::MakeTempDir("csv");
+  std::string path = dir + "/q.csv";
+  std::vector<std::string> tricky = {"comma,inside", "quote\"inside",
+                                     "new\nline", "plain"};
+  {
+    CsvWriter w(path);
+    ASSERT_TRUE(w.WriteRow(tricky).ok());
+    ASSERT_TRUE(w.Close().ok());
+  }
+  CsvReader r(path);
+  std::vector<std::string> row;
+  ASSERT_TRUE(r.ReadRow(&row));
+  EXPECT_EQ(row, tricky);
+  EXPECT_FALSE(r.ReadRow(&row));
+}
+
+TEST(CsvTest, EmptyFieldsSurvive) {
+  std::string dir = test::MakeTempDir("csv");
+  std::string path = dir + "/e.csv";
+  {
+    CsvWriter w(path);
+    ASSERT_TRUE(w.WriteRow({"", "x", ""}).ok());
+    ASSERT_TRUE(w.Close().ok());
+  }
+  CsvReader r(path);
+  std::vector<std::string> row;
+  ASSERT_TRUE(r.ReadRow(&row));
+  EXPECT_EQ(row, (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(CsvTest, MissingFileReportsIOError) {
+  CsvReader r("/nonexistent/dir/file.csv");
+  EXPECT_TRUE(r.status().IsIOError());
+  CsvWriter w("/nonexistent/dir/file.csv");
+  EXPECT_TRUE(w.status().IsIOError());
+}
+
+TEST(ParseCsvLineTest, HandlesQuotes) {
+  EXPECT_EQ(ParseCsvLine("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(ParseCsvLine("\"a,b\",c"),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(ParseCsvLine("\"he said \"\"hi\"\"\",x"),
+            (std::vector<std::string>{"he said \"hi\"", "x"}));
+  EXPECT_EQ(ParseCsvLine(""), (std::vector<std::string>{""}));
+}
+
+TEST(ParseCsvLineTest, CustomDelimiter) {
+  EXPECT_EQ(ParseCsvLine("a;b", ';'), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace emigre

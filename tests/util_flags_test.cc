@@ -1,0 +1,103 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace emigre {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser parser("test tool");
+  parser.AddFlag("seed", "rng seed", "42");
+  parser.AddFlag("rate", "a rate", "0.5");
+  parser.AddFlag("name", "a name", "default");
+  parser.AddFlag("verbose", "chatty", "false");
+  return parser;
+}
+
+TEST(FlagParserTest, DefaultsApplyWithoutArgs) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(parser.Parse(std::vector<std::string>{}).ok());
+  EXPECT_EQ(parser.GetInt("seed").ValueOrDie(), 42);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("rate").ValueOrDie(), 0.5);
+  EXPECT_EQ(parser.GetString("name").ValueOrDie(), "default");
+  EXPECT_FALSE(parser.GetBool("verbose").ValueOrDie());
+  EXPECT_FALSE(parser.WasSet("seed"));
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(parser.Parse({"--seed=7", "--name=emigre"}).ok());
+  EXPECT_EQ(parser.GetInt("seed").ValueOrDie(), 7);
+  EXPECT_EQ(parser.GetString("name").ValueOrDie(), "emigre");
+  EXPECT_TRUE(parser.WasSet("seed"));
+  EXPECT_FALSE(parser.WasSet("rate"));
+}
+
+TEST(FlagParserTest, SpaceSyntaxAndBareBoolean) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(parser.Parse({"--seed", "9", "--verbose"}).ok());
+  EXPECT_EQ(parser.GetInt("seed").ValueOrDie(), 9);
+  EXPECT_TRUE(parser.GetBool("verbose").ValueOrDie());
+}
+
+TEST(FlagParserTest, PositionalArgumentsCollected) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(parser.Parse({"input.csv", "--seed=1", "output.csv"}).ok());
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"input.csv", "output.csv"}));
+}
+
+TEST(FlagParserTest, UnknownFlagRejected) {
+  FlagParser parser = MakeParser();
+  Status st = parser.Parse({"--bogus=1"});
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("bogus"), std::string::npos);
+}
+
+TEST(FlagParserTest, TypeErrorsAtAccess) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(parser.Parse({"--name=xyz"}).ok());
+  EXPECT_TRUE(parser.GetInt("name").status().IsInvalidArgument());
+  EXPECT_TRUE(parser.GetDouble("name").status().IsInvalidArgument());
+  EXPECT_TRUE(parser.GetBool("name").status().IsInvalidArgument());
+  EXPECT_TRUE(parser.GetString("missing").status().IsInvalidArgument());
+}
+
+TEST(FlagParserTest, BooleanSpellings) {
+  for (const char* truthy : {"true", "1", "yes", "on", "TRUE"}) {
+    FlagParser parser = MakeParser();
+    ASSERT_TRUE(parser.Parse({std::string("--verbose=") + truthy}).ok());
+    EXPECT_TRUE(parser.GetBool("verbose").ValueOrDie()) << truthy;
+  }
+  for (const char* falsy : {"false", "0", "no", "off", "False"}) {
+    FlagParser parser = MakeParser();
+    ASSERT_TRUE(parser.Parse({std::string("--verbose=") + falsy}).ok());
+    EXPECT_FALSE(parser.GetBool("verbose").ValueOrDie()) << falsy;
+  }
+}
+
+TEST(FlagParserTest, ArgcArgvOverloadSkipsProgramName) {
+  FlagParser parser = MakeParser();
+  const char* argv[] = {"prog", "--seed=3", "pos"};
+  ASSERT_TRUE(parser.Parse(3, argv).ok());
+  EXPECT_EQ(parser.GetInt("seed").ValueOrDie(), 3);
+  EXPECT_EQ(parser.positional().size(), 1u);
+}
+
+TEST(FlagParserTest, HelpListsFlags) {
+  FlagParser parser = MakeParser();
+  std::string help = parser.Help();
+  EXPECT_NE(help.find("test tool"), std::string::npos);
+  EXPECT_NE(help.find("--seed"), std::string::npos);
+  EXPECT_NE(help.find("rng seed"), std::string::npos);
+  EXPECT_NE(help.find("42"), std::string::npos);
+}
+
+TEST(FlagParserTest, LastValueWins) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(parser.Parse({"--seed=1", "--seed=2"}).ok());
+  EXPECT_EQ(parser.GetInt("seed").ValueOrDie(), 2);
+}
+
+}  // namespace
+}  // namespace emigre

@@ -1,0 +1,130 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace emigre {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad weight");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad weight");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad weight");
+}
+
+TEST(StatusTest, AllFactoriesMapToPredicates) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+}
+
+TEST(StatusTest, CopyAndMovePreserveState) {
+  Status original = Status::NotFound("edge");
+  Status copy = original;
+  EXPECT_EQ(copy, original);
+  Status moved = std::move(original);
+  EXPECT_TRUE(moved.IsNotFound());
+  EXPECT_EQ(moved.message(), "edge");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, StatusCodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chained(int x) {
+  EMIGRE_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Chained(1).ok());
+  EXPECT_TRUE(Chained(-1).IsInvalidArgument());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueOnSuccess) {
+  Result<int> r = 7;
+  EXPECT_EQ(r.ValueOr(-1), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+Result<int> HalfOf(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterOf(int x) {
+  EMIGRE_ASSIGN_OR_RETURN(int half, HalfOf(x));
+  EMIGRE_ASSIGN_OR_RETURN(int quarter, HalfOf(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> ok = QuarterOf(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+
+  Result<int> fail_outer = QuarterOf(7);
+  EXPECT_TRUE(fail_outer.status().IsInvalidArgument());
+
+  Result<int> fail_inner = QuarterOf(6);  // 6/2 = 3, odd
+  EXPECT_TRUE(fail_inner.status().IsInvalidArgument());
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+}  // namespace
+}  // namespace emigre

@@ -1,0 +1,72 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace emigre {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable t({"Name", "Value"});
+  t.AddRow({"alpha", "0.15"});
+  t.AddRow({"epsilon", "2.7e-8"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("Name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("2.7e-8"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, RightAlignment) {
+  TextTable t({"K", "V"});
+  t.SetAlign(1, Align::kRight);
+  t.AddRow({"x", "1"});
+  t.AddRow({"y", "100"});
+  std::string s = t.ToString();
+  // "1" must be right-aligned under the 3-wide column: "  1".
+  EXPECT_NE(s.find("x |   1"), std::string::npos);
+  EXPECT_NE(s.find("y | 100"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsPadAndLongRowsTruncate) {
+  TextTable t({"A", "B"});
+  t.AddRow({"only"});
+  t.AddRow({"x", "y", "dropped"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("only"), std::string::npos);
+  EXPECT_EQ(s.find("dropped"), std::string::npos);
+}
+
+TEST(TextTableTest, SeparatorEmitsRule) {
+  TextTable t({"A"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  std::string s = t.ToString();
+  // Two rules: one under the header, one mid-table.
+  size_t first = s.find("-\n");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(s.find("-\n", first + 1), std::string::npos);
+}
+
+TEST(BarChartTest, ScalesAndLabels) {
+  std::string s =
+      BarChart({"add_ex", "remove_ex"}, {75.0, 30.0}, 100.0, "%", 20);
+  EXPECT_NE(s.find("add_ex"), std::string::npos);
+  EXPECT_NE(s.find("75%"), std::string::npos);
+  // 75% of 20 = 15 filled cells.
+  EXPECT_NE(s.find("###############....."), std::string::npos);
+}
+
+TEST(BarChartTest, ClampsOverflow) {
+  std::string s = BarChart({"x"}, {150.0}, 100.0, "", 10);
+  EXPECT_NE(s.find("##########"), std::string::npos);
+}
+
+TEST(BarChartTest, ZeroValue) {
+  std::string s = BarChart({"x"}, {0.0}, 100.0, "", 10);
+  EXPECT_NE(s.find(".........."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emigre

@@ -1,0 +1,342 @@
+// emigre — command-line interface to the library.
+//
+// Subcommands:
+//   generate    synthesize an Amazon-style dataset and write CSVs
+//   build-graph run the §6.1 preprocessing pipeline and save the HIN
+//   stats       print Table-4-style degree statistics of a saved graph
+//   recommend   print a user's top-k recommendation list
+//   explain     answer a Why-Not question
+//   experiment  run the §6.2 evaluation and write reports + records CSV
+//
+// Examples:
+//   emigre generate --dir /tmp/ds --users 120 --items 2000
+//   emigre build-graph --dataset /tmp/ds --out /tmp/amazon.graph
+//   emigre stats --graph /tmp/amazon.graph
+//   emigre recommend --graph /tmp/amazon.graph --user 17 --top 10
+//   emigre explain --graph /tmp/amazon.graph --user 17 --item 261 \
+//       --mode add --heuristic incremental
+//   emigre experiment --graph /tmp/amazon.graph --out /tmp/records.csv
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "data/amazon_lite.h"
+#include "data/csv_io.h"
+#include "data/synthetic_amazon.h"
+#include "eval/methods.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "eval/runner.h"
+#include "eval/scenario.h"
+#include "explain/emigre.h"
+#include "explain/format.h"
+#include "explain/meta.h"
+#include "explain/search_space.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace emigre::cli {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// Shared graph-loading + explainer-options wiring for the query commands.
+struct LoadedGraph {
+  graph::HinGraph g;
+  explain::EmigreOptions opts;
+};
+
+Result<LoadedGraph> LoadForQueries(const std::string& path) {
+  LoadedGraph lg;
+  EMIGRE_ASSIGN_OR_RETURN(lg.g, graph::LoadGraph(path));
+  graph::NodeTypeId item_type = lg.g.FindNodeType("item");
+  if (item_type == graph::kInvalidNodeType) {
+    return Status::InvalidArgument(
+        "graph has no 'item' node type; was it built by `emigre "
+        "build-graph`?");
+  }
+  lg.opts.rec.item_type = item_type;
+  for (const char* name : {"rated", "reviewed"}) {
+    graph::EdgeTypeId t = lg.g.FindEdgeType(name);
+    if (t != graph::kInvalidEdgeType) {
+      lg.opts.allowed_edge_types.push_back(t);
+    }
+  }
+  lg.opts.add_edge_type = lg.g.FindEdgeType("rated");
+  lg.opts.rec.ppr.epsilon = 1e-7;
+  lg.opts.deadline_seconds = 5.0;
+  return lg;
+}
+
+int RunGenerate(const std::vector<std::string>& args) {
+  FlagParser parser("emigre generate — synthesize the Amazon-style dataset");
+  parser.AddFlag("dir", "output directory for the CSV files", "");
+  parser.AddFlag("users", "number of users", "120");
+  parser.AddFlag("items", "number of items", "2000");
+  parser.AddFlag("categories", "number of categories", "32");
+  parser.AddFlag("seed", "generator seed", "20240416");
+  Status st = parser.Parse(args);
+  if (!st.ok()) return Fail(st);
+  std::string dir = parser.GetString("dir").ValueOrDie();
+  if (dir.empty()) return Fail(Status::InvalidArgument("--dir is required"));
+
+  data::SyntheticAmazonOptions gen;
+  gen.num_users = static_cast<size_t>(parser.GetInt("users").ValueOrDie());
+  gen.num_items = static_cast<size_t>(parser.GetInt("items").ValueOrDie());
+  gen.num_categories =
+      static_cast<size_t>(parser.GetInt("categories").ValueOrDie());
+  gen.seed = static_cast<uint64_t>(parser.GetInt("seed").ValueOrDie());
+
+  Result<data::Dataset> ds = data::GenerateSyntheticAmazon(gen);
+  if (!ds.ok()) return Fail(ds.status());
+  std::filesystem::create_directories(dir);
+  st = data::SaveDatasetCsv(ds.value(), dir);
+  if (!st.ok()) return Fail(st);
+  std::printf("dataset: %zu users, %zu items, %zu ratings, %zu reviews -> "
+              "%s\n",
+              ds->users.size(), ds->items.size(), ds->ratings.size(),
+              ds->reviews.size(), dir.c_str());
+  return 0;
+}
+
+int RunBuildGraph(const std::vector<std::string>& args) {
+  FlagParser parser("emigre build-graph — §6.1 preprocessing pipeline");
+  parser.AddFlag("dataset", "directory with dataset CSVs", "");
+  parser.AddFlag("out", "output graph file", "");
+  parser.AddFlag("min-stars", "keep ratings strictly above this", "3");
+  parser.AddFlag("hops", "neighborhood hops around sampled users (0=all)",
+                 "4");
+  parser.AddFlag("sample-users", "moderate/active users to sample", "100");
+  Status st = parser.Parse(args);
+  if (!st.ok()) return Fail(st);
+  std::string dataset = parser.GetString("dataset").ValueOrDie();
+  std::string out = parser.GetString("out").ValueOrDie();
+  if (dataset.empty() || out.empty()) {
+    return Fail(Status::InvalidArgument("--dataset and --out are required"));
+  }
+
+  Result<data::Dataset> ds = data::LoadDatasetCsv(dataset);
+  if (!ds.ok()) return Fail(ds.status());
+  data::AmazonLiteOptions lite_opts;
+  lite_opts.min_stars_exclusive =
+      static_cast<int>(parser.GetInt("min-stars").ValueOrDie());
+  lite_opts.neighborhood_hops =
+      static_cast<size_t>(parser.GetInt("hops").ValueOrDie());
+  lite_opts.sample_users =
+      static_cast<size_t>(parser.GetInt("sample-users").ValueOrDie());
+  Result<data::AmazonLiteGraph> lite =
+      data::BuildAmazonLite(ds.value(), lite_opts);
+  if (!lite.ok()) return Fail(lite.status());
+  st = graph::SaveGraph(lite->graph, out);
+  if (!st.ok()) return Fail(st);
+  std::printf("graph: %zu nodes, %zu edges -> %s\n", lite->graph.NumNodes(),
+              lite->graph.NumEdges(), out.c_str());
+  std::printf("sampled evaluation users:");
+  for (graph::NodeId u : lite->eval_users) std::printf(" %u", u);
+  std::printf("\n");
+  return 0;
+}
+
+int RunStats(const std::vector<std::string>& args) {
+  FlagParser parser("emigre stats — degree statistics per node type");
+  parser.AddFlag("graph", "graph file", "");
+  Status st = parser.Parse(args);
+  if (!st.ok()) return Fail(st);
+  Result<graph::HinGraph> g =
+      graph::LoadGraph(parser.GetString("graph").ValueOrDie());
+  if (!g.ok()) return Fail(g.status());
+  std::printf("%zu nodes, %zu edges\n%s", g->NumNodes(), g->NumEdges(),
+              graph::FormatDegreeStats(graph::ComputeDegreeStats(g.value()))
+                  .c_str());
+  return 0;
+}
+
+int RunRecommend(const std::vector<std::string>& args) {
+  FlagParser parser("emigre recommend — a user's top-k list");
+  parser.AddFlag("graph", "graph file", "");
+  parser.AddFlag("user", "user node id", "-1");
+  parser.AddFlag("top", "list length", "10");
+  Status st = parser.Parse(args);
+  if (!st.ok()) return Fail(st);
+  Result<LoadedGraph> lg =
+      LoadForQueries(parser.GetString("graph").ValueOrDie());
+  if (!lg.ok()) return Fail(lg.status());
+  int64_t user = parser.GetInt("user").ValueOrDie();
+  if (user < 0 || !lg->g.IsValidNode(static_cast<graph::NodeId>(user))) {
+    return Fail(Status::InvalidArgument("--user must be a valid node id"));
+  }
+  explain::Emigre engine(lg->g, lg->opts);
+  auto ranking = engine.CurrentRanking(static_cast<graph::NodeId>(user))
+                     .TopN(static_cast<size_t>(
+                         parser.GetInt("top").ValueOrDie()));
+  for (size_t i = 0; i < ranking.size(); ++i) {
+    std::printf("%2zu. [%u] %-24s %.6f\n", i + 1, ranking.at(i).item,
+                lg->g.DisplayName(ranking.at(i).item).c_str(),
+                ranking.at(i).score);
+  }
+  return 0;
+}
+
+int RunExplain(const std::vector<std::string>& args) {
+  FlagParser parser("emigre explain — answer a Why-Not question");
+  parser.AddFlag("graph", "graph file", "");
+  parser.AddFlag("user", "user node id", "-1");
+  parser.AddFlag("item", "Why-Not item node id", "-1");
+  parser.AddFlag("mode", "add | remove | auto", "auto");
+  parser.AddFlag("heuristic",
+                 "incremental | powerset | exhaustive | brute", "incremental");
+  Status st = parser.Parse(args);
+  if (!st.ok()) return Fail(st);
+  Result<LoadedGraph> lg =
+      LoadForQueries(parser.GetString("graph").ValueOrDie());
+  if (!lg.ok()) return Fail(lg.status());
+  graph::NodeId user =
+      static_cast<graph::NodeId>(parser.GetInt("user").ValueOrDie());
+  graph::NodeId item =
+      static_cast<graph::NodeId>(parser.GetInt("item").ValueOrDie());
+
+  explain::Heuristic heuristic;
+  std::string h = parser.GetString("heuristic").ValueOrDie();
+  if (h == "incremental") {
+    heuristic = explain::Heuristic::kIncremental;
+  } else if (h == "powerset") {
+    heuristic = explain::Heuristic::kPowerset;
+  } else if (h == "exhaustive") {
+    heuristic = explain::Heuristic::kExhaustive;
+  } else if (h == "brute") {
+    heuristic = explain::Heuristic::kBruteForce;
+  } else {
+    return Fail(Status::InvalidArgument("unknown --heuristic " + h));
+  }
+
+  explain::Emigre engine(lg->g, lg->opts);
+  explain::WhyNotQuestion q{user, item};
+  std::string mode = parser.GetString("mode").ValueOrDie();
+  Result<explain::Explanation> result =
+      mode == "auto"
+          ? engine.ExplainAuto(q, heuristic)
+          : engine.Explain(q,
+                           mode == "add" ? explain::Mode::kAdd
+                                         : explain::Mode::kRemove,
+                           heuristic);
+  if (!result.ok()) return Fail(result.status());
+  const explain::Explanation& e = result.value();
+  if (!e.found) {
+    std::printf("no explanation (%s)\n",
+                std::string(FailureReasonName(e.failure)).c_str());
+    // Meta-explanation for the failure (§6.4).
+    auto space = e.mode == explain::Mode::kRemove
+                     ? explain::BuildRemoveSearchSpace(
+                           lg->g, user, e.original_rec, item, lg->opts)
+                     : explain::BuildAddSearchSpace(
+                           lg->g, user, e.original_rec, item, lg->opts);
+    if (space.ok()) {
+      std::printf("diagnosis: %s\n",
+                  explain::DiagnoseFailure(lg->g, space.value(), e, lg->opts)
+                      .message.c_str());
+    }
+    return 2;
+  }
+  std::printf("%s\n", explain::FormatExplanationSentence(lg->g, e).c_str());
+  std::printf("(%s mode, %zu action(s), %s heuristic, %zu TESTs, %.1f ms)\n",
+              std::string(ModeName(e.mode)).c_str(), e.size(),
+              std::string(HeuristicName(e.heuristic)).c_str(),
+              e.tests_performed, e.seconds * 1e3);
+  for (const auto& edge : e.edges) {
+    std::printf("  %s (%s -> %s [%s])\n",
+                e.mode == explain::Mode::kAdd ? "PERFORM" : "UNDO",
+                lg->g.DisplayName(edge.src).c_str(),
+                lg->g.DisplayName(edge.dst).c_str(),
+                lg->g.EdgeTypeName(edge.type).c_str());
+  }
+  return 0;
+}
+
+int RunExperiment(const std::vector<std::string>& args) {
+  FlagParser parser("emigre experiment — the §6.2 evaluation");
+  parser.AddFlag("graph", "graph file", "");
+  parser.AddFlag("out", "records CSV output path", "");
+  parser.AddFlag("top", "recommendation list length per user", "10");
+  parser.AddFlag("per-user", "Why-Not positions per user (0=all)", "3");
+  parser.AddFlag("deadline", "per-attempt budget in seconds", "2.0");
+  parser.AddFlag("threads", "worker threads (0=all cores)", "0");
+  Status st = parser.Parse(args);
+  if (!st.ok()) return Fail(st);
+  Result<LoadedGraph> lg =
+      LoadForQueries(parser.GetString("graph").ValueOrDie());
+  if (!lg.ok()) return Fail(lg.status());
+  lg->opts.deadline_seconds = parser.GetDouble("deadline").ValueOrDie();
+
+  // Evaluation users: every user-typed node with at least one action.
+  std::vector<graph::NodeId> users;
+  graph::NodeTypeId user_type = lg->g.FindNodeType("user");
+  for (graph::NodeId n = 0; n < lg->g.NumNodes(); ++n) {
+    if (lg->g.NodeType(n) == user_type && lg->g.OutDegree(n) > 0) {
+      users.push_back(n);
+    }
+  }
+  Result<std::vector<eval::Scenario>> scenarios = eval::GenerateScenarios(
+      lg->g, users, lg->opts,
+      static_cast<size_t>(parser.GetInt("top").ValueOrDie()),
+      static_cast<size_t>(parser.GetInt("per-user").ValueOrDie()));
+  if (!scenarios.ok()) return Fail(scenarios.status());
+  std::printf("%zu users, %zu scenarios\n", users.size(), scenarios->size());
+
+  eval::RunnerOptions run_opts;
+  run_opts.num_threads =
+      static_cast<size_t>(parser.GetInt("threads").ValueOrDie());
+  run_opts.progress_every = 10;
+  Result<eval::ExperimentResult> result = eval::RunExperiment(
+      lg->g, scenarios.value(), eval::PaperMethods(), lg->opts, run_opts);
+  if (!result.ok()) return Fail(result.status());
+
+  std::vector<std::string> names;
+  for (const auto& m : eval::PaperMethods()) names.push_back(m.name);
+  auto aggregates = eval::Aggregate(result.value(), names);
+  std::printf("%s\n%s\n%s\n", eval::FormatFigure4(aggregates).c_str(),
+              eval::FormatFigure6(aggregates).c_str(),
+              eval::FormatTable5(aggregates).c_str());
+
+  std::string out = parser.GetString("out").ValueOrDie();
+  if (!out.empty()) {
+    st = eval::WriteRecordsCsv(result.value(), out);
+    if (!st.ok()) return Fail(st);
+    std::printf("records -> %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  const std::string usage =
+      "usage: emigre <generate|build-graph|stats|recommend|explain|"
+      "experiment> [flags]\n";
+  if (argc < 2) {
+    std::fprintf(stderr, "%s", usage.c_str());
+    return 1;
+  }
+  std::string command = argv[1];
+  std::vector<std::string> rest;
+  for (int i = 2; i < argc; ++i) rest.emplace_back(argv[i]);
+
+  if (command == "generate") return RunGenerate(rest);
+  if (command == "build-graph") return RunBuildGraph(rest);
+  if (command == "stats") return RunStats(rest);
+  if (command == "recommend") return RunRecommend(rest);
+  if (command == "explain") return RunExplain(rest);
+  if (command == "experiment") return RunExperiment(rest);
+  std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(),
+               usage.c_str());
+  return 1;
+}
+
+}  // namespace
+}  // namespace emigre::cli
+
+int main(int argc, char** argv) { return emigre::cli::Main(argc, argv); }
