@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_ppr"
+  "../bench/bench_ablation_ppr.pdb"
+  "CMakeFiles/bench_ablation_ppr.dir/bench_ablation_ppr.cc.o"
+  "CMakeFiles/bench_ablation_ppr.dir/bench_ablation_ppr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ppr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_tester"
+  "../bench/bench_ablation_tester.pdb"
+  "CMakeFiles/bench_ablation_tester.dir/bench_ablation_tester.cc.o"
+  "CMakeFiles/bench_ablation_tester.dir/bench_ablation_tester.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

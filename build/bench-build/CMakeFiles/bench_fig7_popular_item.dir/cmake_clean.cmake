@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_popular_item"
+  "../bench/bench_fig7_popular_item.pdb"
+  "CMakeFiles/bench_fig7_popular_item.dir/bench_fig7_popular_item.cc.o"
+  "CMakeFiles/bench_fig7_popular_item.dir/bench_fig7_popular_item.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_popular_item.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emigre_bench_common.dir/common.cc.o"
+  "CMakeFiles/emigre_bench_common.dir/common.cc.o.d"
+  "libemigre_bench_common.a"
+  "libemigre_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emigre_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amazon_pipeline.dir/amazon_pipeline.cpp.o"
+  "CMakeFiles/amazon_pipeline.dir/amazon_pipeline.cpp.o.d"
+  "amazon_pipeline"
+  "amazon_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amazon_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

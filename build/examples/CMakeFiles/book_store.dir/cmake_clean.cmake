@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/book_store.dir/book_store.cpp.o"
+  "CMakeFiles/book_store.dir/book_store.cpp.o.d"
+  "book_store"
+  "book_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/book_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/amazon_lite.cc" "src/data/CMakeFiles/emigre_data.dir/amazon_lite.cc.o" "gcc" "src/data/CMakeFiles/emigre_data.dir/amazon_lite.cc.o.d"
+  "/root/repo/src/data/csv_io.cc" "src/data/CMakeFiles/emigre_data.dir/csv_io.cc.o" "gcc" "src/data/CMakeFiles/emigre_data.dir/csv_io.cc.o.d"
+  "/root/repo/src/data/embedding.cc" "src/data/CMakeFiles/emigre_data.dir/embedding.cc.o" "gcc" "src/data/CMakeFiles/emigre_data.dir/embedding.cc.o.d"
+  "/root/repo/src/data/synthetic_amazon.cc" "src/data/CMakeFiles/emigre_data.dir/synthetic_amazon.cc.o" "gcc" "src/data/CMakeFiles/emigre_data.dir/synthetic_amazon.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/emigre_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emigre_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emigre_data.dir/amazon_lite.cc.o"
+  "CMakeFiles/emigre_data.dir/amazon_lite.cc.o.d"
+  "CMakeFiles/emigre_data.dir/csv_io.cc.o"
+  "CMakeFiles/emigre_data.dir/csv_io.cc.o.d"
+  "CMakeFiles/emigre_data.dir/embedding.cc.o"
+  "CMakeFiles/emigre_data.dir/embedding.cc.o.d"
+  "CMakeFiles/emigre_data.dir/synthetic_amazon.cc.o"
+  "CMakeFiles/emigre_data.dir/synthetic_amazon.cc.o.d"
+  "libemigre_data.a"
+  "libemigre_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emigre_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

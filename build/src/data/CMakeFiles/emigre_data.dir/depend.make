@@ -1,0 +1,2 @@
+# Empty dependencies file for emigre_data.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/methods.cc" "src/eval/CMakeFiles/emigre_eval.dir/methods.cc.o" "gcc" "src/eval/CMakeFiles/emigre_eval.dir/methods.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/emigre_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/emigre_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/eval/CMakeFiles/emigre_eval.dir/report.cc.o" "gcc" "src/eval/CMakeFiles/emigre_eval.dir/report.cc.o.d"
+  "/root/repo/src/eval/runner.cc" "src/eval/CMakeFiles/emigre_eval.dir/runner.cc.o" "gcc" "src/eval/CMakeFiles/emigre_eval.dir/runner.cc.o.d"
+  "/root/repo/src/eval/scenario.cc" "src/eval/CMakeFiles/emigre_eval.dir/scenario.cc.o" "gcc" "src/eval/CMakeFiles/emigre_eval.dir/scenario.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/explain/CMakeFiles/emigre_explain.dir/DependInfo.cmake"
+  "/root/repo/build/src/recsys/CMakeFiles/emigre_recsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/emigre_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emigre_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

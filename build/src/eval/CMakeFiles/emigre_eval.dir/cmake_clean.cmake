@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emigre_eval.dir/methods.cc.o"
+  "CMakeFiles/emigre_eval.dir/methods.cc.o.d"
+  "CMakeFiles/emigre_eval.dir/metrics.cc.o"
+  "CMakeFiles/emigre_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/emigre_eval.dir/report.cc.o"
+  "CMakeFiles/emigre_eval.dir/report.cc.o.d"
+  "CMakeFiles/emigre_eval.dir/runner.cc.o"
+  "CMakeFiles/emigre_eval.dir/runner.cc.o.d"
+  "CMakeFiles/emigre_eval.dir/scenario.cc.o"
+  "CMakeFiles/emigre_eval.dir/scenario.cc.o.d"
+  "libemigre_eval.a"
+  "libemigre_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emigre_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

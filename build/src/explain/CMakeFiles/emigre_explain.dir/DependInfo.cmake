@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explain/brute_force.cc" "src/explain/CMakeFiles/emigre_explain.dir/brute_force.cc.o" "gcc" "src/explain/CMakeFiles/emigre_explain.dir/brute_force.cc.o.d"
+  "/root/repo/src/explain/combined.cc" "src/explain/CMakeFiles/emigre_explain.dir/combined.cc.o" "gcc" "src/explain/CMakeFiles/emigre_explain.dir/combined.cc.o.d"
+  "/root/repo/src/explain/emigre.cc" "src/explain/CMakeFiles/emigre_explain.dir/emigre.cc.o" "gcc" "src/explain/CMakeFiles/emigre_explain.dir/emigre.cc.o.d"
+  "/root/repo/src/explain/exhaustive.cc" "src/explain/CMakeFiles/emigre_explain.dir/exhaustive.cc.o" "gcc" "src/explain/CMakeFiles/emigre_explain.dir/exhaustive.cc.o.d"
+  "/root/repo/src/explain/explanation.cc" "src/explain/CMakeFiles/emigre_explain.dir/explanation.cc.o" "gcc" "src/explain/CMakeFiles/emigre_explain.dir/explanation.cc.o.d"
+  "/root/repo/src/explain/fast_tester.cc" "src/explain/CMakeFiles/emigre_explain.dir/fast_tester.cc.o" "gcc" "src/explain/CMakeFiles/emigre_explain.dir/fast_tester.cc.o.d"
+  "/root/repo/src/explain/format.cc" "src/explain/CMakeFiles/emigre_explain.dir/format.cc.o" "gcc" "src/explain/CMakeFiles/emigre_explain.dir/format.cc.o.d"
+  "/root/repo/src/explain/group.cc" "src/explain/CMakeFiles/emigre_explain.dir/group.cc.o" "gcc" "src/explain/CMakeFiles/emigre_explain.dir/group.cc.o.d"
+  "/root/repo/src/explain/incremental.cc" "src/explain/CMakeFiles/emigre_explain.dir/incremental.cc.o" "gcc" "src/explain/CMakeFiles/emigre_explain.dir/incremental.cc.o.d"
+  "/root/repo/src/explain/internal.cc" "src/explain/CMakeFiles/emigre_explain.dir/internal.cc.o" "gcc" "src/explain/CMakeFiles/emigre_explain.dir/internal.cc.o.d"
+  "/root/repo/src/explain/meta.cc" "src/explain/CMakeFiles/emigre_explain.dir/meta.cc.o" "gcc" "src/explain/CMakeFiles/emigre_explain.dir/meta.cc.o.d"
+  "/root/repo/src/explain/powerset.cc" "src/explain/CMakeFiles/emigre_explain.dir/powerset.cc.o" "gcc" "src/explain/CMakeFiles/emigre_explain.dir/powerset.cc.o.d"
+  "/root/repo/src/explain/prince.cc" "src/explain/CMakeFiles/emigre_explain.dir/prince.cc.o" "gcc" "src/explain/CMakeFiles/emigre_explain.dir/prince.cc.o.d"
+  "/root/repo/src/explain/search_space.cc" "src/explain/CMakeFiles/emigre_explain.dir/search_space.cc.o" "gcc" "src/explain/CMakeFiles/emigre_explain.dir/search_space.cc.o.d"
+  "/root/repo/src/explain/tester.cc" "src/explain/CMakeFiles/emigre_explain.dir/tester.cc.o" "gcc" "src/explain/CMakeFiles/emigre_explain.dir/tester.cc.o.d"
+  "/root/repo/src/explain/weighted.cc" "src/explain/CMakeFiles/emigre_explain.dir/weighted.cc.o" "gcc" "src/explain/CMakeFiles/emigre_explain.dir/weighted.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/recsys/CMakeFiles/emigre_recsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/emigre_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emigre_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

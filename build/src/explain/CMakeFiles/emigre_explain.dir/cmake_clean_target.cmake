@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libemigre_explain.a"
+)

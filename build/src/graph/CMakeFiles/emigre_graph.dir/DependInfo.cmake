@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/hin_graph.cc" "src/graph/CMakeFiles/emigre_graph.dir/hin_graph.cc.o" "gcc" "src/graph/CMakeFiles/emigre_graph.dir/hin_graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/graph/CMakeFiles/emigre_graph.dir/io.cc.o" "gcc" "src/graph/CMakeFiles/emigre_graph.dir/io.cc.o.d"
+  "/root/repo/src/graph/overlay.cc" "src/graph/CMakeFiles/emigre_graph.dir/overlay.cc.o" "gcc" "src/graph/CMakeFiles/emigre_graph.dir/overlay.cc.o.d"
+  "/root/repo/src/graph/stats.cc" "src/graph/CMakeFiles/emigre_graph.dir/stats.cc.o" "gcc" "src/graph/CMakeFiles/emigre_graph.dir/stats.cc.o.d"
+  "/root/repo/src/graph/subgraph.cc" "src/graph/CMakeFiles/emigre_graph.dir/subgraph.cc.o" "gcc" "src/graph/CMakeFiles/emigre_graph.dir/subgraph.cc.o.d"
+  "/root/repo/src/graph/validate.cc" "src/graph/CMakeFiles/emigre_graph.dir/validate.cc.o" "gcc" "src/graph/CMakeFiles/emigre_graph.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/emigre_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

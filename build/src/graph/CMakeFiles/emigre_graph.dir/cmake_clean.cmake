@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emigre_graph.dir/hin_graph.cc.o"
+  "CMakeFiles/emigre_graph.dir/hin_graph.cc.o.d"
+  "CMakeFiles/emigre_graph.dir/io.cc.o"
+  "CMakeFiles/emigre_graph.dir/io.cc.o.d"
+  "CMakeFiles/emigre_graph.dir/overlay.cc.o"
+  "CMakeFiles/emigre_graph.dir/overlay.cc.o.d"
+  "CMakeFiles/emigre_graph.dir/stats.cc.o"
+  "CMakeFiles/emigre_graph.dir/stats.cc.o.d"
+  "CMakeFiles/emigre_graph.dir/subgraph.cc.o"
+  "CMakeFiles/emigre_graph.dir/subgraph.cc.o.d"
+  "CMakeFiles/emigre_graph.dir/validate.cc.o"
+  "CMakeFiles/emigre_graph.dir/validate.cc.o.d"
+  "libemigre_graph.a"
+  "libemigre_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emigre_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

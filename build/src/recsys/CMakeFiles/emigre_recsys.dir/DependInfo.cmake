@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/recsys/rec_list.cc" "src/recsys/CMakeFiles/emigre_recsys.dir/rec_list.cc.o" "gcc" "src/recsys/CMakeFiles/emigre_recsys.dir/rec_list.cc.o.d"
+  "/root/repo/src/recsys/recwalk.cc" "src/recsys/CMakeFiles/emigre_recsys.dir/recwalk.cc.o" "gcc" "src/recsys/CMakeFiles/emigre_recsys.dir/recwalk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/emigre_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emigre_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emigre_recsys.dir/rec_list.cc.o"
+  "CMakeFiles/emigre_recsys.dir/rec_list.cc.o.d"
+  "CMakeFiles/emigre_recsys.dir/recwalk.cc.o"
+  "CMakeFiles/emigre_recsys.dir/recwalk.cc.o.d"
+  "libemigre_recsys.a"
+  "libemigre_recsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emigre_recsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emigre_util.dir/csv.cc.o"
+  "CMakeFiles/emigre_util.dir/csv.cc.o.d"
+  "CMakeFiles/emigre_util.dir/flags.cc.o"
+  "CMakeFiles/emigre_util.dir/flags.cc.o.d"
+  "CMakeFiles/emigre_util.dir/logging.cc.o"
+  "CMakeFiles/emigre_util.dir/logging.cc.o.d"
+  "CMakeFiles/emigre_util.dir/rng.cc.o"
+  "CMakeFiles/emigre_util.dir/rng.cc.o.d"
+  "CMakeFiles/emigre_util.dir/status.cc.o"
+  "CMakeFiles/emigre_util.dir/status.cc.o.d"
+  "CMakeFiles/emigre_util.dir/string_util.cc.o"
+  "CMakeFiles/emigre_util.dir/string_util.cc.o.d"
+  "CMakeFiles/emigre_util.dir/table.cc.o"
+  "CMakeFiles/emigre_util.dir/table.cc.o.d"
+  "CMakeFiles/emigre_util.dir/thread_pool.cc.o"
+  "CMakeFiles/emigre_util.dir/thread_pool.cc.o.d"
+  "libemigre_util.a"
+  "libemigre_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emigre_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_amazon_lite_test.dir/data_amazon_lite_test.cc.o"
+  "CMakeFiles/data_amazon_lite_test.dir/data_amazon_lite_test.cc.o.d"
+  "data_amazon_lite_test"
+  "data_amazon_lite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_amazon_lite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

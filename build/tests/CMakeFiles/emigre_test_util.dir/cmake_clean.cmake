@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emigre_test_util.dir/test_util.cc.o"
+  "CMakeFiles/emigre_test_util.dir/test_util.cc.o.d"
+  "libemigre_test_util.a"
+  "libemigre_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emigre_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_combined_meta_test.dir/explain_combined_meta_test.cc.o"
+  "CMakeFiles/explain_combined_meta_test.dir/explain_combined_meta_test.cc.o.d"
+  "explain_combined_meta_test"
+  "explain_combined_meta_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_combined_meta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

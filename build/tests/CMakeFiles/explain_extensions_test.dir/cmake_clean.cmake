@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_extensions_test.dir/explain_extensions_test.cc.o"
+  "CMakeFiles/explain_extensions_test.dir/explain_extensions_test.cc.o.d"
+  "explain_extensions_test"
+  "explain_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_fast_tester_test.dir/explain_fast_tester_test.cc.o"
+  "CMakeFiles/explain_fast_tester_test.dir/explain_fast_tester_test.cc.o.d"
+  "explain_fast_tester_test"
+  "explain_fast_tester_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_fast_tester_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_format_test.dir/explain_format_test.cc.o"
+  "CMakeFiles/explain_format_test.dir/explain_format_test.cc.o.d"
+  "explain_format_test"
+  "explain_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_heuristics_test.dir/explain_heuristics_test.cc.o"
+  "CMakeFiles/explain_heuristics_test.dir/explain_heuristics_test.cc.o.d"
+  "explain_heuristics_test"
+  "explain_heuristics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_heuristics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_internal_test.dir/explain_internal_test.cc.o"
+  "CMakeFiles/explain_internal_test.dir/explain_internal_test.cc.o.d"
+  "explain_internal_test"
+  "explain_internal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_internal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

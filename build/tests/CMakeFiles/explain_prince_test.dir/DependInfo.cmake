@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/explain_prince_test.cc" "tests/CMakeFiles/explain_prince_test.dir/explain_prince_test.cc.o" "gcc" "tests/CMakeFiles/explain_prince_test.dir/explain_prince_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/emigre_test_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/emigre_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/emigre_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/explain/CMakeFiles/emigre_explain.dir/DependInfo.cmake"
+  "/root/repo/build/src/recsys/CMakeFiles/emigre_recsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/emigre_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emigre_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

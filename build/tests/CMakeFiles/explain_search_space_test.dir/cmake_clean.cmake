@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_search_space_test.dir/explain_search_space_test.cc.o"
+  "CMakeFiles/explain_search_space_test.dir/explain_search_space_test.cc.o.d"
+  "explain_search_space_test"
+  "explain_search_space_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_search_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

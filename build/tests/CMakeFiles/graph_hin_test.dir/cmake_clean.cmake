@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_hin_test.dir/graph_hin_test.cc.o"
+  "CMakeFiles/graph_hin_test.dir/graph_hin_test.cc.o.d"
+  "graph_hin_test"
+  "graph_hin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_hin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_overlay_test.dir/graph_overlay_test.cc.o"
+  "CMakeFiles/graph_overlay_test.dir/graph_overlay_test.cc.o.d"
+  "graph_overlay_test"
+  "graph_overlay_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_overlay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

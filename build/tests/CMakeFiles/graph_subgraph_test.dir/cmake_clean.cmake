@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_subgraph_test.dir/graph_subgraph_test.cc.o"
+  "CMakeFiles/graph_subgraph_test.dir/graph_subgraph_test.cc.o.d"
+  "graph_subgraph_test"
+  "graph_subgraph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_subgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_cache_test.dir/ppr_cache_test.cc.o"
+  "CMakeFiles/ppr_cache_test.dir/ppr_cache_test.cc.o.d"
+  "ppr_cache_test"
+  "ppr_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_dynamic_test.dir/ppr_dynamic_test.cc.o"
+  "CMakeFiles/ppr_dynamic_test.dir/ppr_dynamic_test.cc.o.d"
+  "ppr_dynamic_test"
+  "ppr_dynamic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_dynamic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_power_test.dir/ppr_power_test.cc.o"
+  "CMakeFiles/ppr_power_test.dir/ppr_power_test.cc.o.d"
+  "ppr_power_test"
+  "ppr_power_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_power_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppr_push_test.dir/ppr_push_test.cc.o"
+  "CMakeFiles/ppr_push_test.dir/ppr_push_test.cc.o.d"
+  "ppr_push_test"
+  "ppr_push_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppr_push_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recsys_test.dir/recsys_test.cc.o"
+  "CMakeFiles/recsys_test.dir/recsys_test.cc.o.d"
+  "recsys_test"
+  "recsys_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recsys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emigre_cli.dir/emigre_cli.cc.o"
+  "CMakeFiles/emigre_cli.dir/emigre_cli.cc.o.d"
+  "emigre"
+  "emigre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emigre_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
