@@ -94,5 +94,6 @@ int main() {
     std::printf("subset-node cap sweep (guards the 2^|H| worst case, "
                 "paper §5.3):\n%s", table.ToString().c_str());
   }
+  bench::WriteBenchMetrics("ablation_params");
   return 0;
 }

@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.h"
 #include "data/amazon_lite.h"
 #include "data/synthetic_amazon.h"
 #include "ppr/dynamic.h"
@@ -126,4 +127,11 @@ BENCHMARK(BM_DynamicUpdateVsRecompute)->Arg(0)->Arg(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emigre::bench::WriteBenchMetrics("ablation_ppr");
+  return 0;
+}

@@ -73,5 +73,6 @@ int main() {
   std::printf("Note: the runner re-verifies every returned explanation with "
               "the exact recommender, so 'success' counts only fast-tester "
               "results that hold exactly.\n");
+  bench::WriteBenchMetrics("ablation_tester");
   return 0;
 }

@@ -53,5 +53,6 @@ int main() {
               remove_avg, add_avg > remove_avg ? "HOLDS" : "DOES NOT HOLD");
   std::printf("  paper reference: add_ex ~75%% best; remove modes low "
               "because most scenarios lack a pure-removal solution.\n");
+  bench::WriteBenchMetrics("fig4_success_rate");
   return 0;
 }

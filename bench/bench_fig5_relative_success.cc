@@ -39,6 +39,7 @@ int main() {
   if (solvable.empty()) {
     std::printf("No solvable scenario at this scale; raise "
                 "EMIGRE_BENCH_SCALE.\n");
+    bench::WriteBenchMetrics("fig5_relative_success");
     return 0;
   }
 
@@ -62,5 +63,6 @@ int main() {
               "%.1f%% (paper: ~33%% drop; CHECK step is necessary: %s)\n",
               ex, direct, ex - direct,
               ex >= direct ? "HOLDS" : "DOES NOT HOLD");
+  bench::WriteBenchMetrics("fig5_relative_success");
   return 0;
 }

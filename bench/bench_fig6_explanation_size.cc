@@ -47,5 +47,6 @@ int main() {
   }
   std::printf("  paper reference: brute force is the size lower bound; "
               "Incremental is the outlier; Add-mode sizes ~1 edge.\n");
+  bench::WriteBenchMetrics("fig6_explanation_size");
   return 0;
 }

@@ -107,5 +107,6 @@ int main() {
               "mode \"allows for creating a stronger network around the "
               "Why-Not item\" (§6.3): %s\n",
               !brute->found && add->found ? "HOLDS" : "DOES NOT HOLD");
+  bench::WriteBenchMetrics("fig7_popular_item");
   return 0;
 }

@@ -227,5 +227,6 @@ int main() {
     std::printf("No candidate passed the TEST phase (%s).\n",
                 std::string(FailureReasonName(explanation->failure)).c_str());
   }
+  bench::WriteBenchMetrics("running_example");
   return 0;
 }

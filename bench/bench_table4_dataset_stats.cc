@@ -40,5 +40,6 @@ int main() {
   std::printf("Shape to match: categories few and hub-like (highest mean "
               "degree, huge spread); reviews lowest degree; items low; "
               "users in the tens.\n");
+  bench::WriteBenchMetrics("table4_dataset_stats");
   return 0;
 }

@@ -60,5 +60,6 @@ int main() {
               "add_Powerset 57.55, add_ex 21618, remove_Incremental 9.07, "
               "remove_Powerset 287.91, remove_ex 173.44, remove_ex_direct "
               "25.14, remove_brute 908.73.\n");
+  bench::WriteBenchMetrics("table5_runtime");
   return 0;
 }

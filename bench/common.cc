@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -188,6 +190,21 @@ Result<BenchExperiment> GetOrRunPaperExperiment() {
                  st.ToString().c_str());
   }
   return experiment;
+}
+
+void WriteBenchMetrics(const std::string& bench_name) {
+  const char* dir = std::getenv("EMIGRE_BENCH_METRICS_DIR");
+  std::string path = StrFormat("%s%sBENCH_%s.json", dir != nullptr ? dir : "",
+                               dir != nullptr ? "/" : "",
+                               bench_name.c_str());
+  Status st = obs::WriteMetricsJson(path, obs::Registry::Global().Snapshot(),
+                                    obs::TraceSnapshot());
+  if (!st.ok()) {
+    std::fprintf(stderr, "[bench] metrics write failed: %s\n",
+                 st.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr, "[bench] metrics -> %s\n", path.c_str());
 }
 
 void PrintBenchHeader(const std::string& title, const BenchConfig& config) {

@@ -6,6 +6,7 @@
 #include "explain/meta.h"
 #include "explain/search_space.h"
 #include "explain/tester.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -31,6 +32,7 @@ Result<ExperimentResult> RunExperiment(const graph::HinGraph& g,
   }
   explain::Emigre engine(g, opts);
 
+  EMIGRE_COUNTER("eval.scenarios").Increment(scenarios.size());
   ExperimentResult result;
   result.records.resize(scenarios.size() * methods.size());
   std::atomic<size_t> done{0};
@@ -58,6 +60,8 @@ Result<ExperimentResult> RunExperiment(const graph::HinGraph& g,
         return;
       }
       const explain::Explanation& e = expl.value();
+      EMIGRE_COUNTER("eval.records").Increment();
+      EMIGRE_HISTOGRAM("eval.record.seconds").Record(e.seconds);
       record.returned = e.found;
       record.explanation_size = e.size();
       record.seconds = e.seconds;

@@ -3,24 +3,24 @@
 #include <algorithm>
 
 #include "explain/internal.h"
-#include "util/timer.h"
+#include "obs/trace.h"
 
 namespace emigre::explain {
 
 Explanation RunBruteForce(const SearchSpace& space, TesterInterface& tester,
                           const EmigreOptions& opts) {
-  WallTimer timer;
+  EMIGRE_SPAN("brute_force");
   internal::SearchBudget budget(opts);
 
   Explanation out;
   out.mode = space.mode;
   out.heuristic = Heuristic::kBruteForce;
   out.search_space_size = space.actions.size();
+  internal::QueryRecorder recorder(&out, tester);
 
   if (space.actions.empty()) {
     out.failure = FailureReason::kColdStart;
-    out.seconds = timer.ElapsedSeconds();
-    return out;
+    return recorder.Finish();
   }
 
   // The universe in edge order (not contribution order): brute force is the
@@ -66,9 +66,7 @@ Explanation RunBruteForce(const SearchSpace& space, TesterInterface& tester,
   } else {
     out.failure = FailureReason::kSearchExhausted;
   }
-  out.tests_performed = tester.num_tests();
-  out.seconds = timer.ElapsedSeconds();
-  return out;
+  return recorder.Finish();
 }
 
 }  // namespace emigre::explain

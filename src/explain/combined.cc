@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "explain/internal.h"
+#include "obs/trace.h"
 #include "explain/search_space.h"
 #include "explain/tester.h"
 #include "recsys/recommender.h"
@@ -13,6 +14,7 @@ namespace emigre::explain {
 Result<CombinedExplanation> RunCombinedIncremental(const graph::HinGraph& g,
                                                    const WhyNotQuestion& q,
                                                    const EmigreOptions& opts) {
+  EMIGRE_SPAN("combined");
   WallTimer timer;
   internal::SearchBudget budget(opts);
 

@@ -9,6 +9,7 @@
 #include "explain/powerset.h"
 #include "explain/search_space.h"
 #include "explain/tester.h"
+#include "obs/trace.h"
 #include "recsys/recommender.h"
 #include "util/string_util.h"
 
@@ -46,6 +47,16 @@ Status Emigre::ValidateQuestion(const WhyNotQuestion& q,
 
 Result<Explanation> Emigre::Explain(const WhyNotQuestion& q, Mode mode,
                                     Heuristic heuristic) const {
+  EMIGRE_SPAN("explain");
+  // Node-id bounds come first: CurrentRanking indexes adjacency by q.user,
+  // so an invalid id must be rejected before ranking (caught by ASan).
+  if (!g_->IsValidNode(q.user)) {
+    return Status::InvalidArgument(StrFormat("invalid user %u", q.user));
+  }
+  if (!g_->IsValidNode(q.why_not_item)) {
+    return Status::InvalidArgument(
+        StrFormat("invalid Why-Not item %u", q.why_not_item));
+  }
   recsys::RecommendationList ranking = CurrentRanking(q.user);
   graph::NodeId rec = ranking.Top();
   EMIGRE_RETURN_IF_ERROR(ValidateQuestion(q, rec));

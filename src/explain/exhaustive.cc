@@ -5,8 +5,8 @@
 #include <limits>
 
 #include "explain/internal.h"
+#include "obs/trace.h"
 #include "ppr/reverse_push.h"
-#include "util/timer.h"
 
 namespace emigre::explain {
 
@@ -23,7 +23,7 @@ Explanation RunExhaustive(const HinGraph& g, const SearchSpace& space,
                           TesterInterface& tester, const EmigreOptions& opts,
                           bool direct,
                           ppr::ReversePushCache<HinGraph>* cache) {
-  WallTimer timer;
+  EMIGRE_SPAN("exhaustive");
   internal::SearchBudget budget(opts);
 
   Explanation out;
@@ -31,6 +31,7 @@ Explanation RunExhaustive(const HinGraph& g, const SearchSpace& space,
   out.heuristic =
       direct ? Heuristic::kExhaustiveDirect : Heuristic::kExhaustive;
   out.search_space_size = space.actions.size();
+  internal::QueryRecorder recorder(&out, tester);
 
   // No sign pruning (paper §5.2.2): cap H by |contribution| instead, so
   // strong negative contributors — useful against non-rec targets — stay.
@@ -47,8 +48,7 @@ Explanation RunExhaustive(const HinGraph& g, const SearchSpace& space,
   }
   if (h.empty()) {
     out.failure = FailureReason::kColdStart;
-    out.seconds = timer.ElapsedSeconds();
-    return out;
+    return recorder.Finish();
   }
 
   // Effective target list: drop WNI and the user's interacted items if any
@@ -179,15 +179,11 @@ Explanation RunExhaustive(const HinGraph& g, const SearchSpace& space,
         out.verified = false;
         out.edges = std::move(edges);
         out.failure = FailureReason::kNone;
-        out.tests_performed = tester.num_tests();
-        out.seconds = timer.ElapsedSeconds();
-        return out;
+        return recorder.Finish();
       }
       if (budget.Exhausted(tester.num_tests())) {
         out.failure = FailureReason::kBudgetExceeded;
-        out.tests_performed = tester.num_tests();
-        out.seconds = timer.ElapsedSeconds();
-        return out;
+        return recorder.Finish();
       }
       graph::NodeId new_rec = graph::kInvalidNode;
       if (tester.Test(edges, space.mode, &new_rec)) {
@@ -196,17 +192,13 @@ Explanation RunExhaustive(const HinGraph& g, const SearchSpace& space,
         out.edges = std::move(edges);
         out.new_rec = new_rec;
         out.failure = FailureReason::kNone;
-        out.tests_performed = tester.num_tests();
-        out.seconds = timer.ElapsedSeconds();
-        return out;
+        return recorder.Finish();
       }
     }
   }
 
   out.failure = FailureReason::kSearchExhausted;
-  out.tests_performed = tester.num_tests();
-  out.seconds = timer.ElapsedSeconds();
-  return out;
+  return recorder.Finish();
 }
 
 }  // namespace emigre::explain

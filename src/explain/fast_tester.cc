@@ -1,5 +1,8 @@
 #include "explain/fast_tester.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace emigre::explain {
 
 using graph::EdgeRef;
@@ -40,6 +43,8 @@ NodeId FastExplanationTester::CurrentTop() const {
 
 bool FastExplanationTester::RunOnce(const std::vector<ModedEdit>& edits,
                                     NodeId* new_rec) {
+  EMIGRE_SPAN("test.dynamic");
+  EMIGRE_COUNTER("explain.tests.dynamic").Increment();
   ++num_tests_;
   // All explanation edits are rooted at the user (Definition 4.2), so a
   // single Before/After pair around the whole batch repairs the one

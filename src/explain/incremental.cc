@@ -1,25 +1,25 @@
 #include "explain/incremental.h"
 
 #include "explain/internal.h"
-#include "util/timer.h"
+#include "obs/trace.h"
 
 namespace emigre::explain {
 
 Explanation RunIncremental(const SearchSpace& space,
                            TesterInterface& tester,
                            const EmigreOptions& opts) {
-  WallTimer timer;
+  EMIGRE_SPAN("incremental");
   internal::SearchBudget budget(opts);
 
   Explanation out;
   out.mode = space.mode;
   out.heuristic = Heuristic::kIncremental;
   out.search_space_size = space.actions.size();
+  internal::QueryRecorder recorder(&out, tester);
 
   if (space.actions.empty()) {
     out.failure = FailureReason::kColdStart;
-    out.seconds = timer.ElapsedSeconds();
-    return out;
+    return recorder.Finish();
   }
 
   double gap = space.tau;
@@ -31,9 +31,7 @@ Explanation RunIncremental(const SearchSpace& space,
     if (action.contribution <= 0.0) break;
     if (budget.Exhausted(tester.num_tests())) {
       out.failure = FailureReason::kBudgetExceeded;
-      out.tests_performed = tester.num_tests();
-      out.seconds = timer.ElapsedSeconds();
-      return out;
+      return recorder.Finish();
     }
     accumulated.push_back(action.edge);
     gap -= action.contribution;
@@ -47,17 +45,13 @@ Explanation RunIncremental(const SearchSpace& space,
         out.edges = accumulated;
         out.new_rec = new_rec;
         out.failure = FailureReason::kNone;
-        out.tests_performed = tester.num_tests();
-        out.seconds = timer.ElapsedSeconds();
-        return out;
+        return recorder.Finish();
       }
     }
   }
 
   out.failure = FailureReason::kSearchExhausted;
-  out.tests_performed = tester.num_tests();
-  out.seconds = timer.ElapsedSeconds();
-  return out;
+  return recorder.Finish();
 }
 
 }  // namespace emigre::explain

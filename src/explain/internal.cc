@@ -1,6 +1,29 @@
 #include "explain/internal.h"
 
+#include <utility>
+
+#include "obs/metrics.h"
+
 namespace emigre::explain::internal {
+
+QueryRecorder::QueryRecorder(Explanation* out, const TesterInterface& tester)
+    : out_(out), tester_(&tester), tests_at_start_(tester.num_tests()) {}
+
+Explanation QueryRecorder::Finish() {
+  out_->tests_performed = tester_->num_tests() - tests_at_start_;
+  out_->seconds = timer_.ElapsedSeconds();
+
+  EMIGRE_COUNTER("explain.queries").Increment();
+  if (out_->found) {
+    EMIGRE_COUNTER("explain.queries.found").Increment();
+  } else {
+    EMIGRE_COUNTER("explain.queries.not_found").Increment();
+  }
+  EMIGRE_COUNTER("explain.candidates_considered")
+      .Increment(out_->candidates_considered);
+  EMIGRE_HISTOGRAM("explain.query.seconds").Record(out_->seconds);
+  return std::move(*out_);
+}
 
 size_t BinomialCapped(size_t n, size_t k, size_t cap) {
   if (k > n) return 0;

@@ -4,7 +4,9 @@
 #include <cstddef>
 #include <vector>
 
+#include "explain/explanation.h"
 #include "explain/options.h"
+#include "explain/tester.h"
 #include "util/timer.h"
 
 namespace emigre::explain::internal {
@@ -14,7 +16,9 @@ namespace emigre::explain::internal {
 class SearchBudget {
  public:
   explicit SearchBudget(const EmigreOptions& opts)
-      : deadline_(opts.deadline_seconds), max_tests_(opts.max_tests) {}
+      : deadline_(opts.deadline_seconds), max_tests_(opts.max_tests) {
+    deadline_.Start();  // the budget counts from search start, not storage
+  }
 
   /// True once any cap is hit. `tests_used` is the tester's counter.
   bool Exhausted(size_t tests_used) const {
@@ -25,6 +29,30 @@ class SearchBudget {
  private:
   Deadline deadline_;
   size_t max_tests_;
+};
+
+/// \brief One-source-of-truth diagnostics for a heuristic run.
+///
+/// Construct at search entry, then finish every exit path with
+/// `return recorder.Finish();` (after setting `found`/`edges`/`failure`).
+/// Finish stamps the timing and TEST-count diagnostics on the Explanation
+/// from the tester delta and publishes the query to the process-wide
+/// metrics registry (`explain.queries*`, `explain.query.seconds`,
+/// `explain.candidates_considered`), so the CLI's `--metrics-out` snapshot
+/// deltas and the `Explanation` fields agree by construction.
+class QueryRecorder {
+ public:
+  QueryRecorder(Explanation* out, const TesterInterface& tester);
+
+  /// Stamps diagnostics, publishes metrics, and moves the Explanation out.
+  /// Call exactly once.
+  Explanation Finish();
+
+ private:
+  Explanation* out_;
+  const TesterInterface* tester_;
+  size_t tests_at_start_;
+  WallTimer timer_;
 };
 
 /// Enumerates k-subsets of {0, ..., n-1} in lexicographic order, invoking

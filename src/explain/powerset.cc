@@ -3,19 +3,20 @@
 #include <algorithm>
 
 #include "explain/internal.h"
-#include "util/timer.h"
+#include "obs/trace.h"
 
 namespace emigre::explain {
 
 Explanation RunPowerset(const SearchSpace& space, TesterInterface& tester,
                         const EmigreOptions& opts) {
-  WallTimer timer;
+  EMIGRE_SPAN("powerset");
   internal::SearchBudget budget(opts);
 
   Explanation out;
   out.mode = space.mode;
   out.heuristic = Heuristic::kPowerset;
   out.search_space_size = space.actions.size();
+  internal::QueryRecorder recorder(&out, tester);
 
   // Prune non-positive contributions (paper Alg. 4 lines 3–7); the actions
   // arrive sorted descending, so the positive prefix is contiguous. Then
@@ -30,8 +31,7 @@ Explanation RunPowerset(const SearchSpace& space, TesterInterface& tester,
   }
   if (h.empty()) {
     out.failure = FailureReason::kColdStart;
-    out.seconds = timer.ElapsedSeconds();
-    return out;
+    return recorder.Finish();
   }
 
   size_t max_size = h.size();
@@ -69,9 +69,7 @@ Explanation RunPowerset(const SearchSpace& space, TesterInterface& tester,
       if (space.tau - combo.sum > 0.0) break;
       if (budget.Exhausted(tester.num_tests())) {
         out.failure = FailureReason::kBudgetExceeded;
-        out.tests_performed = tester.num_tests();
-        out.seconds = timer.ElapsedSeconds();
-        return out;
+        return recorder.Finish();
       }
       ++out.candidates_considered;
       std::vector<graph::EdgeRef> edges;
@@ -84,17 +82,13 @@ Explanation RunPowerset(const SearchSpace& space, TesterInterface& tester,
         out.edges = std::move(edges);
         out.new_rec = new_rec;
         out.failure = FailureReason::kNone;
-        out.tests_performed = tester.num_tests();
-        out.seconds = timer.ElapsedSeconds();
-        return out;
+        return recorder.Finish();
       }
     }
   }
 
   out.failure = FailureReason::kSearchExhausted;
-  out.tests_performed = tester.num_tests();
-  out.seconds = timer.ElapsedSeconds();
-  return out;
+  return recorder.Finish();
 }
 
 }  // namespace emigre::explain

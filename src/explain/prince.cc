@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/overlay.h"
+#include "obs/trace.h"
 #include "ppr/reverse_push.h"
 #include "recsys/recommender.h"
 #include "util/string_util.h"
@@ -23,6 +24,7 @@ Result<PrinceResult> RunPrince(const HinGraph& g, NodeId user,
   if (!g.IsValidNode(user)) {
     return Status::InvalidArgument(StrFormat("invalid user %u", user));
   }
+  EMIGRE_SPAN("prince");
   WallTimer timer;
   PrinceResult result;
 

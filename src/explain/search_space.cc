@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ppr/reverse_push.h"
 #include "util/string_util.h"
 
@@ -71,6 +73,7 @@ double ComputeTau(const HinGraph& g, NodeId user,
 Result<SearchSpace> BuildRemoveSearchSpace(
     const HinGraph& g, NodeId user, NodeId rec, NodeId wni,
     const EmigreOptions& opts, ppr::ReversePushCache<HinGraph>* cache) {
+  EMIGRE_SPAN("search_space");
   EMIGRE_RETURN_IF_ERROR(ValidateInputs(g, user, rec, wni));
 
   SearchSpace space;
@@ -93,12 +96,16 @@ Result<SearchSpace> BuildRemoveSearchSpace(
     space.tau += contribution;
   }
   SortByContributionDesc(&space.actions);
+  EMIGRE_COUNTER("explain.search_space.builds").Increment();
+  EMIGRE_COUNTER("explain.search_space.candidates")
+      .Increment(space.actions.size());
   return space;
 }
 
 Result<SearchSpace> BuildAddSearchSpace(
     const HinGraph& g, NodeId user, NodeId rec, NodeId wni,
     const EmigreOptions& opts, ppr::ReversePushCache<HinGraph>* cache) {
+  EMIGRE_SPAN("search_space");
   EMIGRE_RETURN_IF_ERROR(ValidateInputs(g, user, rec, wni));
   if (opts.add_edge_type == graph::kInvalidEdgeType) {
     return Status::InvalidArgument(
@@ -135,6 +142,9 @@ Result<SearchSpace> BuildAddSearchSpace(
       space.actions.size() > opts.max_add_candidates) {
     space.actions.resize(opts.max_add_candidates);
   }
+  EMIGRE_COUNTER("explain.search_space.builds").Increment();
+  EMIGRE_COUNTER("explain.search_space.candidates")
+      .Increment(space.actions.size());
   return space;
 }
 

@@ -1,11 +1,15 @@
 #include "explain/tester.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "recsys/recommender.h"
 
 namespace emigre::explain {
 
 bool ExplanationTester::Test(const std::vector<graph::EdgeRef>& edits,
                              Mode mode, graph::NodeId* new_rec) {
+  EMIGRE_SPAN("test.exact");
+  EMIGRE_COUNTER("explain.tests.exact").Increment();
   ++num_tests_;
   graph::GraphOverlay overlay(*base_);
   for (const graph::EdgeRef& e : edits) {
@@ -29,6 +33,8 @@ bool ExplanationTester::Test(const std::vector<graph::EdgeRef>& edits,
 
 bool ExplanationTester::TestMixed(const std::vector<ModedEdit>& edits,
                                   graph::NodeId* new_rec) {
+  EMIGRE_SPAN("test.exact");
+  EMIGRE_COUNTER("explain.tests.exact").Increment();
   ++num_tests_;
   graph::GraphOverlay overlay(*base_);
   for (const ModedEdit& e : edits) {

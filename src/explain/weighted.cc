@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "explain/internal.h"
+#include "obs/trace.h"
 #include "explain/search_space.h"
 #include "graph/overlay.h"
 #include "recsys/recommender.h"
@@ -50,6 +51,7 @@ Result<WeightedExplanation> RunWeightedIncremental(
         StrFormat("bad weight bounds [%f, %f]", wopts.min_weight,
                   wopts.max_weight));
   }
+  EMIGRE_SPAN("weighted");
   WallTimer timer;
   internal::SearchBudget budget(opts);
 

@@ -1,0 +1,61 @@
+#ifndef EMIGRE_OBS_EXPORT_H_
+#define EMIGRE_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace emigre::obs {
+
+/// \brief Sinks for metrics snapshots and trace trees.
+///
+/// Two output forms:
+///   - a human-readable table (`FormatMetricsTable`) via util/table, the
+///     thing `--trace` prints after a query;
+///   - the machine-readable JSON (`MetricsJson` / `WriteMetricsJson`) that
+///     `--metrics-out` and the bench binaries emit — the `BENCH_*.json`
+///     perf-trajectory format.
+///
+/// JSON schema (`"schema": "emigre.metrics.v1"`), documented in
+/// docs/observability.md:
+///
+///   {
+///     "schema": "emigre.metrics.v1",
+///     "counters":   {"ppr.flp.pushes": 1234, ...},
+///     "gauges":     {"ppr.flp.max_queue": 17, ...},
+///     "histograms": {"explain.query.seconds":
+///                      {"count": 3, "sum": 0.5, "min": ..., "max": ...,
+///                       "mean": ..., "p50": ..., "p95": ..., "p99": ...,
+///                       "buckets": [0, 2, 1, ...]}, ...},
+///     "trace":      [{"path": "explain/rank", "depth": 1,
+///                     "count": 2, "seconds": 0.04}, ...]
+///   }
+///
+/// `mean`/`p50`/`p95`/`p99` are derived from the buckets and ignored by the
+/// parser; `ParseMetricsJson` reconstructs a `MetricsSnapshot` losslessly
+/// from the raw fields (the round-trip the tests assert).
+
+/// Human-readable table of a snapshot (typically a Delta).
+std::string FormatMetricsTable(const MetricsSnapshot& snapshot);
+
+/// Serializes a snapshot (plus an optional trace tree) as pretty JSON.
+std::string MetricsJson(const MetricsSnapshot& snapshot,
+                        const std::vector<SpanStat>& trace = {});
+
+/// Writes `MetricsJson` to `path`, overwriting.
+Status WriteMetricsJson(const std::string& path,
+                        const MetricsSnapshot& snapshot,
+                        const std::vector<SpanStat>& trace = {});
+
+/// Parses the emigre.metrics.v1 JSON back into a snapshot. The "trace"
+/// section, when present, is returned through `trace_out` (optional).
+Result<MetricsSnapshot> ParseMetricsJson(
+    const std::string& json, std::vector<SpanStat>* trace_out = nullptr);
+
+}  // namespace emigre::obs
+
+#endif  // EMIGRE_OBS_EXPORT_H_

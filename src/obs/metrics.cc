@@ -1,0 +1,199 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace emigre::obs {
+
+namespace {
+
+/// Relaxed atomic add for doubles (no fetch_add on atomic<double> pre-C++20
+/// on all toolchains; CAS loop is portable and uncontended in practice).
+void AtomicAdd(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + v,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+double Histogram::BucketBound(size_t i) {
+  return kFirstBound * std::ldexp(1.0, static_cast<int>(i));
+}
+
+size_t Histogram::BucketIndex(double value) {
+  if (!(value > kFirstBound)) return 0;  // also catches NaN and negatives
+  // Smallest i with value <= kFirstBound·2^i.
+  int i = static_cast<int>(std::ceil(std::log2(value / kFirstBound)));
+  if (i < 0) return 0;
+  return std::min(static_cast<size_t>(i), kNumBuckets - 1);
+}
+
+void Histogram::Record(double value) {
+  if (std::isnan(value)) return;
+  if (value < 0.0) value = 0.0;
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  // First-recording min initialization: count 0 -> min holds 0.0, which
+  // would undercut every real value; set-before-count is benign because a
+  // racing reader just sees a slightly stale min.
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  } else {
+    AtomicMin(&min_, value);
+    AtomicMax(&max_, value);
+  }
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+double HistogramSample::Percentile(double p) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  if (p <= 0.0) return min;
+  if (p >= 100.0) return max;
+  // Rank of the requested percentile (1-based, nearest-rank rounded up).
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] >= rank) {
+      // Linear interpolation inside [lower, upper] of this bucket, clamped
+      // to the observed min/max so single-bucket histograms stay tight.
+      double lower = i == 0 ? 0.0 : Histogram::BucketBound(i - 1);
+      double upper = Histogram::BucketBound(i);
+      double frac = static_cast<double>(rank - seen) /
+                    static_cast<double>(buckets[i]);
+      double value = lower + frac * (upper - lower);
+      return std::clamp(value, min, max);
+    }
+    seen += buckets[i];
+  }
+  return max;
+}
+
+MetricsSnapshot Delta(const MetricsSnapshot& before,
+                      const MetricsSnapshot& after) {
+  MetricsSnapshot out;
+  // Snapshots are name-sorted; a map keeps the lookups simple and the
+  // result order stable.
+  std::map<std::string, uint64_t> counter_before;
+  for (const CounterSample& c : before.counters) {
+    counter_before[c.name] = c.value;
+  }
+  for (const CounterSample& c : after.counters) {
+    uint64_t base = 0;
+    if (auto it = counter_before.find(c.name); it != counter_before.end()) {
+      base = it->second;
+    }
+    uint64_t d = c.value >= base ? c.value - base : 0;
+    if (d > 0) out.counters.push_back(CounterSample{c.name, d});
+  }
+  for (const GaugeSample& g : after.gauges) {
+    if (g.value != 0.0) out.gauges.push_back(g);
+  }
+  std::map<std::string, const HistogramSample*> hist_before;
+  for (const HistogramSample& h : before.histograms) {
+    hist_before[h.name] = &h;
+  }
+  for (const HistogramSample& h : after.histograms) {
+    HistogramSample d = h;
+    if (auto it = hist_before.find(h.name); it != hist_before.end()) {
+      const HistogramSample& b = *it->second;
+      d.count = h.count >= b.count ? h.count - b.count : 0;
+      d.sum = h.sum - b.sum;
+      for (size_t i = 0; i < d.buckets.size() && i < b.buckets.size(); ++i) {
+        d.buckets[i] =
+            h.buckets[i] >= b.buckets[i] ? h.buckets[i] - b.buckets[i] : 0;
+      }
+    }
+    if (d.count > 0) out.histograms.push_back(std::move(d));
+  }
+  return out;
+}
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();  // never destroyed
+  return *instance;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.counters.push_back(CounterSample{name, c->Value()});
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.gauges.push_back(GaugeSample{name, g->Value()});
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample s;
+    s.name = name;
+    s.count = h->count_.load(std::memory_order_relaxed);
+    s.sum = h->sum_.load(std::memory_order_relaxed);
+    s.min = h->min_.load(std::memory_order_relaxed);
+    s.max = h->max_.load(std::memory_order_relaxed);
+    s.buckets.resize(Histogram::kNumBuckets);
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      s.buckets[i] = h->buckets_[i].load(std::memory_order_relaxed);
+    }
+    out.histograms.push_back(std::move(s));
+  }
+  return out;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace emigre::obs

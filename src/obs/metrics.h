@@ -1,0 +1,194 @@
+#ifndef EMIGRE_OBS_METRICS_H_
+#define EMIGRE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace emigre::obs {
+
+/// \brief Process-wide metrics for the PPR/EMiGRe pipeline.
+///
+/// Three metric kinds, all safe to touch from any thread:
+///   - `Counter`: monotonic event counts (pushes performed, TESTs run).
+///   - `Gauge`: last-written / high-watermark values (max queue depth).
+///   - `Histogram`: latency/size distributions with percentile estimates.
+///
+/// Metrics live in the global `Registry`, are created on first use, and are
+/// never destroyed, so hot paths may cache the returned reference:
+///
+///   static obs::Counter& pushes = EMIGRE_COUNTER("ppr.flp.pushes");
+///   pushes.Increment(n);
+///
+/// Increments are relaxed atomics — a handful of nanoseconds — so counters
+/// stay enabled unconditionally; trace spans (see trace.h) are the opt-in,
+/// comparatively heavier layer. Naming convention: dot-separated
+/// `<module>.<entity>.<what>`, with units spelled out in the final segment
+/// when not a plain count (`.seconds`). See docs/observability.md for the
+/// full catalog.
+
+/// \brief Monotonic counter. Relaxed increments; exact totals.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Last-written value, with a compare-and-swap high-watermark helper.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+  /// Raises the gauge to `v` if `v` is larger (watermark semantics).
+  void SetMax(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Fixed-bucket histogram of positive doubles.
+///
+/// Buckets are log2-spaced: bucket 0 holds values ≤ `kFirstBound` (1 µs when
+/// recording seconds) and each subsequent bucket doubles the upper bound, so
+/// the 40 buckets span 1 µs .. ~6 days. Percentiles interpolate linearly
+/// inside a bucket; the estimate's relative error is bounded by the bucket
+/// width (a factor of 2 worst case, typically far less).
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 40;
+  static constexpr double kFirstBound = 1e-6;
+
+  /// Upper bound of bucket `i` (inclusive).
+  static double BucketBound(size_t i);
+  /// Index of the bucket a value lands in.
+  static size_t BucketIndex(double value);
+
+  void Record(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  friend class Registry;
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // valid when count_ > 0
+  std::atomic<double> max_{0.0};
+};
+
+// --- Snapshots ------------------------------------------------------------
+
+struct CounterSample {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<uint64_t> buckets;  // size Histogram::kNumBuckets
+
+  double Mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  /// Percentile estimate, `p` in [0, 100] (e.g. 50, 95, 99).
+  double Percentile(double p) const;
+};
+
+/// \brief Point-in-time copy of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  bool Empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// \brief `after − before`, the per-phase accounting primitive: counters and
+/// histogram counts/sums/buckets subtract; gauges keep the `after` value
+/// (they are not cumulative); histogram min/max also come from `after` (a
+/// windowed min/max is not recoverable from two cumulative snapshots).
+/// Metrics absent from `before` are treated as zero. Entries whose delta is
+/// entirely zero are dropped, so a delta reads as "what this phase did".
+MetricsSnapshot Delta(const MetricsSnapshot& before,
+                      const MetricsSnapshot& after);
+
+// --- Registry -------------------------------------------------------------
+
+/// \brief Process-wide, thread-safe metric registry.
+///
+/// Lookup takes a mutex; hot paths should look up once and cache the
+/// reference (the EMIGRE_COUNTER/GAUGE/HISTOGRAM macros do this with a
+/// function-local static). Returned references stay valid forever —
+/// `Reset()` zeroes values in place and never removes registrations.
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric (registrations and cached references survive).
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace emigre::obs
+
+/// Cached-handle accessors: one registry lookup per call site, ever.
+#define EMIGRE_COUNTER(name)                                               \
+  ([]() -> ::emigre::obs::Counter& {                                       \
+    static ::emigre::obs::Counter& metric =                                \
+        ::emigre::obs::Registry::Global().GetCounter(name);                \
+    return metric;                                                         \
+  }())
+#define EMIGRE_GAUGE(name)                                                 \
+  ([]() -> ::emigre::obs::Gauge& {                                         \
+    static ::emigre::obs::Gauge& metric =                                  \
+        ::emigre::obs::Registry::Global().GetGauge(name);                  \
+    return metric;                                                         \
+  }())
+#define EMIGRE_HISTOGRAM(name)                                             \
+  ([]() -> ::emigre::obs::Histogram& {                                     \
+    static ::emigre::obs::Histogram& metric =                              \
+        ::emigre::obs::Registry::Global().GetHistogram(name);              \
+    return metric;                                                         \
+  }())
+
+#endif  // EMIGRE_OBS_METRICS_H_

@@ -1,0 +1,126 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace emigre::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+struct SpanTotals {
+  uint64_t count = 0;
+  double total_seconds = 0.0;
+};
+
+struct TraceStore {
+  std::mutex mutex;
+  std::map<std::string, SpanTotals> by_path;
+};
+
+TraceStore& Store() {
+  static TraceStore* store = new TraceStore();  // never destroyed
+  return *store;
+}
+
+/// Stack of full paths for the current thread; back() is the innermost
+/// live span's path.
+std::vector<std::string>& PathStack() {
+  thread_local std::vector<std::string> stack;
+  return stack;
+}
+
+}  // namespace
+
+void SetTracingEnabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+Span::Span(const char* name) {
+  if (!TracingEnabled()) return;
+  active_ = true;
+  std::vector<std::string>& stack = PathStack();
+  if (stack.empty()) {
+    stack.emplace_back(name);
+  } else {
+    stack.push_back(stack.back() + "/" + name);
+  }
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  std::vector<std::string>& stack = PathStack();
+  // The stack cannot be empty here: spans are scoped objects, so this
+  // thread's innermost live span is exactly the back entry we pushed.
+  std::string path = std::move(stack.back());
+  stack.pop_back();
+  TraceStore& store = Store();
+  std::lock_guard<std::mutex> lock(store.mutex);
+  SpanTotals& totals = store.by_path[path];
+  ++totals.count;
+  totals.total_seconds += seconds;
+}
+
+std::vector<SpanStat> TraceSnapshot() {
+  TraceStore& store = Store();
+  std::lock_guard<std::mutex> lock(store.mutex);
+  std::vector<SpanStat> out;
+  out.reserve(store.by_path.size());
+  for (const auto& [path, totals] : store.by_path) {
+    SpanStat stat;
+    stat.path = path;
+    stat.depth =
+        static_cast<int>(std::count(path.begin(), path.end(), '/'));
+    stat.count = totals.count;
+    stat.total_seconds = totals.total_seconds;
+    out.push_back(std::move(stat));
+  }
+  return out;  // std::map iteration is already path-sorted
+}
+
+void ResetTrace() {
+  TraceStore& store = Store();
+  std::lock_guard<std::mutex> lock(store.mutex);
+  store.by_path.clear();
+}
+
+std::string FormatTraceTree(const std::vector<SpanStat>& stats) {
+  if (stats.empty()) return "(no spans recorded)\n";
+  double root_total = 0.0;
+  for (const SpanStat& s : stats) {
+    if (s.depth == 0) root_total += s.total_seconds;
+  }
+  TextTable table({"span", "calls", "total ms", "mean ms", "%"});
+  for (size_t col = 1; col <= 4; ++col) table.SetAlign(col, Align::kRight);
+  for (const SpanStat& s : stats) {
+    std::string label(static_cast<size_t>(s.depth) * 2, ' ');
+    size_t last_slash = s.path.rfind('/');
+    label += last_slash == std::string::npos ? s.path
+                                             : s.path.substr(last_slash + 1);
+    double mean_ms =
+        s.count > 0 ? s.total_seconds * 1e3 / static_cast<double>(s.count)
+                    : 0.0;
+    double share =
+        root_total > 0.0 ? 100.0 * s.total_seconds / root_total : 0.0;
+    table.AddRow({label, StrFormat("%llu", (unsigned long long)s.count),
+                  StrFormat("%.2f", s.total_seconds * 1e3),
+                  StrFormat("%.3f", mean_ms), StrFormat("%.1f", share)});
+  }
+  return table.ToString();
+}
+
+}  // namespace emigre::obs

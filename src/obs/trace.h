@@ -1,0 +1,76 @@
+#ifndef EMIGRE_OBS_TRACE_H_
+#define EMIGRE_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace emigre::obs {
+
+/// \brief Lightweight RAII trace spans for per-query phase breakdowns.
+///
+/// A span marks a pipeline phase:
+///
+///   void RunIncremental(...) {
+///     EMIGRE_SPAN("incremental");
+///     ...
+///   }
+///
+/// Spans nest via a thread-local stack: a "flp" span opened while an
+/// "explain/rank" span is live aggregates under the path
+/// "explain/rank/flp", so the collected stats form a tree — the per-query
+/// phase breakdown `emigre explain --trace` prints.
+///
+/// Tracing is off by default. A disabled span is a single relaxed atomic
+/// load plus a branch — cheap enough to leave in every hot entry point.
+/// Aggregation happens at span end under a mutex keyed by path; spans fire
+/// per phase call (not per inner-loop iteration), so contention stays
+/// negligible even with the multi-threaded experiment runner.
+
+/// Enables/disables span collection process-wide.
+void SetTracingEnabled(bool enabled);
+bool TracingEnabled();
+
+/// \brief RAII phase marker. Use via EMIGRE_SPAN; `name` must outlive the
+/// span (string literals do).
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool active_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// \brief Aggregated statistics of one span path.
+struct SpanStat {
+  std::string path;  ///< "/"-joined nesting, e.g. "explain/search_space/rlp"
+  int depth = 0;     ///< number of ancestors (path segments − 1)
+  uint64_t count = 0;
+  double total_seconds = 0.0;
+};
+
+/// All span aggregates collected so far, sorted by path (pre-order of the
+/// span tree).
+std::vector<SpanStat> TraceSnapshot();
+
+/// Drops all collected span aggregates (the enabled flag is untouched).
+void ResetTrace();
+
+/// Renders the span tree as an indented table: span, calls, total ms,
+/// mean ms, and share of the root spans' total time.
+std::string FormatTraceTree(const std::vector<SpanStat>& stats);
+
+}  // namespace emigre::obs
+
+#define EMIGRE_OBS_CONCAT_INNER(a, b) a##b
+#define EMIGRE_OBS_CONCAT(a, b) EMIGRE_OBS_CONCAT_INNER(a, b)
+#define EMIGRE_SPAN(name) \
+  ::emigre::obs::Span EMIGRE_OBS_CONCAT(emigre_span_, __LINE__)(name)
+
+#endif  // EMIGRE_OBS_TRACE_H_

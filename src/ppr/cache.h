@@ -9,6 +9,7 @@
 
 #include "graph/traits.h"
 #include "graph/types.h"
+#include "obs/metrics.h"
 #include "ppr/options.h"
 #include "ppr/reverse_push.h"
 
@@ -45,9 +46,11 @@ class ReversePushCache {
         // Refresh LRU position.
         lru_.splice(lru_.begin(), lru_, it->second.lru_it);
         ++hits_;
+        EMIGRE_COUNTER("ppr.cache.hits").Increment();
         return it->second.vector;
       }
       ++misses_;
+      EMIGRE_COUNTER("ppr.cache.misses").Increment();
     }
     // Compute outside the lock: pushes can be slow and independent targets
     // should not serialize. A racing duplicate computation is harmless

@@ -8,6 +8,8 @@
 
 #include "graph/traits.h"
 #include "graph/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ppr/forward_push.h"
 #include "ppr/options.h"
 
@@ -50,6 +52,8 @@ class DynamicForwardPush {
   /// Repairs the invariant after the out-edges of the node passed to
   /// `BeforeOutEdgeChange` were mutated, then re-pushes to convergence.
   void AfterOutEdgeChange(graph::NodeId u) {
+    EMIGRE_SPAN("dyn.repair");
+    EMIGRE_COUNTER("ppr.dyn.repairs").Increment();
     std::unordered_map<graph::NodeId, double> new_row = TransitionRow(u);
     double scale = (1.0 - opts_.alpha) / opts_.alpha * state_.estimate[u];
     if (scale != 0.0) {
@@ -115,6 +119,7 @@ class DynamicForwardPush {
         queued[v] = 1;
       }
     }
+    size_t pushes = 0;
     while (!queue.empty()) {
       graph::NodeId u = queue.front();
       queue.pop_front();
@@ -122,6 +127,7 @@ class DynamicForwardPush {
       double r = state_.residual[u];
       if (std::abs(r) < threshold(u)) continue;
       state_.residual[u] = 0.0;
+      ++pushes;
       double out_w = g_->OutWeight(u);
       if (out_w <= 0.0) {
         state_.estimate[u] += r;
@@ -138,6 +144,7 @@ class DynamicForwardPush {
         }
       });
     }
+    EMIGRE_COUNTER("ppr.dyn.refine_pushes").Increment(pushes);
   }
 
   const G* g_;

@@ -6,6 +6,8 @@
 
 #include "graph/traits.h"
 #include "graph/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ppr/options.h"
 
 namespace emigre::ppr {
@@ -41,6 +43,7 @@ struct PushResult {
 template <graph::GraphLike G>
 PushResult ForwardPush(const G& g, graph::NodeId source,
                        const PprOptions& opts = {}) {
+  EMIGRE_SPAN("flp");
   const size_t n = g.NumNodes();
   PushResult out;
   out.estimate.assign(n, 0.0);
@@ -58,6 +61,10 @@ PushResult ForwardPush(const G& g, graph::NodeId source,
     return opts.epsilon * static_cast<double>(deg > 0 ? deg : 1);
   };
 
+  // Hot loop: accumulate locally, publish to the registry once per call.
+  size_t pushes = 0;
+  size_t max_queue = queue.size();
+
   while (!queue.empty()) {
     graph::NodeId u = queue.front();
     queue.pop_front();
@@ -65,6 +72,7 @@ PushResult ForwardPush(const G& g, graph::NodeId source,
     double r = out.residual[u];
     if (r < threshold(u)) continue;
     out.residual[u] = 0.0;
+    ++pushes;
 
     double out_w = g.OutWeight(u);
     if (out_w <= 0.0) {
@@ -82,7 +90,12 @@ PushResult ForwardPush(const G& g, graph::NodeId source,
         queue.push_back(v);
       }
     });
+    if (queue.size() > max_queue) max_queue = queue.size();
   }
+
+  EMIGRE_COUNTER("ppr.flp.calls").Increment();
+  EMIGRE_COUNTER("ppr.flp.pushes").Increment(pushes);
+  EMIGRE_GAUGE("ppr.flp.max_queue").SetMax(static_cast<double>(max_queue));
   return out;
 }
 

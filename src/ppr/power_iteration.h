@@ -6,6 +6,8 @@
 
 #include "graph/traits.h"
 #include "graph/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ppr/options.h"
 
 namespace emigre::ppr {
@@ -25,13 +27,16 @@ namespace emigre::ppr {
 template <graph::GraphLike G>
 std::vector<double> PowerIterationPpr(const G& g, graph::NodeId seed,
                                       const PprOptions& opts = {}) {
+  EMIGRE_SPAN("power");
   const size_t n = g.NumNodes();
   std::vector<double> p(n, 0.0);
   if (seed >= n) return p;
   std::vector<double> next(n, 0.0);
   p[seed] = 1.0;
 
+  size_t iterations = 0;
   for (size_t iter = 0; iter < opts.max_power_iterations; ++iter) {
+    ++iterations;
     std::fill(next.begin(), next.end(), 0.0);
     next[seed] += opts.alpha;
     for (graph::NodeId u = 0; u < n; ++u) {
@@ -52,6 +57,9 @@ std::vector<double> PowerIterationPpr(const G& g, graph::NodeId seed,
     p.swap(next);
     if (delta < opts.power_tolerance) break;
   }
+
+  EMIGRE_COUNTER("ppr.power.calls").Increment();
+  EMIGRE_COUNTER("ppr.power.iterations").Increment(iterations);
   return p;
 }
 

@@ -6,6 +6,8 @@
 
 #include "graph/traits.h"
 #include "graph/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ppr/forward_push.h"
 #include "ppr/options.h"
 
@@ -31,6 +33,7 @@ namespace emigre::ppr {
 template <graph::GraphLike G>
 PushResult ReversePush(const G& g, graph::NodeId target,
                        const PprOptions& opts = {}) {
+  EMIGRE_SPAN("rlp");
   const size_t n = g.NumNodes();
   PushResult out;
   out.estimate.assign(n, 0.0);
@@ -43,6 +46,9 @@ PushResult ReversePush(const G& g, graph::NodeId target,
   queue.push_back(target);
   queued[target] = 1;
 
+  size_t pushes = 0;
+  size_t max_queue = queue.size();
+
   while (!queue.empty()) {
     graph::NodeId v = queue.front();
     queue.pop_front();
@@ -50,6 +56,7 @@ PushResult ReversePush(const G& g, graph::NodeId target,
     double r = out.residual[v];
     if (r < opts.epsilon) continue;
     out.residual[v] = 0.0;
+    ++pushes;
 
     bool dangling = g.OutWeight(v) <= 0.0;
     if (dangling) {
@@ -72,7 +79,12 @@ PushResult ReversePush(const G& g, graph::NodeId target,
         queue.push_back(u);
       }
     });
+    if (queue.size() > max_queue) max_queue = queue.size();
   }
+
+  EMIGRE_COUNTER("ppr.rlp.calls").Increment();
+  EMIGRE_COUNTER("ppr.rlp.pushes").Increment(pushes);
+  EMIGRE_GAUGE("ppr.rlp.max_queue").SetMax(static_cast<double>(max_queue));
   return out;
 }
 

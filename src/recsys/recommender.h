@@ -5,6 +5,8 @@
 
 #include "graph/traits.h"
 #include "graph/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ppr/forward_push.h"
 #include "ppr/options.h"
 #include "ppr/power_iteration.h"
@@ -69,6 +71,8 @@ bool IsCandidateItem(const G& g, graph::NodeId user, graph::NodeId item,
 template <graph::GraphLike G>
 RecommendationList RankItems(const G& g, graph::NodeId user,
                              const RecommenderOptions& opts) {
+  EMIGRE_SPAN("rank");
+  EMIGRE_COUNTER("recsys.rank.calls").Increment();
   std::vector<double> scores =
       opts.scorer == Scorer::kForwardPush
           ? ppr::ForwardPush(g, user, opts.ppr).estimate

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <limits>
 
 namespace emigre {
 
@@ -41,13 +42,28 @@ class Deadline {
  public:
   /// Unlimited deadline.
   Deadline() : seconds_(0.0) {}
+
+  /// Deadline that starts counting immediately. When the Deadline is stored
+  /// (or copied) and the guarded work begins later, call Start() at that
+  /// point — the copied stopwatch otherwise keeps the construction-time
+  /// start and silently shortens the budget.
   explicit Deadline(double seconds) : seconds_(seconds) {}
+
+  /// (Re)arms the deadline: the budget counts from this call.
+  void Start() { timer_.Reset(); }
 
   bool Expired() const {
     return seconds_ > 0.0 && timer_.ElapsedSeconds() >= seconds_;
   }
 
   double BudgetSeconds() const { return seconds_; }
+
+  /// Seconds left before expiry; +infinity when unlimited, clamped at 0.
+  double RemainingSeconds() const {
+    if (seconds_ <= 0.0) return std::numeric_limits<double>::infinity();
+    double left = seconds_ - timer_.ElapsedSeconds();
+    return left > 0.0 ? left : 0.0;
+  }
 
  private:
   double seconds_;

@@ -26,13 +26,19 @@ ITEM_ID=$(sed -n '2s/.*\[\([0-9]*\)\].*/\1/p' "$DIR/log")
 test -n "$ITEM_ID"
 
 # explain returns 0 (found) or 2 (valid question, no explanation) — both
-# are correct CLI behavior; anything else is a failure.
+# are correct CLI behavior; anything else is a failure. --trace and
+# --metrics-out must emit the span tree and a valid metrics JSON either way.
 set +e
 "$EMIGRE" explain --graph "$DIR/g.graph" --user "$USER_ID" \
-    --item "$ITEM_ID" --mode auto --heuristic incremental > "$DIR/log" 2>&1
+    --item "$ITEM_ID" --mode auto --heuristic incremental \
+    --trace --metrics-out "$DIR/m.json" > "$DIR/log" 2>&1
 CODE=$?
 set -e
 test "$CODE" -eq 0 -o "$CODE" -eq 2
+grep -q "== trace ==" "$DIR/log"
+grep -q "explain.queries" "$DIR/log"
+grep -q '"schema": "emigre.metrics.v1"' "$DIR/m.json"
+grep -q '"trace"' "$DIR/m.json"
 
 # Unknown flags and missing args must fail loudly.
 if "$EMIGRE" explain --bogus 2>/dev/null; then exit 1; fi

@@ -108,14 +108,23 @@ TEST_F(PipelineTest, DirectNeverBeatsVerifiedExhaustive) {
 
 TEST_F(PipelineTest, OracleDominatesSizeCappedRemoveSearches) {
   // On every scenario where a size-capped remove search succeeded, the
-  // brute-force oracle (same caps, bigger enumeration) succeeded too.
+  // brute-force oracle (same caps, bigger enumeration) succeeded too —
+  // unless the oracle's own wall-clock budget cut its enumeration short
+  // (routine in slow sanitizer builds), which makes the claim vacuous.
   std::set<std::pair<graph::NodeId, graph::NodeId>> solved_by_oracle;
+  std::set<std::pair<graph::NodeId, graph::NodeId>> oracle_timed_out;
   for (const auto& r : result_->records) {
-    if (r.method == "remove_brute" && r.correct) {
+    if (r.method != "remove_brute") continue;
+    if (r.correct) {
       solved_by_oracle.insert({r.scenario.user, r.scenario.wni});
+    } else if (r.failure == explain::FailureReason::kBudgetExceeded) {
+      oracle_timed_out.insert({r.scenario.user, r.scenario.wni});
     }
   }
   for (const auto& r : result_->records) {
+    if (oracle_timed_out.count({r.scenario.user, r.scenario.wni}) > 0) {
+      continue;
+    }
     if ((r.method == "remove_Powerset" || r.method == "remove_ex") &&
         r.correct && r.failure != explain::FailureReason::kBudgetExceeded) {
       EXPECT_TRUE(solved_by_oracle.count(

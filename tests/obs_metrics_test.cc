@@ -1,0 +1,274 @@
+// Tests for src/obs/: registry metric types, snapshot deltas, percentile
+// math, and the emigre.metrics.v1 JSON round-trip.
+
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/export.h"
+#include "util/thread_pool.h"
+
+namespace emigre::obs {
+namespace {
+
+// Each test names its metrics uniquely (the registry is process-global and
+// other tests in this binary share it), and resets values up front so reruns
+// within one process stay deterministic.
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter& c = EMIGRE_COUNTER("test.counter.concurrent");
+  c.Reset();
+  constexpr size_t kTasks = 64;
+  constexpr uint64_t kPerTask = 10000;
+  ThreadPool::ParallelFor(kTasks, 8, [&](size_t) {
+    for (uint64_t i = 0; i < kPerTask; ++i) c.Increment();
+  });
+  EXPECT_EQ(c.Value(), kTasks * kPerTask);
+}
+
+TEST(CounterTest, IncrementByN) {
+  Counter& c = EMIGRE_COUNTER("test.counter.by_n");
+  c.Reset();
+  c.Increment(5);
+  c.Increment(7);
+  EXPECT_EQ(c.Value(), 12u);
+}
+
+TEST(GaugeTest, SetAndWatermark) {
+  Gauge& g = EMIGRE_GAUGE("test.gauge.basic");
+  g.Set(3.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 3.5);
+  g.SetMax(2.0);  // lower: no effect
+  EXPECT_DOUBLE_EQ(g.Value(), 3.5);
+  g.SetMax(9.0);  // higher: raises
+  EXPECT_DOUBLE_EQ(g.Value(), 9.0);
+}
+
+TEST(GaugeTest, ConcurrentSetMaxKeepsMaximum) {
+  Gauge& g = EMIGRE_GAUGE("test.gauge.concurrent");
+  g.Reset();
+  constexpr size_t kTasks = 64;
+  ThreadPool::ParallelFor(kTasks, 8, [&](size_t i) {
+    g.SetMax(static_cast<double>(i + 1));
+  });
+  EXPECT_DOUBLE_EQ(g.Value(), static_cast<double>(kTasks));
+}
+
+TEST(HistogramTest, BucketBoundsDouble) {
+  EXPECT_DOUBLE_EQ(Histogram::BucketBound(0), Histogram::kFirstBound);
+  for (size_t i = 1; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_DOUBLE_EQ(Histogram::BucketBound(i),
+                     2.0 * Histogram::BucketBound(i - 1));
+  }
+  EXPECT_EQ(Histogram::BucketIndex(Histogram::kFirstBound / 10), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(Histogram::kFirstBound), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(Histogram::kFirstBound * 2), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(1e9), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, ExactAggregates) {
+  Histogram& h = EMIGRE_HISTOGRAM("test.hist.aggregates");
+  h.Reset();
+  const std::vector<double> values = {0.001, 0.002, 0.004, 0.010, 0.100};
+  double sum = 0.0;
+  for (double v : values) {
+    h.Record(v);
+    sum += v;
+  }
+  MetricsSnapshot snap = Registry::Global().Snapshot();
+  const HistogramSample* sample = nullptr;
+  for (const auto& hs : snap.histograms) {
+    if (hs.name == "test.hist.aggregates") sample = &hs;
+  }
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->count, values.size());
+  EXPECT_DOUBLE_EQ(sample->sum, sum);
+  EXPECT_DOUBLE_EQ(sample->min, 0.001);
+  EXPECT_DOUBLE_EQ(sample->max, 0.100);
+  EXPECT_NEAR(sample->Mean(), sum / values.size(), 1e-12);
+}
+
+TEST(HistogramTest, PercentilesOfKnownDistribution) {
+  Histogram& h = EMIGRE_HISTOGRAM("test.hist.percentiles");
+  h.Reset();
+  // 1000 samples uniform over (0, 1]: p50 ≈ 0.5, p95 ≈ 0.95, p99 ≈ 0.99.
+  // A log2-bucket estimate is correct within its bucket's factor-of-2 width.
+  constexpr int kN = 1000;
+  for (int i = 1; i <= kN; ++i) h.Record(i / static_cast<double>(kN));
+  MetricsSnapshot snap = Registry::Global().Snapshot();
+  const HistogramSample* sample = nullptr;
+  for (const auto& hs : snap.histograms) {
+    if (hs.name == "test.hist.percentiles") sample = &hs;
+  }
+  ASSERT_NE(sample, nullptr);
+  struct Case {
+    double p;
+    double expected;
+  };
+  for (const Case& c : {Case{50, 0.5}, Case{95, 0.95}, Case{99, 0.99}}) {
+    double est = sample->Percentile(c.p);
+    EXPECT_GE(est, c.expected / 2) << "p" << c.p;
+    EXPECT_LE(est, c.expected * 2) << "p" << c.p;
+  }
+  // Extremes clamp to the recorded min/max.
+  EXPECT_DOUBLE_EQ(sample->Percentile(0), sample->min);
+  EXPECT_DOUBLE_EQ(sample->Percentile(100), sample->max);
+}
+
+TEST(HistogramTest, SingleValuePercentilesCollapse) {
+  Histogram& h = EMIGRE_HISTOGRAM("test.hist.single");
+  h.Reset();
+  h.Record(0.042);
+  MetricsSnapshot snap = Registry::Global().Snapshot();
+  for (const auto& hs : snap.histograms) {
+    if (hs.name != "test.hist.single") continue;
+    EXPECT_DOUBLE_EQ(hs.Percentile(50), 0.042);
+    EXPECT_DOUBLE_EQ(hs.Percentile(99), 0.042);
+  }
+}
+
+TEST(SnapshotTest, DeltaSubtractsAndDropsZeroEntries) {
+  Counter& a = EMIGRE_COUNTER("test.delta.active");
+  Counter& b = EMIGRE_COUNTER("test.delta.idle");
+  Histogram& h = EMIGRE_HISTOGRAM("test.delta.hist");
+  a.Reset();
+  b.Reset();
+  h.Reset();
+  a.Increment(10);
+  b.Increment(3);
+  h.Record(0.5);
+  MetricsSnapshot before = Registry::Global().Snapshot();
+  a.Increment(7);
+  h.Record(0.25);
+  h.Record(0.125);
+  MetricsSnapshot after = Registry::Global().Snapshot();
+
+  MetricsSnapshot delta = Delta(before, after);
+  bool saw_active = false, saw_hist = false;
+  for (const auto& cs : delta.counters) {
+    EXPECT_NE(cs.name, "test.delta.idle") << "all-zero delta must be dropped";
+    if (cs.name == "test.delta.active") {
+      saw_active = true;
+      EXPECT_EQ(cs.value, 7u);
+    }
+  }
+  for (const auto& hs : delta.histograms) {
+    if (hs.name == "test.delta.hist") {
+      saw_hist = true;
+      EXPECT_EQ(hs.count, 2u);
+      EXPECT_DOUBLE_EQ(hs.sum, 0.375);
+    }
+  }
+  EXPECT_TRUE(saw_active);
+  EXPECT_TRUE(saw_hist);
+}
+
+TEST(SnapshotTest, DeltaOfIdenticalSnapshotsIsEmpty) {
+  // Gauges are not cumulative — a delta reports the `after` value — so zero
+  // the registry first to make "nothing happened" observable.
+  Registry::Global().Reset();
+  EMIGRE_COUNTER("test.delta.static").Increment();
+  MetricsSnapshot snap = Registry::Global().Snapshot();
+  EXPECT_TRUE(Delta(snap, snap).Empty());
+}
+
+TEST(ExportTest, JsonRoundTripPreservesSnapshot) {
+  Counter& c = EMIGRE_COUNTER("test.json.counter");
+  Gauge& g = EMIGRE_GAUGE("test.json.gauge");
+  Histogram& h = EMIGRE_HISTOGRAM("test.json.hist");
+  c.Reset();
+  g.Reset();
+  h.Reset();
+  c.Increment(123456789);
+  g.Set(2.71828);
+  h.Record(0.001);
+  h.Record(0.003);
+  h.Record(1.5);
+  MetricsSnapshot before = Registry::Global().Snapshot();
+
+  std::string json = MetricsJson(before);
+  Result<MetricsSnapshot> parsed = ParseMetricsJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  ASSERT_EQ(parsed->counters.size(), before.counters.size());
+  for (size_t i = 0; i < before.counters.size(); ++i) {
+    EXPECT_EQ(parsed->counters[i].name, before.counters[i].name);
+    EXPECT_EQ(parsed->counters[i].value, before.counters[i].value);
+  }
+  ASSERT_EQ(parsed->gauges.size(), before.gauges.size());
+  for (size_t i = 0; i < before.gauges.size(); ++i) {
+    EXPECT_EQ(parsed->gauges[i].name, before.gauges[i].name);
+    EXPECT_DOUBLE_EQ(parsed->gauges[i].value, before.gauges[i].value);
+  }
+  ASSERT_EQ(parsed->histograms.size(), before.histograms.size());
+  for (size_t i = 0; i < before.histograms.size(); ++i) {
+    const HistogramSample& p = parsed->histograms[i];
+    const HistogramSample& b = before.histograms[i];
+    EXPECT_EQ(p.name, b.name);
+    EXPECT_EQ(p.count, b.count);
+    EXPECT_DOUBLE_EQ(p.sum, b.sum);
+    EXPECT_DOUBLE_EQ(p.min, b.min);
+    EXPECT_DOUBLE_EQ(p.max, b.max);
+    EXPECT_EQ(p.buckets, b.buckets);
+  }
+}
+
+TEST(ExportTest, JsonIncludesTraceSection) {
+  MetricsSnapshot snap;
+  std::vector<SpanStat> trace = {
+      {"explain", 0, 2, 0.125},
+      {"explain/search_space", 1, 2, 0.0625},
+  };
+  std::string json = MetricsJson(snap, trace);
+  std::vector<SpanStat> parsed_trace;
+  Result<MetricsSnapshot> parsed = ParseMetricsJson(json, &parsed_trace);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed_trace.size(), 2u);
+  EXPECT_EQ(parsed_trace[0].path, "explain");
+  EXPECT_EQ(parsed_trace[0].depth, 0);
+  EXPECT_EQ(parsed_trace[0].count, 2u);
+  EXPECT_DOUBLE_EQ(parsed_trace[0].total_seconds, 0.125);
+  EXPECT_EQ(parsed_trace[1].path, "explain/search_space");
+  EXPECT_EQ(parsed_trace[1].depth, 1);
+}
+
+TEST(ExportTest, ParseRejectsWrongSchema) {
+  EXPECT_FALSE(ParseMetricsJson("{\"schema\": \"other.v9\"}").ok());
+  EXPECT_FALSE(ParseMetricsJson("not json at all").ok());
+  EXPECT_FALSE(ParseMetricsJson("{\"counters\": {}}").ok());
+}
+
+TEST(ExportTest, TablePrintsCountersAndHistograms) {
+  Counter& c = EMIGRE_COUNTER("test.table.counter");
+  c.Reset();
+  c.Increment(42);
+  Histogram& h = EMIGRE_HISTOGRAM("test.table.seconds");
+  h.Reset();
+  h.Record(0.010);
+  MetricsSnapshot snap = Registry::Global().Snapshot();
+  std::string table = FormatMetricsTable(snap);
+  EXPECT_NE(table.find("test.table.counter"), std::string::npos);
+  EXPECT_NE(table.find("42"), std::string::npos);
+  EXPECT_NE(table.find("test.table.seconds"), std::string::npos);
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsReferencesValid) {
+  Counter& c = EMIGRE_COUNTER("test.reset.counter");
+  c.Increment(99);
+  Registry::Global().Reset();
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();  // cached reference still works after Reset
+  EXPECT_EQ(c.Value(), 1u);
+}
+
+TEST(RegistryTest, SameNameSameMetric) {
+  Counter& a = Registry::Global().GetCounter("test.identity");
+  Counter& b = Registry::Global().GetCounter("test.identity");
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace emigre::obs

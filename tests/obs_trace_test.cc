@@ -1,0 +1,135 @@
+// Tests for src/obs/trace.h: span nesting, disabled-mode no-op behavior,
+// and the rendered trace tree.
+
+#include "obs/trace.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace emigre::obs {
+namespace {
+
+/// RAII guard: every test leaves tracing disabled and the store empty, so
+/// test order cannot matter.
+struct TraceGuard {
+  TraceGuard() {
+    SetTracingEnabled(false);
+    ResetTrace();
+  }
+  ~TraceGuard() {
+    SetTracingEnabled(false);
+    ResetTrace();
+  }
+};
+
+const SpanStat* Find(const std::vector<SpanStat>& stats,
+                     const std::string& path) {
+  for (const SpanStat& s : stats) {
+    if (s.path == path) return &s;
+  }
+  return nullptr;
+}
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  TraceGuard guard;
+  {
+    EMIGRE_SPAN("outer");
+    EMIGRE_SPAN("inner");
+  }
+  EXPECT_TRUE(TraceSnapshot().empty());
+}
+
+TEST(TraceTest, NestedSpansBuildSlashPaths) {
+  TraceGuard guard;
+  SetTracingEnabled(true);
+  {
+    Span outer("outer");
+    {
+      Span inner("inner");
+      { Span leaf("leaf"); }
+    }
+    { Span inner2("inner"); }
+  }
+  std::vector<SpanStat> stats = TraceSnapshot();
+  const SpanStat* outer = Find(stats, "outer");
+  const SpanStat* inner = Find(stats, "outer/inner");
+  const SpanStat* leaf = Find(stats, "outer/inner/leaf");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_EQ(outer->depth, 0);
+  EXPECT_EQ(outer->count, 1u);
+  EXPECT_EQ(inner->depth, 1);
+  EXPECT_EQ(inner->count, 2u);  // two "inner" spans aggregated on one path
+  EXPECT_EQ(leaf->depth, 2);
+  EXPECT_EQ(leaf->count, 1u);
+  // A child's total time is contained in its parent's.
+  EXPECT_LE(leaf->total_seconds, inner->total_seconds);
+  EXPECT_LE(inner->total_seconds, outer->total_seconds);
+}
+
+TEST(TraceTest, SnapshotSortedByPath) {
+  TraceGuard guard;
+  SetTracingEnabled(true);
+  { Span b("zeta"); }
+  { Span a("alpha"); }
+  std::vector<SpanStat> stats = TraceSnapshot();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].path, "alpha");
+  EXPECT_EQ(stats[1].path, "zeta");
+}
+
+TEST(TraceTest, SpansOnSeparateThreadsDoNotNestIntoEachOther) {
+  TraceGuard guard;
+  SetTracingEnabled(true);
+  Span outer("outer");
+  std::thread worker([] { Span inner("worker_span"); });
+  worker.join();
+  std::vector<SpanStat> stats = TraceSnapshot();
+  // The worker's stack is its own: its span is a root, not "outer/...".
+  EXPECT_NE(Find(stats, "worker_span"), nullptr);
+  EXPECT_EQ(Find(stats, "outer/worker_span"), nullptr);
+}
+
+TEST(TraceTest, EnablingMidSpanOnlyAffectsNewSpans) {
+  TraceGuard guard;
+  Span outer("outer");  // constructed while disabled: inert
+  SetTracingEnabled(true);
+  { Span inner("inner"); }
+  std::vector<SpanStat> stats = TraceSnapshot();
+  // The inert outer span is invisible, so "inner" is a root path.
+  EXPECT_NE(Find(stats, "inner"), nullptr);
+  EXPECT_EQ(Find(stats, "outer/inner"), nullptr);
+  EXPECT_EQ(Find(stats, "outer"), nullptr);
+}
+
+TEST(TraceTest, ResetClearsAggregates) {
+  TraceGuard guard;
+  SetTracingEnabled(true);
+  { EMIGRE_SPAN("ephemeral"); }
+  EXPECT_FALSE(TraceSnapshot().empty());
+  ResetTrace();
+  EXPECT_TRUE(TraceSnapshot().empty());
+  // The enabled flag survives a reset.
+  EXPECT_TRUE(TracingEnabled());
+}
+
+TEST(TraceTest, FormatTraceTreeShowsIndentedSpans) {
+  TraceGuard guard;
+  SetTracingEnabled(true);
+  {
+    Span outer("query");
+    { Span inner("push"); }
+  }
+  std::string tree = FormatTraceTree(TraceSnapshot());
+  EXPECT_NE(tree.find("query"), std::string::npos);
+  EXPECT_NE(tree.find("  push"), std::string::npos);  // indented child
+  EXPECT_NE(tree.find("calls"), std::string::npos);
+  EXPECT_EQ(FormatTraceTree({}), "(no spans recorded)\n");
+}
+
+}  // namespace
+}  // namespace emigre::obs

@@ -1,0 +1,87 @@
+// Tests for util/timer.h, in particular the Deadline copy/Start semantics:
+// a Deadline constructed early (e.g. inside options) and copied into the
+// worker must be re-armed with Start() or it silently counts setup time.
+
+#include "util/timer.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace emigre {
+namespace {
+
+void SleepMs(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+TEST(WallTimerTest, ElapsedGrowsMonotonically) {
+  WallTimer timer;
+  double t0 = timer.ElapsedSeconds();
+  SleepMs(5);
+  double t1 = timer.ElapsedSeconds();
+  EXPECT_GE(t0, 0.0);
+  EXPECT_GT(t1, t0);
+  EXPECT_GE(timer.ElapsedMicros(), 5000);
+}
+
+TEST(WallTimerTest, ResetRestartsTheClock) {
+  WallTimer timer;
+  SleepMs(10);
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.010);
+}
+
+TEST(DeadlineTest, UnlimitedNeverExpires) {
+  Deadline unlimited;
+  EXPECT_FALSE(unlimited.Expired());
+  EXPECT_DOUBLE_EQ(unlimited.BudgetSeconds(), 0.0);
+  EXPECT_TRUE(std::isinf(unlimited.RemainingSeconds()));
+  Deadline negative(-1.0);
+  EXPECT_FALSE(negative.Expired());
+  EXPECT_TRUE(std::isinf(negative.RemainingSeconds()));
+}
+
+TEST(DeadlineTest, ExpiresAfterBudget) {
+  Deadline d(0.02);
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingSeconds(), 0.0);
+  SleepMs(30);
+  EXPECT_TRUE(d.Expired());
+  EXPECT_DOUBLE_EQ(d.RemainingSeconds(), 0.0);
+}
+
+TEST(DeadlineTest, StartReArmsAnExpiredDeadline) {
+  Deadline d(0.02);
+  SleepMs(30);
+  ASSERT_TRUE(d.Expired());
+  d.Start();
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingSeconds(), 0.0);
+}
+
+// Regression: a copied Deadline inherits the source's start time. Without a
+// Start() at the point where the guarded work begins, setup time between
+// construction and use is silently charged against the budget.
+TEST(DeadlineTest, CopiedDeadlineKeepsOldStartUntilStarted) {
+  Deadline original(0.02);
+  SleepMs(30);  // "setup" happening after the budget was constructed
+  Deadline copy = original;
+  EXPECT_TRUE(copy.Expired()) << "copy shares the construction-time start";
+  copy.Start();
+  EXPECT_FALSE(copy.Expired()) << "Start() must re-arm the copied budget";
+}
+
+TEST(DeadlineTest, RemainingSecondsShrinks) {
+  Deadline d(1.0);
+  double r0 = d.RemainingSeconds();
+  SleepMs(10);
+  double r1 = d.RemainingSeconds();
+  EXPECT_LE(r1, r0);
+  EXPECT_LE(r0, 1.0);
+}
+
+}  // namespace
+}  // namespace emigre

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Developer pre-submit check: Debug build with ASan+UBSan, full test suite.
+#
+#   tools/check.sh [build-dir]
+#
+# The build directory defaults to build-asan/ next to the source tree and is
+# reused across runs (delete it to force a clean configure).
+set -e
+
+SRC_DIR=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD_DIR="${1:-$SRC_DIR/build-asan}"
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DEMIGRE_SANITIZE="address;undefined"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+echo "check.sh: all tests passed under ASan/UBSan"

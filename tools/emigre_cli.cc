@@ -36,6 +36,9 @@
 #include "explain/search_space.h"
 #include "graph/io.h"
 #include "graph/stats.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 
@@ -46,6 +49,53 @@ int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
 }
+
+/// Observability flags shared by the query subcommands; see
+/// docs/observability.md.
+void AddObsFlags(FlagParser* parser) {
+  parser->AddFlag("trace", "print the span tree and metrics delta", "false");
+  parser->AddFlag("metrics-out", "write the metrics delta as JSON to FILE",
+                  "");
+}
+
+/// Captures a registry baseline at construction; Finish() prints and/or
+/// writes the delta accumulated since then, so the output reflects only this
+/// command's work. Call Finish on every post-query exit path (found and
+/// not-found alike).
+class ObsSession {
+ public:
+  explicit ObsSession(const FlagParser& parser)
+      : trace_(parser.GetBool("trace").ValueOrDie()),
+        metrics_out_(parser.GetString("metrics-out").ValueOrDie()) {
+    if (trace_) {
+      obs::ResetTrace();
+      obs::SetTracingEnabled(true);
+    }
+    before_ = obs::Registry::Global().Snapshot();
+  }
+
+  int Finish(int exit_code) {
+    obs::MetricsSnapshot delta =
+        obs::Delta(before_, obs::Registry::Global().Snapshot());
+    std::vector<obs::SpanStat> spans = obs::TraceSnapshot();
+    if (trace_) {
+      std::printf("\n== trace ==\n%s", obs::FormatTraceTree(spans).c_str());
+      std::printf("\n== metrics ==\n%s",
+                  obs::FormatMetricsTable(delta).c_str());
+    }
+    if (!metrics_out_.empty()) {
+      Status st = obs::WriteMetricsJson(metrics_out_, delta, spans);
+      if (!st.ok()) return Fail(st);
+      std::printf("metrics -> %s\n", metrics_out_.c_str());
+    }
+    return exit_code;
+  }
+
+ private:
+  bool trace_;
+  std::string metrics_out_;
+  obs::MetricsSnapshot before_;
+};
 
 /// Shared graph-loading + explainer-options wiring for the query commands.
 struct LoadedGraph {
@@ -163,6 +213,7 @@ int RunRecommend(const std::vector<std::string>& args) {
   parser.AddFlag("graph", "graph file", "");
   parser.AddFlag("user", "user node id", "-1");
   parser.AddFlag("top", "list length", "10");
+  AddObsFlags(&parser);
   Status st = parser.Parse(args);
   if (!st.ok()) return Fail(st);
   Result<LoadedGraph> lg =
@@ -173,6 +224,7 @@ int RunRecommend(const std::vector<std::string>& args) {
     return Fail(Status::InvalidArgument("--user must be a valid node id"));
   }
   explain::Emigre engine(lg->g, lg->opts);
+  ObsSession obs(parser);
   auto ranking = engine.CurrentRanking(static_cast<graph::NodeId>(user))
                      .TopN(static_cast<size_t>(
                          parser.GetInt("top").ValueOrDie()));
@@ -181,7 +233,7 @@ int RunRecommend(const std::vector<std::string>& args) {
                 lg->g.DisplayName(ranking.at(i).item).c_str(),
                 ranking.at(i).score);
   }
-  return 0;
+  return obs.Finish(0);
 }
 
 int RunExplain(const std::vector<std::string>& args) {
@@ -192,6 +244,7 @@ int RunExplain(const std::vector<std::string>& args) {
   parser.AddFlag("mode", "add | remove | auto", "auto");
   parser.AddFlag("heuristic",
                  "incremental | powerset | exhaustive | brute", "incremental");
+  AddObsFlags(&parser);
   Status st = parser.Parse(args);
   if (!st.ok()) return Fail(st);
   Result<LoadedGraph> lg =
@@ -219,6 +272,7 @@ int RunExplain(const std::vector<std::string>& args) {
   explain::Emigre engine(lg->g, lg->opts);
   explain::WhyNotQuestion q{user, item};
   std::string mode = parser.GetString("mode").ValueOrDie();
+  ObsSession obs(parser);
   Result<explain::Explanation> result =
       mode == "auto"
           ? engine.ExplainAuto(q, heuristic)
@@ -242,7 +296,7 @@ int RunExplain(const std::vector<std::string>& args) {
                   explain::DiagnoseFailure(lg->g, space.value(), e, lg->opts)
                       .message.c_str());
     }
-    return 2;
+    return obs.Finish(2);
   }
   std::printf("%s\n", explain::FormatExplanationSentence(lg->g, e).c_str());
   std::printf("(%s mode, %zu action(s), %s heuristic, %zu TESTs, %.1f ms)\n",
@@ -256,7 +310,7 @@ int RunExplain(const std::vector<std::string>& args) {
                 lg->g.DisplayName(edge.dst).c_str(),
                 lg->g.EdgeTypeName(edge.type).c_str());
   }
-  return 0;
+  return obs.Finish(0);
 }
 
 int RunExperiment(const std::vector<std::string>& args) {
@@ -267,6 +321,7 @@ int RunExperiment(const std::vector<std::string>& args) {
   parser.AddFlag("per-user", "Why-Not positions per user (0=all)", "3");
   parser.AddFlag("deadline", "per-attempt budget in seconds", "2.0");
   parser.AddFlag("threads", "worker threads (0=all cores)", "0");
+  AddObsFlags(&parser);
   Status st = parser.Parse(args);
   if (!st.ok()) return Fail(st);
   Result<LoadedGraph> lg =
@@ -293,6 +348,7 @@ int RunExperiment(const std::vector<std::string>& args) {
   run_opts.num_threads =
       static_cast<size_t>(parser.GetInt("threads").ValueOrDie());
   run_opts.progress_every = 10;
+  ObsSession obs(parser);
   Result<eval::ExperimentResult> result = eval::RunExperiment(
       lg->g, scenarios.value(), eval::PaperMethods(), lg->opts, run_opts);
   if (!result.ok()) return Fail(result.status());
@@ -310,7 +366,7 @@ int RunExperiment(const std::vector<std::string>& args) {
     if (!st.ok()) return Fail(st);
     std::printf("records -> %s\n", out.c_str());
   }
-  return 0;
+  return obs.Finish(0);
 }
 
 int Main(int argc, char** argv) {
