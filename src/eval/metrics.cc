@@ -1,6 +1,7 @@
 #include "eval/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "util/csv.h"
@@ -10,13 +11,18 @@ namespace emigre::eval {
 
 namespace {
 
-/// Percentile by nearest-rank over a copy of the samples.
+/// Conventional (ceil) nearest-rank percentile over a copy of the samples:
+/// the smallest sample such that at least `fraction` of the data is ≤ it,
+/// i.e. rank ⌈fraction·n⌉ of the sorted samples (1-based). p50 of {a, b}
+/// is a, p95 of 20 samples is the 19th.
 double Percentile(std::vector<double> samples, double fraction) {
   if (samples.empty()) return 0.0;
   std::sort(samples.begin(), samples.end());
-  size_t rank = static_cast<size_t>(fraction * (samples.size() - 1) + 0.5);
-  if (rank >= samples.size()) rank = samples.size() - 1;
-  return samples[rank];
+  size_t rank = static_cast<size_t>(
+      std::ceil(fraction * static_cast<double>(samples.size())));
+  if (rank < 1) rank = 1;
+  if (rank > samples.size()) rank = samples.size();
+  return samples[rank - 1];
 }
 
 MethodAggregate AggregateRecords(
@@ -176,18 +182,9 @@ Result<ExperimentResult> LoadRecordsCsv(const std::string& path) {
     r.correct = row[5] == "1";
     r.explanation_size = static_cast<size_t>(size);
     r.seconds = seconds;
-    // The failure name is informational; map the few we round-trip and
-    // leave the rest at kNone.
-    for (explain::FailureReason reason :
-         {explain::FailureReason::kNone, explain::FailureReason::kColdStart,
-          explain::FailureReason::kPopularItem,
-          explain::FailureReason::kSearchExhausted,
-          explain::FailureReason::kBudgetExceeded,
-          explain::FailureReason::kInvalidQuestion}) {
-      if (row[8] == explain::FailureReasonName(reason)) {
-        r.failure = reason;
-        break;
-      }
+    if (!explain::FailureReasonFromName(row[8], &r.failure)) {
+      return Status::InvalidArgument("unknown failure reason '" + row[8] +
+                                     "' in " + path);
     }
     result.records.push_back(std::move(r));
   }

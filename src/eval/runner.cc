@@ -1,6 +1,8 @@
 #include "eval/runner.h"
 
+#include <algorithm>
 #include <atomic>
+#include <thread>
 
 #include "explain/emigre.h"
 #include "explain/meta.h"
@@ -101,9 +103,22 @@ Result<ExperimentResult> RunExperiment(const graph::HinGraph& g,
     }
   };
 
-  ThreadPool::ParallelFor(scenarios.size(),
-                          run_opts.num_threads == 0 ? 0 : run_opts.num_threads,
-                          run_one);
+  // Scenario-level fan-out composes with the candidate-level TEST fan-out
+  // (opts.test_threads, docs/parallelism.md): each scenario worker may spin
+  // up test_threads verification workers of its own, so cap the scenario
+  // workers at hardware / test_threads to keep the product within the
+  // machine instead of oversubscribing every core test_threads-fold.
+  size_t hardware = std::thread::hardware_concurrency();
+  if (hardware == 0) hardware = 1;
+  size_t scenario_threads =
+      run_opts.num_threads == 0 ? hardware : run_opts.num_threads;
+  size_t test_threads =
+      opts.test_threads == 0 ? hardware : opts.test_threads;
+  if (test_threads > 1) {
+    scenario_threads =
+        std::min(scenario_threads, std::max<size_t>(1, hardware / test_threads));
+  }
+  ThreadPool::ParallelFor(scenarios.size(), scenario_threads, run_one);
 
   if (failed.load()) {
     return Status::Internal("experiment aborted; see error log");

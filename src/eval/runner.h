@@ -37,6 +37,9 @@ struct ExperimentResult {
 /// \brief Runner configuration.
 struct RunnerOptions {
   /// Worker threads across scenarios (1 = serial; 0 = hardware threads).
+  /// Composes with `EmigreOptions::test_threads` (the per-candidate TEST
+  /// fan-out): the runner caps the scenario workers so that
+  /// scenario_threads × test_threads stays within the machine.
   size_t num_threads = 1;
   /// Log a progress line roughly every this many scenario completions
   /// (0 = silent).

@@ -35,28 +35,55 @@ Explanation RunBruteForce(const SearchSpace& space, TesterInterface& tester,
     max_size = std::min(max_size, opts.max_explanation_size);
   }
 
+  // Combinations are enumerated into fixed-size chunks and each chunk is
+  // verified as one batch: a ParallelTester fans the chunk across worker
+  // threads and accepts the lowest-index success, so the winning subset is
+  // the same one the serial enumeration finds. The chunk size trades
+  // cancellation waste (tests past an early success) against fan-out
+  // granularity; it is deliberately independent of the thread count so the
+  // candidate stream is identical at any parallelism level.
+  constexpr size_t kChunk = 128;
   bool budget_hit = false;
+
+  // Verifies the pending chunk; returns false once the search is decided.
+  std::vector<std::vector<graph::EdgeRef>> batch;
+  auto flush = [&]() {
+    if (batch.empty()) return true;
+    TesterInterface::BatchResult verdict = tester.TestBatch(
+        batch, space.mode,
+        [&budget](size_t tests) { return budget.Exhausted(tests); });
+    if (verdict.Found()) {
+      out.candidates_considered += verdict.accepted + 1;
+      out.found = true;
+      out.verified = tester.IsExact();
+      out.edges = std::move(batch[verdict.accepted]);
+      out.new_rec = verdict.new_rec;
+      batch.clear();
+      return false;
+    }
+    if (verdict.BudgetHit()) {
+      // The serial loop checked the budget before counting the candidate.
+      out.candidates_considered += verdict.budget_index;
+      budget_hit = true;
+      batch.clear();
+      return false;
+    }
+    out.candidates_considered += batch.size();
+    batch.clear();
+    return true;
+  };
+
   for (size_t size = 1; size <= max_size && !out.found && !budget_hit;
        ++size) {
-    std::vector<graph::EdgeRef> edges(size);
-    internal::ForEachCombination(
+    bool finished = internal::ForEachCombination(
         universe.size(), size, [&](const std::vector<size_t>& idx) {
-          if (budget.Exhausted(tester.num_tests())) {
-            budget_hit = true;
-            return false;
-          }
-          for (size_t i = 0; i < size; ++i) edges[i] = universe[idx[i]];
-          ++out.candidates_considered;
-          graph::NodeId new_rec = graph::kInvalidNode;
-          if (tester.Test(edges, space.mode, &new_rec)) {
-            out.found = true;
-            out.verified = tester.IsExact();
-            out.edges = edges;
-            out.new_rec = new_rec;
-            return false;
-          }
-          return true;
+          std::vector<graph::EdgeRef> edges;
+          edges.reserve(size);
+          for (size_t i : idx) edges.push_back(universe[i]);
+          batch.push_back(std::move(edges));
+          return batch.size() < kChunk || flush();
         });
+    if (finished && !flush()) continue;  // tail chunk decided the search
   }
 
   if (out.found) {

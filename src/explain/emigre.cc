@@ -6,6 +6,7 @@
 #include "explain/exhaustive.h"
 #include "explain/fast_tester.h"
 #include "explain/incremental.h"
+#include "explain/parallel_tester.h"
 #include "explain/powerset.h"
 #include "explain/search_space.h"
 #include "explain/tester.h"
@@ -69,13 +70,21 @@ Result<Explanation> Emigre::Explain(const WhyNotQuestion& q, Mode mode,
           : BuildAddSearchSpace(*g_, q.user, rec, q.why_not_item, opts_,
                                 ppr_cache_.get()));
 
-  std::unique_ptr<TesterInterface> tester;
-  if (opts_.tester == TesterKind::kDynamicPush) {
-    tester = std::make_unique<FastExplanationTester>(*g_, q.user,
+  // Factory for per-thread testers: each worker of a ParallelTester owns a
+  // private overlay/dynamic-push state built by this closure.
+  auto make_tester = [this, &q]() -> std::unique_ptr<TesterInterface> {
+    if (opts_.tester == TesterKind::kDynamicPush) {
+      return std::make_unique<FastExplanationTester>(*g_, q.user,
                                                      q.why_not_item, opts_);
+    }
+    return std::make_unique<ExplanationTester>(*g_, q.user, q.why_not_item,
+                                               opts_);
+  };
+  std::unique_ptr<TesterInterface> tester;
+  if (opts_.test_threads != 1) {
+    tester = std::make_unique<ParallelTester>(make_tester, opts_.test_threads);
   } else {
-    tester = std::make_unique<ExplanationTester>(*g_, q.user, q.why_not_item,
-                                                 opts_);
+    tester = make_tester();
   }
 
   Explanation result;

@@ -166,35 +166,51 @@ Explanation RunExhaustive(const HinGraph& g, const SearchSpace& space,
                 return a.indices < b.indices;
               });
 
-    for (const Candidate& cand : candidates) {
+    if (direct && !candidates.empty()) {
+      // The paper's Exhaustive-direct baseline: report the smallest
+      // threshold-passing candidate without verification.
       ++out.candidates_considered;
+      std::vector<EdgeRef> edges;
+      edges.reserve(candidates.front().indices.size());
+      for (size_t j : candidates.front().indices) edges.push_back(h[j].edge);
+      out.found = true;
+      out.verified = false;
+      out.edges = std::move(edges);
+      out.failure = FailureReason::kNone;
+      return recorder.Finish();
+    }
+
+    // Verify this size class as one batch; a ParallelTester fans it across
+    // worker threads, accepting the lowest-index success (same candidate a
+    // serial scan finds).
+    std::vector<std::vector<EdgeRef>> batch;
+    batch.reserve(candidates.size());
+    for (const Candidate& cand : candidates) {
       std::vector<EdgeRef> edges;
       edges.reserve(cand.indices.size());
       for (size_t j : cand.indices) edges.push_back(h[j].edge);
-
-      if (direct) {
-        // The paper's Exhaustive-direct baseline: report the smallest
-        // threshold-passing candidate without verification.
-        out.found = true;
-        out.verified = false;
-        out.edges = std::move(edges);
-        out.failure = FailureReason::kNone;
-        return recorder.Finish();
-      }
-      if (budget.Exhausted(tester.num_tests())) {
-        out.failure = FailureReason::kBudgetExceeded;
-        return recorder.Finish();
-      }
-      graph::NodeId new_rec = graph::kInvalidNode;
-      if (tester.Test(edges, space.mode, &new_rec)) {
-        out.found = true;
-        out.verified = tester.IsExact();
-        out.edges = std::move(edges);
-        out.new_rec = new_rec;
-        out.failure = FailureReason::kNone;
-        return recorder.Finish();
-      }
+      batch.push_back(std::move(edges));
     }
+    TesterInterface::BatchResult verdict = tester.TestBatch(
+        batch, space.mode,
+        [&budget](size_t tests) { return budget.Exhausted(tests); });
+    if (verdict.Found()) {
+      out.candidates_considered += verdict.accepted + 1;
+      out.found = true;
+      out.verified = tester.IsExact();
+      out.edges = std::move(batch[verdict.accepted]);
+      out.new_rec = verdict.new_rec;
+      out.failure = FailureReason::kNone;
+      return recorder.Finish();
+    }
+    if (verdict.BudgetHit()) {
+      // The serial loop counted the candidate it was about to test when the
+      // budget fired.
+      out.candidates_considered += verdict.budget_index + 1;
+      out.failure = FailureReason::kBudgetExceeded;
+      return recorder.Finish();
+    }
+    out.candidates_considered += batch.size();
   }
 
   out.failure = FailureReason::kSearchExhausted;

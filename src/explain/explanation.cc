@@ -46,4 +46,14 @@ std::string_view FailureReasonName(FailureReason reason) {
   return "?";
 }
 
+bool FailureReasonFromName(std::string_view name, FailureReason* reason) {
+  for (FailureReason r : kAllFailureReasons) {
+    if (name == FailureReasonName(r)) {
+      *reason = r;
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace emigre::explain

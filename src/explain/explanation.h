@@ -40,6 +40,18 @@ enum class FailureReason {
 
 std::string_view FailureReasonName(FailureReason reason);
 
+/// Every FailureReason value, for exhaustive iteration (serialization
+/// round-trips, report breakdowns). Keep in sync with the enum.
+inline constexpr FailureReason kAllFailureReasons[] = {
+    FailureReason::kNone,           FailureReason::kInvalidQuestion,
+    FailureReason::kColdStart,      FailureReason::kPopularItem,
+    FailureReason::kSearchExhausted, FailureReason::kBudgetExceeded,
+};
+
+/// Inverse of FailureReasonName over every enum value. Returns false (and
+/// leaves `reason` untouched) when `name` matches no value.
+bool FailureReasonFromName(std::string_view name, FailureReason* reason);
+
 /// \brief A Why-Not question (paper Definition 4.1): "why is `why_not_item`
 /// not my top recommendation?" asked by `user`.
 struct WhyNotQuestion {

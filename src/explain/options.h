@@ -67,6 +67,13 @@ struct EmigreOptions {
   /// TEST implementation (see TesterKind).
   TesterKind tester = TesterKind::kExact;
 
+  /// Worker threads for candidate verification (the TEST fan-out;
+  /// docs/parallelism.md). 1 = serial in the calling thread (default),
+  /// 0 = hardware concurrency, N = N workers, each owning a private tester.
+  /// Results are deterministic at any setting: batches accept the
+  /// lowest-index success, exactly like the serial scan.
+  size_t test_threads = 1;
+
   /// Margin tolerance of the Exhaustive Comparison's threshold test. The
   /// paper requires strictly positive margins, but the contribution matrix
   /// is built from Reverse-Local-Push estimates carrying O(ε) error, and a

@@ -1,0 +1,134 @@
+#include "explain/parallel_tester.h"
+
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace emigre::explain {
+
+ParallelTester::ParallelTester(Factory factory, size_t num_threads)
+    : factory_(std::move(factory)) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  num_threads_ = num_threads;
+  testers_.resize(num_threads_);
+  testers_[0] = factory_();
+  exact_ = testers_[0]->IsExact();
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_threads_);
+  }
+}
+
+ParallelTester::~ParallelTester() = default;
+
+TesterInterface& ParallelTester::SlotTester(size_t slot) {
+  // Each slot is touched only by the worker that owns it (slot 0 also by
+  // the serial entry points, never concurrently with a batch), so lazy
+  // creation needs no lock; concurrent creations build distinct testers
+  // from the same immutable base graph.
+  if (!testers_[slot]) testers_[slot] = factory_();
+  return *testers_[slot];
+}
+
+bool ParallelTester::Test(const std::vector<graph::EdgeRef>& edits, Mode mode,
+                          graph::NodeId* new_rec) {
+  num_tests_.fetch_add(1, std::memory_order_relaxed);
+  return SlotTester(0).Test(edits, mode, new_rec);
+}
+
+bool ParallelTester::TestMixed(const std::vector<ModedEdit>& edits,
+                               graph::NodeId* new_rec) {
+  num_tests_.fetch_add(1, std::memory_order_relaxed);
+  return SlotTester(0).TestMixed(edits, new_rec);
+}
+
+TesterInterface::BatchResult ParallelTester::TestBatch(
+    const std::vector<std::vector<graph::EdgeRef>>& batch, Mode mode,
+    const BudgetFn& budget) {
+  EMIGRE_COUNTER("explain.parallel.batches").Increment();
+  EMIGRE_HISTOGRAM("explain.parallel.batch_size")
+      .Record(static_cast<double>(batch.size()));
+
+  if (num_threads_ == 1 || batch.size() <= 1) {
+    BatchResult result = TesterInterface::TestBatch(batch, mode, budget);
+    EMIGRE_COUNTER("explain.parallel.cancelled").Increment(result.cancelled);
+    return result;
+  }
+
+  EMIGRE_SPAN("test.batch");
+  const size_t n = batch.size();
+  const size_t tests_at_start = num_tests();
+
+  std::atomic<size_t> next{0};
+  // Lowest-index success so far; workers skip candidates above it but keep
+  // testing below it, so an earlier success can still displace this one.
+  std::atomic<size_t> best{kNoIndex};
+  // Lowest index at which the budget predicate fired.
+  std::atomic<size_t> boundary{kNoIndex};
+  std::atomic<size_t> tested{0};
+  std::atomic<size_t> cancelled{0};
+  // Per-candidate outcome slots; each is written by at most one worker and
+  // read only after the pool barrier.
+  std::vector<unsigned char> passed(n, 0);
+  std::vector<graph::NodeId> new_recs(n, graph::kInvalidNode);
+
+  auto lower_to = [](std::atomic<size_t>& target, size_t value) {
+    size_t cur = target.load(std::memory_order_relaxed);
+    while (value < cur && !target.compare_exchange_weak(
+                              cur, value, std::memory_order_release,
+                              std::memory_order_relaxed)) {
+    }
+  };
+
+  const size_t workers = std::min(num_threads_, n);
+  for (size_t w = 0; w < workers; ++w) {
+    pool_->Submit([&, w] {
+      TesterInterface& tester = SlotTester(w);
+      for (;;) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        if (i > best.load(std::memory_order_acquire) ||
+            i >= boundary.load(std::memory_order_acquire)) {
+          cancelled.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        // The budget is keyed to the candidate's index — the TESTs a serial
+        // scan would have consumed before reaching it — not to the live
+        // shared counter, so the stop boundary matches the serial run.
+        if (budget && budget(tests_at_start + i)) {
+          lower_to(boundary, i);
+          cancelled.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        tested.fetch_add(1, std::memory_order_relaxed);
+        num_tests_.fetch_add(1, std::memory_order_relaxed);
+        graph::NodeId new_rec = graph::kInvalidNode;
+        if (tester.Test(batch[i], mode, &new_rec)) {
+          passed[i] = 1;
+          new_recs[i] = new_rec;
+          lower_to(best, i);
+        }
+      }
+    });
+  }
+  pool_->Wait();
+
+  BatchResult result;
+  result.tested = tested.load();
+  result.cancelled = cancelled.load();
+  result.budget_index = boundary.load();
+  for (size_t i = 0; i < n; ++i) {
+    if (passed[i]) {
+      result.accepted = i;
+      result.new_rec = new_recs[i];
+      break;
+    }
+  }
+  EMIGRE_COUNTER("explain.parallel.cancelled").Increment(result.cancelled);
+  return result;
+}
+
+}  // namespace emigre::explain

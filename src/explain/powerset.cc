@@ -63,28 +63,37 @@ Explanation RunPowerset(const SearchSpace& space, TesterInterface& tester,
                 return a.indices < b.indices;
               });
 
+    // Sums descend: once a combination cannot close the gap, no later one
+    // of the same size can either — the TESTable combos are a prefix, which
+    // becomes one verification batch (fanned across threads by a
+    // ParallelTester, lowest-index success accepted).
+    std::vector<std::vector<graph::EdgeRef>> batch;
     for (const Combo& combo : combos) {
-      // Sums descend: once this combination cannot close the gap, no later
-      // one of the same size can either.
       if (space.tau - combo.sum > 0.0) break;
-      if (budget.Exhausted(tester.num_tests())) {
-        out.failure = FailureReason::kBudgetExceeded;
-        return recorder.Finish();
-      }
-      ++out.candidates_considered;
       std::vector<graph::EdgeRef> edges;
       edges.reserve(combo.indices.size());
       for (size_t i : combo.indices) edges.push_back(h[i].edge);
-      graph::NodeId new_rec = graph::kInvalidNode;
-      if (tester.Test(edges, space.mode, &new_rec)) {
-        out.found = true;
-        out.verified = tester.IsExact();
-        out.edges = std::move(edges);
-        out.new_rec = new_rec;
-        out.failure = FailureReason::kNone;
-        return recorder.Finish();
-      }
+      batch.push_back(std::move(edges));
     }
+    TesterInterface::BatchResult verdict = tester.TestBatch(
+        batch, space.mode,
+        [&budget](size_t tests) { return budget.Exhausted(tests); });
+    if (verdict.Found()) {
+      out.candidates_considered += verdict.accepted + 1;
+      out.found = true;
+      out.verified = tester.IsExact();
+      out.edges = std::move(batch[verdict.accepted]);
+      out.new_rec = verdict.new_rec;
+      out.failure = FailureReason::kNone;
+      return recorder.Finish();
+    }
+    if (verdict.BudgetHit()) {
+      // The serial loop checked the budget before counting the candidate.
+      out.candidates_considered += verdict.budget_index;
+      out.failure = FailureReason::kBudgetExceeded;
+      return recorder.Finish();
+    }
+    out.candidates_considered += batch.size();
   }
 
   out.failure = FailureReason::kSearchExhausted;

@@ -6,6 +6,32 @@
 
 namespace emigre::explain {
 
+TesterInterface::BatchResult TesterInterface::TestBatch(
+    const std::vector<std::vector<graph::EdgeRef>>& batch, Mode mode,
+    const BudgetFn& budget) {
+  // Serial reference semantics: scan front to back, check the budget before
+  // each TEST, stop on the first success. ParallelTester reproduces exactly
+  // this outcome with worker threads.
+  BatchResult result;
+  const size_t tests_at_start = num_tests();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (budget && budget(tests_at_start + i)) {
+      result.budget_index = i;
+      result.cancelled += batch.size() - i;
+      return result;
+    }
+    graph::NodeId new_rec = graph::kInvalidNode;
+    ++result.tested;
+    if (Test(batch[i], mode, &new_rec)) {
+      result.accepted = i;
+      result.new_rec = new_rec;
+      result.cancelled += batch.size() - i - 1;
+      return result;
+    }
+  }
+  return result;
+}
+
 bool ExplanationTester::Test(const std::vector<graph::EdgeRef>& edits,
                              Mode mode, graph::NodeId* new_rec) {
   EMIGRE_SPAN("test.exact");

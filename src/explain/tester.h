@@ -1,6 +1,9 @@
 #ifndef EMIGRE_EXPLAIN_TESTER_H_
 #define EMIGRE_EXPLAIN_TESTER_H_
 
+#include <cstddef>
+#include <functional>
+#include <limits>
 #include <vector>
 
 #include "explain/explanation.h"
@@ -46,6 +49,58 @@ class TesterInterface {
   /// return false; search strategies then report their explanations as
   /// unverified so callers (the evaluation runner does) re-check exactly.
   virtual bool IsExact() const = 0;
+
+  /// Sentinel index for "no candidate" in BatchResult.
+  static constexpr size_t kNoIndex = std::numeric_limits<size_t>::max();
+
+  /// \brief Outcome of verifying an ordered candidate batch.
+  ///
+  /// The determinism contract (docs/parallelism.md): `accepted` is the
+  /// *lowest-index* candidate that passes TEST, exactly as a serial
+  /// front-to-back scan would find — regardless of how many workers ran the
+  /// batch or in which order they finished.
+  struct BatchResult {
+    /// Lowest-index success, or kNoIndex when no candidate passed.
+    size_t accepted = kNoIndex;
+    /// Counterfactual top-1 of the accepted candidate (kInvalidNode when
+    /// none was accepted).
+    graph::NodeId new_rec = graph::kInvalidNode;
+    /// Lowest index at which the budget predicate fired, or kNoIndex. A
+    /// success below this index still wins (the serial scan would have
+    /// reached it first); at or above it the batch counts as budget-stopped.
+    size_t budget_index = kNoIndex;
+    /// TEST calls actually executed for this batch.
+    size_t tested = 0;
+    /// Candidates skipped without a TEST (cooperative cancellation above an
+    /// accepted index, or at/above the budget boundary).
+    size_t cancelled = 0;
+
+    /// The batch ended on the budget, not on a success before it.
+    bool BudgetHit() const {
+      return budget_index != kNoIndex &&
+             (accepted == kNoIndex || accepted >= budget_index);
+    }
+    /// A success that the serial scan would also have reached.
+    bool Found() const {
+      return accepted != kNoIndex &&
+             (budget_index == kNoIndex || accepted < budget_index);
+    }
+  };
+
+  /// Budget predicate for TestBatch: receives the number of TEST calls a
+  /// *serial* scan would have consumed before the candidate about to run
+  /// (batch-entry num_tests() + candidate index) and returns true once the
+  /// search budget is exhausted. Keyed to the candidate's index rather than
+  /// the live counter so parallel and serial runs stop at the same boundary.
+  using BudgetFn = std::function<bool(size_t serial_tests_used)>;
+
+  /// Verifies `batch` in order and returns the lowest-index success. The
+  /// base implementation is the serial reference loop; `ParallelTester`
+  /// overrides it with a fan-out over worker threads. Candidates must all
+  /// use the same `mode`.
+  virtual BatchResult TestBatch(
+      const std::vector<std::vector<graph::EdgeRef>>& batch, Mode mode,
+      const BudgetFn& budget = nullptr);
 };
 
 /// \brief The exact TEST: re-runs the full recommender on a `GraphOverlay`.

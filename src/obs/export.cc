@@ -250,14 +250,19 @@ std::string FormatMetricsTable(const MetricsSnapshot& snapshot) {
     table.AddRow({g.name, FormatDouble(g.value, 6), "gauge"});
   }
   for (const HistogramSample& h : snapshot.histograms) {
+    // Timing histograms end in "seconds" by convention; everything else
+    // (sizes, counts) prints as plain numbers.
+    bool is_duration = h.name.size() >= 7 &&
+                       h.name.compare(h.name.size() - 7, 7, "seconds") == 0;
+    auto fmt = [is_duration](double v) {
+      return is_duration ? FormatDuration(v) : FormatDouble(v, 2);
+    };
     table.AddRow(
         {h.name, StrFormat("%llu", (unsigned long long)h.count),
          StrFormat("mean %s  p50 %s  p95 %s  p99 %s  max %s",
-                   FormatDuration(h.Mean()).c_str(),
-                   FormatDuration(h.Percentile(50)).c_str(),
-                   FormatDuration(h.Percentile(95)).c_str(),
-                   FormatDuration(h.Percentile(99)).c_str(),
-                   FormatDuration(h.max).c_str())});
+                   fmt(h.Mean()).c_str(), fmt(h.Percentile(50)).c_str(),
+                   fmt(h.Percentile(95)).c_str(),
+                   fmt(h.Percentile(99)).c_str(), fmt(h.max).c_str())});
   }
   return table.ToString();
 }

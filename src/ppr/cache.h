@@ -38,6 +38,13 @@ class ReversePushCache {
       : g_(&g), opts_(opts), capacity_(capacity > 0 ? capacity : 1) {}
 
   /// The PPR(·, target) estimate vector, computed on first use.
+  ///
+  /// Accounting: every Get is exactly one of hit / miss / race, so
+  /// `hits() + misses() + races() == ` total Gets. A miss is counted by the
+  /// thread that actually installs the vector (one logical fill = one
+  /// miss); a concurrent Get that recomputed the same target but lost the
+  /// install race counts as a race, not a second miss, and its duplicate
+  /// push is discarded in favor of the installed vector.
   std::shared_ptr<const Vector> Get(graph::NodeId target) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -49,17 +56,23 @@ class ReversePushCache {
         EMIGRE_COUNTER("ppr.cache.hits").Increment();
         return it->second.vector;
       }
-      ++misses_;
-      EMIGRE_COUNTER("ppr.cache.misses").Increment();
     }
     // Compute outside the lock: pushes can be slow and independent targets
-    // should not serialize. A racing duplicate computation is harmless
-    // (same immutable result); last writer wins.
+    // should not serialize. Concurrent Gets for the same target may both
+    // reach here and duplicate the push; the install below resolves that.
     auto vector = std::make_shared<const Vector>(
         ReversePush(*g_, target, opts_).estimate);
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = index_.find(target);
-    if (it != index_.end()) return it->second.vector;  // raced; reuse
+    if (it != index_.end()) {
+      // Lost the install race: another thread filled this target while we
+      // were pushing. Reuse its vector (first writer wins).
+      ++races_;
+      EMIGRE_COUNTER("ppr.cache.race").Increment();
+      return it->second.vector;
+    }
+    ++misses_;
+    EMIGRE_COUNTER("ppr.cache.misses").Increment();
     lru_.push_front(target);
     index_.emplace(target, Entry{vector, lru_.begin()});
     if (index_.size() > capacity_) {
@@ -77,6 +90,11 @@ class ReversePushCache {
   size_t misses() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return misses_;
+  }
+  /// Gets that recomputed a target another thread installed first.
+  size_t races() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return races_;
   }
   size_t size() const {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -105,6 +123,7 @@ class ReversePushCache {
   std::unordered_map<graph::NodeId, Entry> index_;
   size_t hits_ = 0;
   size_t misses_ = 0;
+  size_t races_ = 0;
 };
 
 }  // namespace emigre::ppr

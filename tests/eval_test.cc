@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <utility>
+
 #include "eval/methods.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
@@ -199,6 +202,67 @@ TEST_F(RunnerTest, RecordsCsvRoundTripsThroughDisk) {
   }
 }
 
+TEST_F(RunnerTest, RecordsCsvRoundTripsEveryFailureReason) {
+  // One synthetic record per FailureReason value: the loader must map every
+  // name back to the right enum value (no reason may silently collapse to
+  // kNone).
+  ExperimentResult result;
+  for (explain::FailureReason reason : explain::kAllFailureReasons) {
+    ScenarioRecord r;
+    r.method = "m";
+    r.scenario.user = 1;
+    r.scenario.wni = 2;
+    r.failure = reason;
+    result.records.push_back(r);
+  }
+  std::string path = test::MakeTempDir("eval_fail") + "/records.csv";
+  ASSERT_TRUE(WriteRecordsCsv(result, path).ok());
+  Result<ExperimentResult> loaded = LoadRecordsCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->records.size(), result.records.size());
+  for (size_t i = 0; i < loaded->records.size(); ++i) {
+    EXPECT_EQ(loaded->records[i].failure, result.records[i].failure)
+        << explain::FailureReasonName(result.records[i].failure);
+  }
+}
+
+TEST_F(RunnerTest, LoadRecordsCsvRejectsUnknownFailureReason) {
+  std::string path = test::MakeTempDir("eval_bad") + "/records.csv";
+  {
+    std::ofstream f(path);
+    f << "method,user,wni,wni_rank,returned,correct,size,seconds,failure\n";
+    f << "m,1,2,3,1,1,1,0.5,totally-new-reason\n";
+  }
+  Result<ExperimentResult> loaded = LoadRecordsCsv(path);
+  EXPECT_TRUE(loaded.status().IsInvalidArgument()) << loaded.status();
+}
+
+TEST_F(RunnerTest, NestedTestThreadParallelismMatchesSerial) {
+  // Scenario-level × candidate-level parallelism: the composed run must
+  // produce the same records as the fully serial one.
+  std::vector<MethodSpec> methods = {*FindMethod(PaperMethods(), "add_ex"),
+                                     *FindMethod(PaperMethods(),
+                                                 "remove_brute")};
+  Result<ExperimentResult> serial =
+      RunExperiment(rh_.g, scenarios_, methods, opts_, RunnerOptions{1, 0});
+  explain::EmigreOptions nested_opts = opts_;
+  nested_opts.test_threads = 2;
+  RunnerOptions run_opts;
+  run_opts.num_threads = 2;
+  Result<ExperimentResult> nested =
+      RunExperiment(rh_.g, scenarios_, methods, nested_opts, run_opts);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(nested.ok());
+  ASSERT_EQ(serial->records.size(), nested->records.size());
+  for (size_t i = 0; i < serial->records.size(); ++i) {
+    EXPECT_EQ(serial->records[i].correct, nested->records[i].correct);
+    EXPECT_EQ(serial->records[i].returned, nested->records[i].returned);
+    EXPECT_EQ(serial->records[i].explanation_size,
+              nested->records[i].explanation_size);
+    EXPECT_EQ(serial->records[i].failure, nested->records[i].failure);
+  }
+}
+
 TEST(RunnerDiagnosisTest, PopularItemFailuresAreLabelled) {
   // The Fig.-7 fixture: a bestseller carried by other users. The runner
   // must refine the remove-mode failure into the popular-item category.
@@ -268,9 +332,34 @@ TEST(MetricsTest, AggregateMathIsExact) {
   EXPECT_DOUBLE_EQ(a.avg_time_all, 2.5);       // (1+3+2+4)/4
   EXPECT_DOUBLE_EQ(a.avg_time_found, 2.0);     // (1+3+2)/3
   EXPECT_DOUBLE_EQ(a.avg_time_not_found, 4.0); // 4/1
-  // Nearest-rank percentiles over {1, 3, 2, 4}.
-  EXPECT_DOUBLE_EQ(a.p50_time, 3.0);
+  // Ceil nearest-rank percentiles over {1, 2, 3, 4}: p50 is rank
+  // ⌈0.5·4⌉ = 2, p95 is rank ⌈0.95·4⌉ = 4.
+  EXPECT_DOUBLE_EQ(a.p50_time, 2.0);
   EXPECT_DOUBLE_EQ(a.p95_time, 4.0);
+}
+
+TEST(MetricsTest, PercentilesUseCeilNearestRank) {
+  // Aggregate n records with seconds 1..n and check the percentile fields;
+  // this pins the nearest-rank convention (rank ⌈fraction·n⌉, 1-based).
+  auto percentiles = [](size_t n) {
+    ExperimentResult result;
+    for (size_t i = 1; i <= n; ++i) {
+      ScenarioRecord r;
+      r.method = "m";
+      r.seconds = static_cast<double>(i);
+      result.records.push_back(r);
+    }
+    std::vector<MethodAggregate> aggs = Aggregate(result, {"m"});
+    return std::make_pair(aggs[0].p50_time, aggs[0].p95_time);
+  };
+
+  EXPECT_EQ(percentiles(1), std::make_pair(1.0, 1.0));
+  // n = 2: p50 must be the LOWER sample (the old `fraction·(n−1)+0.5`
+  // formula rounded up to the max).
+  EXPECT_EQ(percentiles(2), std::make_pair(1.0, 2.0));
+  EXPECT_EQ(percentiles(3), std::make_pair(2.0, 3.0));
+  // n = 20: p50 = rank 10, p95 = rank 19 (conventional, not the max).
+  EXPECT_EQ(percentiles(20), std::make_pair(10.0, 19.0));
 }
 
 TEST(MetricsTest, UnknownMethodYieldsEmptyAggregate) {

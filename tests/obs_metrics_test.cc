@@ -255,6 +255,20 @@ TEST(ExportTest, TablePrintsCountersAndHistograms) {
   EXPECT_NE(table.find("test.table.seconds"), std::string::npos);
 }
 
+TEST(ExportTest, TableFormatsNonTimingHistogramsAsPlainNumbers) {
+  Histogram& h = EMIGRE_HISTOGRAM("test.table.batch_size");
+  h.Reset();
+  h.Record(125.0);
+  MetricsSnapshot snap = Registry::Global().Snapshot();
+  std::string table = FormatMetricsTable(snap);
+  size_t row = table.find("test.table.batch_size");
+  ASSERT_NE(row, std::string::npos);
+  std::string line = table.substr(row, table.find('\n', row) - row);
+  // A size of 125 must not be rendered as a duration ("2m05.0s").
+  EXPECT_EQ(line.find("2m"), std::string::npos) << line;
+  EXPECT_NE(line.find("125"), std::string::npos) << line;
+}
+
 TEST(RegistryTest, ResetZeroesButKeepsReferencesValid) {
   Counter& c = EMIGRE_COUNTER("test.reset.counter");
   c.Increment(99);

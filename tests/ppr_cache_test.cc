@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
+#include <vector>
 
 #include "explain/emigre.h"
 #include "explain/search_space.h"
@@ -111,6 +113,48 @@ TEST(ReversePushCacheTest, ConcurrentAccessIsConsistent) {
   }
   for (auto& th : threads) th.join();
   EXPECT_FALSE(mismatch.load());
+}
+
+TEST(ReversePushCacheTest, ConcurrentDuplicateFillsCountOneMiss) {
+  // Many threads request the SAME cold target at once. All of them miss the
+  // first lookup and recompute, but only the installer may count a miss;
+  // the losers must surface as races, never as extra misses — and every
+  // Get must be exactly one of hit / miss / race.
+  test::BookGraph bg = test::MakeBookGraph();
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 20;
+  for (int round = 0; round < kRounds; ++round) {
+    ReversePushCache<HinGraph> cache(bg.g, PprOptions{});
+    std::vector<std::thread> threads;
+    std::atomic<int> ready{0};
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        // Crude start barrier to maximize the duplicate-computation window.
+        ready.fetch_add(1);
+        while (ready.load() < kThreads) {
+        }
+        auto v = cache.Get(bg.harry_potter);
+        EXPECT_FALSE(v->empty());
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(cache.misses(), 1u) << "round " << round;
+    EXPECT_EQ(cache.hits() + cache.misses() + cache.races(),
+              static_cast<size_t>(kThreads))
+        << "round " << round;
+    EXPECT_EQ(cache.size(), 1u);
+  }
+}
+
+TEST(ReversePushCacheTest, RacesStayZeroWhenSingleThreaded) {
+  test::BookGraph bg = test::MakeBookGraph();
+  ReversePushCache<HinGraph> cache(bg.g, PprOptions{});
+  cache.Get(bg.python);
+  cache.Get(bg.python);
+  cache.Get(bg.candide);
+  EXPECT_EQ(cache.races(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 1u);
 }
 
 TEST(ReversePushCacheTest, EmigreResultsUnchangedByCache) {

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace emigre {
@@ -47,6 +50,52 @@ TEST(ThreadPoolTest, DefaultsToAtLeastOneThread) {
   EXPECT_GE(pool.num_threads(), 1u);
 }
 
+TEST(ThreadPoolTest, SingleWorkerRunsTasksInSubmissionOrder) {
+  // With one worker the queue is strictly FIFO; the parallel tester's
+  // serial fallback depends on this ordering.
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::mutex m;
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&order, &m, i] {
+      std::lock_guard<std::mutex> lock(m);
+      order.push_back(i);
+    });
+  }
+  pool.Wait();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyWaitCycles) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 8);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasksWithoutWait) {
+  // Tasks still queued when the destructor runs must complete, not be
+  // dropped: workers drain the queue before honoring shutdown.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 24; ++i) {
+      pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        counter.fetch_add(1);
+      });
+    }
+    // No Wait(): destructor must join after draining.
+  }
+  EXPECT_EQ(counter.load(), 24);
+}
+
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
   std::vector<std::atomic<int>> hits(500);
   ThreadPool::ParallelFor(hits.size(), 4, [&hits](size_t i) {
@@ -69,6 +118,17 @@ TEST(ParallelForTest, ZeroItemsIsNoop) {
   bool called = false;
   ThreadPool::ParallelFor(0, 4, [&called](size_t) { called = true; });
   EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleItemRunsExactlyOnce) {
+  std::atomic<int> calls{0};
+  size_t seen = 99;
+  ThreadPool::ParallelFor(1, 4, [&](size_t i) {
+    calls.fetch_add(1);
+    seen = i;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen, 0u);
 }
 
 }  // namespace

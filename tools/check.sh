@@ -1,14 +1,18 @@
 #!/bin/sh
-# Developer pre-submit check: Debug build with ASan+UBSan, full test suite.
+# Developer pre-submit check: Debug build with ASan+UBSan, full test suite,
+# then a ThreadSanitizer pass over the concurrency-sensitive tests (thread
+# pool, PPR cache, observability registry, parallel tester).
 #
-#   tools/check.sh [build-dir]
+#   tools/check.sh [build-dir] [tsan-build-dir]
 #
-# The build directory defaults to build-asan/ next to the source tree and is
-# reused across runs (delete it to force a clean configure).
+# Build directories default to build-asan/ and build-tsan/ next to the
+# source tree and are reused across runs (delete to force a clean
+# configure). Set EMIGRE_SKIP_TSAN=1 to run only the ASan/UBSan stage.
 set -e
 
 SRC_DIR=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 BUILD_DIR="${1:-$SRC_DIR/build-asan}"
+TSAN_BUILD_DIR="${2:-$SRC_DIR/build-tsan}"
 JOBS=$(nproc 2>/dev/null || echo 4)
 
 cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
@@ -17,3 +21,23 @@ cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 echo "check.sh: all tests passed under ASan/UBSan"
+
+if [ "${EMIGRE_SKIP_TSAN:-0}" = "1" ]; then
+  echo "check.sh: EMIGRE_SKIP_TSAN=1, skipping ThreadSanitizer stage"
+  exit 0
+fi
+
+# TSan is incompatible with ASan, so it gets its own build tree. Only the
+# tests that exercise cross-thread state run here — the full suite under
+# TSan is slow and the serial tests add no coverage.
+TSAN_TESTS='util_thread_pool_test|ppr_cache_test|obs_metrics_test|obs_trace_test|explain_parallel_tester_test'
+
+cmake -B "$TSAN_BUILD_DIR" -S "$SRC_DIR" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DEMIGRE_SANITIZE="thread"
+cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
+  --target util_thread_pool_test ppr_cache_test obs_metrics_test \
+           obs_trace_test explain_parallel_tester_test
+ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
+  -R "$TSAN_TESTS"
+echo "check.sh: concurrency tests passed under TSan"

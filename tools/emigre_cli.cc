@@ -244,12 +244,18 @@ int RunExplain(const std::vector<std::string>& args) {
   parser.AddFlag("mode", "add | remove | auto", "auto");
   parser.AddFlag("heuristic",
                  "incremental | powerset | exhaustive | brute", "incremental");
+  parser.AddFlag("test-threads",
+                 "candidate-verification threads (1=serial, 0=all cores); "
+                 "deterministic at any setting, see docs/parallelism.md",
+                 "1");
   AddObsFlags(&parser);
   Status st = parser.Parse(args);
   if (!st.ok()) return Fail(st);
   Result<LoadedGraph> lg =
       LoadForQueries(parser.GetString("graph").ValueOrDie());
   if (!lg.ok()) return Fail(lg.status());
+  lg->opts.test_threads =
+      static_cast<size_t>(parser.GetInt("test-threads").ValueOrDie());
   graph::NodeId user =
       static_cast<graph::NodeId>(parser.GetInt("user").ValueOrDie());
   graph::NodeId item =
@@ -320,7 +326,12 @@ int RunExperiment(const std::vector<std::string>& args) {
   parser.AddFlag("top", "recommendation list length per user", "10");
   parser.AddFlag("per-user", "Why-Not positions per user (0=all)", "3");
   parser.AddFlag("deadline", "per-attempt budget in seconds", "2.0");
-  parser.AddFlag("threads", "worker threads (0=all cores)", "0");
+  parser.AddFlag("threads", "scenario worker threads (0=all cores)", "0");
+  parser.AddFlag("test-threads",
+                 "candidate-verification threads per scenario worker "
+                 "(1=serial, 0=all cores); the runner caps scenario workers "
+                 "so the product stays within the machine",
+                 "1");
   AddObsFlags(&parser);
   Status st = parser.Parse(args);
   if (!st.ok()) return Fail(st);
@@ -328,6 +339,8 @@ int RunExperiment(const std::vector<std::string>& args) {
       LoadForQueries(parser.GetString("graph").ValueOrDie());
   if (!lg.ok()) return Fail(lg.status());
   lg->opts.deadline_seconds = parser.GetDouble("deadline").ValueOrDie();
+  lg->opts.test_threads =
+      static_cast<size_t>(parser.GetInt("test-threads").ValueOrDie());
 
   // Evaluation users: every user-typed node with at least one action.
   std::vector<graph::NodeId> users;
