@@ -58,10 +58,11 @@ struct BenchExperiment {
 /// The records are cached as CSV keyed on the configuration, so the four
 /// figure/table binaries share one run. Set EMIGRE_BENCH_FRESH=1 to ignore
 /// the cache.
-Result<BenchExperiment> GetOrRunPaperExperiment();
+[[nodiscard]] Result<BenchExperiment> GetOrRunPaperExperiment();
 
 /// Builds the Amazon-Lite graph for the current config (used by benches
 /// that need the graph itself rather than experiment records).
+[[nodiscard]]
 Result<data::AmazonLiteGraph> BuildBenchGraph(const BenchConfig& config);
 
 /// Prints a standard header naming the bench and the scale.

@@ -1,0 +1,64 @@
+#ifndef EMIGRE_CHECK_CHECK_LEVEL_H_
+#define EMIGRE_CHECK_CHECK_LEVEL_H_
+
+#include <string_view>
+
+namespace emigre::check {
+
+/// \brief How much invariant validation the debug validators perform.
+///
+/// The knob lives in `EmigreOptions::check_level` and only has an effect in
+/// builds configured with `-DEMIGRE_DCHECK_INVARIANTS=ON` (see
+/// docs/invariants.md); release builds compile the checks away entirely.
+enum class CheckLevel : int {
+  kOff = 0,    ///< never validate, even in DCHECK builds
+  kBasic = 1,  ///< cheap checks: graph structure once, explanation replay
+  kFull = 2,   ///< everything: per-query graph + PPR residual identities
+};
+
+inline std::string_view CheckLevelName(CheckLevel level) {
+  switch (level) {
+    case CheckLevel::kOff:
+      return "off";
+    case CheckLevel::kBasic:
+      return "basic";
+    case CheckLevel::kFull:
+      return "full";
+  }
+  return "unknown";
+}
+
+/// Inverse of CheckLevelName. Returns false (leaving `level` untouched)
+/// when `name` matches no value.
+inline bool CheckLevelFromName(std::string_view name, CheckLevel* level) {
+  if (name == "off") {
+    *level = CheckLevel::kOff;
+  } else if (name == "basic") {
+    *level = CheckLevel::kBasic;
+  } else if (name == "full") {
+    *level = CheckLevel::kFull;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// True in builds compiled with EMIGRE_DCHECK_INVARIANTS.
+inline constexpr bool kDcheckInvariantsEnabled =
+#ifdef EMIGRE_DCHECK_INVARIANTS
+    true;
+#else
+    false;
+#endif
+
+/// True when a validator gated at `required` should run under the
+/// configured `level`. Constant-folds to `false` in non-DCHECK builds so
+/// the guarded validation code is dead-stripped.
+inline constexpr bool ShouldCheck(CheckLevel level, CheckLevel required) {
+  return kDcheckInvariantsEnabled &&
+         static_cast<int>(level) >= static_cast<int>(required);
+}
+
+}  // namespace emigre::check
+
+#endif  // EMIGRE_CHECK_CHECK_LEVEL_H_

@@ -63,7 +63,7 @@ struct AmazonLiteGraph {
 /// "has-review", "belongs-to" (all bidirectionalized) plus cosine-weighted
 /// review–review similarity links; good-ratings filter; moderate/active
 /// user sampling; k-hop neighborhood restriction.
-Result<AmazonLiteGraph> BuildAmazonLite(const Dataset& ds,
+[[nodiscard]] Result<AmazonLiteGraph> BuildAmazonLite(const Dataset& ds,
                                         const AmazonLiteOptions& opts = {});
 
 }  // namespace emigre::data

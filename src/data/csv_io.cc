@@ -44,6 +44,18 @@ Result<double> FieldDouble(const std::vector<std::string>& row, size_t i) {
   return v;
 }
 
+/// Consumes the header row, failing loudly when the file is empty or the
+/// read errors — an absent header used to be silently skipped, making a
+/// truncated file indistinguishable from an empty dataset.
+Status ReadHeader(CsvReader* r, const std::string& file) {
+  std::vector<std::string> header;
+  if (!r->ReadRow(&header)) {
+    EMIGRE_RETURN_IF_ERROR(r->status());
+    return Status::InvalidArgument("missing header row in " + file);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status SaveDatasetCsv(const Dataset& ds, const std::string& dir) {
@@ -115,17 +127,18 @@ Result<Dataset> LoadDatasetCsv(const std::string& dir) {
   {
     CsvReader r(dir + "/categories.csv");
     EMIGRE_RETURN_IF_ERROR(r.status());
-    r.ReadRow(&row);  // header
+    EMIGRE_RETURN_IF_ERROR(ReadHeader(&r, dir + "/categories.csv"));
     while (r.ReadRow(&row)) {
       EMIGRE_ASSIGN_OR_RETURN(int64_t id, FieldInt(row, 0));
       ds.categories.push_back(
           Category{static_cast<CategoryId>(id), row.size() > 1 ? row[1] : ""});
     }
+    EMIGRE_RETURN_IF_ERROR(r.status());
   }
   {
     CsvReader r(dir + "/items.csv");
     EMIGRE_RETURN_IF_ERROR(r.status());
-    r.ReadRow(&row);
+    EMIGRE_RETURN_IF_ERROR(ReadHeader(&r, dir + "/items.csv"));
     while (r.ReadRow(&row)) {
       Item item;
       EMIGRE_ASSIGN_OR_RETURN(int64_t id, FieldInt(row, 0));
@@ -137,11 +150,12 @@ Result<Dataset> LoadDatasetCsv(const std::string& dir) {
       EMIGRE_ASSIGN_OR_RETURN(item.quality, FieldDouble(row, 4));
       ds.items.push_back(std::move(item));
     }
+    EMIGRE_RETURN_IF_ERROR(r.status());
   }
   {
     CsvReader r(dir + "/users.csv");
     EMIGRE_RETURN_IF_ERROR(r.status());
-    r.ReadRow(&row);
+    EMIGRE_RETURN_IF_ERROR(ReadHeader(&r, dir + "/users.csv"));
     while (r.ReadRow(&row)) {
       User u;
       EMIGRE_ASSIGN_OR_RETURN(int64_t id, FieldInt(row, 0));
@@ -164,11 +178,12 @@ Result<Dataset> LoadDatasetCsv(const std::string& dir) {
       }
       ds.users.push_back(std::move(u));
     }
+    EMIGRE_RETURN_IF_ERROR(r.status());
   }
   {
     CsvReader r(dir + "/ratings.csv");
     EMIGRE_RETURN_IF_ERROR(r.status());
-    r.ReadRow(&row);
+    EMIGRE_RETURN_IF_ERROR(ReadHeader(&r, dir + "/ratings.csv"));
     while (r.ReadRow(&row)) {
       Rating rating;
       EMIGRE_ASSIGN_OR_RETURN(int64_t u, FieldInt(row, 0));
@@ -179,11 +194,12 @@ Result<Dataset> LoadDatasetCsv(const std::string& dir) {
       rating.stars = static_cast<int>(s);
       ds.ratings.push_back(rating);
     }
+    EMIGRE_RETURN_IF_ERROR(r.status());
   }
   {
     CsvReader r(dir + "/reviews.csv");
     EMIGRE_RETURN_IF_ERROR(r.status());
-    r.ReadRow(&row);
+    EMIGRE_RETURN_IF_ERROR(ReadHeader(&r, dir + "/reviews.csv"));
     while (r.ReadRow(&row)) {
       Review review;
       EMIGRE_ASSIGN_OR_RETURN(int64_t id, FieldInt(row, 0));
@@ -196,6 +212,7 @@ Result<Dataset> LoadDatasetCsv(const std::string& dir) {
                               DecodeFloats(row.size() > 3 ? row[3] : ""));
       ds.reviews.push_back(std::move(review));
     }
+    EMIGRE_RETURN_IF_ERROR(r.status());
   }
   return ds;
 }

@@ -14,10 +14,10 @@ namespace emigre::data {
 /// The layout mirrors the public Amazon Customer Review dump's spirit
 /// (one relation per file, header row first) so external tooling can
 /// inspect the synthetic data.
-Status SaveDatasetCsv(const Dataset& ds, const std::string& dir);
+[[nodiscard]] Status SaveDatasetCsv(const Dataset& ds, const std::string& dir);
 
 /// Loads a dataset previously written by `SaveDatasetCsv`.
-Result<Dataset> LoadDatasetCsv(const std::string& dir);
+[[nodiscard]] Result<Dataset> LoadDatasetCsv(const std::string& dir);
 
 }  // namespace emigre::data
 

@@ -51,6 +51,7 @@ struct SyntheticAmazonOptions {
 /// ratings combine item quality and user leniency, skewing positive like
 /// real review corpora. Duplicate (user, item) ratings are rejected by
 /// redraw, so each pair appears at most once.
+[[nodiscard]]
 Result<Dataset> GenerateSyntheticAmazon(const SyntheticAmazonOptions& opts);
 
 }  // namespace emigre::data

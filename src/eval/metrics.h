@@ -59,12 +59,12 @@ std::vector<MethodAggregate> AggregateOnScenarios(
 /// Writes the raw per-(method, scenario) records as CSV for offline
 /// analysis. Columns: method,user,wni,wni_rank,returned,correct,size,
 /// seconds,failure.
-Status WriteRecordsCsv(const ExperimentResult& result,
+[[nodiscard]] Status WriteRecordsCsv(const ExperimentResult& result,
                        const std::string& path);
 
 /// Reads records written by `WriteRecordsCsv`. Used by the benchmark
 /// binaries to share one experiment run across the per-figure reports.
-Result<ExperimentResult> LoadRecordsCsv(const std::string& path);
+[[nodiscard]] Result<ExperimentResult> LoadRecordsCsv(const std::string& path);
 
 }  // namespace emigre::eval
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <thread>
 
+#include "check/invariants.h"
 #include "explain/emigre.h"
 #include "explain/meta.h"
 #include "explain/search_space.h"
@@ -31,6 +32,11 @@ Result<ExperimentResult> RunExperiment(const graph::HinGraph& g,
                                        const RunnerOptions& run_opts) {
   if (methods.empty()) {
     return Status::InvalidArgument("no methods to evaluate");
+  }
+  // One up-front structural validation covers the whole run: the graph is
+  // immutable below, so per-scenario revalidation would only repeat it.
+  if (check::ShouldCheck(opts.check_level, check::CheckLevel::kBasic)) {
+    check::DcheckOk(check::ValidateGraph(g), "RunExperiment");
   }
   explain::Emigre engine(g, opts);
 

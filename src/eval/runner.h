@@ -54,7 +54,7 @@ struct RunnerOptions {
 /// verify itself (Exhaustive-direct) are re-checked here, outside the
 /// method's timed section. Scenarios are independent; with
 /// `num_threads > 1` they run in parallel over the shared immutable graph.
-Result<ExperimentResult> RunExperiment(const graph::HinGraph& g,
+[[nodiscard]] Result<ExperimentResult> RunExperiment(const graph::HinGraph& g,
                                        const std::vector<Scenario>& scenarios,
                                        const std::vector<MethodSpec>& methods,
                                        const explain::EmigreOptions& opts,

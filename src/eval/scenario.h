@@ -28,7 +28,7 @@ struct Scenario {
 ///
 /// `max_per_user` truncates positions per user (0 = all of 1..top_k-1);
 /// the benchmark harness uses it to scale runs down.
-Result<std::vector<Scenario>> GenerateScenarios(
+[[nodiscard]] Result<std::vector<Scenario>> GenerateScenarios(
     const graph::HinGraph& g, const std::vector<graph::NodeId>& users,
     const explain::EmigreOptions& opts, size_t top_k = 10,
     size_t max_per_user = 0);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/invariants.h"
 #include "explain/internal.h"
 #include "obs/trace.h"
 
@@ -88,6 +89,10 @@ Explanation RunBruteForce(const SearchSpace& space, TesterInterface& tester,
 
   if (out.found) {
     out.failure = FailureReason::kNone;
+    if (check::ShouldCheck(opts.check_level, check::CheckLevel::kFull)) {
+      check::DcheckOk(check::ValidateExplanationInSpace(space, out, opts),
+                      "RunBruteForce");
+    }
   } else if (budget_hit) {
     out.failure = FailureReason::kBudgetExceeded;
   } else {

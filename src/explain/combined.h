@@ -37,6 +37,7 @@ struct CombinedExplanation {
 /// whenever the shared gap estimate closes. Subsumes both single modes: if
 /// a pure Remove (or Add) explanation is reachable greedily it is found
 /// too, so the success rate dominates the Incremental single modes.
+[[nodiscard]]
 Result<CombinedExplanation> RunCombinedIncremental(const graph::HinGraph& g,
                                                    const WhyNotQuestion& q,
                                                    const EmigreOptions& opts);

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "check/invariants.h"
 #include "explain/brute_force.h"
 #include "explain/exhaustive.h"
 #include "explain/fast_tester.h"
@@ -49,6 +50,9 @@ Status Emigre::ValidateQuestion(const WhyNotQuestion& q,
 Result<Explanation> Emigre::Explain(const WhyNotQuestion& q, Mode mode,
                                     Heuristic heuristic) const {
   EMIGRE_SPAN("explain");
+  if (check::ShouldCheck(opts_.check_level, check::CheckLevel::kFull)) {
+    check::DcheckOk(check::ValidateGraph(*g_), "Emigre::Explain(graph)");
+  }
   // Node-id bounds come first: CurrentRanking indexes adjacency by q.user,
   // so an invalid id must be rejected before ranking (caught by ASan).
   if (!g_->IsValidNode(q.user)) {
@@ -115,6 +119,15 @@ Result<Explanation> Emigre::Explain(const WhyNotQuestion& q, Mode mode,
       break;
   }
   result.original_rec = rec;
+  // Verified results went through the exact TEST; replaying them must flip
+  // the recommendation. Unverified ones (approximate testers, the
+  // Exhaustive-direct baseline) may legitimately fail replay — the eval
+  // harness measures that, so they are not validated here.
+  if (result.found && result.verified &&
+      check::ShouldCheck(opts_.check_level, check::CheckLevel::kBasic)) {
+    check::DcheckOk(check::ValidateExplanation(*g_, q, result, opts_),
+                    "Emigre::Explain(explanation)");
+  }
   return result;
 }
 

@@ -48,13 +48,13 @@ class Emigre {
   /// (WNI not an item, already interacted with, or already the top
   /// recommendation). A valid question that admits no explanation returns
   /// an Explanation with `found == false` and a `FailureReason`.
-  Result<Explanation> Explain(const WhyNotQuestion& q, Mode mode,
+  [[nodiscard]] Result<Explanation> Explain(const WhyNotQuestion& q, Mode mode,
                               Heuristic heuristic) const;
 
   /// Paper §5.4 "Choice of the Method": runs Remove mode first when the
   /// user has existing actions to reason about, then falls back to Add
   /// mode (whose search space is independent of the user's history).
-  Result<Explanation> ExplainAuto(
+  [[nodiscard]] Result<Explanation> ExplainAuto(
       const WhyNotQuestion& q,
       Heuristic heuristic = Heuristic::kIncremental) const;
 
@@ -66,6 +66,7 @@ class Emigre {
 
   /// Checks Definition 4.1 for (user, wni): wni is an item node, has no
   /// edge from the user, and differs from the current recommendation `rec`.
+  [[nodiscard]]
   Status ValidateQuestion(const WhyNotQuestion& q, graph::NodeId rec) const;
 
   /// Cache statistics (diagnostics; shared across Explain calls).

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "check/invariants.h"
 #include "explain/internal.h"
 #include "obs/trace.h"
 #include "ppr/reverse_push.h"
@@ -201,6 +202,13 @@ Explanation RunExhaustive(const HinGraph& g, const SearchSpace& space,
       out.edges = std::move(batch[verdict.accepted]);
       out.new_rec = verdict.new_rec;
       out.failure = FailureReason::kNone;
+      if (out.verified &&
+          check::ShouldCheck(opts.check_level, check::CheckLevel::kFull)) {
+        check::DcheckOk(
+            check::ValidateExplanation(
+                g, WhyNotQuestion{space.user, space.wni}, out, opts),
+            "RunExhaustive");
+      }
       return recorder.Finish();
     }
     if (verdict.BudgetHit()) {

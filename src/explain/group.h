@@ -38,7 +38,7 @@ struct GroupExplanation {
 /// needs the smallest push); the first member with a verified explanation
 /// wins. A member equal to the current recommendation makes the question
 /// trivially moot and is reported in `skipped`.
-Result<GroupExplanation> ExplainGroup(const Emigre& engine,
+[[nodiscard]] Result<GroupExplanation> ExplainGroup(const Emigre& engine,
                                       const WhyNotGroupQuestion& q, Mode mode,
                                       Heuristic heuristic);
 

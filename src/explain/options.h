@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "check/check_level.h"
 #include "graph/types.h"
 #include "recsys/recommender.h"
 
@@ -73,6 +74,12 @@ struct EmigreOptions {
   /// Results are deterministic at any setting: batches accept the
   /// lowest-index success, exactly like the serial scan.
   size_t test_threads = 1;
+
+  /// Invariant-validation level of the debug hooks (docs/invariants.md).
+  /// Only consulted in builds configured with
+  /// `-DEMIGRE_DCHECK_INVARIANTS=ON`; release builds compile the hooks away
+  /// regardless of this value.
+  check::CheckLevel check_level = check::CheckLevel::kFull;
 
   /// Margin tolerance of the Exhaustive Comparison's threshold test. The
   /// paper requires strictly positive margins, but the contribution matrix

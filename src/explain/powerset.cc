@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/invariants.h"
 #include "explain/internal.h"
 #include "obs/trace.h"
 
@@ -85,6 +86,10 @@ Explanation RunPowerset(const SearchSpace& space, TesterInterface& tester,
       out.edges = std::move(batch[verdict.accepted]);
       out.new_rec = verdict.new_rec;
       out.failure = FailureReason::kNone;
+      if (check::ShouldCheck(opts.check_level, check::CheckLevel::kFull)) {
+        check::DcheckOk(check::ValidateExplanationInSpace(space, out, opts),
+                        "RunPowerset");
+      }
       return recorder.Finish();
     }
     if (verdict.BudgetHit()) {

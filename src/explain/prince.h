@@ -50,6 +50,7 @@ struct PrinceOptions {
 /// Included to demonstrate, as the paper's motivating example does, that a
 /// Why explanation does not answer a Why-Not question: PRINCE's replacement
 /// item is whatever overtakes `rec`, not the user's item of interest.
+[[nodiscard]]
 Result<PrinceResult> RunPrince(const graph::HinGraph& g, graph::NodeId user,
                                const PrinceOptions& opts);
 

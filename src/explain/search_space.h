@@ -52,7 +52,7 @@ struct SearchSpace {
 ///   contribution_rmv(n_i) = W(u, n_i) · (PPR(n_i, rec) − PPR(n_i, WNI)),
 /// (Eq. 5) and returns them sorted by descending contribution, together
 /// with τ = Σ contributions.
-Result<SearchSpace> BuildRemoveSearchSpace(
+[[nodiscard]] Result<SearchSpace> BuildRemoveSearchSpace(
     const graph::HinGraph& g, graph::NodeId user, graph::NodeId rec,
     graph::NodeId wni, const EmigreOptions& opts,
     ppr::ReversePushCache<graph::HinGraph>* cache = nullptr);
@@ -65,7 +65,7 @@ Result<SearchSpace> BuildRemoveSearchSpace(
 ///   contribution_add(n_i) = PPR(n_i, WNI) − PPR(n_i, rec)          (Eq. 6).
 /// τ is computed over the user's *existing* edges exactly as in Algorithm 1
 /// (the initial rec-vs-WNI gap that additions must overcome).
-Result<SearchSpace> BuildAddSearchSpace(
+[[nodiscard]] Result<SearchSpace> BuildAddSearchSpace(
     const graph::HinGraph& g, graph::NodeId user, graph::NodeId rec,
     graph::NodeId wni, const EmigreOptions& opts,
     ppr::ReversePushCache<graph::HinGraph>* cache = nullptr);

@@ -56,7 +56,7 @@ struct WeightedOptions {
 /// original weight when doing so preserves correctness, so the reported
 /// "star ratings" are as close to the user's actual ones as the TEST
 /// admits.
-Result<WeightedExplanation> RunWeightedIncremental(
+[[nodiscard]] Result<WeightedExplanation> RunWeightedIncremental(
     const graph::HinGraph& g, const WhyNotQuestion& q,
     const EmigreOptions& opts, const WeightedOptions& wopts = {});
 

@@ -92,16 +92,17 @@ class HinGraph {
   /// Adds the directed edge (src, dst) with the given type and positive
   /// weight. Fails with InvalidArgument on bad endpoints/weight and
   /// AlreadyExists on a duplicate (src, dst, type) triple.
+  [[nodiscard]]
   Status AddEdge(NodeId src, NodeId dst, EdgeTypeId type, double weight = 1.0);
 
   /// Adds both (src, dst) and (dst, src) with the same type and weight; used
   /// by the dataset pipeline, which treats relationships as bidirectional
   /// (paper §6.1).
-  Status AddBidirectional(NodeId a, NodeId b, EdgeTypeId type,
+  [[nodiscard]] Status AddBidirectional(NodeId a, NodeId b, EdgeTypeId type,
                           double weight = 1.0);
 
   /// Removes the (src, dst, type) edge. Fails with NotFound when absent.
-  Status RemoveEdge(NodeId src, NodeId dst, EdgeTypeId type);
+  [[nodiscard]] Status RemoveEdge(NodeId src, NodeId dst, EdgeTypeId type);
 
   /// Removes every edge src -> dst regardless of type; returns the number
   /// removed.

@@ -41,6 +41,7 @@ Result<HinGraph> LoadGraph(const std::string& path) {
   }
   std::string line;
   if (!std::getline(in, line) || Trim(line) != kHeader) {
+    if (in.bad()) return Status::IOError("read failed: " + path);
     return Status::InvalidArgument("missing emigre-graph header in " + path);
   }
   HinGraph g;
@@ -93,6 +94,9 @@ Result<HinGraph> LoadGraph(const std::string& path) {
                     line_no));
     }
   }
+  // getline reports a stream error the same way as EOF; without this check
+  // a failed read silently truncates the graph.
+  if (in.bad()) return Status::IOError("read failed: " + path);
   return g;
 }
 

@@ -14,11 +14,11 @@ namespace emigre::graph {
 ///   N <node_id> <node_type_name> <label (may be empty, CSV-escaped)>
 ///   E <src> <dst> <edge_type_name> <weight>
 /// Node lines come first, in id order, so loading reproduces ids exactly.
-Status SaveGraph(const HinGraph& g, const std::string& path);
+[[nodiscard]] Status SaveGraph(const HinGraph& g, const std::string& path);
 
 /// Loads a graph saved by `SaveGraph`. Fails with IOError/InvalidArgument on
 /// unreadable or malformed input.
-Result<HinGraph> LoadGraph(const std::string& path);
+[[nodiscard]] Result<HinGraph> LoadGraph(const std::string& path);
 
 }  // namespace emigre::graph
 

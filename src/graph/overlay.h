@@ -37,17 +37,19 @@ class GraphOverlay {
   /// weight instead if that exact edge was previously removed through this
   /// overlay. Fails with AlreadyExists if the edge is already present in the
   /// effective graph.
+  [[nodiscard]]
   Status AddEdge(NodeId src, NodeId dst, EdgeTypeId type, double weight = 1.0);
 
   /// Removes (src, dst, type) from the effective graph — either masking a
   /// base edge or undoing a previous overlay addition.
-  Status RemoveEdge(NodeId src, NodeId dst, EdgeTypeId type);
+  [[nodiscard]] Status RemoveEdge(NodeId src, NodeId dst, EdgeTypeId type);
 
   /// Overrides the weight of an existing effective edge (base or added).
   /// Weight-based Why-Not explanations ("you should have rated A with 5
   /// stars", the paper's §7 extension) evaluate candidates through this.
   /// Fails with NotFound when the edge is absent and InvalidArgument on a
   /// non-positive weight.
+  [[nodiscard]]
   Status SetWeight(NodeId src, NodeId dst, EdgeTypeId type, double weight);
 
   /// Drops all edits; the overlay becomes a transparent view again.

@@ -29,7 +29,7 @@ struct Subgraph {
 ///
 /// `hops == 0` keeps only the seeds themselves (and their mutual edges).
 /// Fails with InvalidArgument on an out-of-range seed.
-Result<Subgraph> ExtractNeighborhood(const HinGraph& g,
+[[nodiscard]] Result<Subgraph> ExtractNeighborhood(const HinGraph& g,
                                      const std::vector<NodeId>& seeds,
                                      size_t hops);
 

@@ -13,7 +13,7 @@ namespace emigre::graph {
 ///  - node/edge types are registered.
 /// Returns the first violation found, or OK. Intended for tests and for
 /// validating externally loaded graphs.
-Status ValidateGraph(const HinGraph& g);
+[[nodiscard]] Status ValidateGraph(const HinGraph& g);
 
 }  // namespace emigre::graph
 

@@ -47,13 +47,13 @@ std::string MetricsJson(const MetricsSnapshot& snapshot,
                         const std::vector<SpanStat>& trace = {});
 
 /// Writes `MetricsJson` to `path`, overwriting.
-Status WriteMetricsJson(const std::string& path,
+[[nodiscard]] Status WriteMetricsJson(const std::string& path,
                         const MetricsSnapshot& snapshot,
                         const std::vector<SpanStat>& trace = {});
 
 /// Parses the emigre.metrics.v1 JSON back into a snapshot. The "trace"
 /// section, when present, is returned through `trace_out` (optional).
-Result<MetricsSnapshot> ParseMetricsJson(
+[[nodiscard]] Result<MetricsSnapshot> ParseMetricsJson(
     const std::string& json, std::vector<SpanStat>* trace_out = nullptr);
 
 }  // namespace emigre::obs

@@ -136,7 +136,7 @@ MetricsSnapshot Delta(const MetricsSnapshot& before,
 }
 
 Registry& Registry::Global() {
-  static Registry* instance = new Registry();  // never destroyed
+  static Registry* instance = new Registry();  // NOLINT(naked-new) leaky singleton
   return *instance;
 }
 

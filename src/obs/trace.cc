@@ -25,7 +25,7 @@ struct TraceStore {
 };
 
 TraceStore& Store() {
-  static TraceStore* store = new TraceStore();  // never destroyed
+  static TraceStore* store = new TraceStore();  // NOLINT(naked-new) leaky singleton
   return *store;
 }
 

@@ -42,6 +42,7 @@ struct RecWalkOptions {
 ///
 /// Returns the augmented copy of `g` (the input is not modified) with a new
 /// edge type "similar-to" registered.
+[[nodiscard]]
 Result<graph::HinGraph> BuildRecWalkGraph(const graph::HinGraph& g,
                                           graph::NodeTypeId item_type,
                                           graph::NodeTypeId user_type,

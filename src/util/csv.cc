@@ -92,6 +92,18 @@ bool CsvReader::ReadRow(std::vector<std::string>* fields) {
       field += ch;
     }
   }
+  // The loop only exits without a terminating newline at EOF — or on a
+  // stream error, which get() also reports as EOF. Distinguish the two and
+  // reject rows cut off inside a quoted field; both used to be silently
+  // indistinguishable from a clean end of file.
+  if (in_.bad()) {
+    status_ = Status::IOError("read failed");
+    return false;
+  }
+  if (in_quotes) {
+    status_ = Status::InvalidArgument("unterminated quoted field at EOF");
+    return false;
+  }
   if (!saw_any) return false;
   fields->push_back(std::move(field));
   return true;

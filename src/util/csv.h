@@ -21,13 +21,13 @@ class CsvWriter {
   /// Opens `path` for (over)writing. Check `status()` before use.
   explicit CsvWriter(const std::string& path, char delim = ',');
 
-  Status status() const { return status_; }
+  [[nodiscard]] Status status() const { return status_; }
 
   /// Writes one row; fields are escaped as needed.
-  Status WriteRow(const std::vector<std::string>& fields);
+  [[nodiscard]] Status WriteRow(const std::vector<std::string>& fields);
 
   /// Flushes and closes the underlying stream.
-  Status Close();
+  [[nodiscard]] Status Close();
 
  private:
   std::string Escape(std::string_view field) const;
@@ -42,9 +42,11 @@ class CsvReader {
  public:
   explicit CsvReader(const std::string& path, char delim = ',');
 
-  Status status() const { return status_; }
+  [[nodiscard]] Status status() const { return status_; }
 
-  /// Reads the next row into `fields`. Returns false at EOF.
+  /// Reads the next row into `fields`. Returns false at EOF *or* on a
+  /// stream/parse error (unterminated quote, read failure) — check
+  /// `status()` after the read loop to tell the two apart.
   bool ReadRow(std::vector<std::string>* fields);
 
  private:

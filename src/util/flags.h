@@ -33,16 +33,16 @@ class FlagParser {
                const std::string& default_value);
 
   /// Parses argv (excluding argv[0]). Fails on unknown or malformed flags.
-  Status Parse(int argc, const char* const* argv);
+  [[nodiscard]] Status Parse(int argc, const char* const* argv);
 
   /// Same, for pre-split arguments.
-  Status Parse(const std::vector<std::string>& args);
+  [[nodiscard]] Status Parse(const std::vector<std::string>& args);
 
   /// Typed access. Get* fail if the flag is undeclared or unparsable.
-  Result<std::string> GetString(const std::string& name) const;
-  Result<int64_t> GetInt(const std::string& name) const;
-  Result<double> GetDouble(const std::string& name) const;
-  Result<bool> GetBool(const std::string& name) const;
+  [[nodiscard]] Result<std::string> GetString(const std::string& name) const;
+  [[nodiscard]] Result<int64_t> GetInt(const std::string& name) const;
+  [[nodiscard]] Result<double> GetDouble(const std::string& name) const;
+  [[nodiscard]] Result<bool> GetBool(const std::string& name) const;
 
   /// True if the flag was explicitly set on the command line.
   bool WasSet(const std::string& name) const;

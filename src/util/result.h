@@ -15,7 +15,7 @@ namespace emigre {
 /// value or from an error status; constructing from an OK status is a
 /// programming error (there would be no value to return) and aborts.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (the common success path).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -36,7 +36,7 @@ class Result {
   bool ok() const { return std::holds_alternative<T>(repr_); }
 
   /// The error status; `Status::OK()` when a value is held.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(repr_);
   }

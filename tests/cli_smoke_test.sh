@@ -40,6 +40,16 @@ grep -q "explain.queries" "$DIR/log"
 grep -q '"schema": "emigre.metrics.v1"' "$DIR/m.json"
 grep -q '"trace"' "$DIR/m.json"
 
+# selfcheck runs the invariant validators against the built graph and must
+# report zero violations; --metrics-out exposes the check.* counters.
+"$EMIGRE" selfcheck --graph "$DIR/g.graph" --level full --samples 2 \
+    --edits 2 --metrics-out "$DIR/sc.json" > "$DIR/log" 2>&1
+grep -q "0 violation(s)" "$DIR/log"
+grep -q "check.graph.pass" "$DIR/sc.json"
+if "$EMIGRE" selfcheck --graph "$DIR/g.graph" --level bogus 2>/dev/null; then
+  exit 1
+fi
+
 # Unknown flags and missing args must fail loudly.
 if "$EMIGRE" explain --bogus 2>/dev/null; then exit 1; fi
 if "$EMIGRE" unknown-command 2>/dev/null; then exit 1; fi

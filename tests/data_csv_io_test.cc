@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "data/synthetic_amazon.h"
 #include "test_util.h"
 
@@ -70,6 +72,36 @@ TEST(DatasetCsvTest, EmptyDatasetRoundTrips) {
   ASSERT_TRUE(loaded.ok());
   EXPECT_TRUE(loaded->users.empty());
   EXPECT_TRUE(loaded->ratings.empty());
+}
+
+// Regression: an empty (headerless) file used to load as an empty section,
+// so a truncated categories.csv silently produced a dataset with no
+// categories instead of an error.
+TEST(DatasetCsvTest, HeaderlessFileFails) {
+  Dataset ds;
+  std::string dir = test::MakeTempDir("dataset");
+  ASSERT_TRUE(SaveDatasetCsv(ds, dir).ok());
+  { std::ofstream f(dir + "/categories.csv", std::ofstream::trunc); }
+  Result<Dataset> loaded = LoadDatasetCsv(dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument()) << loaded.status();
+}
+
+// Regression: a parse error mid-file used to end the read loop exactly like
+// EOF, silently truncating the loaded dataset.
+TEST(DatasetCsvTest, CorruptRowFailsInsteadOfTruncating) {
+  Dataset ds;
+  ds.ratings.push_back(Rating{0, 1, 5});
+  ds.ratings.push_back(Rating{1, 2, 4});
+  std::string dir = test::MakeTempDir("dataset");
+  ASSERT_TRUE(SaveDatasetCsv(ds, dir).ok());
+  {
+    std::ofstream f(dir + "/ratings.csv", std::ofstream::trunc);
+    f << "user,item,stars\n0,1,5\n1,\"2";  // cut off inside a quote
+  }
+  Result<Dataset> loaded = LoadDatasetCsv(dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument()) << loaded.status();
 }
 
 }  // namespace

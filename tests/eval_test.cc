@@ -111,8 +111,12 @@ TEST_F(RunnerTest, ProducesOneRecordPerMethodScenarioPair) {
   for (const ScenarioRecord& r : result->records) {
     EXPECT_FALSE(r.method.empty());
     EXPECT_GE(r.seconds, 0.0);
-    if (r.correct) EXPECT_TRUE(r.returned);
-    if (r.returned) EXPECT_GT(r.explanation_size, 0u);
+    if (r.correct) {
+      EXPECT_TRUE(r.returned);
+    }
+    if (r.returned) {
+      EXPECT_GT(r.explanation_size, 0u);
+    }
   }
 }
 

@@ -88,7 +88,9 @@ TEST(HeuristicsCraftedTest, RemoveFriendlyCaseSolvedByAllStrategies) {
     ExpectExplanationCorrect(f.g, f.user, f.wni, r.value(), f.opts);
     // The crafted conduit is a single edge; size-optimizing searches find
     // exactly it.
-    if (h != Heuristic::kIncremental) EXPECT_EQ(r->size(), 1u);
+    if (h != Heuristic::kIncremental) {
+      EXPECT_EQ(r->size(), 1u);
+    }
   }
 }
 
@@ -123,8 +125,12 @@ TEST_F(HeuristicsBookTest, RemoveHeuristicsAgreeWithBruteForceOracle) {
   if (brute.found) {
     ExpectExplanationCorrect(bg_.g, bg_.paul, wni_, brute, opts_);
     // Brute force finds a minimum-size explanation.
-    if (powerset.found) EXPECT_LE(brute.size(), powerset.size());
-    if (exhaustive.found) EXPECT_LE(brute.size(), exhaustive.size());
+    if (powerset.found) {
+      EXPECT_LE(brute.size(), powerset.size());
+    }
+    if (exhaustive.found) {
+      EXPECT_LE(brute.size(), exhaustive.size());
+    }
   } else {
     // The oracle says no Remove explanation exists (within caps): the
     // pruned searches must not claim success either.

@@ -199,7 +199,9 @@ TEST(TestBatchDefaultTest, MatchesPerCandidateLoopOnExactTester) {
   ExplanationTester batch_tester(f.g, f.user, f.wni, f.opts);
   auto verdict = batch_tester.TestBatch(batch, Mode::kRemove);
   EXPECT_EQ(verdict.accepted, loop_accepted);
-  if (verdict.Found()) EXPECT_EQ(verdict.new_rec, loop_rec);
+  if (verdict.Found()) {
+    EXPECT_EQ(verdict.new_rec, loop_rec);
+  }
 }
 
 // ---------------------------------------------------------------------------

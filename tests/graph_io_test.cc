@@ -81,6 +81,13 @@ TEST(GraphIoTest, RejectsMalformedLines) {
   EXPECT_TRUE(LoadGraph(dir + "/badtype.graph").status().IsInvalidArgument());
 }
 
+// An unreadable path must surface an error, never an empty graph.
+TEST(GraphIoTest, UnreadablePathFails) {
+  std::string dir = test::MakeTempDir("graphio");
+  Result<HinGraph> loaded = LoadGraph(dir);  // a directory, not a file
+  EXPECT_FALSE(loaded.ok());
+}
+
 TEST(GraphIoTest, EmptyGraphRoundTrips) {
   HinGraph g;
   std::string path = test::MakeTempDir("graphio") + "/empty.graph";

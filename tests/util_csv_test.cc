@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "test_util.h"
 
 namespace emigre {
@@ -63,6 +65,21 @@ TEST(CsvTest, MissingFileReportsIOError) {
   EXPECT_TRUE(r.status().IsIOError());
   CsvWriter w("/nonexistent/dir/file.csv");
   EXPECT_TRUE(w.status().IsIOError());
+}
+
+// Regression: a file truncated inside a quoted field used to be returned
+// as a valid final row, indistinguishable from a clean EOF.
+TEST(CsvTest, UnterminatedQuoteReportsError) {
+  std::string path = test::MakeTempDir("csv") + "/bad.csv";
+  {
+    std::ofstream f(path);
+    f << "a,b\nx,\"cut off mid-quote";
+  }
+  CsvReader r(path);
+  std::vector<std::string> row;
+  ASSERT_TRUE(r.ReadRow(&row));  // the intact first row still parses
+  EXPECT_FALSE(r.ReadRow(&row));
+  EXPECT_TRUE(r.status().IsInvalidArgument()) << r.status();
 }
 
 TEST(ParseCsvLineTest, HandlesQuotes) {

@@ -1,7 +1,8 @@
 #!/bin/sh
-# Developer pre-submit check: Debug build with ASan+UBSan, full test suite,
-# then a ThreadSanitizer pass over the concurrency-sensitive tests (thread
-# pool, PPR cache, observability registry, parallel tester).
+# Developer pre-submit check: static analysis (tools/lint.py + clang-tidy),
+# Debug build with ASan+UBSan, full test suite, then a ThreadSanitizer pass
+# over the concurrency-sensitive tests (thread pool, PPR cache,
+# observability registry, parallel tester).
 #
 #   tools/check.sh [build-dir] [tsan-build-dir]
 #
@@ -15,9 +16,21 @@ BUILD_DIR="${1:-$SRC_DIR/build-asan}"
 TSAN_BUILD_DIR="${2:-$SRC_DIR/build-tsan}"
 JOBS=$(nproc 2>/dev/null || echo 4)
 
+# The concurrency-sensitive tests. This single list drives both the TSan
+# build targets and the ctest selection below — keep it the only copy.
+TSAN_TESTS="util_thread_pool_test ppr_cache_test obs_metrics_test \
+obs_trace_test explain_parallel_tester_test"
+
+# Static analysis first: it is the cheapest stage and fails fastest.
+python3 "$SRC_DIR/tools/lint.py"
+echo "check.sh: tools/lint.py clean"
+
 cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
   -DCMAKE_BUILD_TYPE=Debug \
   -DEMIGRE_SANITIZE="address;undefined"
+# The tidy target uses the compilation database of whichever build tree
+# runs it; it degrades to a notice when clang-tidy is not installed.
+cmake --build "$BUILD_DIR" --target tidy
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 echo "check.sh: all tests passed under ASan/UBSan"
@@ -30,14 +43,13 @@ fi
 # TSan is incompatible with ASan, so it gets its own build tree. Only the
 # tests that exercise cross-thread state run here — the full suite under
 # TSan is slow and the serial tests add no coverage.
-TSAN_TESTS='util_thread_pool_test|ppr_cache_test|obs_metrics_test|obs_trace_test|explain_parallel_tester_test'
+TSAN_REGEX=$(echo "$TSAN_TESTS" | tr -s ' ' '|')
 
 cmake -B "$TSAN_BUILD_DIR" -S "$SRC_DIR" \
   -DCMAKE_BUILD_TYPE=Debug \
   -DEMIGRE_SANITIZE="thread"
-cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
-  --target util_thread_pool_test ppr_cache_test obs_metrics_test \
-           obs_trace_test explain_parallel_tester_test
+# shellcheck disable=SC2086  # word splitting is the point
+cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target $TSAN_TESTS
 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
-  -R "$TSAN_TESTS"
+  -R "^($TSAN_REGEX)\$"
 echo "check.sh: concurrency tests passed under TSan"

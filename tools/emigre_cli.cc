@@ -7,21 +7,25 @@
 //   recommend   print a user's top-k recommendation list
 //   explain     answer a Why-Not question
 //   experiment  run the §6.2 evaluation and write reports + records CSV
+//   selfcheck   run the invariant validators (docs/invariants.md)
 //
 // Examples:
 //   emigre generate --dir /tmp/ds --users 120 --items 2000
 //   emigre build-graph --dataset /tmp/ds --out /tmp/amazon.graph
 //   emigre stats --graph /tmp/amazon.graph
 //   emigre recommend --graph /tmp/amazon.graph --user 17 --top 10
-//   emigre explain --graph /tmp/amazon.graph --user 17 --item 261 \
+//   emigre explain --graph /tmp/amazon.graph --user 17 --item 261
 //       --mode add --heuristic incremental
 //   emigre experiment --graph /tmp/amazon.graph --out /tmp/records.csv
+//   emigre selfcheck --graph /tmp/amazon.graph --level full
 
 #include <cstdio>
 #include <filesystem>
 #include <string>
 #include <vector>
 
+#include "check/check_level.h"
+#include "check/selfcheck.h"
 #include "data/amazon_lite.h"
 #include "data/csv_io.h"
 #include "data/synthetic_amazon.h"
@@ -382,10 +386,47 @@ int RunExperiment(const std::vector<std::string>& args) {
   return obs.Finish(0);
 }
 
+int RunSelfCheck(const std::vector<std::string>& args) {
+  FlagParser parser("emigre selfcheck — run the invariant validators");
+  parser.AddFlag("graph", "graph file", "");
+  parser.AddFlag("level", "off | basic | full", "full");
+  parser.AddFlag("samples", "sampled sources/targets per PPR suite", "3");
+  parser.AddFlag("edits", "random edge edits exercised", "3");
+  parser.AddFlag("seed", "sampling seed", "20240416");
+  AddObsFlags(&parser);
+  Status st = parser.Parse(args);
+  if (!st.ok()) return Fail(st);
+  Result<LoadedGraph> lg =
+      LoadForQueries(parser.GetString("graph").ValueOrDie());
+  if (!lg.ok()) return Fail(lg.status());
+
+  check::SelfCheckOptions sc;
+  std::string level = parser.GetString("level").ValueOrDie();
+  if (!check::CheckLevelFromName(level, &sc.level)) {
+    return Fail(Status::InvalidArgument("unknown --level " + level));
+  }
+  sc.num_samples =
+      static_cast<size_t>(parser.GetInt("samples").ValueOrDie());
+  sc.num_edits = static_cast<size_t>(parser.GetInt("edits").ValueOrDie());
+  sc.seed = static_cast<uint64_t>(parser.GetInt("seed").ValueOrDie());
+
+  ObsSession obs(parser);
+  Result<check::SelfCheckReport> report =
+      check::RunSelfCheck(lg->g, lg->opts, sc);
+  if (!report.ok()) return Fail(report.status());
+  for (const std::string& line : report->lines) {
+    std::printf("  %s\n", line.c_str());
+  }
+  std::printf("selfcheck (%s): %zu check(s), %zu violation(s)\n",
+              std::string(check::CheckLevelName(sc.level)).c_str(),
+              report->checks_run, report->violations);
+  return obs.Finish(report->ok() ? 0 : 1);
+}
+
 int Main(int argc, char** argv) {
   const std::string usage =
       "usage: emigre <generate|build-graph|stats|recommend|explain|"
-      "experiment> [flags]\n";
+      "experiment|selfcheck> [flags]\n";
   if (argc < 2) {
     std::fprintf(stderr, "%s", usage.c_str());
     return 1;
@@ -400,6 +441,7 @@ int Main(int argc, char** argv) {
   if (command == "recommend") return RunRecommend(rest);
   if (command == "explain") return RunExplain(rest);
   if (command == "experiment") return RunExperiment(rest);
+  if (command == "selfcheck") return RunSelfCheck(rest);
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(),
                usage.c_str());
   return 1;

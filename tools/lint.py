@@ -1,0 +1,415 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules clang-tidy cannot express.
+
+Rules (each can be suppressed per line with a trailing `NOLINT` or
+`NOLINT(<rule>)` comment):
+
+  include-guard    .h files use the canonical guard EMIGRE_<PATH>_H_
+                   (path relative to the repo root, `src/` stripped).
+  using-namespace  no `using namespace` at any scope inside headers.
+  nodiscard        every Status/Result<T>-returning declaration in a
+                   header carries [[nodiscard]], and the Status/Result
+                   class definitions themselves are [[nodiscard]].
+  naked-new        no `new` expressions in library/tool code; use
+                   std::make_unique (intentional leaky singletons carry
+                   a NOLINT marker).
+  bench-metrics    every bench/bench_<name>.cc records its run with
+                   WriteBenchMetrics("<name>") so BENCH_<name>.json
+                   lands in the perf trajectory.
+
+Usage:
+  tools/lint.py [--root DIR] [paths...]   lint the repo (or just paths)
+  tools/lint.py --self-test               verify each rule fires on a
+                                          seeded violation
+
+Exit status: 0 clean, 1 violations found, 2 internal error.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+RULES = (
+    "include-guard",
+    "using-namespace",
+    "nodiscard",
+    "naked-new",
+    "bench-metrics",
+)
+
+# Directories scanned when no explicit paths are given, relative to root.
+DEFAULT_DIRS = ("src", "tools", "bench", "tests", "examples")
+
+# naked-new is enforced for library and tool code; tests/examples may
+# exercise raw pointers deliberately.
+NAKED_NEW_DIRS = ("src", "tools", "bench")
+
+NOLINT_RE = re.compile(r"NOLINT(?:\(([^)]*)\))?")
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def is_suppressed(line, rule):
+    m = NOLINT_RE.search(line)
+    if not m:
+        return False
+    rules = m.group(1)
+    return rules is None or rule in rules
+
+
+def strip_comments_and_strings(text):
+    """Replaces comment and string-literal contents with spaces, keeping
+    line structure so reported line numbers stay valid."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+                out.append('"')
+            else:
+                out.append(" ")
+        elif state == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+                out.append("'")
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def expected_guard(relpath):
+    path = relpath
+    if path.startswith("src/"):
+        path = path[len("src/"):]
+    stem = re.sub(r"[^A-Za-z0-9]", "_", path)
+    return f"EMIGRE_{stem.upper()}_"
+
+
+def check_include_guard(relpath, lines, violations):
+    guard = expected_guard(relpath)
+    ifndef_re = re.compile(r"^\s*#ifndef\s+(\S+)")
+    for idx, line in enumerate(lines):
+        m = ifndef_re.match(line)
+        if not m:
+            continue
+        if is_suppressed(line, "include-guard"):
+            return
+        got = m.group(1)
+        if got != guard:
+            violations.append(Violation(
+                relpath, idx + 1, "include-guard",
+                f"include guard is {got}, expected {guard}"))
+        elif idx + 1 >= len(lines) or not re.match(
+                rf"^\s*#define\s+{re.escape(guard)}\s*$", lines[idx + 1]):
+            violations.append(Violation(
+                relpath, idx + 2, "include-guard",
+                f"#define {guard} must directly follow the #ifndef"))
+        return
+    violations.append(Violation(
+        relpath, 1, "include-guard",
+        f"missing include guard (expected #ifndef {guard})"))
+
+
+def check_using_namespace(relpath, stripped_lines, raw_lines, violations):
+    pat = re.compile(r"^\s*using\s+namespace\b")
+    for idx, line in enumerate(stripped_lines):
+        if pat.match(line) and not is_suppressed(raw_lines[idx], "using-namespace"):
+            violations.append(Violation(
+                relpath, idx + 1, "using-namespace",
+                "headers must not contain `using namespace`"))
+
+
+# A declaration line whose return type is Status or Result<...>. Anchored at
+# line start (after qualifiers) so parameters and comments don't match.
+STATUS_DECL_RE = re.compile(
+    r"^\s*(?:static\s+|virtual\s+|friend\s+|inline\s+|constexpr\s+)*"
+    r"(?:::)?(?:\w+::)*"
+    r"(Status|Result<[^;={}]*>)\s+"
+    r"(~?\w+)\s*\(")
+
+CLASS_DEF_RE = re.compile(r"^\s*(?:template\s*<[^>]*>\s*)?class\s+"
+                          r"(?:\[\[nodiscard\]\]\s+)?(Status|Result)\b")
+
+
+def check_nodiscard(relpath, stripped_lines, raw_lines, violations):
+    for idx, line in enumerate(stripped_lines):
+        m = CLASS_DEF_RE.match(line)
+        if m and ";" not in line:  # skip forward declarations
+            if "[[nodiscard]]" not in line and not is_suppressed(
+                    raw_lines[idx], "nodiscard"):
+                violations.append(Violation(
+                    relpath, idx + 1, "nodiscard",
+                    f"class {m.group(1)} must be declared "
+                    f"`class [[nodiscard]] {m.group(1)}`"))
+            continue
+        m = STATUS_DECL_RE.match(line)
+        if not m:
+            continue
+        if is_suppressed(raw_lines[idx], "nodiscard"):
+            continue
+        # Attribute may sit on the same line or the previous non-blank line.
+        prev = stripped_lines[idx - 1].strip() if idx > 0 else ""
+        if "[[nodiscard]]" in line or prev.endswith("[[nodiscard]]"):
+            continue
+        violations.append(Violation(
+            relpath, idx + 1, "nodiscard",
+            f"{m.group(1)}-returning declaration `{m.group(2)}` must be "
+            f"[[nodiscard]]"))
+
+
+NEW_RE = re.compile(r"(?:^|[^\w.>])new\b\s*[\w:(<]")
+
+
+def check_naked_new(relpath, stripped_lines, raw_lines, violations):
+    for idx, line in enumerate(stripped_lines):
+        if NEW_RE.search(line) and not is_suppressed(raw_lines[idx],
+                                                     "naked-new"):
+            violations.append(Violation(
+                relpath, idx + 1, "naked-new",
+                "no naked `new`; use std::make_unique or mark the leaky "
+                "singleton with NOLINT(naked-new)"))
+
+
+def check_bench_metrics(relpath, text, violations):
+    name = os.path.basename(relpath)
+    m = re.match(r"bench_(\w+)\.cc$", name)
+    if not m:
+        return
+    bench = m.group(1)
+    # Whole-file rule: a NOLINT(bench-metrics) anywhere opts the binary out.
+    if "NOLINT(bench-metrics)" in text:
+        return
+    if f'WriteBenchMetrics("{bench}")' not in text:
+        violations.append(Violation(
+            relpath, 1, "bench-metrics",
+            f'bench binary must call WriteBenchMetrics("{bench}") so it '
+            f"writes BENCH_{bench}.json"))
+
+
+def lint_file(root, relpath):
+    violations = []
+    full = os.path.join(root, relpath)
+    try:
+        with open(full, encoding="utf-8") as f:
+            text = f.read()
+    except (OSError, UnicodeDecodeError) as e:
+        violations.append(Violation(relpath, 0, "io", str(e)))
+        return violations
+    raw_lines = text.split("\n")
+    stripped = strip_comments_and_strings(text).split("\n")
+    is_header = relpath.endswith(".h")
+
+    if is_header:
+        check_include_guard(relpath, raw_lines, violations)
+        check_using_namespace(relpath, stripped, raw_lines, violations)
+        check_nodiscard(relpath, stripped, raw_lines, violations)
+    top = relpath.split("/", 1)[0]
+    if top in NAKED_NEW_DIRS and relpath.endswith((".h", ".cc")):
+        check_naked_new(relpath, stripped, raw_lines, violations)
+    if relpath.endswith(".cc"):
+        check_bench_metrics(relpath, text, violations)
+    return violations
+
+
+def collect_files(root, paths):
+    rels = []
+    if paths:
+        for p in paths:
+            full = os.path.abspath(p)
+            if os.path.isdir(full):
+                for dirpath, _, names in os.walk(full):
+                    for n in sorted(names):
+                        if n.endswith((".h", ".cc")):
+                            rels.append(os.path.relpath(
+                                os.path.join(dirpath, n), root))
+            else:
+                rels.append(os.path.relpath(full, root))
+    else:
+        for d in DEFAULT_DIRS:
+            base = os.path.join(root, d)
+            if not os.path.isdir(base):
+                continue
+            for dirpath, _, names in os.walk(base):
+                for n in sorted(names):
+                    if n.endswith((".h", ".cc")):
+                        rels.append(os.path.relpath(
+                            os.path.join(dirpath, n), root))
+    return sorted(set(r.replace(os.sep, "/") for r in rels))
+
+
+def run_lint(root, paths):
+    violations = []
+    for rel in collect_files(root, paths):
+        violations.extend(lint_file(root, rel))
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"lint.py: {len(violations)} violation(s)")
+        return 1
+    return 0
+
+
+# --- self-test --------------------------------------------------------------
+
+SEEDED = {
+    "include-guard": (
+        "src/util/bad_guard.h",
+        "#ifndef WRONG_GUARD_H\n#define WRONG_GUARD_H\n#endif\n"),
+    "using-namespace": (
+        "src/util/uses_ns.h",
+        "#ifndef EMIGRE_UTIL_USES_NS_H_\n#define EMIGRE_UTIL_USES_NS_H_\n"
+        "using namespace std;\n#endif  // EMIGRE_UTIL_USES_NS_H_\n"),
+    "nodiscard": (
+        "src/util/drops.h",
+        "#ifndef EMIGRE_UTIL_DROPS_H_\n#define EMIGRE_UTIL_DROPS_H_\n"
+        "Status DoWrite(int fd);\n"
+        "#endif  // EMIGRE_UTIL_DROPS_H_\n"),
+    "naked-new": (
+        "src/util/leaky.cc",
+        "void* Make() { return new int(7); }\n"),
+    "bench-metrics": (
+        "bench/bench_silent.cc",
+        "int main() { return 0; }\n"),
+}
+
+CLEAN_FILE = (
+    "src/util/clean.h",
+    "#ifndef EMIGRE_UTIL_CLEAN_H_\n#define EMIGRE_UTIL_CLEAN_H_\n"
+    "// A Status in a comment; \"using namespace\" in a string is fine.\n"
+    "[[nodiscard]] Status DoWrite(int fd);\n"
+    "[[nodiscard]]\nStatus DoWriteWrapped(int fd);\n"
+    "class [[nodiscard]] Status {};\n"
+    "#endif  // EMIGRE_UTIL_CLEAN_H_\n")
+
+
+def self_test():
+    failures = 0
+    for rule, (relpath, content) in SEEDED.items():
+        with tempfile.TemporaryDirectory() as tmp:
+            full = os.path.join(tmp, relpath)
+            os.makedirs(os.path.dirname(full), exist_ok=True)
+            with open(full, "w", encoding="utf-8") as f:
+                f.write(content)
+            violations = lint_file(tmp, relpath)
+            hit = [v for v in violations if v.rule == rule]
+            if not hit:
+                print(f"SELF-TEST FAIL: rule {rule} did not fire on "
+                      f"{relpath}")
+                failures += 1
+            else:
+                print(f"self-test ok: {rule} fired ({hit[0].message})")
+            # The same file with a NOLINT marker must pass.
+            if rule == "bench-metrics":  # whole-file rule, file-level marker
+                suppressed = "// NOLINT(bench-metrics)\n" + content
+            else:
+                suppressed = "\n".join(
+                    line + ("  // NOLINT" if line.strip() and
+                            not line.lstrip().startswith("#endif") else "")
+                    for line in content.split("\n"))
+            with open(full, "w", encoding="utf-8") as f:
+                f.write(suppressed)
+            violations = [v for v in lint_file(tmp, relpath)
+                          if v.rule == rule]
+            if violations:
+                print(f"SELF-TEST FAIL: NOLINT did not suppress {rule}: "
+                      f"{violations[0]}")
+                failures += 1
+    with tempfile.TemporaryDirectory() as tmp:
+        relpath, content = CLEAN_FILE
+        full = os.path.join(tmp, relpath)
+        os.makedirs(os.path.dirname(full), exist_ok=True)
+        with open(full, "w", encoding="utf-8") as f:
+            f.write(content)
+        violations = lint_file(tmp, relpath)
+        if violations:
+            print("SELF-TEST FAIL: clean file reported violations:")
+            for v in violations:
+                print(f"  {v}")
+            failures += 1
+        else:
+            print("self-test ok: clean file passes")
+    if failures:
+        print(f"lint.py self-test: {failures} failure(s)")
+        return 1
+    print("lint.py self-test: all rules verified")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule fires on a seeded violation")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    root = os.path.abspath(args.root) if args.root else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    return run_lint(root, args.paths)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
