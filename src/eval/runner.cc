@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <thread>
 
 #include "check/invariants.h"
@@ -49,6 +50,11 @@ Result<ExperimentResult> RunExperiment(const graph::HinGraph& g,
   auto run_one = [&](size_t si) {
     if (failed.load(std::memory_order_relaxed)) return;
     const Scenario& scenario = scenarios[si];
+    // One re-verification checker per scenario, created on first unverified
+    // result and reused across methods: it shares the engine's CSR snapshot
+    // and keeps its overlay/workspace warm instead of paying a fresh
+    // allocation per record.
+    std::unique_ptr<explain::ExplanationTester> checker;
     for (size_t mi = 0; mi < methods.size(); ++mi) {
       const MethodSpec& method = methods[mi];
       ScenarioRecord& record = result.records[si * methods.size() + mi];
@@ -80,9 +86,11 @@ Result<ExperimentResult> RunExperiment(const graph::HinGraph& g,
         // Unverified output (Exhaustive-direct, or any approximate-tester
         // result): success is decided by an untimed independent check,
         // mirroring the paper's accounting.
-        explain::ExplanationTester checker(g, scenario.user, scenario.wni,
-                                           opts);
-        record.correct = checker.Test(e.edges, e.mode);
+        if (checker == nullptr) {
+          checker = std::make_unique<explain::ExplanationTester>(
+              g, scenario.user, scenario.wni, opts, &engine.csr());
+        }
+        record.correct = checker->Test(e.edges, e.mode);
       }
       if (!e.found && e.failure == explain::FailureReason::kSearchExhausted) {
         // Refine the failure label with the §6.4 meta-explanation taxonomy

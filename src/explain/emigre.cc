@@ -78,11 +78,11 @@ Result<Explanation> Emigre::Explain(const WhyNotQuestion& q, Mode mode,
   // private overlay/dynamic-push state built by this closure.
   auto make_tester = [this, &q]() -> std::unique_ptr<TesterInterface> {
     if (opts_.tester == TesterKind::kDynamicPush) {
-      return std::make_unique<FastExplanationTester>(*g_, q.user,
-                                                     q.why_not_item, opts_);
+      return std::make_unique<FastExplanationTester>(
+          *g_, q.user, q.why_not_item, opts_, &csr_);
     }
     return std::make_unique<ExplanationTester>(*g_, q.user, q.why_not_item,
-                                               opts_);
+                                               opts_, &csr_);
   };
   std::unique_ptr<TesterInterface> tester;
   if (opts_.test_threads != 1) {

@@ -5,6 +5,7 @@
 
 #include "explain/explanation.h"
 #include "explain/options.h"
+#include "graph/csr.h"
 #include "graph/hin_graph.h"
 #include "ppr/cache.h"
 #include "recsys/rec_list.h"
@@ -36,12 +37,14 @@ namespace emigre::explain {
 class Emigre {
  public:
   /// `g` must outlive the engine — and must not be mutated while the
-  /// engine exists (the engine caches PPR vectors computed on it).
+  /// engine exists (the engine caches PPR vectors computed on it and keeps
+  /// a CSR snapshot of it).
   Emigre(const graph::HinGraph& g, EmigreOptions opts)
       : g_(&g),
         opts_(std::move(opts)),
-        ppr_cache_(std::make_unique<ppr::ReversePushCache<graph::HinGraph>>(
-            g, opts_.rec.ppr)) {}
+        csr_(g),
+        ppr_cache_(std::make_unique<ppr::ReversePushCache<graph::CsrGraph>>(
+            csr_, opts_.rec.ppr)) {}
 
   /// Computes a Why-Not explanation for `q` using the given mode and
   /// heuristic. Fails with InvalidArgument when `q` violates Definition 4.1
@@ -70,17 +73,24 @@ class Emigre {
   Status ValidateQuestion(const WhyNotQuestion& q, graph::NodeId rec) const;
 
   /// Cache statistics (diagnostics; shared across Explain calls).
-  const ppr::ReversePushCache<graph::HinGraph>& ppr_cache() const {
+  const ppr::ReversePushCache<graph::CsrGraph>& ppr_cache() const {
     return *ppr_cache_;
   }
+
+  /// The engine's CSR snapshot of the graph (shared with the testers).
+  const graph::CsrGraph& csr() const { return csr_; }
 
  private:
   const graph::HinGraph* g_;
   EmigreOptions opts_;
+  // CSR snapshot of *g_, built once per engine: the PPR cache pushes over
+  // it and every kernel-engine tester lays its CsrOverlay on it, so no
+  // Explain call pays the O(V+E) snapshot cost.
+  graph::CsrGraph csr_;
   // Reverse-push vectors are pure functions of (graph, target); shared
   // across questions and across the per-question phases. The cache is
   // internally synchronized, keeping concurrent Explain calls safe.
-  std::unique_ptr<ppr::ReversePushCache<graph::HinGraph>> ppr_cache_;
+  std::unique_ptr<ppr::ReversePushCache<graph::CsrGraph>> ppr_cache_;
 };
 
 }  // namespace emigre::explain

@@ -23,7 +23,7 @@ Explanation RunExhaustive(const HinGraph& g, const SearchSpace& space,
                           const std::vector<NodeId>& targets,
                           TesterInterface& tester, const EmigreOptions& opts,
                           bool direct,
-                          ppr::ReversePushCache<HinGraph>* cache) {
+                          ppr::ReversePushCache<graph::CsrGraph>* cache) {
   EMIGRE_SPAN("exhaustive");
   internal::SearchBudget budget(opts);
 
@@ -75,7 +75,7 @@ Explanation RunExhaustive(const HinGraph& g, const SearchSpace& space,
                !g.IsValidNode(t_list[ti])) {
       ppr_to_t[ti].assign(g.NumNodes(), 0.0);
     } else if (cache != nullptr) {
-      ppr_to_t[ti] = *cache->Get(t_list[ti]);
+      ppr_to_t[ti] = cache->Get(t_list[ti])->ToDense(g.NumNodes());
     } else {
       ppr_to_t[ti] = ppr::ReversePush(g, t_list[ti], opts.rec.ppr).estimate;
     }

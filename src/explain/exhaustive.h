@@ -7,6 +7,7 @@
 #include "explain/options.h"
 #include "explain/search_space.h"
 #include "explain/tester.h"
+#include "graph/csr.h"
 #include "graph/hin_graph.h"
 #include "ppr/cache.h"
 
@@ -35,7 +36,7 @@ Explanation RunExhaustive(
     const graph::HinGraph& g, const SearchSpace& space,
     const std::vector<graph::NodeId>& targets, TesterInterface& tester,
     const EmigreOptions& opts, bool direct,
-    ppr::ReversePushCache<graph::HinGraph>* cache = nullptr);
+    ppr::ReversePushCache<graph::CsrGraph>* cache = nullptr);
 
 }  // namespace emigre::explain
 

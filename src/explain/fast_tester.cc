@@ -8,32 +8,27 @@ namespace emigre::explain {
 using graph::EdgeRef;
 using graph::NodeId;
 
-FastExplanationTester::FastExplanationTester(const graph::HinGraph& base,
-                                             NodeId user, NodeId why_not_item,
-                                             const EmigreOptions& opts)
-    : scratch_(base),
-      user_(user),
-      wni_(why_not_item),
-      opts_(opts),
-      dyn_(scratch_, user, opts.rec.ppr),
-      items_(scratch_.NodesOfType(opts.rec.item_type)) {}
+namespace {
 
-NodeId FastExplanationTester::CurrentTop() const {
-  // Signed-residual repairs can leave O(ε)-sized positive estimates on
-  // nodes whose true score is exactly zero; the exact tester breaks such
-  // all-zero ties by node id. Flooring restores that tie-break: anything
-  // below the push noise level counts as unreachable.
-  const double floor = opts_.rec.ppr.epsilon * 100.0;
+/// Deterministic argmax shared by both engines: score descending, id
+/// ascending on ties, with sub-noise scores floored to zero.
+///
+/// Signed-residual repairs can leave O(ε)-sized positive estimates on nodes
+/// whose true score is exactly zero; the exact tester breaks such all-zero
+/// ties by node id. Flooring restores that tie-break: anything below the
+/// push noise level counts as unreachable.
+template <typename Eligible, typename Score>
+NodeId BestItem(const std::vector<NodeId>& items, NodeId user, double floor,
+                Eligible&& eligible, Score&& score_of) {
   NodeId best = graph::kInvalidNode;
   double best_score = -1.0;
-  for (NodeId item : items_) {
-    if (item == user_ || scratch_.HasEdge(user_, item)) continue;
-    double score = dyn_.Estimate(item);
+  for (NodeId item : items) {
+    if (item == user || !eligible(item)) continue;
+    double score = score_of(item);
     if (score < floor) score = 0.0;
     // Same deterministic ordering as RecommendationList: score descending,
     // id ascending on ties.
-    if (score > best_score ||
-        (score == best_score && item < best)) {
+    if (score > best_score || (score == best_score && item < best)) {
       best = item;
       best_score = score;
     }
@@ -41,11 +36,54 @@ NodeId FastExplanationTester::CurrentTop() const {
   return best;
 }
 
-bool FastExplanationTester::RunOnce(const std::vector<ModedEdit>& edits,
-                                    NodeId* new_rec) {
-  EMIGRE_SPAN("test.dynamic");
-  EMIGRE_COUNTER("explain.tests.dynamic").Increment();
-  ++num_tests_;
+}  // namespace
+
+FastExplanationTester::FastExplanationTester(const graph::HinGraph& base,
+                                             NodeId user, NodeId why_not_item,
+                                             const EmigreOptions& opts,
+                                             const graph::CsrGraph* csr)
+    : user_(user),
+      wni_(why_not_item),
+      opts_(opts),
+      items_(base.NodesOfType(opts.rec.item_type)) {
+  if (opts_.rec.ppr.engine == ppr::PushEngine::kKernel) {
+    const graph::CsrGraph* snapshot = csr;
+    if (snapshot == nullptr) {
+      owned_csr_ = std::make_unique<graph::CsrGraph>(base);
+      snapshot = owned_csr_.get();
+    }
+    overlay_ = std::make_unique<graph::CsrOverlay>(*snapshot);
+    dyn_kernel_ = std::make_unique<ppr::DynamicForwardPush<graph::CsrOverlay>>(
+        *overlay_, user, opts_.rec.ppr, &ws_);
+  } else {
+    scratch_ = std::make_unique<graph::HinGraph>(base);
+    dyn_ = std::make_unique<ppr::DynamicForwardPush<graph::HinGraph>>(
+        *scratch_, user, opts_.rec.ppr);
+  }
+}
+
+NodeId FastExplanationTester::CurrentTopLegacy() const {
+  const double floor = opts_.rec.ppr.epsilon * 100.0;
+  return BestItem(
+      items_, user_, floor,
+      [&](NodeId item) { return !scratch_->HasEdge(user_, item); },
+      [&](NodeId item) { return dyn_->Estimate(item); });
+}
+
+NodeId FastExplanationTester::CurrentTopKernel() {
+  // O(deg) epoch marks over the user's effective out-neighborhood replace
+  // the legacy per-item HasEdge probes. The marks share the epoch of the
+  // repair that just ran and stay valid until the next one.
+  overlay_->ForEachOutEdge(
+      user_, [&](NodeId dst, graph::EdgeTypeId, double) { ws_.Mark(dst); });
+  const double floor = opts_.rec.ppr.epsilon * 100.0;
+  return BestItem(
+      items_, user_, floor, [&](NodeId item) { return !ws_.Marked(item); },
+      [&](NodeId item) { return dyn_kernel_->Estimate(item); });
+}
+
+bool FastExplanationTester::RunOnceLegacy(const std::vector<ModedEdit>& edits,
+                                          NodeId* new_rec) {
   // All explanation edits are rooted at the user (Definition 4.2), so a
   // single Before/After pair around the whole batch repairs the one
   // affected transition row.
@@ -55,7 +93,7 @@ bool FastExplanationTester::RunOnce(const std::vector<ModedEdit>& edits,
   };
   std::vector<AppliedEdit> applied;
   applied.reserve(edits.size());
-  dyn_.BeforeOutEdgeChange(user_);
+  dyn_->BeforeOutEdgeChange(user_);
   bool ok = true;
   for (const ModedEdit& e : edits) {
     if (e.edge.src != user_) {
@@ -65,12 +103,12 @@ bool FastExplanationTester::RunOnce(const std::vector<ModedEdit>& edits,
     Status st;
     double removed_weight = 0.0;
     if (e.mode == Mode::kAdd) {
-      st = scratch_.AddEdge(e.edge.src, e.edge.dst, e.edge.type,
-                            opts_.add_edge_weight);
+      st = scratch_->AddEdge(e.edge.src, e.edge.dst, e.edge.type,
+                             opts_.add_edge_weight);
     } else {
       removed_weight =
-          scratch_.EdgeWeight(e.edge.src, e.edge.dst, e.edge.type);
-      st = scratch_.RemoveEdge(e.edge.src, e.edge.dst, e.edge.type);
+          scratch_->EdgeWeight(e.edge.src, e.edge.dst, e.edge.type);
+      st = scratch_->RemoveEdge(e.edge.src, e.edge.dst, e.edge.type);
     }
     if (!st.ok()) {
       ok = false;
@@ -81,28 +119,77 @@ bool FastExplanationTester::RunOnce(const std::vector<ModedEdit>& edits,
 
   NodeId top = graph::kInvalidNode;
   if (ok) {
-    dyn_.AfterOutEdgeChange(user_);
-    top = CurrentTop();
+    dyn_->AfterOutEdgeChange(user_);
+    top = CurrentTopLegacy();
     // Revert, repairing the invariant again.
-    dyn_.BeforeOutEdgeChange(user_);
+    dyn_->BeforeOutEdgeChange(user_);
   }
   for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
     if (it->edit.mode == Mode::kAdd) {
       scratch_
-          .RemoveEdge(it->edit.edge.src, it->edit.edge.dst,
-                      it->edit.edge.type)
+          ->RemoveEdge(it->edit.edge.src, it->edit.edge.dst,
+                       it->edit.edge.type)
           .CheckOK();
     } else {
       scratch_
-          .AddEdge(it->edit.edge.src, it->edit.edge.dst, it->edit.edge.type,
-                   it->removed_weight)
+          ->AddEdge(it->edit.edge.src, it->edit.edge.dst, it->edit.edge.type,
+                    it->removed_weight)
           .CheckOK();
     }
   }
-  dyn_.AfterOutEdgeChange(user_);
+  dyn_->AfterOutEdgeChange(user_);
 
   if (new_rec != nullptr) *new_rec = ok ? top : graph::kInvalidNode;
   return ok && top == wni_;
+}
+
+bool FastExplanationTester::RunOnceKernel(const std::vector<ModedEdit>& edits,
+                                          NodeId* new_rec) {
+  // Same Before/edit/After/revert protocol as the legacy engine, but the
+  // counterfactual lives in a CsrOverlay: reverting is a Clear() (which
+  // also restores the base adjacency order — a mutated HinGraph cannot),
+  // and the repair pushes run on the reusable workspace.
+  dyn_kernel_->BeforeOutEdgeChange(user_);
+  bool ok = true;
+  for (const ModedEdit& e : edits) {
+    if (e.edge.src != user_) {
+      ok = false;  // foreign-rooted edit: not supported by the fast path
+      break;
+    }
+    Status st;
+    if (e.mode == Mode::kAdd) {
+      st = overlay_->AddEdge(e.edge.src, e.edge.dst, e.edge.type,
+                             opts_.add_edge_weight);
+    } else {
+      st = overlay_->RemoveEdge(e.edge.src, e.edge.dst, e.edge.type);
+    }
+    if (!st.ok()) {
+      ok = false;
+      break;
+    }
+  }
+
+  NodeId top = graph::kInvalidNode;
+  if (ok) {
+    dyn_kernel_->AfterOutEdgeChange(user_);
+    top = CurrentTopKernel();
+    // Revert, repairing the invariant again.
+    dyn_kernel_->BeforeOutEdgeChange(user_);
+  }
+  overlay_->Clear();
+  dyn_kernel_->AfterOutEdgeChange(user_);
+
+  if (new_rec != nullptr) *new_rec = ok ? top : graph::kInvalidNode;
+  return ok && top == wni_;
+}
+
+bool FastExplanationTester::RunOnce(const std::vector<ModedEdit>& edits,
+                                    NodeId* new_rec) {
+  EMIGRE_SPAN("test.dynamic");
+  EMIGRE_COUNTER("explain.tests.dynamic").Increment();
+  ++num_tests_;
+  if (dyn_kernel_ != nullptr) return RunOnceKernel(edits, new_rec);
+  return RunOnceLegacy(edits, new_rec);
 }
 
 bool FastExplanationTester::Test(const std::vector<EdgeRef>& edits, Mode mode,

@@ -1,11 +1,15 @@
 #ifndef EMIGRE_EXPLAIN_FAST_TESTER_H_
 #define EMIGRE_EXPLAIN_FAST_TESTER_H_
 
+#include <memory>
 #include <vector>
 
 #include "explain/tester.h"
+#include "graph/csr.h"
+#include "graph/csr_overlay.h"
 #include "graph/hin_graph.h"
 #include "ppr/dynamic.h"
+#include "ppr/workspace.h"
 
 namespace emigre::explain {
 
@@ -15,12 +19,22 @@ namespace emigre::explain {
 /// Personalised Page Rank computation, and can benefit from optimisation on
 /// graph-update computation results" (§5.3, citing Zhang–Lofgren–Goel).
 /// This tester realizes that optimization: instead of re-running power
-/// iteration per candidate, it keeps a private mutable copy of the graph
-/// with a `DynamicForwardPush` state for the user and, per TEST, (1) edits
-/// the user's out-edges, (2) locally repairs the push invariant, (3) reads
-/// the counterfactual ranking off the maintained estimates, (4) reverts.
-/// Every candidate's edits are rooted at the user, so each TEST costs two
+/// iteration per candidate, it keeps a counterfactual graph view with a
+/// `DynamicForwardPush` state for the user and, per TEST, (1) edits the
+/// user's out-edges, (2) locally repairs the push invariant, (3) reads the
+/// counterfactual ranking off the maintained estimates, (4) reverts. Every
+/// candidate's edits are rooted at the user, so each TEST costs two
 /// single-row repairs instead of a full recomputation.
+///
+/// Engine selection (`PprOptions::engine`):
+///  - `kKernel` (default): the graph view is a `CsrOverlay` over a CSR
+///    snapshot (shared from the facade or built once here), the dynamic
+///    push repairs through a reusable `PushWorkspace` (O(row + pushes) per
+///    TEST), and the eligible-item filter uses the workspace's epoch marks.
+///    `Clear()`-based reverts keep the adjacency iteration order fixed
+///    across candidates.
+///  - `kLegacy`: the original private mutable `HinGraph` copy with the
+///    dense O(n)-per-repair refine — kept as the reference/baseline.
 ///
 /// The estimates are ε-accurate rather than exact: two items whose true
 /// scores differ by less than ~ε may be mis-ordered, so a verification can
@@ -29,10 +43,13 @@ namespace emigre::explain {
 /// exact tester where a guarantee is required (the evaluation runner does).
 class FastExplanationTester : public TesterInterface {
  public:
-  /// Copies `base` once (O(V+E)) and runs the initial push.
+  /// Legacy engine: copies `base` once (O(V+E)) and runs the initial push.
+  /// Kernel engine: snapshots `base` to CSR (or reuses `csr` when the
+  /// caller already holds a snapshot of the same graph) and runs the
+  /// initial push through the workspace.
   FastExplanationTester(const graph::HinGraph& base, graph::NodeId user,
-                        graph::NodeId why_not_item,
-                        const EmigreOptions& opts);
+                        graph::NodeId why_not_item, const EmigreOptions& opts,
+                        const graph::CsrGraph* csr = nullptr);
 
   bool Test(const std::vector<graph::EdgeRef>& edits, Mode mode,
             graph::NodeId* new_rec = nullptr) override;
@@ -47,17 +64,31 @@ class FastExplanationTester : public TesterInterface {
   /// Applies the edits, reads the top item, reverts. Returns false for
   /// malformed candidates.
   bool RunOnce(const std::vector<ModedEdit>& edits, graph::NodeId* new_rec);
+  bool RunOnceLegacy(const std::vector<ModedEdit>& edits,
+                     graph::NodeId* new_rec);
+  bool RunOnceKernel(const std::vector<ModedEdit>& edits,
+                     graph::NodeId* new_rec);
 
-  /// Argmax of the maintained estimates over eligible items.
-  graph::NodeId CurrentTop() const;
+  /// Argmax of the maintained estimates over eligible items (legacy view).
+  graph::NodeId CurrentTopLegacy() const;
+  /// Same, over the overlay view with the workspace mark bitmap.
+  graph::NodeId CurrentTopKernel();
 
-  graph::HinGraph scratch_;
   graph::NodeId user_;
   graph::NodeId wni_;
   EmigreOptions opts_;
-  ppr::DynamicForwardPush<graph::HinGraph> dyn_;
   std::vector<graph::NodeId> items_;  ///< all item-typed nodes
   size_t num_tests_ = 0;
+
+  // Legacy engine state.
+  std::unique_ptr<graph::HinGraph> scratch_;
+  std::unique_ptr<ppr::DynamicForwardPush<graph::HinGraph>> dyn_;
+
+  // Kernel engine state.
+  std::unique_ptr<graph::CsrGraph> owned_csr_;
+  std::unique_ptr<graph::CsrOverlay> overlay_;
+  ppr::PushWorkspace ws_;
+  std::unique_ptr<ppr::DynamicForwardPush<graph::CsrOverlay>> dyn_kernel_;
 };
 
 }  // namespace emigre::explain

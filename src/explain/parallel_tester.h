@@ -20,7 +20,10 @@ namespace emigre::explain {
 /// dynamic-push state (fast tester) — so a batch of candidates is
 /// embarrassingly parallel. This class owns one tester per worker thread,
 /// created lazily by a caller-supplied factory, and distributes a batch
-/// over an internal `ThreadPool`.
+/// over an internal `ThreadPool`. With the kernel PPR engine the same
+/// factory discipline yields one `PushWorkspace` and one `CsrOverlay` per
+/// worker — mutable push state is never shared — while all workers read
+/// the same immutable CSR snapshot.
 ///
 /// Determinism contract (docs/parallelism.md):
 ///  - The accepted candidate is the *lowest-index* success in batch order,

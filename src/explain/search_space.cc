@@ -33,14 +33,15 @@ Status ValidateInputs(const HinGraph& g, NodeId user, NodeId rec,
   return Status::OK();
 }
 
-/// PPR(·, target), through the cache when one is provided.
+/// PPR(·, target), through the cache when one is provided. Cache entries
+/// are sparse; call sites index by arbitrary node id, so densify here.
 std::vector<double> PprTo(const HinGraph& g, NodeId target,
                           const EmigreOptions& opts,
-                          ppr::ReversePushCache<HinGraph>* cache) {
+                          ppr::ReversePushCache<graph::CsrGraph>* cache) {
   if (target == graph::kInvalidNode || !g.IsValidNode(target)) {
     return std::vector<double>(g.NumNodes(), 0.0);
   }
-  if (cache != nullptr) return *cache->Get(target);
+  if (cache != nullptr) return cache->Get(target)->ToDense(g.NumNodes());
   return ppr::ReversePush(g, target, opts.rec.ppr).estimate;
 }
 
@@ -72,7 +73,7 @@ double ComputeTau(const HinGraph& g, NodeId user,
 
 Result<SearchSpace> BuildRemoveSearchSpace(
     const HinGraph& g, NodeId user, NodeId rec, NodeId wni,
-    const EmigreOptions& opts, ppr::ReversePushCache<HinGraph>* cache) {
+    const EmigreOptions& opts, ppr::ReversePushCache<graph::CsrGraph>* cache) {
   EMIGRE_SPAN("search_space");
   EMIGRE_RETURN_IF_ERROR(ValidateInputs(g, user, rec, wni));
 
@@ -104,7 +105,7 @@ Result<SearchSpace> BuildRemoveSearchSpace(
 
 Result<SearchSpace> BuildAddSearchSpace(
     const HinGraph& g, NodeId user, NodeId rec, NodeId wni,
-    const EmigreOptions& opts, ppr::ReversePushCache<HinGraph>* cache) {
+    const EmigreOptions& opts, ppr::ReversePushCache<graph::CsrGraph>* cache) {
   EMIGRE_SPAN("search_space");
   EMIGRE_RETURN_IF_ERROR(ValidateInputs(g, user, rec, wni));
   if (opts.add_edge_type == graph::kInvalidEdgeType) {

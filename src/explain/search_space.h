@@ -5,6 +5,7 @@
 
 #include "explain/explanation.h"
 #include "explain/options.h"
+#include "graph/csr.h"
 #include "graph/hin_graph.h"
 #include "graph/types.h"
 #include "ppr/cache.h"
@@ -55,7 +56,7 @@ struct SearchSpace {
 [[nodiscard]] Result<SearchSpace> BuildRemoveSearchSpace(
     const graph::HinGraph& g, graph::NodeId user, graph::NodeId rec,
     graph::NodeId wni, const EmigreOptions& opts,
-    ppr::ReversePushCache<graph::HinGraph>* cache = nullptr);
+    ppr::ReversePushCache<graph::CsrGraph>* cache = nullptr);
 
 /// \brief Algorithm 2: Add-mode search space.
 ///
@@ -68,7 +69,7 @@ struct SearchSpace {
 [[nodiscard]] Result<SearchSpace> BuildAddSearchSpace(
     const graph::HinGraph& g, graph::NodeId user, graph::NodeId rec,
     graph::NodeId wni, const EmigreOptions& opts,
-    ppr::ReversePushCache<graph::HinGraph>* cache = nullptr);
+    ppr::ReversePushCache<graph::CsrGraph>* cache = nullptr);
 
 }  // namespace emigre::explain
 

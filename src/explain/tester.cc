@@ -32,36 +32,47 @@ TesterInterface::BatchResult TesterInterface::TestBatch(
   return result;
 }
 
-bool ExplanationTester::Test(const std::vector<graph::EdgeRef>& edits,
-                             Mode mode, graph::NodeId* new_rec) {
-  EMIGRE_SPAN("test.exact");
-  EMIGRE_COUNTER("explain.tests.exact").Increment();
-  ++num_tests_;
-  graph::GraphOverlay overlay(*base_);
-  for (const graph::EdgeRef& e : edits) {
-    Status st;
-    if (mode == Mode::kAdd) {
-      st = overlay.AddEdge(e.src, e.dst, e.type, opts_.add_edge_weight);
-    } else {
-      st = overlay.RemoveEdge(e.src, e.dst, e.type);
-    }
-    if (!st.ok()) {
-      // A malformed candidate (duplicate add, missing removal target) can
-      // never be a valid explanation.
-      if (new_rec != nullptr) *new_rec = graph::kInvalidNode;
-      return false;
-    }
+void ExplanationTester::EnsureKernelState() {
+  if (overlay_ != nullptr) return;
+  if (csr_ == nullptr) {
+    owned_csr_ = std::make_unique<graph::CsrGraph>(*base_);
+    csr_ = owned_csr_.get();
   }
-  graph::NodeId top = recsys::Recommend(overlay, user_, opts_.rec);
-  if (new_rec != nullptr) *new_rec = top;
-  return top == wni_;
+  overlay_ = std::make_unique<graph::CsrOverlay>(*csr_);
 }
 
-bool ExplanationTester::TestMixed(const std::vector<ModedEdit>& edits,
-                                  graph::NodeId* new_rec) {
+bool ExplanationTester::RunOnce(const std::vector<ModedEdit>& edits,
+                                graph::NodeId* new_rec) {
   EMIGRE_SPAN("test.exact");
   EMIGRE_COUNTER("explain.tests.exact").Increment();
   ++num_tests_;
+  // Both engines apply the same edit semantics to an overlay and re-run the
+  // same recommender arithmetic; the kernel engine differs only in state
+  // reuse (CSR base arrays, overlay cleared instead of reconstructed, PPR
+  // scratch in the workspace), so the verdicts are identical.
+  if (opts_.rec.ppr.engine == ppr::PushEngine::kKernel) {
+    EnsureKernelState();
+    overlay_->Clear();
+    for (const ModedEdit& e : edits) {
+      Status st;
+      if (e.mode == Mode::kAdd) {
+        st = overlay_->AddEdge(e.edge.src, e.edge.dst, e.edge.type,
+                               opts_.add_edge_weight);
+      } else {
+        st = overlay_->RemoveEdge(e.edge.src, e.edge.dst, e.edge.type);
+      }
+      if (!st.ok()) {
+        // A malformed candidate (duplicate add, missing removal target) can
+        // never be a valid explanation.
+        if (new_rec != nullptr) *new_rec = graph::kInvalidNode;
+        return false;
+      }
+    }
+    graph::NodeId top = recsys::Recommend(*overlay_, user_, opts_.rec, &ws_);
+    if (new_rec != nullptr) *new_rec = top;
+    return top == wni_;
+  }
+
   graph::GraphOverlay overlay(*base_);
   for (const ModedEdit& e : edits) {
     Status st;
@@ -79,6 +90,19 @@ bool ExplanationTester::TestMixed(const std::vector<ModedEdit>& edits,
   graph::NodeId top = recsys::Recommend(overlay, user_, opts_.rec);
   if (new_rec != nullptr) *new_rec = top;
   return top == wni_;
+}
+
+bool ExplanationTester::Test(const std::vector<graph::EdgeRef>& edits,
+                             Mode mode, graph::NodeId* new_rec) {
+  std::vector<ModedEdit> moded;
+  moded.reserve(edits.size());
+  for (const graph::EdgeRef& e : edits) moded.push_back(ModedEdit{e, mode});
+  return RunOnce(moded, new_rec);
+}
+
+bool ExplanationTester::TestMixed(const std::vector<ModedEdit>& edits,
+                                  graph::NodeId* new_rec) {
+  return RunOnce(edits, new_rec);
 }
 
 }  // namespace emigre::explain

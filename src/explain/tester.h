@@ -4,13 +4,17 @@
 #include <cstddef>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "explain/explanation.h"
 #include "explain/options.h"
+#include "graph/csr.h"
+#include "graph/csr_overlay.h"
 #include "graph/hin_graph.h"
 #include "graph/overlay.h"
 #include "graph/types.h"
+#include "ppr/workspace.h"
 
 namespace emigre::explain {
 
@@ -110,10 +114,18 @@ class TesterInterface {
 /// rate drop without it).
 class ExplanationTester : public TesterInterface {
  public:
-  /// The tester keeps references; `base` must outlive it.
+  /// The tester keeps references; `base` (and `csr`, when given) must
+  /// outlive it. With `PprOptions::engine == kKernel` the counterfactual
+  /// recommendations run over a `CsrOverlay` on a CSR snapshot — passed-in
+  /// `csr` when available (the `Emigre` facade shares its own), otherwise
+  /// built lazily on first TEST — with the PPR scratch state held in a
+  /// reusable `PushWorkspace`. Scores are identical either way; only the
+  /// per-TEST allocation profile differs.
   ExplanationTester(const graph::HinGraph& base, graph::NodeId user,
-                    graph::NodeId why_not_item, const EmigreOptions& opts)
-      : base_(&base), user_(user), wni_(why_not_item), opts_(opts) {}
+                    graph::NodeId why_not_item, const EmigreOptions& opts,
+                    const graph::CsrGraph* csr = nullptr)
+      : base_(&base), csr_(csr), user_(user), wni_(why_not_item),
+        opts_(opts) {}
 
   bool Test(const std::vector<graph::EdgeRef>& edits, Mode mode,
             graph::NodeId* new_rec = nullptr) override;
@@ -128,11 +140,24 @@ class ExplanationTester : public TesterInterface {
   graph::NodeId why_not_item() const { return wni_; }
 
  private:
+  /// Shared body of Test/TestMixed: applies each edit in its direction and
+  /// re-runs the recommender through the configured engine.
+  bool RunOnce(const std::vector<ModedEdit>& edits, graph::NodeId* new_rec);
+
+  /// Builds the CSR snapshot + overlay on first kernel-engine TEST.
+  void EnsureKernelState();
+
   const graph::HinGraph* base_;
+  const graph::CsrGraph* csr_;
   graph::NodeId user_;
   graph::NodeId wni_;
   EmigreOptions opts_;
   size_t num_tests_ = 0;
+
+  // Kernel-engine state (unused by the legacy engine).
+  std::unique_ptr<graph::CsrGraph> owned_csr_;
+  std::unique_ptr<graph::CsrOverlay> overlay_;
+  ppr::PushWorkspace ws_;
 };
 
 }  // namespace emigre::explain

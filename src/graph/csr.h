@@ -36,6 +36,28 @@ class CsrGraph {
   }
   double OutWeight(NodeId n) const { return out_weight_[n]; }
   NodeTypeId NodeType(NodeId n) const { return node_type_[n]; }
+  bool IsValidNode(NodeId n) const { return n < num_nodes_; }
+
+  /// True when some (src, dst, *) edge exists. O(out-degree).
+  bool HasEdge(NodeId src, NodeId dst) const {
+    for (size_t i = out_offsets_[src]; i < out_offsets_[src + 1]; ++i) {
+      if (out_dst_[i] == dst) return true;
+    }
+    return false;
+  }
+
+  bool HasEdge(NodeId src, NodeId dst, EdgeTypeId type) const {
+    return EdgeWeight(src, dst, type) > 0.0;
+  }
+
+  /// Weight of the (src, dst, type) edge, or 0.0 when absent (mirrors
+  /// `HinGraph::EdgeWeight`). O(out-degree).
+  double EdgeWeight(NodeId src, NodeId dst, EdgeTypeId type) const {
+    for (size_t i = out_offsets_[src]; i < out_offsets_[src + 1]; ++i) {
+      if (out_dst_[i] == dst && out_type_[i] == type) return out_w_[i];
+    }
+    return 0.0;
+  }
 
   template <typename F>
   void ForEachOutEdge(NodeId n, F&& fn) const {

@@ -10,8 +10,10 @@
 #include "graph/traits.h"
 #include "graph/types.h"
 #include "obs/metrics.h"
+#include "ppr/kernels.h"
 #include "ppr/options.h"
 #include "ppr/reverse_push.h"
+#include "ppr/workspace.h"
 
 namespace emigre::ppr {
 
@@ -24,16 +26,23 @@ namespace emigre::ppr {
 /// immutable graph those vectors are identical across calls; this cache
 /// shares them.
 ///
-/// Entries are `shared_ptr<const vector>` so a caller may keep using a
-/// vector after it is evicted. The cache must only be used while the
-/// underlying graph is unchanged — the owner (e.g. `explain::Emigre`)
-/// guarantees that by construction.
+/// Entries are **sparse** (`SparseVector`, dirty-list compaction of the
+/// push workspace): a reverse push touches O(Σ pushes) sources, so a dense
+/// |V|-sized vector per target wastes memory linear in graph size. Resident
+/// bytes are tracked in the `ppr.cache.bytes` gauge. Entries are
+/// `shared_ptr<const SparseVector>` so a caller may keep using one after it
+/// is evicted. The cache must only be used while the underlying graph is
+/// unchanged — the owner (e.g. `explain::Emigre`) guarantees that by
+/// construction.
+///
+/// The push itself runs through the engine selected by
+/// `PprOptions::engine`; the kernel engine draws reusable `PushWorkspace`s
+/// from an internal pool (one in flight per concurrently-missing thread),
+/// so repeated misses do not re-zero O(|V|) state.
 template <graph::GraphLike G>
 class ReversePushCache {
  public:
-  using Vector = std::vector<double>;
-
-  /// `capacity` bounds resident vectors (each is O(num_nodes) doubles).
+  /// `capacity` bounds resident vectors.
   ReversePushCache(const G& g, const PprOptions& opts, size_t capacity = 64)
       : g_(&g), opts_(opts), capacity_(capacity > 0 ? capacity : 1) {}
 
@@ -45,7 +54,7 @@ class ReversePushCache {
   /// miss); a concurrent Get that recomputed the same target but lost the
   /// install race counts as a race, not a second miss, and its duplicate
   /// push is discarded in favor of the installed vector.
-  std::shared_ptr<const Vector> Get(graph::NodeId target) {
+  std::shared_ptr<const SparseVector> Get(graph::NodeId target) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       auto it = index_.find(target);
@@ -60,8 +69,7 @@ class ReversePushCache {
     // Compute outside the lock: pushes can be slow and independent targets
     // should not serialize. Concurrent Gets for the same target may both
     // reach here and duplicate the push; the install below resolves that.
-    auto vector = std::make_shared<const Vector>(
-        ReversePush(*g_, target, opts_).estimate);
+    std::shared_ptr<const SparseVector> vector = Compute(target);
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = index_.find(target);
     if (it != index_.end()) {
@@ -74,11 +82,16 @@ class ReversePushCache {
     ++misses_;
     EMIGRE_COUNTER("ppr.cache.misses").Increment();
     lru_.push_front(target);
-    index_.emplace(target, Entry{vector, lru_.begin()});
+    size_t entry_bytes = vector->MemoryBytes();
+    index_.emplace(target, Entry{vector, lru_.begin(), entry_bytes});
+    bytes_ += entry_bytes;
     if (index_.size() > capacity_) {
-      index_.erase(lru_.back());
+      auto evict = index_.find(lru_.back());
+      bytes_ -= evict->second.bytes;
+      index_.erase(evict);
       lru_.pop_back();
     }
+    EMIGRE_GAUGE("ppr.cache.bytes").Set(static_cast<double>(bytes_));
     return vector;
   }
 
@@ -100,19 +113,65 @@ class ReversePushCache {
     std::lock_guard<std::mutex> lock(mutex_);
     return index_.size();
   }
+  /// Heap bytes held by the resident sparse vectors.
+  size_t bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bytes_;
+  }
 
   /// Drops all entries (e.g. after the owner mutated the graph).
   void Clear() {
     std::lock_guard<std::mutex> lock(mutex_);
     index_.clear();
     lru_.clear();
+    bytes_ = 0;
+    EMIGRE_GAUGE("ppr.cache.bytes").Set(0.0);
   }
 
  private:
   struct Entry {
-    std::shared_ptr<const Vector> vector;
+    std::shared_ptr<const SparseVector> vector;
     std::list<graph::NodeId>::iterator lru_it;
+    size_t bytes = 0;
   };
+
+  /// Runs the reverse push through the configured engine and compacts the
+  /// estimates. Thread-safe (workspaces come from the pool).
+  std::shared_ptr<const SparseVector> Compute(graph::NodeId target) {
+    if (opts_.engine == PushEngine::kKernel) {
+      std::unique_ptr<PushWorkspace> ws = AcquireWorkspace();
+      ReversePushKernel(*g_, target, opts_, *ws);
+      auto vector =
+          std::make_shared<const SparseVector>(ws->ExportSparseEstimates());
+      ReleaseWorkspace(std::move(ws));
+      return vector;
+    }
+    PushResult dense = ReversePush(*g_, target, opts_);
+    std::vector<graph::NodeId> ids;
+    std::vector<double> values;
+    for (graph::NodeId s = 0; s < dense.estimate.size(); ++s) {
+      if (dense.estimate[s] != 0.0) {
+        ids.push_back(s);
+        values.push_back(dense.estimate[s]);
+      }
+    }
+    return std::make_shared<const SparseVector>(std::move(ids),
+                                                std::move(values));
+  }
+
+  std::unique_ptr<PushWorkspace> AcquireWorkspace() {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!pool_.empty()) {
+      std::unique_ptr<PushWorkspace> ws = std::move(pool_.back());
+      pool_.pop_back();
+      return ws;
+    }
+    return std::make_unique<PushWorkspace>();
+  }
+  void ReleaseWorkspace(std::unique_ptr<PushWorkspace> ws) {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    pool_.push_back(std::move(ws));
+  }
 
   const G* g_;
   PprOptions opts_;
@@ -124,6 +183,10 @@ class ReversePushCache {
   size_t hits_ = 0;
   size_t misses_ = 0;
   size_t races_ = 0;
+  size_t bytes_ = 0;
+
+  std::mutex pool_mutex_;
+  std::vector<std::unique_ptr<PushWorkspace>> pool_;
 };
 
 }  // namespace emigre::ppr

@@ -1,6 +1,7 @@
 #ifndef EMIGRE_PPR_DYNAMIC_H_
 #define EMIGRE_PPR_DYNAMIC_H_
 
+#include <algorithm>
 #include <cmath>
 #include <deque>
 #include <unordered_map>
@@ -11,7 +12,9 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "ppr/forward_push.h"
+#include "ppr/kernels.h"
 #include "ppr/options.h"
+#include "ppr/workspace.h"
 
 namespace emigre::ppr {
 
@@ -30,17 +33,40 @@ namespace emigre::ppr {
 /// Residuals may turn negative after deletions; the refine loop pushes
 /// signed residuals symmetrically.
 ///
+/// Two refine engines share the arithmetic:
+///  - Legacy (no workspace): O(n) scan to seed a `std::deque`, plus an O(n)
+///    `queued` array allocated **per repair** — the per-candidate cost this
+///    PR's kernels eliminate.
+///  - Kernel (workspace supplied): the refine frontier is seeded from only
+///    the nodes the repair touched ({u} ∪ old row ∪ new row, ascending) and
+///    runs on the workspace's reusable ring buffer, so a repair costs
+///    O(row + pushes) instead of O(n). Valid because every refine leaves all
+///    |residual| below threshold, so after a repair only touched nodes can
+///    exceed it — the seed sets (and therefore the push schedules, and
+///    therefore the floating-point results) of the two engines are
+///    identical.
+///
 /// Usage: construct over a mutable graph view, then for each edit call
 /// `BeforeOutEdgeChange(u)`, mutate the graph, call `AfterOutEdgeChange(u)`.
 template <graph::GraphLike G>
 class DynamicForwardPush {
  public:
   /// Runs the initial push from `source` over the current state of `g`.
-  /// The referenced graph must outlive this object.
+  /// The referenced graph must outlive this object; so must `workspace`
+  /// when supplied (nullptr selects the legacy dense-refine engine). The
+  /// workspace is owned by the caller and is exclusively this object's
+  /// between `AfterOutEdgeChange` calls — do not share one across
+  /// concurrently-repairing instances.
   DynamicForwardPush(const G& g, graph::NodeId source,
-                     const PprOptions& opts = {})
-      : g_(&g), source_(source), opts_(opts) {
-    state_ = ForwardPush(g, source, opts);
+                     const PprOptions& opts = {},
+                     PushWorkspace* workspace = nullptr)
+      : g_(&g), source_(source), opts_(opts), ws_(workspace) {
+    if (ws_ != nullptr) {
+      KernelResult init = ForwardPushKernel(g, source, opts, *ws_);
+      state_ = ExportDensePush(*ws_, g.NumNodes(), init.residual_mass);
+    } else {
+      state_ = ForwardPush(g, source, opts);
+    }
   }
 
   /// Snapshots the transition row of `u` ahead of an out-edge mutation.
@@ -62,23 +88,46 @@ class DynamicForwardPush {
         if (auto it = pending_row_.find(v); it != pending_row_.end()) {
           w_old = it->second;
         }
-        state_.residual[v] += scale * (w_new - w_old);
+        double delta = scale * (w_new - w_old);
+        state_.residual[v] += delta;
+        state_.residual_mass += delta;
       }
       for (const auto& [v, w_old] : pending_row_) {
         if (new_row.count(v) == 0) {
-          state_.residual[v] -= scale * w_old;
+          double delta = scale * w_old;
+          state_.residual[v] -= delta;
+          state_.residual_mass -= delta;
         }
       }
     }
+    if (ws_ != nullptr) {
+      // Only nodes the repair wrote can exceed the threshold (everything
+      // else converged below it in the previous refine); seed ascending to
+      // match the legacy full-scan enqueue order exactly.
+      seed_buf_.clear();
+      seed_buf_.push_back(u);
+      for (const auto& [v, w] : pending_row_) seed_buf_.push_back(v);
+      for (const auto& [v, w] : new_row) seed_buf_.push_back(v);
+      std::sort(seed_buf_.begin(), seed_buf_.end());
+      seed_buf_.erase(std::unique(seed_buf_.begin(), seed_buf_.end()),
+                      seed_buf_.end());
+    }
     pending_row_.clear();
     pending_node_ = graph::kInvalidNode;
-    Refine();
+    if (ws_ != nullptr) {
+      RefineSparse();
+    } else {
+      Refine();
+    }
   }
 
   /// Current estimate of PPR(source, t).
   double Estimate(graph::NodeId t) const { return state_.estimate[t]; }
   const std::vector<double>& Estimates() const { return state_.estimate; }
   const std::vector<double>& Residuals() const { return state_.residual; }
+
+  /// The full state (for the Eq. 3 validators).
+  const PushResult& State() const { return state_; }
 
   /// Total absolute residual mass (error bound on the estimates).
   double AbsResidualMass() const {
@@ -104,17 +153,43 @@ class DynamicForwardPush {
     return row;
   }
 
-  /// Forward push over the existing state with signed residuals.
+  double Threshold(graph::NodeId v) const {
+    size_t deg = g_->OutDegree(v);
+    return opts_.epsilon * static_cast<double>(deg > 0 ? deg : 1);
+  }
+
+  /// Shared push body of both refine engines: converts the signed residual
+  /// of `u` into estimate and spreads the remainder. `enqueue(v)` is called
+  /// for every neighbor whose residual changed.
+  template <typename EnqueueFn>
+  bool PushNode(graph::NodeId u, EnqueueFn&& enqueue) {
+    double r = state_.residual[u];
+    if (std::abs(r) < Threshold(u)) return false;
+    state_.residual[u] = 0.0;
+    state_.residual_mass -= r;
+    double out_w = g_->OutWeight(u);
+    if (out_w <= 0.0) {
+      state_.estimate[u] += r;
+      return true;
+    }
+    state_.estimate[u] += opts_.alpha * r;
+    double spread = (1.0 - opts_.alpha) * r / out_w;
+    g_->ForEachOutEdge(u, [&](graph::NodeId v, graph::EdgeTypeId, double w) {
+      state_.residual[v] += spread * w;
+      state_.residual_mass += spread * w;
+      enqueue(v);
+    });
+    return true;
+  }
+
+  /// Legacy forward push over the existing state with signed residuals:
+  /// O(n) scan + per-call dense queued array.
   void Refine() {
     const size_t n = g_->NumNodes();
     std::deque<graph::NodeId> queue;
     std::vector<char> queued(n, 0);
-    auto threshold = [&](graph::NodeId v) {
-      size_t deg = g_->OutDegree(v);
-      return opts_.epsilon * static_cast<double>(deg > 0 ? deg : 1);
-    };
     for (graph::NodeId v = 0; v < n; ++v) {
-      if (std::abs(state_.residual[v]) >= threshold(v)) {
+      if (std::abs(state_.residual[v]) >= Threshold(v)) {
         queue.push_back(v);
         queued[v] = 1;
       }
@@ -124,25 +199,39 @@ class DynamicForwardPush {
       graph::NodeId u = queue.front();
       queue.pop_front();
       queued[u] = 0;
-      double r = state_.residual[u];
-      if (std::abs(r) < threshold(u)) continue;
-      state_.residual[u] = 0.0;
-      ++pushes;
-      double out_w = g_->OutWeight(u);
-      if (out_w <= 0.0) {
-        state_.estimate[u] += r;
-        continue;
+      if (PushNode(u, [&](graph::NodeId v) {
+            if (!queued[v] && std::abs(state_.residual[v]) >= Threshold(v)) {
+              queued[v] = 1;
+              queue.push_back(v);
+            }
+          })) {
+        ++pushes;
       }
-      state_.estimate[u] += opts_.alpha * r;
-      double spread = (1.0 - opts_.alpha) * r / out_w;
-      g_->ForEachOutEdge(u, [&](graph::NodeId v, graph::EdgeTypeId,
-                                double w) {
-        state_.residual[v] += spread * w;
-        if (!queued[v] && std::abs(state_.residual[v]) >= threshold(v)) {
-          queued[v] = 1;
-          queue.push_back(v);
-        }
-      });
+    }
+    EMIGRE_COUNTER("ppr.dyn.refine_pushes").Increment(pushes);
+  }
+
+  /// Kernel refine: seeds only from `seed_buf_` (the nodes the repair
+  /// touched) and reuses the workspace ring frontier — O(seeds + pushes).
+  void RefineSparse() {
+    ws_->Begin(g_->NumNodes());
+    PushHotView hot(*ws_);
+    for (graph::NodeId v : seed_buf_) {
+      if (std::abs(state_.residual[v]) >= Threshold(v)) {
+        hot.FrontierPush(v);
+      }
+    }
+    size_t pushes = 0;
+    while (!hot.FrontierEmpty()) {
+      graph::NodeId u = hot.FrontierPop();
+      if (PushNode(u, [&](graph::NodeId v) {
+            if (!hot.InFrontier(v) &&
+                std::abs(state_.residual[v]) >= Threshold(v)) {
+              hot.FrontierPush(v);
+            }
+          })) {
+        ++pushes;
+      }
     }
     EMIGRE_COUNTER("ppr.dyn.refine_pushes").Increment(pushes);
   }
@@ -150,9 +239,11 @@ class DynamicForwardPush {
   const G* g_;
   graph::NodeId source_;
   PprOptions opts_;
+  PushWorkspace* ws_;
   PushResult state_;
   graph::NodeId pending_node_ = graph::kInvalidNode;
   std::unordered_map<graph::NodeId, double> pending_row_;
+  std::vector<graph::NodeId> seed_buf_;
 };
 
 }  // namespace emigre::ppr

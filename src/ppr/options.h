@@ -5,6 +5,21 @@
 
 namespace emigre::ppr {
 
+/// \brief Which push implementation executes the local-push hot loops.
+///
+/// Both engines compute bitwise-identical estimates (same FIFO schedule,
+/// same float-op order); they differ purely in constant factors:
+///  - `kLegacy`: the original engines — dense O(n) zero-fill per call,
+///    `std::deque` frontier. Kept as the reference implementation for the
+///    equivalence suite and the `bench_ppr_kernels` baseline.
+///  - `kKernel`: the workspace kernels (`ppr/kernels.h`) — epoch-stamped
+///    sparse state reused across calls, flat ring-buffer frontier; a push
+///    touching k nodes costs O(k), not O(n).
+enum class PushEngine {
+  kLegacy,
+  kKernel,
+};
+
 /// \brief Shared parameters of the Personalized PageRank computations.
 ///
 /// Defaults follow the paper's experimental setting (§6.1): teleport
@@ -25,6 +40,11 @@ struct PprOptions {
   /// Iteration cap for power iteration; (1-α)^k bounds the residual mass,
   /// so 300 iterations at α=0.15 is far beyond any practical tolerance.
   size_t max_power_iterations = 300;
+
+  /// Push implementation for components that can route through a reusable
+  /// `PushWorkspace` (testers, cache). Estimates are engine-independent;
+  /// see `PushEngine`.
+  PushEngine engine = PushEngine::kKernel;
 };
 
 /// \brief Dangling-node convention.

@@ -36,11 +36,12 @@ PushResult ReversePush(const G& g, graph::NodeId target,
   EMIGRE_SPAN("rlp");
   const size_t n = g.NumNodes();
   PushResult out;
-  out.estimate.assign(n, 0.0);
-  out.residual.assign(n, 0.0);
+  out.estimate.assign(n, 0.0);  // NOLINT(dense-reset): legacy reference path
+  out.residual.assign(n, 0.0);  // NOLINT(dense-reset): legacy reference path
   if (target >= n) return out;
 
   out.residual[target] = 1.0;
+  out.residual_mass = 1.0;
   std::deque<graph::NodeId> queue;
   std::vector<char> queued(n, 0);
   queue.push_back(target);
@@ -56,6 +57,7 @@ PushResult ReversePush(const G& g, graph::NodeId target,
     double r = out.residual[v];
     if (r < opts.epsilon) continue;
     out.residual[v] = 0.0;
+    out.residual_mass -= r;
     ++pushes;
 
     bool dangling = g.OutWeight(v) <= 0.0;
@@ -74,6 +76,7 @@ PushResult ReversePush(const G& g, graph::NodeId target,
       double out_w = g.OutWeight(u);
       if (out_w <= 0.0) return;  // u unreachable as a walk step into v
       out.residual[u] += spread * w / out_w;
+      out.residual_mass += spread * w / out_w;
       if (!queued[u] && out.residual[u] >= opts.epsilon) {
         queued[u] = 1;
         queue.push_back(u);

@@ -1,0 +1,191 @@
+#include "graph/csr_overlay.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/overlay.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace emigre::graph {
+namespace {
+
+using Snapshot = std::map<std::tuple<NodeId, NodeId, EdgeTypeId>, double>;
+
+template <typename G>
+Snapshot SnapshotOutEdges(const G& g) {
+  Snapshot snap;
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    g.ForEachOutEdge(n, [&](NodeId dst, EdgeTypeId t, double w) {
+      snap[{n, dst, t}] += w;
+    });
+  }
+  return snap;
+}
+
+template <typename G>
+Snapshot SnapshotInEdges(const G& g) {
+  Snapshot snap;
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    g.ForEachInEdge(n, [&](NodeId src, EdgeTypeId t, double w) {
+      snap[{src, n, t}] += w;
+    });
+  }
+  return snap;
+}
+
+TEST(CsrOverlayTest, TransparentWithoutEdits) {
+  test::BookGraph bg = test::MakeBookGraph();
+  CsrGraph csr(bg.g);
+  CsrOverlay o(csr);
+  EXPECT_FALSE(o.HasEdits());
+  EXPECT_EQ(SnapshotOutEdges(o), SnapshotOutEdges(bg.g));
+  EXPECT_EQ(SnapshotInEdges(o), SnapshotInEdges(bg.g));
+  for (NodeId n = 0; n < bg.g.NumNodes(); ++n) {
+    EXPECT_DOUBLE_EQ(o.OutWeight(n), bg.g.OutWeight(n));
+    EXPECT_EQ(o.OutDegree(n), bg.g.OutDegree(n));
+    EXPECT_EQ(o.InDegree(n), bg.g.InDegree(n));
+    EXPECT_EQ(o.NodeType(n), bg.g.NodeType(n));
+  }
+}
+
+TEST(CsrOverlayTest, MatchesGraphOverlaySemantics) {
+  // The same edit sequence applied to a GraphOverlay (over the HinGraph)
+  // and a CsrOverlay (over the CSR snapshot) must produce identical
+  // effective graphs AND identical Status outcomes — including the error
+  // cases (duplicate add, double removal, missing SetWeight target).
+  test::BookGraph bg = test::MakeBookGraph();
+  CsrGraph csr(bg.g);
+  GraphOverlay ref(bg.g);
+  CsrOverlay o(csr);
+
+  struct Op {
+    int kind;  // 0 = add, 1 = remove, 2 = set-weight
+    NodeId src, dst;
+    EdgeTypeId type;
+    double weight;
+  };
+  std::vector<Op> ops = {
+      {1, bg.paul, bg.candide, bg.rated, 0.0},     // remove base edge
+      {1, bg.paul, bg.candide, bg.rated, 0.0},     // double removal -> error
+      {0, bg.paul, bg.candide, bg.rated, 2.5},     // un-remove w/ new weight
+      {0, bg.paul, bg.lotr, bg.rated, 1.0},        // fresh addition
+      {0, bg.paul, bg.lotr, bg.rated, 1.0},        // duplicate add -> error
+      {1, bg.paul, bg.lotr, bg.rated, 0.0},        // undo the addition
+      {0, bg.alice, bg.c_lang, bg.rated, 3.0},     // addition that stays
+      {2, bg.alice, bg.c_lang, bg.rated, 0.5},     // re-weight added edge
+      {2, bg.bob, bg.python, bg.rated, 4.0},       // re-weight base edge
+      {2, bg.paul, bg.lotr, bg.rated, 9.0},        // absent edge -> error
+      {1, bg.bob, bg.python, bg.rated, 0.0},       // remove re-weighted edge
+  };
+  for (const Op& op : ops) {
+    Status ref_st, csr_st;
+    if (op.kind == 0) {
+      ref_st = ref.AddEdge(op.src, op.dst, op.type, op.weight);
+      csr_st = o.AddEdge(op.src, op.dst, op.type, op.weight);
+    } else if (op.kind == 1) {
+      ref_st = ref.RemoveEdge(op.src, op.dst, op.type);
+      csr_st = o.RemoveEdge(op.src, op.dst, op.type);
+    } else {
+      ref_st = ref.SetWeight(op.src, op.dst, op.type, op.weight);
+      csr_st = o.SetWeight(op.src, op.dst, op.type, op.weight);
+    }
+    EXPECT_EQ(ref_st.code(), csr_st.code())
+        << "op kind " << op.kind << " " << op.src << "->" << op.dst;
+    EXPECT_EQ(SnapshotOutEdges(ref), SnapshotOutEdges(o));
+    EXPECT_EQ(SnapshotInEdges(ref), SnapshotInEdges(o));
+    for (NodeId n = 0; n < bg.g.NumNodes(); ++n) {
+      EXPECT_DOUBLE_EQ(ref.OutWeight(n), o.OutWeight(n)) << "node " << n;
+      EXPECT_EQ(ref.OutDegree(n), o.OutDegree(n)) << "node " << n;
+      EXPECT_EQ(ref.InDegree(n), o.InDegree(n)) << "node " << n;
+    }
+    EXPECT_EQ(ref.NumAdded(), o.NumAdded());
+    EXPECT_EQ(ref.NumRemoved(), o.NumRemoved());
+    EXPECT_EQ(ref.AddedEdges(), o.AddedEdges());
+    EXPECT_EQ(ref.RemovedEdges(), o.RemovedEdges());
+  }
+}
+
+TEST(CsrOverlayTest, MatchesGraphOverlayOnRandomEditSequences) {
+  Rng rng(99);
+  for (int round = 0; round < 5; ++round) {
+    test::RandomHin rh = test::MakeRandomHin(rng, 6, 20, 3, 5);
+    CsrGraph csr(rh.g);
+    GraphOverlay ref(rh.g);
+    CsrOverlay o(csr);
+    for (int step = 0; step < 40; ++step) {
+      NodeId src = static_cast<NodeId>(rng.NextBounded(rh.g.NumNodes()));
+      NodeId dst = static_cast<NodeId>(rng.NextBounded(rh.g.NumNodes()));
+      EdgeTypeId t = static_cast<EdgeTypeId>(
+          rng.NextBounded(rh.g.NumEdgeTypes()));
+      int kind = static_cast<int>(rng.NextBounded(3));
+      Status ref_st, csr_st;
+      if (kind == 0) {
+        ref_st = ref.AddEdge(src, dst, t, 1.5);
+        csr_st = o.AddEdge(src, dst, t, 1.5);
+      } else if (kind == 1) {
+        ref_st = ref.RemoveEdge(src, dst, t);
+        csr_st = o.RemoveEdge(src, dst, t);
+      } else {
+        ref_st = ref.SetWeight(src, dst, t, 2.0);
+        csr_st = o.SetWeight(src, dst, t, 2.0);
+      }
+      ASSERT_EQ(ref_st.code(), csr_st.code())
+          << "round " << round << " step " << step;
+    }
+    EXPECT_EQ(SnapshotOutEdges(ref), SnapshotOutEdges(o));
+    EXPECT_EQ(SnapshotInEdges(ref), SnapshotInEdges(o));
+    for (NodeId n = 0; n < rh.g.NumNodes(); ++n) {
+      EXPECT_DOUBLE_EQ(ref.OutWeight(n), o.OutWeight(n));
+    }
+  }
+}
+
+TEST(CsrOverlayTest, ClearRestoresBaseAndAdjacencyOrder) {
+  test::BookGraph bg = test::MakeBookGraph();
+  CsrGraph csr(bg.g);
+  CsrOverlay o(csr);
+
+  auto order_of = [&](NodeId n) {
+    std::vector<NodeId> order;
+    o.ForEachOutEdge(n, [&](NodeId dst, EdgeTypeId, double) {
+      order.push_back(dst);
+    });
+    return order;
+  };
+  std::vector<NodeId> before = order_of(bg.paul);
+
+  ASSERT_TRUE(o.RemoveEdge(bg.paul, bg.candide, bg.rated).ok());
+  ASSERT_TRUE(o.AddEdge(bg.paul, bg.lotr, bg.rated, 1.0).ok());
+  EXPECT_TRUE(o.HasEdits());
+  o.Clear();
+  EXPECT_FALSE(o.HasEdits());
+  EXPECT_EQ(o.NumAdded(), 0u);
+  EXPECT_EQ(o.NumRemoved(), 0u);
+  EXPECT_EQ(SnapshotOutEdges(o), SnapshotOutEdges(bg.g));
+  // The property the fast tester's bitwise determinism rests on: after
+  // Clear, edges come back in the ORIGINAL order (a mutated HinGraph would
+  // have moved the re-added edge to the end of the adjacency list).
+  EXPECT_EQ(order_of(bg.paul), before);
+}
+
+TEST(CsrOverlayTest, HasEdgeReflectsEdits) {
+  test::BookGraph bg = test::MakeBookGraph();
+  CsrGraph csr(bg.g);
+  CsrOverlay o(csr);
+  EXPECT_TRUE(o.HasEdge(bg.paul, bg.candide));
+  EXPECT_TRUE(o.HasEdge(bg.paul, bg.candide, bg.rated));
+  ASSERT_TRUE(o.RemoveEdge(bg.paul, bg.candide, bg.rated).ok());
+  EXPECT_FALSE(o.HasEdge(bg.paul, bg.candide));
+  EXPECT_FALSE(o.HasEdge(bg.paul, bg.candide, bg.rated));
+  ASSERT_TRUE(o.AddEdge(bg.paul, bg.lotr, bg.rated, 1.0).ok());
+  EXPECT_TRUE(o.HasEdge(bg.paul, bg.lotr, bg.rated));
+  EXPECT_FALSE(csr.HasEdge(bg.paul, bg.lotr));  // base untouched
+}
+
+}  // namespace
+}  // namespace emigre::graph

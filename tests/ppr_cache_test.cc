@@ -26,11 +26,52 @@ TEST(ReversePushCacheTest, ReturnsSameValuesAsDirectComputation) {
   for (NodeId target : {bg.harry_potter, bg.python, bg.candide}) {
     auto cached = cache.Get(target);
     std::vector<double> direct = ReversePush(bg.g, target, opts).estimate;
-    ASSERT_EQ(cached->size(), direct.size());
+    // Sparse entry: stores exactly the nonzero estimates.
+    size_t nonzeros = 0;
+    for (double v : direct) nonzeros += v != 0.0 ? 1 : 0;
+    EXPECT_EQ(cached->size(), nonzeros) << "target " << target;
     for (size_t i = 0; i < direct.size(); ++i) {
-      EXPECT_DOUBLE_EQ((*cached)[i], direct[i]) << "target " << target;
+      EXPECT_DOUBLE_EQ(cached->Get(static_cast<NodeId>(i)), direct[i])
+          << "target " << target;
     }
+    std::vector<double> densified = cached->ToDense(direct.size());
+    EXPECT_EQ(densified, direct) << "target " << target;
   }
+}
+
+TEST(ReversePushCacheTest, LegacyAndKernelEnginesAgree) {
+  test::BookGraph bg = test::MakeBookGraph();
+  PprOptions legacy_opts;
+  legacy_opts.engine = PushEngine::kLegacy;
+  PprOptions kernel_opts;
+  kernel_opts.engine = PushEngine::kKernel;
+  ReversePushCache<HinGraph> legacy(bg.g, legacy_opts);
+  ReversePushCache<HinGraph> kernel(bg.g, kernel_opts);
+  for (NodeId target : {bg.harry_potter, bg.python, bg.candide}) {
+    auto a = legacy.Get(target);
+    auto b = kernel.Get(target);
+    EXPECT_EQ(a->ids(), b->ids()) << "target " << target;
+    EXPECT_EQ(a->values(), b->values()) << "target " << target;  // bitwise
+  }
+}
+
+TEST(ReversePushCacheTest, BytesTrackResidentEntries) {
+  test::BookGraph bg = test::MakeBookGraph();
+  ReversePushCache<HinGraph> cache(bg.g, PprOptions{}, /*capacity=*/2);
+  EXPECT_EQ(cache.bytes(), 0u);
+  auto first = cache.Get(bg.harry_potter);
+  EXPECT_EQ(cache.bytes(), first->MemoryBytes());
+  auto second = cache.Get(bg.python);
+  EXPECT_EQ(cache.bytes(), first->MemoryBytes() + second->MemoryBytes());
+  // Sparse entries are far smaller than a dense |V| vector would be.
+  EXPECT_LT(first->MemoryBytes() / sizeof(double), 2 * bg.g.NumNodes());
+  cache.Get(bg.candide);  // evicts harry_potter (capacity 2)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_LT(cache.bytes(),
+            first->MemoryBytes() + second->MemoryBytes() +
+                first->MemoryBytes() + 1);
+  cache.Clear();
+  EXPECT_EQ(cache.bytes(), 0u);
 }
 
 TEST(ReversePushCacheTest, CountsHitsAndMisses) {
@@ -71,7 +112,7 @@ TEST(ReversePushCacheTest, SharedPtrSurvivesEviction) {
   std::vector<double> direct =
       ReversePush(bg.g, bg.harry_potter, PprOptions{}).estimate;
   for (size_t i = 0; i < direct.size(); ++i) {
-    EXPECT_DOUBLE_EQ((*kept)[i], direct[i]);
+    EXPECT_DOUBLE_EQ(kept->Get(static_cast<NodeId>(i)), direct[i]);
   }
 }
 
@@ -103,7 +144,7 @@ TEST(ReversePushCacheTest, ConcurrentAccessIsConsistent) {
         std::vector<double> direct =
             ReversePush(rh.g, target, opts).estimate;
         for (size_t k = 0; k < direct.size(); ++k) {
-          if ((*cached)[k] != direct[k]) {
+          if (cached->Get(static_cast<NodeId>(k)) != direct[k]) {
             mismatch.store(true);
             return;
           }

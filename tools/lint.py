@@ -16,6 +16,11 @@ Rules (each can be suppressed per line with a trailing `NOLINT` or
   bench-metrics    every bench/bench_<name>.cc records its run with
                    WriteBenchMetrics("<name>") so BENCH_<name>.json
                    lands in the perf trajectory.
+  dense-reset      no `.assign(...)` / `.resize(...)` dense clears in
+                   src/ppr/ — push state goes through the epoch-stamped
+                   PushWorkspace so a push touching k nodes costs O(k),
+                   not O(n). Intentional warm-up growth and one-off
+                   dense exports carry NOLINT(dense-reset).
 
 Usage:
   tools/lint.py [--root DIR] [paths...]   lint the repo (or just paths)
@@ -37,7 +42,12 @@ RULES = (
     "nodiscard",
     "naked-new",
     "bench-metrics",
+    "dense-reset",
 )
+
+# dense-reset guards the PPR hot paths only: everywhere else a dense
+# assign/resize is normal C++.
+DENSE_RESET_DIRS = ("src/ppr",)
 
 # Directories scanned when no explicit paths are given, relative to root.
 DEFAULT_DIRS = ("src", "tools", "bench", "tests", "examples")
@@ -230,6 +240,20 @@ def check_naked_new(relpath, stripped_lines, raw_lines, violations):
                 "singleton with NOLINT(naked-new)"))
 
 
+DENSE_RESET_RE = re.compile(r"\.\s*(?:assign|resize)\s*\(")
+
+
+def check_dense_reset(relpath, stripped_lines, raw_lines, violations):
+    for idx, line in enumerate(stripped_lines):
+        if DENSE_RESET_RE.search(line) and not is_suppressed(
+                raw_lines[idx], "dense-reset"):
+            violations.append(Violation(
+                relpath, idx + 1, "dense-reset",
+                "O(n) dense clear/growth in a PPR hot path; use the "
+                "epoch-stamped PushWorkspace, or mark intentional warm-up "
+                "growth with NOLINT(dense-reset)"))
+
+
 def check_bench_metrics(relpath, text, violations):
     name = os.path.basename(relpath)
     m = re.match(r"bench_(\w+)\.cc$", name)
@@ -268,6 +292,9 @@ def lint_file(root, relpath):
         check_naked_new(relpath, stripped, raw_lines, violations)
     if relpath.endswith(".cc"):
         check_bench_metrics(relpath, text, violations)
+    if relpath.endswith((".h", ".cc")) and any(
+            relpath.startswith(d + "/") for d in DENSE_RESET_DIRS):
+        check_dense_reset(relpath, stripped, raw_lines, violations)
     return violations
 
 
@@ -330,6 +357,10 @@ SEEDED = {
     "bench-metrics": (
         "bench/bench_silent.cc",
         "int main() { return 0; }\n"),
+    "dense-reset": (
+        "src/ppr/dense_clear.cc",
+        "void Reset(std::vector<double>& v, size_t n) {"
+        " v.assign(n, 0.0); }\n"),
 }
 
 CLEAN_FILE = (
