@@ -441,6 +441,15 @@ template <typename OverlayT>
 [[nodiscard]] inline Status ValidateExplanation(
     const graph::HinGraph& base, const explain::WhyNotQuestion& q,
     const explain::Explanation& e, const explain::EmigreOptions& opts) {
+  if (e.degraded) {
+    // A degraded (anytime best-so-far) result is by definition not a proven
+    // explanation; accepting one as validated would launder an unverified
+    // candidate into a Definition 4.2 guarantee.
+    internal::RecordOutcome("explanation", false);
+    return Status::FailedPrecondition(
+        "degraded (anytime best-so-far) results are not valid explanations "
+        "and must not be replay-validated");
+  }
   if (!e.found) {
     internal::RecordOutcome("explanation", true);
     return Status::OK();

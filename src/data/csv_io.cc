@@ -1,5 +1,6 @@
 #include "data/csv_io.h"
 
+#include "fault/fault.h"
 #include "util/csv.h"
 #include "util/string_util.h"
 
@@ -122,6 +123,7 @@ Status SaveDatasetCsv(const Dataset& ds, const std::string& dir) {
 }
 
 Result<Dataset> LoadDatasetCsv(const std::string& dir) {
+  EMIGRE_FAULT_POINT_STATUS("data.load_dataset");
   Dataset ds;
   std::vector<std::string> row;
   {

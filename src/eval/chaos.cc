@@ -1,0 +1,219 @@
+#include "eval/chaos.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/invariants.h"
+#include "explain/emigre.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace emigre::eval {
+
+namespace {
+
+constexpr size_t kNumFaultSites =
+    sizeof(fault::kFaultSites) / sizeof(fault::kFaultSites[0]);
+
+/// Draws one randomized fault spec for `site` from `rng`. Every choice is a
+/// pure function of the RNG stream, so a schedule replays exactly from its
+/// seed.
+fault::FaultSpec DrawSpec(const char* site, Rng& rng) {
+  fault::FaultSpec spec;
+  spec.site = site;
+  // Kind mix: mostly Status errors (the common failure), some foreign
+  // exceptions, a few slow-dependency latencies.
+  double kind_draw = rng.NextDouble();
+  if (kind_draw < 0.6) {
+    spec.kind = fault::FaultKind::kStatus;
+  } else if (kind_draw < 0.85) {
+    spec.kind = fault::FaultKind::kThrow;
+  } else {
+    spec.kind = fault::FaultKind::kLatency;
+    spec.latency_seconds = 0.0002 + 0.0008 * rng.NextDouble();
+  }
+  // Trigger: half nth-hit, half probabilistic.
+  if (rng.NextBool(0.5)) {
+    spec.nth = static_cast<size_t>(rng.NextInt(1, 4));
+  } else {
+    spec.nth = 0;
+    spec.probability = 0.2 + 0.6 * rng.NextDouble();
+  }
+  spec.max_fires = static_cast<size_t>(rng.NextInt(1, 3));
+  constexpr StatusCode kCodes[] = {
+      StatusCode::kInternal,
+      StatusCode::kIOError,
+      StatusCode::kResourceExhausted,
+      StatusCode::kCancelled,
+  };
+  spec.code = kCodes[rng.NextBounded(4)];
+  return spec;
+}
+
+/// Current values of every `fault.<site>.fired` obs counter.
+std::map<std::string, uint64_t> FiredCounters() {
+  std::map<std::string, uint64_t> out;
+  obs::MetricsSnapshot snap = obs::Registry::Global().Snapshot();
+  for (const obs::CounterSample& c : snap.counters) {
+    if (c.name.rfind("fault.", 0) == 0 &&
+        c.name.size() > 6 + 6 &&
+        c.name.compare(c.name.size() - 6, 6, ".fired") == 0) {
+      out[c.name.substr(6, c.name.size() - 6 - 6)] = c.value;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ChaosReport> RunChaosSoak(const graph::HinGraph& g,
+                                 const std::vector<Scenario>& scenarios,
+                                 const explain::EmigreOptions& opts,
+                                 const ChaosOptions& chaos_opts) {
+  if (scenarios.empty()) {
+    return Status::InvalidArgument("chaos soak needs at least one scenario");
+  }
+  std::vector<explain::Heuristic> heuristics = chaos_opts.heuristics;
+  if (heuristics.empty()) {
+    heuristics = {explain::Heuristic::kIncremental,
+                  explain::Heuristic::kPowerset,
+                  explain::Heuristic::kExhaustive};
+  }
+
+  fault::FaultRegistry& registry = fault::FaultRegistry::Global();
+  ChaosReport report;
+  auto violation = [&report](std::string text) {
+    EMIGRE_LOG(kError) << "chaos violation: " << text;
+    report.violations.push_back(std::move(text));
+  };
+
+  for (size_t s = 0; s < chaos_opts.num_schedules; ++s) {
+    uint64_t seed = chaos_opts.base_seed + s;
+    Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
+    registry.Reset();
+    registry.SetSeed(seed);
+
+    // Arm 1..max faults at distinct random sites.
+    size_t num_faults =
+        1 + rng.NextBounded(std::max<size_t>(1,
+                                             chaos_opts.max_faults_per_schedule));
+    std::vector<size_t> site_order(kNumFaultSites);
+    for (size_t i = 0; i < kNumFaultSites; ++i) site_order[i] = i;
+    for (size_t i = kNumFaultSites - 1; i > 0; --i) {
+      std::swap(site_order[i], site_order[rng.NextBounded(i + 1)]);
+    }
+    num_faults = std::min(num_faults, kNumFaultSites);
+    for (size_t f = 0; f < num_faults; ++f) {
+      fault::FaultSpec spec = DrawSpec(fault::kFaultSites[site_order[f]], rng);
+      Status armed = registry.Arm(spec);
+      if (!armed.ok()) {
+        violation("schedule " + std::to_string(s) + ": Arm(" + spec.site +
+                  ") rejected a generated spec: " + armed.ToString());
+      }
+    }
+
+    std::map<std::string, uint64_t> fired_before = FiredCounters();
+
+    // Vary the engine configuration per schedule so the soak covers the
+    // anytime/deadline paths as well as the plain ones.
+    explain::EmigreOptions eopts = opts;
+    eopts.test_threads = chaos_opts.test_threads;
+    if (s % 3 == 1) {
+      eopts.anytime = true;
+      if (chaos_opts.tiny_deadlines) eopts.deadline_seconds = 0.002;
+    } else if (s % 3 == 2) {
+      eopts.anytime = true;
+    }
+    explain::Emigre engine(g, eopts);
+
+    for (size_t q = 0; q < chaos_opts.queries_per_schedule; ++q) {
+      const Scenario& scenario =
+          scenarios[(s * chaos_opts.queries_per_schedule + q) %
+                    scenarios.size()];
+      explain::Heuristic heuristic = heuristics[(s + q) % heuristics.size()];
+      ++report.queries_run;
+
+      Result<explain::Explanation> res =
+          Status::Internal("chaos: query did not run");
+      try {
+        res = engine.ExplainAuto(
+            explain::WhyNotQuestion{scenario.user, scenario.wni}, heuristic);
+      } catch (const std::exception& e) {
+        // The Explain boundary is supposed to make this impossible.
+        violation("schedule " + std::to_string(s) + " query " + std::to_string(q) +
+                  ": exception escaped the Explain boundary: " + e.what());
+        continue;
+      }
+
+      if (!res.ok()) {
+        ++report.typed_failures;
+        if (res.status().code() == StatusCode::kOk) {
+          violation("schedule " + std::to_string(s) +
+                    ": failure carried StatusCode::kOk");
+        }
+      } else {
+        const explain::Explanation& e = res.value();
+        if (e.found) ++report.explanations_found;
+        if (e.degraded) {
+          ++report.degraded_results;
+          // The degraded contract: best-so-far, never presented as proven.
+          if (!e.found || e.verified ||
+              e.failure != explain::FailureReason::kBudgetExceeded) {
+            violation("schedule " + std::to_string(s) +
+                      ": degraded result violates the degraded contract");
+          }
+          Status replay = check::ValidateExplanation(
+              g, explain::WhyNotQuestion{scenario.user, scenario.wni}, e,
+              eopts);
+          if (replay.ok()) {
+            violation("schedule " + std::to_string(s) +
+                      ": ValidateExplanation accepted a degraded result");
+          }
+        }
+      }
+
+      // Recovery must leave shared state sound: the source graph and the
+      // engine's CSR snapshot both still satisfy the structural invariants.
+      Status graph_ok = check::ValidateGraph(g);
+      if (!graph_ok.ok()) {
+        violation("schedule " + std::to_string(s) +
+                  ": graph invariants broken after recovery: " +
+                  graph_ok.ToString());
+      }
+      Status csr_ok = check::ValidateGraphView(engine.csr());
+      if (!csr_ok.ok()) {
+        violation("schedule " + std::to_string(s) +
+                  ": CSR snapshot invariants broken after recovery: " +
+                  csr_ok.ToString());
+      }
+    }
+
+    // Metrics accounting: the registry's per-site fire tallies and the
+    // `fault.<site>.fired` obs counters must agree exactly.
+    std::map<std::string, uint64_t> fired_after = FiredCounters();
+    for (const auto& [site, fires] : registry.FireCounts()) {
+      uint64_t before =
+          fired_before.count(site) != 0 ? fired_before.at(site) : 0;
+      uint64_t after = fired_after.count(site) != 0 ? fired_after.at(site) : 0;
+      if (after - before != fires) {
+        violation("schedule " + std::to_string(s) + ": site " + site +
+                  " fired " + std::to_string(fires) + " per registry but " +
+                  std::to_string(after - before) + " per obs counters");
+      }
+      report.faults_fired += fires;
+    }
+    ++report.schedules_run;
+  }
+
+  registry.Reset();
+  return report;
+}
+
+}  // namespace emigre::eval

@@ -1,0 +1,78 @@
+#ifndef EMIGRE_EVAL_CHAOS_H_
+#define EMIGRE_EVAL_CHAOS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/scenario.h"
+#include "explain/explanation.h"
+#include "explain/options.h"
+#include "graph/hin_graph.h"
+#include "util/result.h"
+
+namespace emigre::eval {
+
+/// \brief Configuration of a chaos soak (docs/robustness.md).
+struct ChaosOptions {
+  /// Seed of schedule 0; schedule s uses base_seed + s, so a soak is fully
+  /// reproducible from this one number.
+  uint64_t base_seed = 20240416;
+  /// Number of independent fault schedules.
+  size_t num_schedules = 20;
+  /// Explain queries per schedule (drawn round-robin from the scenarios).
+  size_t queries_per_schedule = 3;
+  /// Faults armed per schedule, in [1, max_faults_per_schedule].
+  size_t max_faults_per_schedule = 3;
+  /// Heuristics cycled across queries. Empty = all paper heuristics.
+  std::vector<explain::Heuristic> heuristics;
+  /// Candidate-verification threads (exercises the pool error paths when
+  /// > 1; 1 keeps everything in the calling thread).
+  size_t test_threads = 2;
+  /// Every third schedule additionally runs under a tiny wall-clock query
+  /// deadline to exercise the anytime/degraded paths. Wall-clock expiry is
+  /// inherently run-to-run dependent, so turn this off (with
+  /// `test_threads == 1`) when a soak must replay bit-identically.
+  bool tiny_deadlines = true;
+};
+
+/// \brief Outcome of a chaos soak.
+struct ChaosReport {
+  size_t schedules_run = 0;
+  size_t queries_run = 0;
+  size_t faults_fired = 0;      ///< registry total across all schedules
+  size_t typed_failures = 0;    ///< queries that returned an error Status
+  size_t degraded_results = 0;  ///< anytime best-so-far results
+  size_t explanations_found = 0;
+
+  /// Invariant breaches observed during the soak. Empty = the soak passed:
+  /// no crash (trivially, by returning), every failure was a typed Status,
+  /// every degraded result obeyed the degraded contract, the graph
+  /// validators passed after every recovery, and the obs counters account
+  /// for every fault the registry fired.
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// \brief Runs randomized seeded fault schedules over full explain queries.
+///
+/// Per schedule: resets the global `fault::FaultRegistry`, arms 1..max
+/// faults at random sites (random kind / trigger / status code), runs
+/// `queries_per_schedule` `ExplainAuto` calls over `scenarios`, and checks
+/// the robustness contract after every query (see `ChaosReport::violations`).
+/// Deterministic given (graph, scenarios, options): all randomness derives
+/// from `base_seed`.
+///
+/// Builds without `-DEMIGRE_FAULT_INJECTION=ON` still run the soak — the
+/// sites compile away, so no fault ever fires and the soak degenerates to a
+/// plain-pipeline smoke pass (fault::kFaultInjectionEnabled tells callers
+/// which build they have).
+[[nodiscard]] Result<ChaosReport> RunChaosSoak(
+    const graph::HinGraph& g, const std::vector<Scenario>& scenarios,
+    const explain::EmigreOptions& opts, const ChaosOptions& chaos_opts = {});
+
+}  // namespace emigre::eval
+
+#endif  // EMIGRE_EVAL_CHAOS_H_

@@ -2,20 +2,41 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 
 #include "check/invariants.h"
+#include "fault/fault.h"
 #include "explain/emigre.h"
 #include "explain/meta.h"
 #include "explain/search_space.h"
 #include "explain/tester.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
+#include "util/status.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
 namespace emigre::eval {
+
+namespace {
+
+/// A failure worth retrying: infrastructure went wrong (injected fault,
+/// worker-task error), not the question or the configuration.
+bool IsTransient(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kInternal:
+    case StatusCode::kIOError:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kCancelled:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
 
 std::vector<const ScenarioRecord*> ExperimentResult::ForMethod(
     const std::string& method) const {
@@ -45,10 +66,44 @@ Result<ExperimentResult> RunExperiment(const graph::HinGraph& g,
   ExperimentResult result;
   result.records.resize(scenarios.size() * methods.size());
   std::atomic<size_t> done{0};
-  std::atomic<bool> failed{false};
+
+  // One Explain attempt, with the scenario-loop fault site inside it so an
+  // injected fault is subject to the same retry policy as a real one.
+  auto attempt_once = [&](const Scenario& scenario, const MethodSpec& method,
+                          explain::Heuristic heuristic)
+      -> Result<explain::Explanation> {
+    try {
+      EMIGRE_FAULT_POINT("eval.scenario");
+    } catch (const StatusError& err) {
+      return err.status();
+    }
+    return engine.Explain(explain::WhyNotQuestion{scenario.user, scenario.wni},
+                          method.mode, heuristic);
+  };
+
+  // Bounded retry with doubling backoff on transient failures.
+  auto run_with_retries = [&](const Scenario& scenario,
+                              const MethodSpec& method,
+                              explain::Heuristic heuristic)
+      -> Result<explain::Explanation> {
+    Result<explain::Explanation> expl =
+        attempt_once(scenario, method, heuristic);
+    double backoff = run_opts.retry_backoff_seconds;
+    for (size_t retry = 0;
+         retry < run_opts.max_retries && !expl.ok() &&
+         IsTransient(expl.status());
+         ++retry) {
+      EMIGRE_COUNTER("eval.retries").Increment();
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        backoff *= 2.0;
+      }
+      expl = attempt_once(scenario, method, heuristic);
+    }
+    return expl;
+  };
 
   auto run_one = [&](size_t si) {
-    if (failed.load(std::memory_order_relaxed)) return;
     const Scenario& scenario = scenarios[si];
     // One re-verification checker per scenario, created on first unverified
     // result and reused across methods: it shares the engine's CSR snapshot
@@ -61,17 +116,30 @@ Result<ExperimentResult> RunExperiment(const graph::HinGraph& g,
       record.method = method.name;
       record.scenario = scenario;
 
-      Result<explain::Explanation> expl = engine.Explain(
-          explain::WhyNotQuestion{scenario.user, scenario.wni}, method.mode,
-          method.heuristic);
+      Result<explain::Explanation> expl =
+          run_with_retries(scenario, method, method.heuristic);
+      if (!expl.ok() && IsTransient(expl.status())) {
+        // Retries exhausted: walk the configured heuristic fallback chain
+        // before giving up on the record.
+        for (explain::Heuristic fb : run_opts.fallback_heuristics) {
+          if (fb == method.heuristic) continue;
+          EMIGRE_COUNTER("eval.fallbacks").Increment();
+          expl = run_with_retries(scenario, method, fb);
+          if (expl.ok()) break;
+        }
+      }
       if (!expl.ok()) {
-        // Scenario generation guarantees Definition 4.1, so an error here
-        // is a harness bug worth surfacing, not a data point.
+        // Degrade, don't die: a persistent failure becomes a typed
+        // per-record outcome instead of aborting the whole experiment
+        // (scenario generation guarantees Definition 4.1, so this is an
+        // infrastructure failure, and the other records stay valid).
         EMIGRE_LOG(kError) << "method " << method.name << " failed on user "
                            << scenario.user << ", wni " << scenario.wni
                            << ": " << expl.status().ToString();
-        failed.store(true, std::memory_order_relaxed);
-        return;
+        EMIGRE_COUNTER("eval.records.internal_error").Increment();
+        EMIGRE_COUNTER("eval.records").Increment();
+        record.failure = explain::FailureReason::kInternalError;
+        continue;
       }
       const explain::Explanation& e = expl.value();
       EMIGRE_COUNTER("eval.records").Increment();
@@ -132,11 +200,8 @@ Result<ExperimentResult> RunExperiment(const graph::HinGraph& g,
     scenario_threads =
         std::min(scenario_threads, std::max<size_t>(1, hardware / test_threads));
   }
-  ThreadPool::ParallelFor(scenarios.size(), scenario_threads, run_one);
-
-  if (failed.load()) {
-    return Status::Internal("experiment aborted; see error log");
-  }
+  EMIGRE_RETURN_IF_ERROR(
+      ThreadPool::ParallelFor(scenarios.size(), scenario_threads, run_one));
   return result;
 }
 

@@ -44,6 +44,19 @@ struct RunnerOptions {
   /// Log a progress line roughly every this many scenario completions
   /// (0 = silent).
   size_t progress_every = 0;
+
+  // --- Degradation policy (docs/robustness.md) -------------------------------
+  /// Retries per (method, scenario) record when Explain fails with a
+  /// transient infrastructure error (Internal / IOError / ResourceExhausted
+  /// / Cancelled — e.g. an injected fault). 0 = no retry.
+  size_t max_retries = 2;
+  /// Backoff before the first retry, doubling per subsequent retry. Kept
+  /// tiny by default so honest-failure runs stay fast; 0 disables sleeping.
+  double retry_backoff_seconds = 0.001;
+  /// Heuristics to try, in order, after every retry of the method's own
+  /// heuristic failed transiently. A record produced by a fallback keeps
+  /// the original method name (the scenario still counts for that method).
+  std::vector<explain::Heuristic> fallback_heuristics;
 };
 
 /// \brief Executes every method on every scenario (the paper's §6.2 design)

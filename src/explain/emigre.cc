@@ -1,8 +1,11 @@
 #include "explain/emigre.h"
 
+#include <exception>
 #include <memory>
+#include <string>
 
 #include "check/invariants.h"
+#include "fault/fault.h"
 #include "explain/brute_force.h"
 #include "explain/exhaustive.h"
 #include "explain/fast_tester.h"
@@ -13,7 +16,9 @@
 #include "explain/tester.h"
 #include "obs/trace.h"
 #include "recsys/recommender.h"
+#include "util/status.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace emigre::explain {
 
@@ -49,6 +54,30 @@ Status Emigre::ValidateQuestion(const WhyNotQuestion& q,
 
 Result<Explanation> Emigre::Explain(const WhyNotQuestion& q, Mode mode,
                                     Heuristic heuristic) const {
+  // Exception boundary of the explain pipeline ("no exceptions cross public
+  // API boundaries"): everything thrown below — worker-task failures
+  // surfaced as StatusError, injected faults, deadline unwinds that escaped
+  // the testers (e.g. during tester construction), stray std exceptions —
+  // converts to a Status or a typed FailureReason here.
+  try {
+    EMIGRE_FAULT_POINT("explain.query");
+    return ExplainImpl(q, mode, heuristic);
+  } catch (const StatusError& e) {
+    return e.status();
+  } catch (const DeadlineExceededError&) {
+    Explanation out;
+    out.mode = mode;
+    out.heuristic = heuristic;
+    out.failure = FailureReason::kBudgetExceeded;
+    return out;
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("explain pipeline failure: ") +
+                            e.what());
+  }
+}
+
+Result<Explanation> Emigre::ExplainImpl(const WhyNotQuestion& q, Mode mode,
+                                        Heuristic heuristic) const {
   EMIGRE_SPAN("explain");
   if (check::ShouldCheck(opts_.check_level, check::CheckLevel::kFull)) {
     check::DcheckOk(check::ValidateGraph(*g_), "Emigre::Explain(graph)");
@@ -74,15 +103,26 @@ Result<Explanation> Emigre::Explain(const WhyNotQuestion& q, Mode mode,
           : BuildAddSearchSpace(*g_, q.user, rec, q.why_not_item, opts_,
                                 ppr_cache_.get()));
 
+  // Per-query deadline, propagated cooperatively into the TEST path's PPR
+  // loops (push kernels, dynamic repair, power iteration). The ranking and
+  // search-space phases above intentionally run without it: their pushes
+  // fill the shared cross-query PPR cache, and unwinding one mid-fill would
+  // waste work later queries reuse. The Deadline outlives the testers (both
+  // live to the end of this scope).
+  Deadline deadline(opts_.deadline_seconds);
+  deadline.Start();
+  EmigreOptions eopts = opts_;
+  eopts.rec.ppr.deadline = &deadline;
+
   // Factory for per-thread testers: each worker of a ParallelTester owns a
   // private overlay/dynamic-push state built by this closure.
-  auto make_tester = [this, &q]() -> std::unique_ptr<TesterInterface> {
+  auto make_tester = [this, &q, &eopts]() -> std::unique_ptr<TesterInterface> {
     if (opts_.tester == TesterKind::kDynamicPush) {
       return std::make_unique<FastExplanationTester>(
-          *g_, q.user, q.why_not_item, opts_, &csr_);
+          *g_, q.user, q.why_not_item, eopts, &csr_);
     }
     return std::make_unique<ExplanationTester>(*g_, q.user, q.why_not_item,
-                                               opts_, &csr_);
+                                               eopts, &csr_);
   };
   std::unique_ptr<TesterInterface> tester;
   if (opts_.test_threads != 1) {
@@ -147,7 +187,17 @@ Result<Explanation> Emigre::ExplainAuto(const WhyNotQuestion& q,
   if (allowed_actions > 0) {
     EMIGRE_ASSIGN_OR_RETURN(Explanation removal,
                             Explain(q, Mode::kRemove, heuristic));
-    if (removal.found) return removal;
+    if (removal.found && !removal.degraded) return removal;
+    if (removal.found) {
+      // Anytime mode handed back a degraded best-so-far: prefer a real
+      // Add-mode explanation if one exists, otherwise keep the degraded
+      // removal (better than Add mode's failure or its own degraded
+      // candidate, which lacks the Remove-mode contribution ordering).
+      EMIGRE_ASSIGN_OR_RETURN(Explanation addition,
+                              Explain(q, Mode::kAdd, heuristic));
+      if (addition.found && !addition.degraded) return addition;
+      return removal;
+    }
   }
   return Explain(q, Mode::kAdd, heuristic);
 }

@@ -51,6 +51,13 @@ class Emigre {
   /// (WNI not an item, already interacted with, or already the top
   /// recommendation). A valid question that admits no explanation returns
   /// an Explanation with `found == false` and a `FailureReason`.
+  ///
+  /// This is also the pipeline's exception boundary: infrastructure
+  /// failures below it (a `StatusError` from a worker task, any stray
+  /// exception) come back as an error Status, never as a thrown exception;
+  /// a query-deadline unwind comes back as a `kBudgetExceeded` Explanation.
+  /// With `EmigreOptions::anytime` set, budget expiry returns the
+  /// best-so-far candidate flagged `degraded` (docs/robustness.md).
   [[nodiscard]] Result<Explanation> Explain(const WhyNotQuestion& q, Mode mode,
                               Heuristic heuristic) const;
 
@@ -81,6 +88,12 @@ class Emigre {
   const graph::CsrGraph& csr() const { return csr_; }
 
  private:
+  /// The pipeline body; may throw (deadline unwinds, worker-task errors).
+  /// `Explain` wraps it in the exception boundary.
+  [[nodiscard]] Result<Explanation> ExplainImpl(const WhyNotQuestion& q,
+                                                Mode mode,
+                                                Heuristic heuristic) const;
+
   const graph::HinGraph* g_;
   EmigreOptions opts_;
   // CSR snapshot of *g_, built once per engine: the PPR cache pushes over

@@ -216,6 +216,18 @@ Explanation RunExhaustive(const HinGraph& g, const SearchSpace& space,
       // budget fired.
       out.candidates_considered += verdict.budget_index + 1;
       out.failure = FailureReason::kBudgetExceeded;
+      if (opts.anytime && verdict.budget_index < batch.size()) {
+        // Anytime degradation: the first untested candidate has the widest
+        // minimum margin of the remainder (most robust per Eq. 7), i.e. the
+        // one closest to a confirmed flip. Deterministic at any thread
+        // count because budget_index follows the serial boundary.
+        out.found = true;
+        out.degraded = true;
+        out.verified = false;
+        out.edges = batch[verdict.budget_index];
+        double margin = candidates[verdict.budget_index].min_margin;
+        out.degraded_gap = margin < 0.0 ? -margin : 0.0;
+      }
       return recorder.Finish();
     }
     out.candidates_considered += batch.size();

@@ -42,6 +42,8 @@ std::string_view FailureReasonName(FailureReason reason) {
       return "search-exhausted";
     case FailureReason::kBudgetExceeded:
       return "budget-exceeded";
+    case FailureReason::kInternalError:
+      return "internal-error";
   }
   return "?";
 }

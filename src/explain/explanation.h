@@ -36,6 +36,7 @@ enum class FailureReason {
   kPopularItem,      ///< rec dominates WNI regardless of the user's actions
   kSearchExhausted,  ///< candidates existed but none passed the TEST
   kBudgetExceeded,   ///< a cap (size/tests/deadline) stopped the search
+  kInternalError,    ///< an infrastructure fault aborted the query
 };
 
 std::string_view FailureReasonName(FailureReason reason);
@@ -46,6 +47,7 @@ inline constexpr FailureReason kAllFailureReasons[] = {
     FailureReason::kNone,           FailureReason::kInvalidQuestion,
     FailureReason::kColdStart,      FailureReason::kPopularItem,
     FailureReason::kSearchExhausted, FailureReason::kBudgetExceeded,
+    FailureReason::kInternalError,
 };
 
 /// Inverse of FailureReasonName over every enum value. Returns false (and
@@ -75,6 +77,17 @@ struct Explanation {
   std::vector<graph::EdgeRef> edges;  ///< the paper's A*
 
   FailureReason failure = FailureReason::kNone;
+
+  /// Anytime mode only: the search ran out of budget before confirming a
+  /// flip, and `edges` holds the best-so-far candidate instead of a proven
+  /// explanation. A degraded result always has `verified == false` and
+  /// `failure == kBudgetExceeded`; `ValidateExplanation` rejects it (it is
+  /// not a Definition 4.2 explanation), and the evaluation harness measures
+  /// how often it would in fact have flipped the recommendation.
+  bool degraded = false;
+  /// Remaining score gap of the degraded candidate (>= 0; smaller = closer
+  /// to flipping the recommendation). Meaningless unless `degraded`.
+  double degraded_gap = 0.0;
 
   // --- Diagnostics -----------------------------------------------------------
   graph::NodeId original_rec = graph::kInvalidNode;

@@ -2,6 +2,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/timer.h"
 
 namespace emigre::explain {
 
@@ -42,7 +43,8 @@ FastExplanationTester::FastExplanationTester(const graph::HinGraph& base,
                                              NodeId user, NodeId why_not_item,
                                              const EmigreOptions& opts,
                                              const graph::CsrGraph* csr)
-    : user_(user),
+    : base_(&base),
+      user_(user),
       wni_(why_not_item),
       opts_(opts),
       items_(base.NodesOfType(opts.rec.item_type)) {
@@ -183,13 +185,42 @@ bool FastExplanationTester::RunOnceKernel(const std::vector<ModedEdit>& edits,
   return ok && top == wni_;
 }
 
+void FastExplanationTester::Rebuild() {
+  if (overlay_ != nullptr) {
+    // Kernel engine: dropping the overlay edits restores the base view; the
+    // fresh initial push overwrites the half-repaired workspace state.
+    overlay_->Clear();
+    dyn_kernel_ = std::make_unique<ppr::DynamicForwardPush<graph::CsrOverlay>>(
+        *overlay_, user_, opts_.rec.ppr, &ws_);
+  } else {
+    // Legacy engine: the scratch graph may hold unreverted edits — recopy.
+    scratch_ = std::make_unique<graph::HinGraph>(*base_);
+    dyn_ = std::make_unique<ppr::DynamicForwardPush<graph::HinGraph>>(
+        *scratch_, user_, opts_.rec.ppr);
+  }
+  stale_ = false;
+}
+
 bool FastExplanationTester::RunOnce(const std::vector<ModedEdit>& edits,
                                     NodeId* new_rec) {
   EMIGRE_SPAN("test.dynamic");
   EMIGRE_COUNTER("explain.tests.dynamic").Increment();
   ++num_tests_;
-  if (dyn_kernel_ != nullptr) return RunOnceKernel(edits, new_rec);
-  return RunOnceLegacy(edits, new_rec);
+  try {
+    if (stale_) Rebuild();
+    if (dyn_kernel_ != nullptr) return RunOnceKernel(edits, new_rec);
+    return RunOnceLegacy(edits, new_rec);
+  } catch (const DeadlineExceededError&) {
+    // The query deadline fired inside a repair push, unwinding mid-protocol:
+    // mark the state stale so the next TEST (if any — the search budget
+    // normally exits first) rebuilds from the base graph. While the deadline
+    // stays expired the rebuild itself throws immediately, keeping
+    // post-deadline TESTs O(1).
+    EMIGRE_COUNTER("explain.tests.deadline").Increment();
+    stale_ = true;
+    if (new_rec != nullptr) *new_rec = graph::kInvalidNode;
+    return false;
+  }
 }
 
 bool FastExplanationTester::Test(const std::vector<EdgeRef>& edits, Mode mode,

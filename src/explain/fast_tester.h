@@ -69,16 +69,27 @@ class FastExplanationTester : public TesterInterface {
   bool RunOnceKernel(const std::vector<ModedEdit>& edits,
                      graph::NodeId* new_rec);
 
+  /// Reconstructs the counterfactual view and dynamic-push state from the
+  /// base graph after a deadline unwind left them mid-repair (stale_).
+  /// Throws `DeadlineExceededError` itself while the deadline stays
+  /// expired, leaving stale_ set for the next attempt.
+  void Rebuild();
+
   /// Argmax of the maintained estimates over eligible items (legacy view).
   graph::NodeId CurrentTopLegacy() const;
   /// Same, over the overlay view with the workspace mark bitmap.
   graph::NodeId CurrentTopKernel();
 
+  const graph::HinGraph* base_;  ///< for Rebuild() after a deadline unwind
   graph::NodeId user_;
   graph::NodeId wni_;
   EmigreOptions opts_;
   std::vector<graph::NodeId> items_;  ///< all item-typed nodes
   size_t num_tests_ = 0;
+  /// A deadline unwound a TEST mid-repair: the dynamic-push state (and, in
+  /// the legacy engine, the scratch graph) no longer satisfy the invariant
+  /// and must be rebuilt before the next TEST.
+  bool stale_ = false;
 
   // Legacy engine state.
   std::unique_ptr<graph::HinGraph> scratch_;

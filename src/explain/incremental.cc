@@ -31,6 +31,16 @@ Explanation RunIncremental(const SearchSpace& space,
     if (action.contribution <= 0.0) break;
     if (budget.Exhausted(tester.num_tests())) {
       out.failure = FailureReason::kBudgetExceeded;
+      if (opts.anytime && !accumulated.empty()) {
+        // Anytime degradation: surface the accumulated prefix — the
+        // candidate with the smallest remaining gap so far — instead of
+        // nothing. Never marked verified; see docs/robustness.md.
+        out.found = true;
+        out.degraded = true;
+        out.verified = false;
+        out.edges = accumulated;
+        out.degraded_gap = gap > 0.0 ? gap : 0.0;
+      }
       return recorder.Finish();
     }
     accumulated.push_back(action.edge);

@@ -14,6 +14,9 @@ Explanation QueryRecorder::Finish() {
   out_->seconds = timer_.ElapsedSeconds();
 
   EMIGRE_COUNTER("explain.queries").Increment();
+  if (out_->degraded) {
+    EMIGRE_COUNTER("explain.degraded").Increment();
+  }
   if (out_->found) {
     EMIGRE_COUNTER("explain.queries.found").Increment();
   } else {

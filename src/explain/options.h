@@ -59,7 +59,18 @@ struct EmigreOptions {
   size_t max_tests = 20000;
 
   /// Wall-clock budget per explanation attempt in seconds (0 = unlimited).
+  /// The deadline is propagated cooperatively into the TEST path's PPR
+  /// loops (docs/robustness.md), so a single long push cannot overshoot it
+  /// by more than a polling interval.
   double deadline_seconds = 0.0;
+
+  /// Anytime mode: when the budget (tests or deadline) expires mid-search,
+  /// return the best-so-far candidate as a `degraded` Explanation (smallest
+  /// remaining score gap) instead of a bare kBudgetExceeded failure. Off by
+  /// default — the default pipeline output is bitwise identical to builds
+  /// without this feature. Degraded results are never marked `verified` and
+  /// are rejected by `ValidateExplanation`; see docs/robustness.md.
+  bool anytime = false;
 
   /// Number of top-ranked items (beyond WNI) used as the target set T of
   /// the Exhaustive Comparison (paper uses the top-10 recommendation list).

@@ -2,8 +2,10 @@
 
 #include <thread>
 
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/status.h"
 
 namespace emigre::explain {
 
@@ -49,6 +51,7 @@ TesterInterface::BatchResult ParallelTester::TestBatch(
     const std::vector<std::vector<graph::EdgeRef>>& batch, Mode mode,
     const BudgetFn& budget) {
   EMIGRE_COUNTER("explain.parallel.batches").Increment();
+  EMIGRE_FAULT_POINT("explain.parallel.batch");
   EMIGRE_HISTOGRAM("explain.parallel.batch_size")
       .Record(static_cast<double>(batch.size()));
 
@@ -114,7 +117,12 @@ TesterInterface::BatchResult ParallelTester::TestBatch(
       }
     });
   }
-  pool_->Wait();
+  // A failed task (injected fault, non-deadline infrastructure error — the
+  // per-thread testers absorb deadline expiry themselves) invalidates the
+  // whole batch verdict; surface it to the `Emigre::Explain` exception
+  // boundary, which converts it back to a Status.
+  Status pool_status = pool_->Wait();
+  if (!pool_status.ok()) throw StatusError(pool_status);
 
   BatchResult result;
   result.tested = tested.load();

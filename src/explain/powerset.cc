@@ -96,6 +96,18 @@ Explanation RunPowerset(const SearchSpace& space, TesterInterface& tester,
       // The serial loop checked the budget before counting the candidate.
       out.candidates_considered += verdict.budget_index;
       out.failure = FailureReason::kBudgetExceeded;
+      if (opts.anytime && verdict.budget_index < batch.size()) {
+        // Anytime degradation: the first untested candidate is, by the
+        // descending-sum order, the strongest remaining one — exactly what
+        // a serial scan would have TESTed next. Deterministic at any thread
+        // count because budget_index follows the serial boundary.
+        out.found = true;
+        out.degraded = true;
+        out.verified = false;
+        out.edges = batch[verdict.budget_index];
+        double sum = combos[verdict.budget_index].sum;
+        out.degraded_gap = space.tau - sum > 0.0 ? space.tau - sum : 0.0;
+      }
       return recorder.Finish();
     }
     out.candidates_considered += batch.size();

@@ -3,6 +3,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "recsys/recommender.h"
+#include "util/timer.h"
 
 namespace emigre::explain {
 
@@ -46,50 +47,61 @@ bool ExplanationTester::RunOnce(const std::vector<ModedEdit>& edits,
   EMIGRE_SPAN("test.exact");
   EMIGRE_COUNTER("explain.tests.exact").Increment();
   ++num_tests_;
-  // Both engines apply the same edit semantics to an overlay and re-run the
-  // same recommender arithmetic; the kernel engine differs only in state
-  // reuse (CSR base arrays, overlay cleared instead of reconstructed, PPR
-  // scratch in the workspace), so the verdicts are identical.
-  if (opts_.rec.ppr.engine == ppr::PushEngine::kKernel) {
-    EnsureKernelState();
-    overlay_->Clear();
+  try {
+    // Both engines apply the same edit semantics to an overlay and re-run
+    // the same recommender arithmetic; the kernel engine differs only in
+    // state reuse (CSR base arrays, overlay cleared instead of
+    // reconstructed, PPR scratch in the workspace), so the verdicts are
+    // identical.
+    if (opts_.rec.ppr.engine == ppr::PushEngine::kKernel) {
+      EnsureKernelState();
+      overlay_->Clear();
+      for (const ModedEdit& e : edits) {
+        Status st;
+        if (e.mode == Mode::kAdd) {
+          st = overlay_->AddEdge(e.edge.src, e.edge.dst, e.edge.type,
+                                 opts_.add_edge_weight);
+        } else {
+          st = overlay_->RemoveEdge(e.edge.src, e.edge.dst, e.edge.type);
+        }
+        if (!st.ok()) {
+          // A malformed candidate (duplicate add, missing removal target)
+          // can never be a valid explanation.
+          if (new_rec != nullptr) *new_rec = graph::kInvalidNode;
+          return false;
+        }
+      }
+      graph::NodeId top = recsys::Recommend(*overlay_, user_, opts_.rec, &ws_);
+      if (new_rec != nullptr) *new_rec = top;
+      return top == wni_;
+    }
+
+    graph::GraphOverlay overlay(*base_);
     for (const ModedEdit& e : edits) {
       Status st;
       if (e.mode == Mode::kAdd) {
-        st = overlay_->AddEdge(e.edge.src, e.edge.dst, e.edge.type,
-                               opts_.add_edge_weight);
+        st = overlay.AddEdge(e.edge.src, e.edge.dst, e.edge.type,
+                             opts_.add_edge_weight);
       } else {
-        st = overlay_->RemoveEdge(e.edge.src, e.edge.dst, e.edge.type);
+        st = overlay.RemoveEdge(e.edge.src, e.edge.dst, e.edge.type);
       }
       if (!st.ok()) {
-        // A malformed candidate (duplicate add, missing removal target) can
-        // never be a valid explanation.
         if (new_rec != nullptr) *new_rec = graph::kInvalidNode;
         return false;
       }
     }
-    graph::NodeId top = recsys::Recommend(*overlay_, user_, opts_.rec, &ws_);
+    graph::NodeId top = recsys::Recommend(overlay, user_, opts_.rec);
     if (new_rec != nullptr) *new_rec = top;
     return top == wni_;
+  } catch (const DeadlineExceededError&) {
+    // The query deadline fired inside the counterfactual PPR: the candidate
+    // is unverifiable within budget, so it fails. The kernel overlay state
+    // self-heals (next TEST starts with Clear()); the search's own budget
+    // check exits with kBudgetExceeded right after.
+    EMIGRE_COUNTER("explain.tests.deadline").Increment();
+    if (new_rec != nullptr) *new_rec = graph::kInvalidNode;
+    return false;
   }
-
-  graph::GraphOverlay overlay(*base_);
-  for (const ModedEdit& e : edits) {
-    Status st;
-    if (e.mode == Mode::kAdd) {
-      st = overlay.AddEdge(e.edge.src, e.edge.dst, e.edge.type,
-                           opts_.add_edge_weight);
-    } else {
-      st = overlay.RemoveEdge(e.edge.src, e.edge.dst, e.edge.type);
-    }
-    if (!st.ok()) {
-      if (new_rec != nullptr) *new_rec = graph::kInvalidNode;
-      return false;
-    }
-  }
-  graph::NodeId top = recsys::Recommend(overlay, user_, opts_.rec);
-  if (new_rec != nullptr) *new_rec = top;
-  return top == wni_;
 }
 
 bool ExplanationTester::Test(const std::vector<graph::EdgeRef>& edits,

@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "fault/fault.h"
 #include "util/csv.h"
 #include "util/string_util.h"
 
@@ -35,6 +36,7 @@ Status SaveGraph(const HinGraph& g, const std::string& path) {
 }
 
 Result<HinGraph> LoadGraph(const std::string& path) {
+  EMIGRE_FAULT_POINT_STATUS("graph.load");
   std::ifstream in(path);
   if (!in.is_open()) {
     return Status::IOError("cannot open for reading: " + path);

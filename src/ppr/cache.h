@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/fault.h"
 #include "graph/traits.h"
 #include "graph/types.h"
 #include "obs/metrics.h"
@@ -138,6 +139,7 @@ class ReversePushCache {
   /// Runs the reverse push through the configured engine and compacts the
   /// estimates. Thread-safe (workspaces come from the pool).
   std::shared_ptr<const SparseVector> Compute(graph::NodeId target) {
+    EMIGRE_FAULT_POINT("ppr.cache.fill");
     if (opts_.engine == PushEngine::kKernel) {
       std::unique_ptr<PushWorkspace> ws = AcquireWorkspace();
       ReversePushKernel(*g_, target, opts_, *ws);

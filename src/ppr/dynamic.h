@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/fault.h"
 #include "graph/traits.h"
 #include "graph/types.h"
 #include "obs/metrics.h"
@@ -15,6 +16,7 @@
 #include "ppr/kernels.h"
 #include "ppr/options.h"
 #include "ppr/workspace.h"
+#include "util/timer.h"
 
 namespace emigre::ppr {
 
@@ -79,6 +81,7 @@ class DynamicForwardPush {
   /// `BeforeOutEdgeChange` were mutated, then re-pushes to convergence.
   void AfterOutEdgeChange(graph::NodeId u) {
     EMIGRE_SPAN("dyn.repair");
+    EMIGRE_FAULT_POINT("ppr.dyn.refine");
     EMIGRE_COUNTER("ppr.dyn.repairs").Increment();
     std::unordered_map<graph::NodeId, double> new_row = TransitionRow(u);
     double scale = (1.0 - opts_.alpha) / opts_.alpha * state_.estimate[u];
@@ -196,6 +199,8 @@ class DynamicForwardPush {
     }
     size_t pushes = 0;
     while (!queue.empty()) {
+      // Cooperative deadline: no-op unless the caller armed one.
+      if (DeadlineExpired(opts_, pushes)) throw DeadlineExceededError();
       graph::NodeId u = queue.front();
       queue.pop_front();
       queued[u] = 0;
@@ -223,6 +228,8 @@ class DynamicForwardPush {
     }
     size_t pushes = 0;
     while (!hot.FrontierEmpty()) {
+      // Cooperative deadline: no-op unless the caller armed one.
+      if (DeadlineExpired(opts_, pushes)) throw DeadlineExceededError();
       graph::NodeId u = hot.FrontierPop();
       if (PushNode(u, [&](graph::NodeId v) {
             if (!hot.InFrontier(v) &&

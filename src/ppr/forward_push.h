@@ -7,11 +7,13 @@
 #include <deque>
 #include <vector>
 
+#include "fault/fault.h"
 #include "graph/traits.h"
 #include "graph/types.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "ppr/options.h"
+#include "util/timer.h"
 
 namespace emigre::ppr {
 
@@ -65,6 +67,7 @@ template <graph::GraphLike G>
 PushResult ForwardPush(const G& g, graph::NodeId source,
                        const PprOptions& opts = {}) {
   EMIGRE_SPAN("flp");
+  EMIGRE_FAULT_POINT("ppr.flp.legacy");
   const size_t n = g.NumNodes();
   PushResult out;
   out.estimate.assign(n, 0.0);  // NOLINT(dense-reset): legacy reference path
@@ -88,6 +91,8 @@ PushResult ForwardPush(const G& g, graph::NodeId source,
   size_t max_queue = queue.size();
 
   while (!queue.empty()) {
+    // Cooperative deadline: no-op unless the caller armed one.
+    if (DeadlineExpired(opts, pushes)) throw DeadlineExceededError();
     graph::NodeId u = queue.front();
     queue.pop_front();
     queued[u] = 0;

@@ -1,6 +1,7 @@
 #ifndef EMIGRE_PPR_KERNELS_H_
 #define EMIGRE_PPR_KERNELS_H_
 
+#include "fault/fault.h"
 #include "graph/traits.h"
 #include "graph/types.h"
 #include "obs/metrics.h"
@@ -8,6 +9,7 @@
 #include "ppr/forward_push.h"
 #include "ppr/options.h"
 #include "ppr/workspace.h"
+#include "util/timer.h"
 
 namespace emigre::ppr {
 
@@ -37,6 +39,7 @@ template <graph::GraphLike G>
 KernelResult ForwardPushKernel(const G& g, graph::NodeId source,
                                const PprOptions& opts, PushWorkspace& ws) {
   EMIGRE_SPAN("flp.kernel");
+  EMIGRE_FAULT_POINT("ppr.flp.kernel");
   const size_t n = g.NumNodes();
   ws.Begin(n);
   KernelResult out;
@@ -55,6 +58,8 @@ KernelResult ForwardPushKernel(const G& g, graph::NodeId source,
 
   size_t max_queue = hot.FrontierSize();
   while (!hot.FrontierEmpty()) {
+    // Cooperative deadline: no-op unless the caller armed one.
+    if (DeadlineExpired(opts, out.pushes)) throw DeadlineExceededError();
     graph::NodeId u = hot.FrontierPop();
     double r = hot.ResidualRef(u);
     if (r < threshold(u)) continue;
@@ -97,6 +102,7 @@ template <graph::GraphLike G>
 KernelResult ReversePushKernel(const G& g, graph::NodeId target,
                                const PprOptions& opts, PushWorkspace& ws) {
   EMIGRE_SPAN("rlp.kernel");
+  EMIGRE_FAULT_POINT("ppr.rlp.kernel");
   const size_t n = g.NumNodes();
   ws.Begin(n);
   KernelResult out;
@@ -110,6 +116,8 @@ KernelResult ReversePushKernel(const G& g, graph::NodeId target,
 
   size_t max_queue = hot.FrontierSize();
   while (!hot.FrontierEmpty()) {
+    // Cooperative deadline: no-op unless the caller armed one.
+    if (DeadlineExpired(opts, out.pushes)) throw DeadlineExceededError();
     graph::NodeId v = hot.FrontierPop();
     double r = hot.ResidualRef(v);
     if (r < opts.epsilon) continue;

@@ -3,6 +3,8 @@
 
 #include <cstddef>
 
+#include "util/timer.h"
+
 namespace emigre::ppr {
 
 /// \brief Which push implementation executes the local-push hot loops.
@@ -45,7 +47,36 @@ struct PprOptions {
   /// `PushWorkspace` (testers, cache). Estimates are engine-independent;
   /// see `PushEngine`.
   PushEngine engine = PushEngine::kKernel;
+
+  /// Cooperative query deadline (non-owning; nullptr = none). The push hot
+  /// loops (kernel and legacy engines, dynamic repair) and power iteration
+  /// check it periodically — every `kDeadlineCheckInterval` pushes /
+  /// every power iteration — and throw `DeadlineExceededError` once it has
+  /// expired, instead of running a long push to completion first. A
+  /// partially converged state is not a usable estimate, so the loops
+  /// unwind rather than return early; the explain testers catch the error
+  /// and fail the candidate (docs/robustness.md).
+  ///
+  /// Set only by `Emigre::Explain` (to its per-query deadline) on the
+  /// options copy handed to the TEST path; the deadline object must
+  /// outlive every computation using this options value.
+  const Deadline* deadline = nullptr;
 };
+
+/// Deadline polling cadence of the push loops: the deadline is consulted
+/// once every this many pushes (power of two; the loops test
+/// `pushes & (interval - 1)`). One push touches a node row, so 256 pushes
+/// bound the overshoot to microseconds while keeping the check itself out
+/// of the per-push cost.
+inline constexpr size_t kDeadlineCheckInterval = 256;
+
+/// True when `opts` carries an expired deadline; the periodic form used by
+/// the push loops.
+inline bool DeadlineExpired(const PprOptions& opts, size_t pushes) {
+  return opts.deadline != nullptr &&
+         (pushes & (kDeadlineCheckInterval - 1)) == 0 &&
+         opts.deadline->Expired();
+}
 
 /// \brief Dangling-node convention.
 ///

@@ -10,6 +10,7 @@
 #include "obs/trace.h"
 #include "ppr/options.h"
 #include "ppr/workspace.h"
+#include "util/timer.h"
 
 namespace emigre::ppr {
 
@@ -46,6 +47,11 @@ void PowerIterationPprInto(const G& g, graph::NodeId seed,
 
   size_t iterations = 0;
   for (size_t iter = 0; iter < opts.max_power_iterations; ++iter) {
+    // One iteration is an O(edges) sweep, so check the deadline per
+    // iteration rather than per push.
+    if (opts.deadline != nullptr && opts.deadline->Expired()) {
+      throw DeadlineExceededError();
+    }
     ++iterations;
     std::fill(next->begin(), next->begin() + n, 0.0);
     (*next)[seed] += opts.alpha;
@@ -86,6 +92,11 @@ std::vector<double> PowerIterationPpr(const G& g, graph::NodeId seed,
 
   size_t iterations = 0;
   for (size_t iter = 0; iter < opts.max_power_iterations; ++iter) {
+    // One iteration is an O(edges) sweep, so check the deadline per
+    // iteration rather than per push.
+    if (opts.deadline != nullptr && opts.deadline->Expired()) {
+      throw DeadlineExceededError();
+    }
     ++iterations;
     std::fill(next.begin(), next.end(), 0.0);
     next[seed] += opts.alpha;

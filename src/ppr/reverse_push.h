@@ -4,12 +4,14 @@
 #include <deque>
 #include <vector>
 
+#include "fault/fault.h"
 #include "graph/traits.h"
 #include "graph/types.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "ppr/forward_push.h"
 #include "ppr/options.h"
+#include "util/timer.h"
 
 namespace emigre::ppr {
 
@@ -34,6 +36,7 @@ template <graph::GraphLike G>
 PushResult ReversePush(const G& g, graph::NodeId target,
                        const PprOptions& opts = {}) {
   EMIGRE_SPAN("rlp");
+  EMIGRE_FAULT_POINT("ppr.rlp.legacy");
   const size_t n = g.NumNodes();
   PushResult out;
   out.estimate.assign(n, 0.0);  // NOLINT(dense-reset): legacy reference path
@@ -51,6 +54,8 @@ PushResult ReversePush(const G& g, graph::NodeId target,
   size_t max_queue = queue.size();
 
   while (!queue.empty()) {
+    // Cooperative deadline: no-op unless the caller armed one.
+    if (DeadlineExpired(opts, pushes)) throw DeadlineExceededError();
     graph::NodeId v = queue.front();
     queue.pop_front();
     queued[v] = 0;

@@ -1,6 +1,7 @@
 #ifndef EMIGRE_UTIL_STATUS_H_
 #define EMIGRE_UTIL_STATUS_H_
 
+#include <exception>
 #include <memory>
 #include <ostream>
 #include <string>
@@ -142,6 +143,27 @@ class [[nodiscard]] Status {
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// \brief Exception transport for a `Status` across stack frames that
+/// cannot return one — worker-thread task bodies, deep template hot loops,
+/// callbacks with fixed signatures.
+///
+/// The "no exceptions cross public API boundaries" rule still holds: a
+/// `StatusError` must be caught and converted back to a `Status` before
+/// control returns to a caller outside the library (the `Emigre::Explain`
+/// facade and `ThreadPool::Wait` are the designated conversion boundaries).
+class StatusError : public std::exception {
+ public:
+  explicit StatusError(Status status)
+      : status_(std::move(status)), what_(status_.ToString()) {}
+
+  const Status& status() const { return status_; }
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  Status status_;
+  std::string what_;
+};
 
 }  // namespace emigre
 

@@ -1,8 +1,29 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <utility>
+
+#include "fault/fault.h"
 
 namespace emigre {
+
+namespace {
+
+/// Maps a captured task exception to the `Wait()` Status contract.
+Status StatusFromException(std::exception_ptr error) {
+  if (!error) return Status::OK();
+  try {
+    std::rethrow_exception(std::move(error));
+  } catch (const StatusError& e) {
+    return e.status();
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("task failed: ") + e.what());
+  } catch (...) {
+    return Status::Internal("task failed with a non-std exception");
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -35,9 +56,14 @@ void ThreadPool::Submit(std::function<void()> task) {
   task_ready_.notify_one();
 }
 
-void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+Status ThreadPool::Wait() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  return StatusFromException(std::move(error));
 }
 
 void ThreadPool::WorkerLoop() {
@@ -53,7 +79,13 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    try {
+      EMIGRE_FAULT_POINT("threadpool.task");
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;
@@ -62,12 +94,21 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::ParallelFor(size_t n, size_t num_threads,
-                             const std::function<void(size_t)>& fn) {
-  if (n == 0) return;
+Status ThreadPool::ParallelFor(size_t n, size_t num_threads,
+                               const std::function<void(size_t)>& fn) {
+  if (n == 0) return Status::OK();
   if (num_threads == 1 || n == 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
-    return;
+    // Serial path: same error contract as the pooled path, so callers see
+    // one behavior at any thread count.
+    try {
+      for (size_t i = 0; i < n; ++i) {
+        EMIGRE_FAULT_POINT("threadpool.serial");
+        fn(i);
+      }
+    } catch (...) {
+      return StatusFromException(std::current_exception());
+    }
+    return Status::OK();
   }
   ThreadPool pool(num_threads);
   std::atomic<size_t> next{0};
@@ -81,7 +122,7 @@ void ThreadPool::ParallelFor(size_t n, size_t num_threads,
       }
     });
   }
-  pool.Wait();
+  return pool.Wait();
 }
 
 }  // namespace emigre

@@ -4,10 +4,13 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/status.h"
 
 namespace emigre {
 
@@ -16,6 +19,13 @@ namespace emigre {
 /// The experiment runner uses it to fan scenarios across cores; each scenario
 /// operates on its own `GraphOverlay`, so tasks share only the immutable base
 /// graph. The pool joins in the destructor.
+///
+/// Exception safety: a throwing task no longer escapes the worker thread
+/// (which would `std::terminate` the process). The first exception any task
+/// raises is captured and surfaced from `Wait()` as a `Status` — a
+/// `StatusError` unwraps to its Status, anything else maps to
+/// `Status::Internal`. Later exceptions from the same batch are dropped
+/// (first error wins); tasks still pending when one throws run normally.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers (0 → hardware_concurrency, min 1).
@@ -29,15 +39,20 @@ class ThreadPool {
   /// thread without external synchronization.
   void Submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have finished.
-  void Wait();
+  /// Blocks until all submitted tasks have finished, then reports the first
+  /// task failure (OK when every task returned normally). The stored error
+  /// is cleared, so the pool remains usable for the next batch.
+  [[nodiscard]] Status Wait();
 
   size_t num_threads() const { return workers_.size(); }
 
   /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
-  /// Convenience for parallel for-loops over scenarios.
-  static void ParallelFor(size_t n, size_t num_threads,
-                          const std::function<void(size_t)>& fn);
+  /// Convenience for parallel for-loops over scenarios. Returns the first
+  /// failure under the same contract as `Wait()`; iterations after a thrown
+  /// one may or may not run (their worker keeps draining), callers must not
+  /// rely on either.
+  [[nodiscard]] static Status ParallelFor(size_t n, size_t num_threads,
+                                          const std::function<void(size_t)>& fn);
 
  private:
   void WorkerLoop();
@@ -49,6 +64,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
   bool shutdown_ = false;
+  std::exception_ptr first_error_;
 };
 
 }  // namespace emigre

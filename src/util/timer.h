@@ -3,9 +3,26 @@
 
 #include <chrono>
 #include <cstdint>
+#include <exception>
 #include <limits>
 
 namespace emigre {
+
+/// \brief Thrown by deadline-cooperative hot loops (the push kernels and
+/// dynamic repair, see `ppr::PprOptions::deadline`) when the query deadline
+/// expires mid-computation.
+///
+/// A partially converged push state is not a usable estimate, so the loops
+/// unwind instead of returning garbage. The testers catch this and fail the
+/// candidate; `Emigre::Explain` converts any escape into
+/// `FailureReason::kBudgetExceeded` — it never crosses a public API
+/// boundary.
+class DeadlineExceededError : public std::exception {
+ public:
+  const char* what() const noexcept override {
+    return "query deadline exceeded";
+  }
+};
 
 /// \brief Monotonic wall-clock stopwatch.
 ///

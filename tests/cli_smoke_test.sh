@@ -25,7 +25,7 @@ grep -q "Average Degree" "$DIR/log"
 ITEM_ID=$(sed -n '2s/.*\[\([0-9]*\)\].*/\1/p' "$DIR/log")
 test -n "$ITEM_ID"
 
-# explain returns 0 (found) or 2 (valid question, no explanation) — both
+# explain returns 0 (found) or 3 (valid question, no explanation) — both
 # are correct CLI behavior; anything else is a failure. --trace and
 # --metrics-out must emit the span tree and a valid metrics JSON either way.
 set +e
@@ -34,7 +34,7 @@ set +e
     --trace --metrics-out "$DIR/m.json" > "$DIR/log" 2>&1
 CODE=$?
 set -e
-test "$CODE" -eq 0 -o "$CODE" -eq 2
+test "$CODE" -eq 0 -o "$CODE" -eq 3
 grep -q "== trace ==" "$DIR/log"
 grep -q "explain.queries" "$DIR/log"
 grep -q '"schema": "emigre.metrics.v1"' "$DIR/m.json"
@@ -50,8 +50,25 @@ if "$EMIGRE" selfcheck --graph "$DIR/g.graph" --level bogus 2>/dev/null; then
   exit 1
 fi
 
-# Unknown flags and missing args must fail loudly.
-if "$EMIGRE" explain --bogus 2>/dev/null; then exit 1; fi
-if "$EMIGRE" unknown-command 2>/dev/null; then exit 1; fi
+# Exit-code contract (tools/emigre_cli.cc): usage errors are 2, internal
+# errors 1, no-explanation-found 3 (asserted above).
+set +e
+"$EMIGRE" 2>/dev/null; NOARGS=$?
+"$EMIGRE" unknown-command 2>/dev/null; UNKNOWN=$?
+"$EMIGRE" explain --bogus 2>/dev/null; BADFLAG=$?
+"$EMIGRE" recommend --graph "$DIR/g.graph" --user -1 2>/dev/null; BADUSER=$?
+"$EMIGRE" stats --graph "$DIR/does-not-exist.graph" 2>/dev/null; NOFILE=$?
+set -e
+test "$NOARGS" -eq 2
+test "$UNKNOWN" -eq 2
+test "$BADFLAG" -eq 2
+test "$BADUSER" -eq 2
+test "$NOFILE" -eq 1
+
+# chaos runs in every build; without -DEMIGRE_FAULT_INJECTION=ON the sites
+# are compiled out and it degenerates to a plain-pipeline soak.
+"$EMIGRE" chaos --seeds 2 --queries 1 --users 20 --items 120 \
+    > "$DIR/log" 2>&1
+grep -q "chaos soak passed" "$DIR/log"
 
 echo "cli smoke ok"

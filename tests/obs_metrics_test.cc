@@ -23,9 +23,9 @@ TEST(CounterTest, ConcurrentIncrementsAreExact) {
   c.Reset();
   constexpr size_t kTasks = 64;
   constexpr uint64_t kPerTask = 10000;
-  ThreadPool::ParallelFor(kTasks, 8, [&](size_t) {
-    for (uint64_t i = 0; i < kPerTask; ++i) c.Increment();
-  });
+  ASSERT_TRUE(ThreadPool::ParallelFor(kTasks, 8, [&](size_t) {
+                for (uint64_t i = 0; i < kPerTask; ++i) c.Increment();
+              }).ok());
   EXPECT_EQ(c.Value(), kTasks * kPerTask);
 }
 
@@ -51,9 +51,9 @@ TEST(GaugeTest, ConcurrentSetMaxKeepsMaximum) {
   Gauge& g = EMIGRE_GAUGE("test.gauge.concurrent");
   g.Reset();
   constexpr size_t kTasks = 64;
-  ThreadPool::ParallelFor(kTasks, 8, [&](size_t i) {
-    g.SetMax(static_cast<double>(i + 1));
-  });
+  ASSERT_TRUE(ThreadPool::ParallelFor(kTasks, 8, [&](size_t i) {
+                g.SetMax(static_cast<double>(i + 1));
+              }).ok());
   EXPECT_DOUBLE_EQ(g.Value(), static_cast<double>(kTasks));
 }
 

@@ -321,5 +321,53 @@ TEST(ResidualMassTest, MatchesScanOnPushResults) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Cooperative deadlines (docs/robustness.md)
+
+TEST(KernelDeadlineTest, ExpiredDeadlineUnwindsEveryEngine) {
+  Rng rng(29);
+  test::RandomHin rh = test::MakeRandomHin(rng, 10, 30, 3, 6);
+  CsrGraph g(rh.g);
+  PprOptions opts;
+  Deadline deadline(1e-12);  // effectively already expired
+  deadline.Start();
+  opts.deadline = &deadline;
+  PushWorkspace ws;
+  EXPECT_THROW(ForwardPushKernel(g, rh.users[0], opts, ws),
+               DeadlineExceededError);
+  EXPECT_THROW(ReversePushKernel(g, rh.items[0], opts, ws),
+               DeadlineExceededError);
+  EXPECT_THROW(ForwardPush(rh.g, rh.users[0], opts), DeadlineExceededError);
+  EXPECT_THROW(ReversePush(rh.g, rh.items[0], opts), DeadlineExceededError);
+  EXPECT_THROW(PowerIterationPpr(rh.g, rh.users[0], opts),
+               DeadlineExceededError);
+}
+
+TEST(KernelDeadlineTest, UnexpiredAndAbsentDeadlinesChangeNothing) {
+  Rng rng(29);
+  test::RandomHin rh = test::MakeRandomHin(rng, 10, 30, 3, 6);
+  CsrGraph g(rh.g);
+  PprOptions plain;
+  PushWorkspace ws_plain;
+  KernelResult baseline = ForwardPushKernel(g, rh.users[1], plain, ws_plain);
+  PushResult base_dense =
+      ExportDensePush(ws_plain, g.NumNodes(), baseline.residual_mass);
+
+  PprOptions guarded = plain;
+  Deadline deadline(3600.0);  // generous: never expires within the test
+  deadline.Start();
+  guarded.deadline = &deadline;
+  PushWorkspace ws_guarded;
+  KernelResult kr = ForwardPushKernel(g, rh.users[1], guarded, ws_guarded);
+  PushResult guarded_dense =
+      ExportDensePush(ws_guarded, g.NumNodes(), kr.residual_mass);
+  ASSERT_EQ(guarded_dense.estimate.size(), base_dense.estimate.size());
+  for (size_t v = 0; v < base_dense.estimate.size(); ++v) {
+    EXPECT_EQ(guarded_dense.estimate[v], base_dense.estimate[v]);
+    EXPECT_EQ(guarded_dense.residual[v], base_dense.residual[v]);
+  }
+  EXPECT_EQ(kr.pushes, baseline.pushes);
+}
+
 }  // namespace
 }  // namespace emigre::ppr

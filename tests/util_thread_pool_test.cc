@@ -6,8 +6,12 @@
 #include <chrono>
 #include <mutex>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "util/status.h"
 
 namespace emigre {
 namespace {
@@ -18,7 +22,7 @@ TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
   for (int i = 0; i < 100; ++i) {
     pool.Submit([&counter] { counter.fetch_add(1); });
   }
-  pool.Wait();
+  EXPECT_TRUE(pool.Wait().ok());
   EXPECT_EQ(counter.load(), 100);
 }
 
@@ -26,10 +30,10 @@ TEST(ThreadPoolTest, WaitIsReentrant) {
   ThreadPool pool(2);
   std::atomic<int> counter{0};
   pool.Submit([&counter] { counter.fetch_add(1); });
-  pool.Wait();
+  EXPECT_TRUE(pool.Wait().ok());
   EXPECT_EQ(counter.load(), 1);
   pool.Submit([&counter] { counter.fetch_add(1); });
-  pool.Wait();
+  EXPECT_TRUE(pool.Wait().ok());
   EXPECT_EQ(counter.load(), 2);
 }
 
@@ -40,7 +44,7 @@ TEST(ThreadPoolTest, DestructorJoinsWithoutDeadlock) {
     for (int i = 0; i < 10; ++i) {
       pool.Submit([&counter] { counter.fetch_add(1); });
     }
-    pool.Wait();
+    EXPECT_TRUE(pool.Wait().ok());
   }
   EXPECT_EQ(counter.load(), 10);
 }
@@ -62,7 +66,7 @@ TEST(ThreadPoolTest, SingleWorkerRunsTasksInSubmissionOrder) {
       order.push_back(i);
     });
   }
-  pool.Wait();
+  EXPECT_TRUE(pool.Wait().ok());
   ASSERT_EQ(order.size(), 50u);
   for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
 }
@@ -74,7 +78,7 @@ TEST(ThreadPoolTest, ReusableAcrossManyWaitCycles) {
     for (int i = 0; i < 8; ++i) {
       pool.Submit([&counter] { counter.fetch_add(1); });
     }
-    pool.Wait();
+    EXPECT_TRUE(pool.Wait().ok());
     EXPECT_EQ(counter.load(), (round + 1) * 8);
   }
 }
@@ -98,17 +102,17 @@ TEST(ThreadPoolTest, DestructorDrainsPendingTasksWithoutWait) {
 
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
   std::vector<std::atomic<int>> hits(500);
-  ThreadPool::ParallelFor(hits.size(), 4, [&hits](size_t i) {
+  EXPECT_TRUE(ThreadPool::ParallelFor(hits.size(), 4, [&hits](size_t i) {
     hits[i].fetch_add(1);
-  });
+  }).ok());
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ParallelForTest, SerialPathMatches) {
   std::vector<int> values(64, 0);
-  ThreadPool::ParallelFor(values.size(), 1, [&values](size_t i) {
+  EXPECT_TRUE(ThreadPool::ParallelFor(values.size(), 1, [&values](size_t i) {
     values[i] = static_cast<int>(i * i);
-  });
+  }).ok());
   for (size_t i = 0; i < values.size(); ++i) {
     EXPECT_EQ(values[i], static_cast<int>(i * i));
   }
@@ -116,19 +120,74 @@ TEST(ParallelForTest, SerialPathMatches) {
 
 TEST(ParallelForTest, ZeroItemsIsNoop) {
   bool called = false;
-  ThreadPool::ParallelFor(0, 4, [&called](size_t) { called = true; });
+  EXPECT_TRUE(
+      ThreadPool::ParallelFor(0, 4, [&called](size_t) { called = true; })
+          .ok());
   EXPECT_FALSE(called);
 }
 
 TEST(ParallelForTest, SingleItemRunsExactlyOnce) {
   std::atomic<int> calls{0};
   size_t seen = 99;
-  ThreadPool::ParallelFor(1, 4, [&](size_t i) {
+  EXPECT_TRUE(ThreadPool::ParallelFor(1, 4, [&](size_t i) {
     calls.fetch_add(1);
     seen = i;
-  });
+  }).ok());
   EXPECT_EQ(calls.load(), 1);
   EXPECT_EQ(seen, 0u);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskSurfacesFromWaitInsteadOfTerminating) {
+  // Regression: a throwing task used to escape the worker thread and call
+  // std::terminate. It must instead surface from Wait() as a Status.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  Status st = pool.Wait();
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInternal());
+  EXPECT_NE(st.message().find("boom"), std::string::npos);
+  // The non-throwing task of the same batch still ran.
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, StatusErrorTaskUnwrapsToItsStatus) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw StatusError(Status::IOError("disk gone")); });
+  Status st = pool.Wait();
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_EQ(st.message(), "disk gone");
+}
+
+TEST(ThreadPoolTest, WaitClearsTheErrorSoThePoolStaysUsable) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("first"); });
+  EXPECT_FALSE(pool.Wait().ok());
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  EXPECT_TRUE(pool.Wait().ok());
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, FirstOfSeveralErrorsWins) {
+  // One worker serializes the tasks, so "first" is deterministic.
+  ThreadPool pool(1);
+  pool.Submit([] { throw StatusError(Status::Cancelled("one")); });
+  pool.Submit([] { throw StatusError(Status::Cancelled("two")); });
+  Status st = pool.Wait();
+  EXPECT_TRUE(st.IsCancelled());
+  EXPECT_EQ(st.message(), "one");
+}
+
+TEST(ParallelForTest, PropagatesTaskErrorAtAnyThreadCount) {
+  for (size_t threads : {1u, 4u}) {
+    Status st = ThreadPool::ParallelFor(8, threads, [](size_t i) {
+      if (i == 3) throw StatusError(Status::ResourceExhausted("budget"));
+    });
+    EXPECT_TRUE(st.IsResourceExhausted()) << "threads=" << threads;
+    EXPECT_EQ(st.message(), "budget");
+  }
 }
 
 }  // namespace

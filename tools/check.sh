@@ -4,16 +4,18 @@
 # over the concurrency-sensitive tests (thread pool, PPR cache,
 # observability registry, parallel tester).
 #
-#   tools/check.sh [build-dir] [tsan-build-dir]
+#   tools/check.sh [build-dir] [tsan-build-dir] [chaos-build-dir]
 #
-# Build directories default to build-asan/ and build-tsan/ next to the
-# source tree and are reused across runs (delete to force a clean
-# configure). Set EMIGRE_SKIP_TSAN=1 to run only the ASan/UBSan stage.
+# Build directories default to build-asan/, build-tsan/ and build-chaos/
+# next to the source tree and are reused across runs (delete to force a
+# clean configure). Set EMIGRE_SKIP_TSAN=1 to skip the TSan stage and
+# EMIGRE_SKIP_CHAOS=1 to skip the fault-injection stage.
 set -e
 
 SRC_DIR=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 BUILD_DIR="${1:-$SRC_DIR/build-asan}"
 TSAN_BUILD_DIR="${2:-$SRC_DIR/build-tsan}"
+CHAOS_BUILD_DIR="${3:-$SRC_DIR/build-chaos}"
 JOBS=$(nproc 2>/dev/null || echo 4)
 
 # The concurrency-sensitive tests. This single list drives both the TSan
@@ -53,3 +55,19 @@ cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target $TSAN_TESTS
 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$JOBS" \
   -R "^($TSAN_REGEX)\$"
 echo "check.sh: concurrency tests passed under TSan"
+
+if [ "${EMIGRE_SKIP_CHAOS:-0}" = "1" ]; then
+  echo "check.sh: EMIGRE_SKIP_CHAOS=1, skipping fault-injection stage"
+  exit 0
+fi
+
+# Fault-injection stage (docs/robustness.md): compile every
+# EMIGRE_FAULT_POINT site in, run the suite with the sites live, then
+# replay the fixed-seed chaos soak through the CLI.
+cmake -B "$CHAOS_BUILD_DIR" -S "$SRC_DIR" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DEMIGRE_FAULT_INJECTION=ON
+cmake --build "$CHAOS_BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$CHAOS_BUILD_DIR" --output-on-failure -j "$JOBS"
+"$CHAOS_BUILD_DIR/tools/emigre" chaos --seeds 20 --base-seed 20240416
+echo "check.sh: chaos soak passed with fault injection live"

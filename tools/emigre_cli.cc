@@ -8,6 +8,10 @@
 //   explain     answer a Why-Not question
 //   experiment  run the §6.2 evaluation and write reports + records CSV
 //   selfcheck   run the invariant validators (docs/invariants.md)
+//   chaos       seeded fault-injection soak (docs/robustness.md)
+//
+// Exit codes: 0 success, 1 internal error, 2 usage error, 3 the Why-Not
+// question was valid but no explanation exists.
 //
 // Examples:
 //   emigre generate --dir /tmp/ds --users 120 --items 2000
@@ -29,6 +33,7 @@
 #include "data/amazon_lite.h"
 #include "data/csv_io.h"
 #include "data/synthetic_amazon.h"
+#include "eval/chaos.h"
 #include "eval/methods.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
@@ -38,6 +43,7 @@
 #include "explain/format.h"
 #include "explain/meta.h"
 #include "explain/search_space.h"
+#include "fault/fault.h"
 #include "graph/io.h"
 #include "graph/stats.h"
 #include "obs/export.h"
@@ -49,9 +55,15 @@
 namespace emigre::cli {
 namespace {
 
+// Exit-code contract, asserted by tests/cli_smoke_test.sh.
+constexpr int kExitInternal = 1;       ///< infrastructure / internal failure
+constexpr int kExitUsage = 2;          ///< bad flags, unknown command
+constexpr int kExitNoExplanation = 3;  ///< valid question, no explanation
+
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return 1;
+  return status.code() == StatusCode::kInvalidArgument ? kExitUsage
+                                                       : kExitInternal;
 }
 
 /// Observability flags shared by the query subcommands; see
@@ -306,7 +318,7 @@ int RunExplain(const std::vector<std::string>& args) {
                   explain::DiagnoseFailure(lg->g, space.value(), e, lg->opts)
                       .message.c_str());
     }
-    return obs.Finish(2);
+    return obs.Finish(kExitNoExplanation);
   }
   std::printf("%s\n", explain::FormatExplanationSentence(lg->g, e).c_str());
   std::printf("(%s mode, %zu action(s), %s heuristic, %zu TESTs, %.1f ms)\n",
@@ -423,13 +435,87 @@ int RunSelfCheck(const std::vector<std::string>& args) {
   return obs.Finish(report->ok() ? 0 : 1);
 }
 
+int RunChaos(const std::vector<std::string>& args) {
+  FlagParser parser(
+      "emigre chaos — seeded fault-injection soak (docs/robustness.md)");
+  parser.AddFlag("seeds", "number of independent fault schedules", "20");
+  parser.AddFlag("base-seed", "seed of schedule 0", "20240416");
+  parser.AddFlag("queries", "explain queries per schedule", "3");
+  parser.AddFlag("users", "synthetic dataset users", "60");
+  parser.AddFlag("items", "synthetic dataset items", "400");
+  parser.AddFlag("test-threads",
+                 "candidate-verification threads during the soak", "2");
+  Status st = parser.Parse(args);
+  if (!st.ok()) return Fail(st);
+  if (!fault::kFaultInjectionEnabled) {
+    std::fprintf(stderr,
+                 "warning: built without -DEMIGRE_FAULT_INJECTION=ON; fault "
+                 "sites are compiled out, so this soak exercises only the "
+                 "plain pipeline\n");
+  }
+
+  // The soak runs on a synthetic graph so it needs no input files.
+  data::SyntheticAmazonOptions gen;
+  gen.num_users = static_cast<size_t>(parser.GetInt("users").ValueOrDie());
+  gen.num_items = static_cast<size_t>(parser.GetInt("items").ValueOrDie());
+  gen.seed = static_cast<uint64_t>(parser.GetInt("base-seed").ValueOrDie());
+  Result<data::Dataset> ds = data::GenerateSyntheticAmazon(gen);
+  if (!ds.ok()) return Fail(ds.status());
+  Result<data::AmazonLiteGraph> lite =
+      data::BuildAmazonLite(ds.value(), data::AmazonLiteOptions{});
+  if (!lite.ok()) return Fail(lite.status());
+
+  explain::EmigreOptions opts;
+  opts.rec.item_type = lite->graph.FindNodeType("item");
+  for (const char* name : {"rated", "reviewed"}) {
+    graph::EdgeTypeId t = lite->graph.FindEdgeType(name);
+    if (t != graph::kInvalidEdgeType) opts.allowed_edge_types.push_back(t);
+  }
+  opts.add_edge_type = lite->graph.FindEdgeType("rated");
+  opts.deadline_seconds = 2.0;
+
+  Result<std::vector<eval::Scenario>> scenarios = eval::GenerateScenarios(
+      lite->graph, lite->eval_users, opts, /*top_k=*/5, /*max_per_user=*/2);
+  if (!scenarios.ok()) return Fail(scenarios.status());
+
+  eval::ChaosOptions chaos_opts;
+  chaos_opts.base_seed =
+      static_cast<uint64_t>(parser.GetInt("base-seed").ValueOrDie());
+  chaos_opts.num_schedules =
+      static_cast<size_t>(parser.GetInt("seeds").ValueOrDie());
+  chaos_opts.queries_per_schedule =
+      static_cast<size_t>(parser.GetInt("queries").ValueOrDie());
+  chaos_opts.test_threads =
+      static_cast<size_t>(parser.GetInt("test-threads").ValueOrDie());
+  Result<eval::ChaosReport> report =
+      eval::RunChaosSoak(lite->graph, scenarios.value(), opts, chaos_opts);
+  if (!report.ok()) return Fail(report.status());
+
+  std::printf(
+      "chaos: %zu schedule(s), %zu query(ies), %zu fault(s) fired, %zu typed "
+      "failure(s), %zu degraded, %zu explanation(s) found\n",
+      report->schedules_run, report->queries_run, report->faults_fired,
+      report->typed_failures, report->degraded_results,
+      report->explanations_found);
+  for (const std::string& v : report->violations) {
+    std::fprintf(stderr, "violation: %s\n", v.c_str());
+  }
+  if (!report->ok()) {
+    std::fprintf(stderr, "chaos soak FAILED: %zu violation(s)\n",
+                 report->violations.size());
+    return kExitInternal;
+  }
+  std::printf("chaos soak passed\n");
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   const std::string usage =
       "usage: emigre <generate|build-graph|stats|recommend|explain|"
-      "experiment|selfcheck> [flags]\n";
+      "experiment|selfcheck|chaos> [flags]\n";
   if (argc < 2) {
     std::fprintf(stderr, "%s", usage.c_str());
-    return 1;
+    return kExitUsage;
   }
   std::string command = argv[1];
   std::vector<std::string> rest;
@@ -442,9 +528,10 @@ int Main(int argc, char** argv) {
   if (command == "explain") return RunExplain(rest);
   if (command == "experiment") return RunExperiment(rest);
   if (command == "selfcheck") return RunSelfCheck(rest);
+  if (command == "chaos") return RunChaos(rest);
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(),
                usage.c_str());
-  return 1;
+  return kExitUsage;
 }
 
 }  // namespace

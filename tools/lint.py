@@ -21,6 +21,10 @@ Rules (each can be suppressed per line with a trailing `NOLINT` or
                    PushWorkspace so a push touching k nodes costs O(k),
                    not O(n). Intentional warm-up growth and one-off
                    dense exports carry NOLINT(dense-reset).
+  fault-site       every EMIGRE_FAULT_POINT / EMIGRE_FAULT_POINT_STATUS
+                   site name is unique across the repo, so a fault spec
+                   or a fault.<site>.fired counter names exactly one
+                   code location (docs/robustness.md).
 
 Usage:
   tools/lint.py [--root DIR] [paths...]   lint the repo (or just paths)
@@ -43,6 +47,7 @@ RULES = (
     "naked-new",
     "bench-metrics",
     "dense-reset",
+    "fault-site",
 )
 
 # dense-reset guards the PPR hot paths only: everywhere else a dense
@@ -254,6 +259,40 @@ def check_dense_reset(relpath, stripped_lines, raw_lines, violations):
                 "growth with NOLINT(dense-reset)"))
 
 
+# Matches a fault-point invocation with a literal site name. The macro
+# definition itself (unquoted parameter) and the kFaultSites catalog (plain
+# strings, no macro) do not match.
+FAULT_POINT_RE = re.compile(
+    r'EMIGRE_FAULT_POINT(?:_STATUS)?\s*\(\s*"([^"]+)"')
+
+
+def check_fault_sites(relpath, stripped_lines, raw_lines, violations,
+                      seen_sites):
+    """Every fault-point site name must be globally unique: specs and the
+    fault.<site>.fired counters address sites by name, so a duplicate would
+    silently arm (and count) two code locations at once. `seen_sites` maps
+    site -> (path, line) across every file of the run."""
+    for idx, line in enumerate(raw_lines):
+        if is_suppressed(line, "fault-site"):
+            continue
+        # Site names live in string literals, so match on the raw line —
+        # but only where the stripped line shows a real macro invocation
+        # (mentions in comments don't count).
+        if "EMIGRE_FAULT_POINT" not in stripped_lines[idx]:
+            continue
+        for m in FAULT_POINT_RE.finditer(line):
+            site = m.group(1)
+            prev = seen_sites.get(site)
+            if prev is not None:
+                violations.append(Violation(
+                    relpath, idx + 1, "fault-site",
+                    f'duplicate fault site "{site}" (already used at '
+                    f"{prev[0]}:{prev[1]}); every EMIGRE_FAULT_POINT site "
+                    f"name must be unique"))
+            else:
+                seen_sites[site] = (relpath, idx + 1)
+
+
 def check_bench_metrics(relpath, text, violations):
     name = os.path.basename(relpath)
     m = re.match(r"bench_(\w+)\.cc$", name)
@@ -270,7 +309,7 @@ def check_bench_metrics(relpath, text, violations):
             f"writes BENCH_{bench}.json"))
 
 
-def lint_file(root, relpath):
+def lint_file(root, relpath, seen_fault_sites=None):
     violations = []
     full = os.path.join(root, relpath)
     try:
@@ -295,6 +334,12 @@ def lint_file(root, relpath):
     if relpath.endswith((".h", ".cc")) and any(
             relpath.startswith(d + "/") for d in DENSE_RESET_DIRS):
         check_dense_reset(relpath, stripped, raw_lines, violations)
+    if relpath.endswith((".h", ".cc")):
+        # Single-file runs (and the self-test) still catch intra-file
+        # duplicates; run_lint threads one map through every file so the
+        # rule is global.
+        check_fault_sites(relpath, stripped, raw_lines, violations,
+                          {} if seen_fault_sites is None else seen_fault_sites)
     return violations
 
 
@@ -326,8 +371,9 @@ def collect_files(root, paths):
 
 def run_lint(root, paths):
     violations = []
+    seen_fault_sites = {}
     for rel in collect_files(root, paths):
-        violations.extend(lint_file(root, rel))
+        violations.extend(lint_file(root, rel, seen_fault_sites))
     for v in violations:
         print(v)
     if violations:
@@ -361,6 +407,10 @@ SEEDED = {
         "src/ppr/dense_clear.cc",
         "void Reset(std::vector<double>& v, size_t n) {"
         " v.assign(n, 0.0); }\n"),
+    "fault-site": (
+        "src/util/dup_site.cc",
+        'void A() { EMIGRE_FAULT_POINT("dup.site"); }\n'
+        'void B() { EMIGRE_FAULT_POINT_STATUS("dup.site"); }\n'),
 }
 
 CLEAN_FILE = (
