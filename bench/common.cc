@@ -197,8 +197,12 @@ void WriteBenchMetrics(const std::string& bench_name) {
   std::string path = StrFormat("%s%sBENCH_%s.json", dir != nullptr ? dir : "",
                                dir != nullptr ? "/" : "",
                                bench_name.c_str());
-  Status st = obs::WriteMetricsJson(path, obs::Registry::Global().Snapshot(),
-                                    obs::TraceSnapshot());
+  obs::BenchDoc doc;
+  doc.bench = bench_name;
+  doc.scale = ReadScale();
+  doc.metrics = obs::Registry::Global().Snapshot();
+  doc.trace = obs::TraceSnapshot();
+  Status st = obs::WriteBenchJson(path, doc);
   if (!st.ok()) {
     std::fprintf(stderr, "[bench] metrics write failed: %s\n",
                  st.ToString().c_str());

@@ -69,9 +69,10 @@ Result<data::AmazonLiteGraph> BuildBenchGraph(const BenchConfig& config);
 void PrintBenchHeader(const std::string& title, const BenchConfig& config);
 
 /// Writes the process-wide metrics registry as `BENCH_<name>.json`
-/// (emigre.metrics.v1 schema, see docs/observability.md) — the
-/// perf-trajectory record every bench emits on exit. Files land in the
-/// current directory unless EMIGRE_BENCH_METRICS_DIR overrides it.
+/// (emigre.bench.v1 schema, see docs/observability.md) — the
+/// perf-trajectory record every bench emits on exit, and the input of the
+/// `emigre perfgate` regression gate. Files land in the current directory
+/// unless EMIGRE_BENCH_METRICS_DIR overrides it.
 void WriteBenchMetrics(const std::string& bench_name);
 
 }  // namespace emigre::bench

@@ -1,8 +1,12 @@
 #include "explain/emigre.h"
 
+#include <cstdio>
 #include <exception>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "check/invariants.h"
 #include "fault/fault.h"
@@ -14,6 +18,7 @@
 #include "explain/powerset.h"
 #include "explain/search_space.h"
 #include "explain/tester.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "recsys/recommender.h"
 #include "util/status.h"
@@ -52,32 +57,112 @@ Status Emigre::ValidateQuestion(const WhyNotQuestion& q,
   return Status::OK();
 }
 
+namespace {
+
+/// Fault sites whose fire counts grew between the two FireCounts snapshots.
+std::vector<std::pair<std::string, uint64_t>> FaultDelta(
+    const std::vector<std::pair<std::string, size_t>>& before,
+    const std::vector<std::pair<std::string, size_t>>& after) {
+  std::map<std::string, size_t> base(before.begin(), before.end());
+  std::vector<std::pair<std::string, uint64_t>> out;
+  for (const auto& [site, fires] : after) {
+    size_t prior = 0;
+    if (auto it = base.find(site); it != base.end()) prior = it->second;
+    if (fires > prior) out.emplace_back(site, fires - prior);
+  }
+  return out;
+}
+
+}  // namespace
+
 Result<Explanation> Emigre::Explain(const WhyNotQuestion& q, Mode mode,
                                     Heuristic heuristic) const {
+  // One id per attempt, also inherited by this query's worker threads, so
+  // timeline events and the audit record join back to this result.
+  const uint64_t query_id = obs::BeginQuery();
+  obs::QueryRecord record;
+  record.query_id = query_id;
+  WallTimer timer;
+  std::vector<std::pair<std::string, size_t>> fires_before;
+  if (opts_.query_log != nullptr) {
+    fires_before = fault::FaultRegistry::Global().FireCounts();
+  }
+  obs::QueryRecord* record_ptr =
+      opts_.query_log != nullptr ? &record : nullptr;
+
   // Exception boundary of the explain pipeline ("no exceptions cross public
   // API boundaries"): everything thrown below — worker-task failures
   // surfaced as StatusError, injected faults, deadline unwinds that escaped
   // the testers (e.g. during tester construction), stray std exceptions —
   // converts to a Status or a typed FailureReason here.
-  try {
-    EMIGRE_FAULT_POINT("explain.query");
-    return ExplainImpl(q, mode, heuristic);
-  } catch (const StatusError& e) {
-    return e.status();
-  } catch (const DeadlineExceededError&) {
-    Explanation out;
-    out.mode = mode;
-    out.heuristic = heuristic;
-    out.failure = FailureReason::kBudgetExceeded;
-    return out;
-  } catch (const std::exception& e) {
-    return Status::Internal(std::string("explain pipeline failure: ") +
-                            e.what());
+  Result<Explanation> outcome = [&]() -> Result<Explanation> {
+    try {
+      EMIGRE_FAULT_POINT("explain.query");
+      return ExplainImpl(q, mode, heuristic, record_ptr);
+    } catch (const StatusError& e) {
+      return e.status();
+    } catch (const DeadlineExceededError&) {
+      Explanation out;
+      out.mode = mode;
+      out.heuristic = heuristic;
+      out.failure = FailureReason::kBudgetExceeded;
+      return out;
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("explain pipeline failure: ") +
+                              e.what());
+    }
+  }();
+  if (outcome.ok()) outcome->query_id = query_id;
+
+  if (opts_.query_log != nullptr) {
+    record.user = q.user;
+    record.why_not_item = q.why_not_item;
+    record.mode = std::string(ModeName(mode));
+    record.heuristic = std::string(HeuristicName(heuristic));
+    record.heuristic_chain = {record.mode + "/" + record.heuristic};
+    record.deadline_seconds = opts_.deadline_seconds;
+    record.max_tests = opts_.max_tests;
+    record.test_threads = opts_.test_threads;
+    record.tester =
+        opts_.tester == TesterKind::kDynamicPush ? "dynamic_push" : "exact";
+    record.anytime = opts_.anytime;
+    record.seconds = timer.ElapsedSeconds();
+    if (outcome.ok()) {
+      const Explanation& e = *outcome;
+      record.found = e.found;
+      record.verified = e.verified;
+      record.degraded = e.degraded;
+      record.degraded_gap = e.degraded_gap;
+      record.failure = std::string(FailureReasonName(e.failure));
+      record.original_rec = e.original_rec;
+      record.new_rec = e.new_rec;
+      record.search_space_size = e.search_space_size;
+      record.candidates_considered = e.candidates_considered;
+      record.tests_performed = e.tests_performed;
+      for (const graph::EdgeRef& edge : e.edges) {
+        record.edges.push_back({edge.src, edge.dst, edge.type});
+      }
+    } else {
+      record.error = outcome.status().ToString();
+      record.failure = std::string(FailureReasonName(
+          outcome.status().IsInvalidArgument()
+              ? FailureReason::kInvalidQuestion
+              : FailureReason::kInternalError));
+    }
+    record.faults_fired =
+        FaultDelta(fires_before, fault::FaultRegistry::Global().FireCounts());
+    Status log_status = opts_.query_log->Append(record);
+    if (!log_status.ok()) {
+      std::fprintf(stderr, "[emigre] query-log append failed: %s\n",
+                   log_status.ToString().c_str());
+    }
   }
+  return outcome;
 }
 
 Result<Explanation> Emigre::ExplainImpl(const WhyNotQuestion& q, Mode mode,
-                                        Heuristic heuristic) const {
+                                        Heuristic heuristic,
+                                        obs::QueryRecord* record) const {
   EMIGRE_SPAN("explain");
   if (check::ShouldCheck(opts_.check_level, check::CheckLevel::kFull)) {
     check::DcheckOk(check::ValidateGraph(*g_), "Emigre::Explain(graph)");
@@ -91,10 +176,15 @@ Result<Explanation> Emigre::ExplainImpl(const WhyNotQuestion& q, Mode mode,
     return Status::InvalidArgument(
         StrFormat("invalid Why-Not item %u", q.why_not_item));
   }
+  WallTimer phase_timer;
   recsys::RecommendationList ranking = CurrentRanking(q.user);
   graph::NodeId rec = ranking.Top();
   EMIGRE_RETURN_IF_ERROR(ValidateQuestion(q, rec));
+  if (record != nullptr) {
+    record->phase_seconds.emplace_back("ranking", phase_timer.ElapsedSeconds());
+  }
 
+  phase_timer.Reset();
   EMIGRE_ASSIGN_OR_RETURN(
       SearchSpace space,
       mode == Mode::kRemove
@@ -102,6 +192,10 @@ Result<Explanation> Emigre::ExplainImpl(const WhyNotQuestion& q, Mode mode,
                                    ppr_cache_.get())
           : BuildAddSearchSpace(*g_, q.user, rec, q.why_not_item, opts_,
                                 ppr_cache_.get()));
+  if (record != nullptr) {
+    record->phase_seconds.emplace_back("search_space",
+                                       phase_timer.ElapsedSeconds());
+  }
 
   // Per-query deadline, propagated cooperatively into the TEST path's PPR
   // loops (push kernels, dynamic repair, power iteration). The ranking and
@@ -131,6 +225,7 @@ Result<Explanation> Emigre::ExplainImpl(const WhyNotQuestion& q, Mode mode,
     tester = make_tester();
   }
 
+  phase_timer.Reset();
   Explanation result;
   switch (heuristic) {
     case Heuristic::kIncremental:
@@ -157,6 +252,10 @@ Result<Explanation> Emigre::ExplainImpl(const WhyNotQuestion& q, Mode mode,
     case Heuristic::kBruteForce:
       result = RunBruteForce(space, *tester, opts_);
       break;
+  }
+  if (record != nullptr) {
+    record->phase_seconds.emplace_back("heuristic",
+                                       phase_timer.ElapsedSeconds());
   }
   result.original_rec = rec;
   // Verified results went through the exact TEST; replaying them must flip

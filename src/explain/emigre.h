@@ -89,10 +89,11 @@ class Emigre {
 
  private:
   /// The pipeline body; may throw (deadline unwinds, worker-task errors).
-  /// `Explain` wraps it in the exception boundary.
+  /// `Explain` wraps it in the exception boundary. `record`, when non-null,
+  /// collects per-phase wall times for the audit log.
   [[nodiscard]] Result<Explanation> ExplainImpl(const WhyNotQuestion& q,
-                                                Mode mode,
-                                                Heuristic heuristic) const;
+                                                Mode mode, Heuristic heuristic,
+                                                obs::QueryRecord* record) const;
 
   const graph::HinGraph* g_;
   EmigreOptions opts_;

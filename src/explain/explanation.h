@@ -90,6 +90,9 @@ struct Explanation {
   double degraded_gap = 0.0;
 
   // --- Diagnostics -----------------------------------------------------------
+  /// Process-unique id assigned by `Emigre::Explain` (obs::BeginQuery);
+  /// joins this result to its timeline events and audit-log record.
+  uint64_t query_id = 0;
   graph::NodeId original_rec = graph::kInvalidNode;
   /// Top item after applying the explanation (only when verified).
   graph::NodeId new_rec = graph::kInvalidNode;

@@ -216,7 +216,7 @@ bool FastExplanationTester::RunOnce(const std::vector<ModedEdit>& edits,
     // normally exits first) rebuilds from the base graph. While the deadline
     // stays expired the rebuild itself throws immediately, keeping
     // post-deadline TESTs O(1).
-    EMIGRE_COUNTER("explain.tests.deadline").Increment();
+    EMIGRE_COUNTER("explain.tests.dynamic.deadline").Increment();
     stale_ = true;
     if (new_rec != nullptr) *new_rec = graph::kInvalidNode;
     return false;

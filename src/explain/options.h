@@ -6,6 +6,7 @@
 
 #include "check/check_level.h"
 #include "graph/types.h"
+#include "obs/query_log.h"
 #include "recsys/recommender.h"
 
 namespace emigre::explain {
@@ -85,6 +86,13 @@ struct EmigreOptions {
   /// Results are deterministic at any setting: batches accept the
   /// lowest-index success, exactly like the serial scan.
   size_t test_threads = 1;
+
+  /// Optional per-query audit sink (docs/observability.md). When set,
+  /// every `Explain` call appends one emigre.query.v1 record — question,
+  /// budgets, phase durations, faults fired, resulting edge set. Not owned;
+  /// must outlive the engine. The sink is internally synchronized, so
+  /// engines running on multiple threads may share one log.
+  obs::QueryLog* query_log = nullptr;
 
   /// Invariant-validation level of the debug hooks (docs/invariants.md).
   /// Only consulted in builds configured with

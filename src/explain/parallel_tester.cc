@@ -4,6 +4,7 @@
 
 #include "fault/fault.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "util/status.h"
 
@@ -87,8 +88,12 @@ TesterInterface::BatchResult ParallelTester::TestBatch(
   };
 
   const size_t workers = std::min(num_threads_, n);
+  // Workers serve the submitting thread's query: hand its id down so their
+  // timeline events and metrics attribute to the right query.
+  const uint64_t query_id = obs::CurrentQueryId();
   for (size_t w = 0; w < workers; ++w) {
-    pool_->Submit([&, w] {
+    pool_->Submit([&, w, query_id] {
+      obs::SetCurrentQueryId(query_id);
       TesterInterface& tester = SlotTester(w);
       for (;;) {
         size_t i = next.fetch_add(1, std::memory_order_relaxed);

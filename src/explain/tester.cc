@@ -98,7 +98,7 @@ bool ExplanationTester::RunOnce(const std::vector<ModedEdit>& edits,
     // is unverifiable within budget, so it fails. The kernel overlay state
     // self-heals (next TEST starts with Clear()); the search's own budget
     // check exits with kBudgetExceeded right after.
-    EMIGRE_COUNTER("explain.tests.deadline").Increment();
+    EMIGRE_COUNTER("explain.tests.exact.deadline").Increment();
     if (new_rec != nullptr) *new_rec = graph::kInvalidNode;
     return false;
   }

@@ -1,12 +1,9 @@
 #include "obs/export.h"
 
-#include <cctype>
-#include <cmath>
-#include <cstdio>
 #include <fstream>
-#include <map>
 #include <sstream>
 
+#include "util/json.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -14,227 +11,105 @@ namespace emigre::obs {
 
 namespace {
 
-/// Shortest representation that parses back to the same double.
-std::string JsonNumber(double v) {
-  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan
-  for (int precision = 6; precision <= 17; ++precision) {
-    std::string s = StrFormat("%.*g", precision, v);
-    if (std::strtod(s.c_str(), nullptr) == v) return s;
+/// Writes the shared counters/gauges/histograms/trace body used by both
+/// emigre.metrics.v1 and emigre.bench.v1 (everything after the header
+/// fields, without the closing brace).
+void AppendMetricsBody(std::ostringstream& out, const MetricsSnapshot& snapshot,
+                       const std::vector<SpanStat>& trace) {
+  out << "  \"counters\": {";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const CounterSample& c = snapshot.counters[i];
+    out << (i == 0 ? "\n" : ",\n") << "    " << json::Escape(c.name) << ": "
+        << c.value;
   }
-  return StrFormat("%.17g", v);
+  out << (snapshot.counters.empty() ? "}" : "\n  }") << ",\n";
+
+  out << "  \"gauges\": {";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const GaugeSample& g = snapshot.gauges[i];
+    out << (i == 0 ? "\n" : ",\n") << "    " << json::Escape(g.name) << ": "
+        << json::Number(g.value);
+  }
+  out << (snapshot.gauges.empty() ? "}" : "\n  }") << ",\n";
+
+  out << "  \"histograms\": {";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSample& h = snapshot.histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << "    " << json::Escape(h.name) << ": {";
+    out << "\"count\": " << h.count << ", \"sum\": " << json::Number(h.sum)
+        << ", \"min\": " << json::Number(h.min)
+        << ", \"max\": " << json::Number(h.max)
+        << ", \"mean\": " << json::Number(h.Mean())
+        << ", \"p50\": " << json::Number(h.Percentile(50))
+        << ", \"p95\": " << json::Number(h.Percentile(95))
+        << ", \"p99\": " << json::Number(h.Percentile(99))
+        << ", \"buckets\": [";
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out << ", ";
+      out << h.buckets[b];
+    }
+    out << "]}";
+  }
+  out << (snapshot.histograms.empty() ? "}" : "\n  }");
+
+  if (!trace.empty()) {
+    out << ",\n  \"trace\": [";
+    for (size_t i = 0; i < trace.size(); ++i) {
+      const SpanStat& s = trace[i];
+      out << (i == 0 ? "\n" : ",\n") << "    {\"path\": "
+          << json::Escape(s.path) << ", \"depth\": " << s.depth
+          << ", \"count\": " << s.count
+          << ", \"seconds\": " << json::Number(s.total_seconds) << "}";
+    }
+    out << "\n  ]";
+  }
 }
 
-std::string JsonString(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += StrFormat("\\u%04x", c);
-        } else {
-          out += c;
+/// Reads the shared body back. `trace_out` may be null.
+void ParseMetricsBody(const json::JsonValue& root, MetricsSnapshot* out,
+                      std::vector<SpanStat>* trace_out) {
+  if (const json::JsonValue* counters = root.Find("counters")) {
+    for (const auto& [name, v] : counters->object) {
+      out->counters.push_back(CounterSample{name, v.AsUint(0)});
+    }
+  }
+  if (const json::JsonValue* gauges = root.Find("gauges")) {
+    for (const auto& [name, v] : gauges->object) {
+      out->gauges.push_back(GaugeSample{name, v.AsDouble(0.0)});
+    }
+  }
+  if (const json::JsonValue* histograms = root.Find("histograms")) {
+    for (const auto& [name, v] : histograms->object) {
+      HistogramSample h;
+      h.name = name;
+      h.count = json::UintOr(v, "count");
+      h.sum = json::DoubleOr(v, "sum");
+      h.min = json::DoubleOr(v, "min");
+      h.max = json::DoubleOr(v, "max");
+      if (const json::JsonValue* buckets = v.Find("buckets")) {
+        for (const json::JsonValue& b : buckets->array) {
+          h.buckets.push_back(b.AsUint(0));
         }
-    }
-  }
-  out += "\"";
-  return out;
-}
-
-// --- Minimal JSON value parser (objects/arrays/strings/numbers) -----------
-//
-// Just enough JSON to read back what MetricsJson writes (and any
-// hand-edited BENCH_*.json): no unicode escapes beyond \uXXXX pass-through,
-// numbers via strtod.
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  const JsonValue* Find(const std::string& key) const {
-    auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  Result<JsonValue> Parse() {
-    JsonValue value;
-    EMIGRE_RETURN_IF_ERROR(ParseValue(&value));
-    SkipWhitespace();
-    if (pos_ != text_.size()) {
-      return Error("trailing characters after JSON document");
-    }
-    return value;
-  }
-
- private:
-  Status Error(const std::string& message) const {
-    return Status::InvalidArgument(
-        StrFormat("JSON parse error at offset %zu: %s", pos_,
-                  message.c_str()));
-  }
-
-  void SkipWhitespace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    SkipWhitespace();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  Status ParseValue(JsonValue* out) {
-    SkipWhitespace();
-    if (pos_ >= text_.size()) return Error("unexpected end of input");
-    char c = text_[pos_];
-    if (c == '{') return ParseObject(out);
-    if (c == '[') return ParseArray(out);
-    if (c == '"') {
-      out->kind = JsonValue::Kind::kString;
-      return ParseString(&out->string);
-    }
-    if (text_.compare(pos_, 4, "true") == 0) {
-      out->kind = JsonValue::Kind::kBool;
-      out->boolean = true;
-      pos_ += 4;
-      return Status::OK();
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      out->kind = JsonValue::Kind::kBool;
-      out->boolean = false;
-      pos_ += 5;
-      return Status::OK();
-    }
-    if (text_.compare(pos_, 4, "null") == 0) {
-      out->kind = JsonValue::Kind::kNull;
-      pos_ += 4;
-      return Status::OK();
-    }
-    return ParseNumber(out);
-  }
-
-  Status ParseNumber(JsonValue* out) {
-    const char* start = text_.c_str() + pos_;
-    char* end = nullptr;
-    double v = std::strtod(start, &end);
-    if (end == start) return Error("expected a value");
-    pos_ += static_cast<size_t>(end - start);
-    out->kind = JsonValue::Kind::kNumber;
-    out->number = v;
-    return Status::OK();
-  }
-
-  Status ParseString(std::string* out) {
-    if (!Consume('"')) return Error("expected '\"'");
-    out->clear();
-    while (pos_ < text_.size()) {
-      char c = text_[pos_++];
-      if (c == '"') return Status::OK();
-      if (c != '\\') {
-        out->push_back(c);
-        continue;
       }
-      if (pos_ >= text_.size()) break;
-      char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out->push_back('"'); break;
-        case '\\': out->push_back('\\'); break;
-        case '/': out->push_back('/'); break;
-        case 'n': out->push_back('\n'); break;
-        case 't': out->push_back('\t'); break;
-        case 'r': out->push_back('\r'); break;
-        case 'b': out->push_back('\b'); break;
-        case 'f': out->push_back('\f'); break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else return Error("bad \\u escape");
-          }
-          // ASCII-only emitter; decode the BMP code point as UTF-8.
-          if (code < 0x80) {
-            out->push_back(static_cast<char>(code));
-          } else if (code < 0x800) {
-            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
-            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          } else {
-            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
-            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          }
-          break;
-        }
-        default:
-          return Error("unknown escape");
+      h.buckets.resize(Histogram::kNumBuckets, 0);
+      out->histograms.push_back(std::move(h));
+    }
+  }
+  if (trace_out != nullptr) {
+    trace_out->clear();
+    if (const json::JsonValue* trace = root.Find("trace")) {
+      for (const json::JsonValue& entry : trace->array) {
+        SpanStat stat;
+        stat.path = json::StringOr(entry, "path");
+        stat.depth = static_cast<int>(entry.Find("depth") != nullptr
+                                          ? entry.Find("depth")->AsInt(0)
+                                          : 0);
+        stat.count = json::UintOr(entry, "count");
+        stat.total_seconds = json::DoubleOr(entry, "seconds");
+        trace_out->push_back(std::move(stat));
       }
     }
-    return Error("unterminated string");
   }
-
-  Status ParseObject(JsonValue* out) {
-    if (!Consume('{')) return Error("expected '{'");
-    out->kind = JsonValue::Kind::kObject;
-    SkipWhitespace();
-    if (Consume('}')) return Status::OK();
-    for (;;) {
-      std::string key;
-      EMIGRE_RETURN_IF_ERROR(ParseString(&key));
-      if (!Consume(':')) return Error("expected ':'");
-      JsonValue value;
-      EMIGRE_RETURN_IF_ERROR(ParseValue(&value));
-      out->object.emplace(std::move(key), std::move(value));
-      if (Consume(',')) continue;
-      if (Consume('}')) return Status::OK();
-      return Error("expected ',' or '}'");
-    }
-  }
-
-  Status ParseArray(JsonValue* out) {
-    if (!Consume('[')) return Error("expected '['");
-    out->kind = JsonValue::Kind::kArray;
-    SkipWhitespace();
-    if (Consume(']')) return Status::OK();
-    for (;;) {
-      JsonValue value;
-      EMIGRE_RETURN_IF_ERROR(ParseValue(&value));
-      out->array.push_back(std::move(value));
-      if (Consume(',')) continue;
-      if (Consume(']')) return Status::OK();
-      return Error("expected ',' or ']'");
-    }
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
-
-double NumberOr(const JsonValue* v, double fallback) {
-  return v != nullptr && v->kind == JsonValue::Kind::kNumber ? v->number
-                                                             : fallback;
 }
 
 }  // namespace
@@ -271,53 +146,7 @@ std::string MetricsJson(const MetricsSnapshot& snapshot,
                         const std::vector<SpanStat>& trace) {
   std::ostringstream out;
   out << "{\n  \"schema\": \"emigre.metrics.v1\",\n";
-
-  out << "  \"counters\": {";
-  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
-    const CounterSample& c = snapshot.counters[i];
-    out << (i == 0 ? "\n" : ",\n") << "    " << JsonString(c.name) << ": "
-        << c.value;
-  }
-  out << (snapshot.counters.empty() ? "}" : "\n  }") << ",\n";
-
-  out << "  \"gauges\": {";
-  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
-    const GaugeSample& g = snapshot.gauges[i];
-    out << (i == 0 ? "\n" : ",\n") << "    " << JsonString(g.name) << ": "
-        << JsonNumber(g.value);
-  }
-  out << (snapshot.gauges.empty() ? "}" : "\n  }") << ",\n";
-
-  out << "  \"histograms\": {";
-  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
-    const HistogramSample& h = snapshot.histograms[i];
-    out << (i == 0 ? "\n" : ",\n") << "    " << JsonString(h.name) << ": {";
-    out << "\"count\": " << h.count << ", \"sum\": " << JsonNumber(h.sum)
-        << ", \"min\": " << JsonNumber(h.min)
-        << ", \"max\": " << JsonNumber(h.max)
-        << ", \"mean\": " << JsonNumber(h.Mean())
-        << ", \"p50\": " << JsonNumber(h.Percentile(50))
-        << ", \"p95\": " << JsonNumber(h.Percentile(95))
-        << ", \"p99\": " << JsonNumber(h.Percentile(99)) << ", \"buckets\": [";
-    for (size_t b = 0; b < h.buckets.size(); ++b) {
-      if (b > 0) out << ", ";
-      out << h.buckets[b];
-    }
-    out << "]}";
-  }
-  out << (snapshot.histograms.empty() ? "}" : "\n  }");
-
-  if (!trace.empty()) {
-    out << ",\n  \"trace\": [";
-    for (size_t i = 0; i < trace.size(); ++i) {
-      const SpanStat& s = trace[i];
-      out << (i == 0 ? "\n" : ",\n") << "    {\"path\": "
-          << JsonString(s.path) << ", \"depth\": " << s.depth
-          << ", \"count\": " << s.count
-          << ", \"seconds\": " << JsonNumber(s.total_seconds) << "}";
-    }
-    out << "\n  ]";
-  }
+  AppendMetricsBody(out, snapshot, trace);
   out << "\n}\n";
   return out.str();
 }
@@ -339,59 +168,56 @@ Status WriteMetricsJson(const std::string& path,
 
 Result<MetricsSnapshot> ParseMetricsJson(const std::string& json,
                                          std::vector<SpanStat>* trace_out) {
-  EMIGRE_ASSIGN_OR_RETURN(JsonValue root, JsonParser(json).Parse());
-  if (root.kind != JsonValue::Kind::kObject) {
+  EMIGRE_ASSIGN_OR_RETURN(json::JsonValue root, json::Parse(json));
+  if (root.kind != json::JsonValue::Kind::kObject) {
     return Status::InvalidArgument("metrics JSON: top level is not an object");
   }
-  const JsonValue* schema = root.Find("schema");
-  if (schema == nullptr || schema->string != "emigre.metrics.v1") {
+  if (json::StringOr(root, "schema") != "emigre.metrics.v1") {
     return Status::InvalidArgument(
         "metrics JSON: missing or unknown \"schema\"");
   }
-
   MetricsSnapshot out;
-  if (const JsonValue* counters = root.Find("counters")) {
-    for (const auto& [name, v] : counters->object) {
-      out.counters.push_back(
-          CounterSample{name, static_cast<uint64_t>(NumberOr(&v, 0.0))});
-    }
-  }
-  if (const JsonValue* gauges = root.Find("gauges")) {
-    for (const auto& [name, v] : gauges->object) {
-      out.gauges.push_back(GaugeSample{name, NumberOr(&v, 0.0)});
-    }
-  }
-  if (const JsonValue* histograms = root.Find("histograms")) {
-    for (const auto& [name, v] : histograms->object) {
-      HistogramSample h;
-      h.name = name;
-      h.count = static_cast<uint64_t>(NumberOr(v.Find("count"), 0.0));
-      h.sum = NumberOr(v.Find("sum"), 0.0);
-      h.min = NumberOr(v.Find("min"), 0.0);
-      h.max = NumberOr(v.Find("max"), 0.0);
-      if (const JsonValue* buckets = v.Find("buckets")) {
-        for (const JsonValue& b : buckets->array) {
-          h.buckets.push_back(static_cast<uint64_t>(NumberOr(&b, 0.0)));
-        }
-      }
-      h.buckets.resize(Histogram::kNumBuckets, 0);
-      out.histograms.push_back(std::move(h));
-    }
-  }
-  if (trace_out != nullptr) {
-    trace_out->clear();
-    if (const JsonValue* trace = root.Find("trace")) {
-      for (const JsonValue& entry : trace->array) {
-        SpanStat stat;
-        if (const JsonValue* path = entry.Find("path")) stat.path = path->string;
-        stat.depth = static_cast<int>(NumberOr(entry.Find("depth"), 0.0));
-        stat.count = static_cast<uint64_t>(NumberOr(entry.Find("count"), 0.0));
-        stat.total_seconds = NumberOr(entry.Find("seconds"), 0.0);
-        trace_out->push_back(std::move(stat));
-      }
-    }
-  }
+  ParseMetricsBody(root, &out, trace_out);
   return out;
+}
+
+std::string BenchJson(const BenchDoc& doc) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"emigre.bench.v1\",\n"
+      << "  \"bench\": " << json::Escape(doc.bench) << ",\n"
+      << "  \"scale\": " << doc.scale << ",\n";
+  AppendMetricsBody(out, doc.metrics, doc.trace);
+  out << "\n}\n";
+  return out.str();
+}
+
+Status WriteBenchJson(const std::string& path, const BenchDoc& doc) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.good()) {
+    return Status::IOError(StrFormat("cannot open %s", path.c_str()));
+  }
+  file << BenchJson(doc);
+  file.flush();
+  if (!file.good()) {
+    return Status::IOError(StrFormat("write to %s failed", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<BenchDoc> ParseBenchJson(const std::string& json) {
+  EMIGRE_ASSIGN_OR_RETURN(json::JsonValue root, json::Parse(json));
+  if (root.kind != json::JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("bench JSON: top level is not an object");
+  }
+  if (json::StringOr(root, "schema") != "emigre.bench.v1") {
+    return Status::InvalidArgument("bench JSON: missing or unknown \"schema\"");
+  }
+  BenchDoc doc;
+  doc.bench = json::StringOr(root, "bench");
+  const json::JsonValue* scale = root.Find("scale");
+  doc.scale = scale != nullptr ? static_cast<int>(scale->AsInt(0)) : 0;
+  ParseMetricsBody(root, &doc.metrics, &doc.trace);
+  return doc;
 }
 
 }  // namespace emigre::obs

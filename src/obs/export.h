@@ -56,6 +56,38 @@ std::string MetricsJson(const MetricsSnapshot& snapshot,
 [[nodiscard]] Result<MetricsSnapshot> ParseMetricsJson(
     const std::string& json, std::vector<SpanStat>* trace_out = nullptr);
 
+// --- emigre.bench.v1 ------------------------------------------------------
+//
+// The perf-trajectory format every bench binary emits (BENCH_*.json) and
+// the perf gate compares against bench/baselines/. Identical to
+// emigre.metrics.v1 plus identification fields:
+//
+//   {
+//     "schema": "emigre.bench.v1",
+//     "bench": "ppr_kernels",       // bench binary name
+//     "scale": 0,                   // EMIGRE_BENCH_SCALE the run used
+//     "counters": {...}, "gauges": {...}, "histograms": {...},
+//     "trace": [...]                // optional
+//   }
+
+/// \brief One bench run: which bench, at what scale, and what it measured.
+struct BenchDoc {
+  std::string bench;
+  int scale = 0;
+  MetricsSnapshot metrics;
+  std::vector<SpanStat> trace;
+};
+
+/// Serializes a bench run as pretty emigre.bench.v1 JSON.
+std::string BenchJson(const BenchDoc& doc);
+
+/// Writes `BenchJson` to `path`, overwriting.
+[[nodiscard]] Status WriteBenchJson(const std::string& path,
+                                    const BenchDoc& doc);
+
+/// Parses emigre.bench.v1 JSON back into a BenchDoc.
+[[nodiscard]] Result<BenchDoc> ParseBenchJson(const std::string& json);
+
 }  // namespace emigre::obs
 
 #endif  // EMIGRE_OBS_EXPORT_H_

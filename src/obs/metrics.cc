@@ -95,6 +95,52 @@ double HistogramSample::Percentile(double p) const {
   return max;
 }
 
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  std::map<std::string, CounterSample> counter_by_name;
+  for (CounterSample& c : counters) counter_by_name[c.name] = std::move(c);
+  for (const CounterSample& c : other.counters) {
+    counter_by_name[c.name].name = c.name;
+    counter_by_name[c.name].value += c.value;
+  }
+  counters.clear();
+  for (auto& [name, c] : counter_by_name) counters.push_back(std::move(c));
+
+  std::map<std::string, GaugeSample> gauge_by_name;
+  for (GaugeSample& g : gauges) gauge_by_name[g.name] = std::move(g);
+  for (const GaugeSample& g : other.gauges) {
+    auto [it, inserted] = gauge_by_name.emplace(g.name, g);
+    if (!inserted) it->second.value = std::max(it->second.value, g.value);
+  }
+  gauges.clear();
+  for (auto& [name, g] : gauge_by_name) gauges.push_back(std::move(g));
+
+  std::map<std::string, HistogramSample> hist_by_name;
+  for (HistogramSample& h : histograms) hist_by_name[h.name] = std::move(h);
+  for (const HistogramSample& h : other.histograms) {
+    auto [it, inserted] = hist_by_name.emplace(h.name, h);
+    if (inserted) continue;
+    HistogramSample& acc = it->second;
+    // An empty side contributes nothing; its zeroed min/max must not
+    // clobber the other side's observed range.
+    if (h.count == 0) continue;
+    if (acc.count == 0) {
+      acc = h;
+      continue;
+    }
+    acc.min = std::min(acc.min, h.min);
+    acc.max = std::max(acc.max, h.max);
+    acc.count += h.count;
+    acc.sum += h.sum;
+    acc.buckets.resize(
+        std::max(acc.buckets.size(), h.buckets.size()), 0);
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      acc.buckets[i] += h.buckets[i];
+    }
+  }
+  histograms.clear();
+  for (auto& [name, h] : hist_by_name) histograms.push_back(std::move(h));
+}
+
 MetricsSnapshot Delta(const MetricsSnapshot& before,
                       const MetricsSnapshot& after) {
   MetricsSnapshot out;

@@ -130,6 +130,14 @@ struct MetricsSnapshot {
   bool Empty() const {
     return counters.empty() && gauges.empty() && histograms.empty();
   }
+
+  /// Folds `other` into this snapshot (combining runs or per-thread
+  /// shards): counters and histogram counts/sums/buckets add; gauge values
+  /// and histogram min/max take the extremum (max for gauges — they are
+  /// watermarks in practice; min-of-mins / max-of-maxes for histograms).
+  /// Metrics only present on one side carry over unchanged. The result
+  /// stays name-sorted.
+  void Merge(const MetricsSnapshot& other);
 };
 
 /// \brief `after − before`, the per-phase accounting primitive: counters and

@@ -1,0 +1,139 @@
+#include "obs/query_log.h"
+
+#include <sstream>
+
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace emigre::obs {
+
+std::string QueryRecordJson(const QueryRecord& r) {
+  std::ostringstream out;
+  out << "{\"schema\": \"emigre.query.v1\""
+      << ", \"query_id\": " << r.query_id << ", \"user\": " << r.user
+      << ", \"why_not_item\": " << r.why_not_item
+      << ", \"mode\": " << json::Escape(r.mode)
+      << ", \"heuristic\": " << json::Escape(r.heuristic)
+      << ", \"heuristic_chain\": [";
+  for (size_t i = 0; i < r.heuristic_chain.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << json::Escape(r.heuristic_chain[i]);
+  }
+  out << "], \"budgets\": {\"deadline_seconds\": "
+      << json::Number(r.deadline_seconds) << ", \"max_tests\": " << r.max_tests
+      << ", \"test_threads\": " << r.test_threads
+      << ", \"tester\": " << json::Escape(r.tester)
+      << ", \"anytime\": " << (r.anytime ? "true" : "false") << "}"
+      << ", \"found\": " << (r.found ? "true" : "false")
+      << ", \"verified\": " << (r.verified ? "true" : "false")
+      << ", \"degraded\": " << (r.degraded ? "true" : "false")
+      << ", \"degraded_gap\": " << json::Number(r.degraded_gap)
+      << ", \"failure\": " << json::Escape(r.failure)
+      << ", \"error\": " << json::Escape(r.error)
+      << ", \"original_rec\": " << r.original_rec
+      << ", \"new_rec\": " << r.new_rec
+      << ", \"search_space_size\": " << r.search_space_size
+      << ", \"candidates_considered\": " << r.candidates_considered
+      << ", \"tests_performed\": " << r.tests_performed
+      << ", \"seconds\": " << json::Number(r.seconds)
+      << ", \"phase_seconds\": {";
+  for (size_t i = 0; i < r.phase_seconds.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << json::Escape(r.phase_seconds[i].first)
+        << ": " << json::Number(r.phase_seconds[i].second);
+  }
+  out << "}, \"faults_fired\": {";
+  for (size_t i = 0; i < r.faults_fired.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << json::Escape(r.faults_fired[i].first)
+        << ": " << r.faults_fired[i].second;
+  }
+  out << "}, \"edges\": [";
+  for (size_t i = 0; i < r.edges.size(); ++i) {
+    const QueryRecord::Edge& e = r.edges[i];
+    out << (i == 0 ? "" : ", ") << "{\"src\": " << e.src
+        << ", \"dst\": " << e.dst << ", \"type\": " << e.type << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+Result<QueryRecord> ParseQueryRecord(const std::string& line) {
+  EMIGRE_ASSIGN_OR_RETURN(json::JsonValue root, json::Parse(line));
+  if (root.kind != json::JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("query record: not a JSON object");
+  }
+  if (json::StringOr(root, "schema") != "emigre.query.v1") {
+    return Status::InvalidArgument(
+        "query record: missing or unknown \"schema\"");
+  }
+  QueryRecord r;
+  r.query_id = json::UintOr(root, "query_id");
+  r.user = json::UintOr(root, "user");
+  r.why_not_item = json::UintOr(root, "why_not_item");
+  r.mode = json::StringOr(root, "mode");
+  r.heuristic = json::StringOr(root, "heuristic");
+  if (const json::JsonValue* chain = root.Find("heuristic_chain")) {
+    for (const json::JsonValue& v : chain->array) {
+      r.heuristic_chain.push_back(v.string);
+    }
+  }
+  if (const json::JsonValue* budgets = root.Find("budgets")) {
+    r.deadline_seconds = json::DoubleOr(*budgets, "deadline_seconds");
+    r.max_tests = json::UintOr(*budgets, "max_tests");
+    r.test_threads = json::UintOr(*budgets, "test_threads", 1);
+    r.tester = json::StringOr(*budgets, "tester");
+    r.anytime = json::BoolOr(*budgets, "anytime", false);
+  }
+  r.found = json::BoolOr(root, "found", false);
+  r.verified = json::BoolOr(root, "verified", false);
+  r.degraded = json::BoolOr(root, "degraded", false);
+  r.degraded_gap = json::DoubleOr(root, "degraded_gap");
+  r.failure = json::StringOr(root, "failure");
+  r.error = json::StringOr(root, "error");
+  r.original_rec = json::UintOr(root, "original_rec");
+  r.new_rec = json::UintOr(root, "new_rec");
+  r.search_space_size = json::UintOr(root, "search_space_size");
+  r.candidates_considered = json::UintOr(root, "candidates_considered");
+  r.tests_performed = json::UintOr(root, "tests_performed");
+  r.seconds = json::DoubleOr(root, "seconds");
+  if (const json::JsonValue* phases = root.Find("phase_seconds")) {
+    for (const auto& [name, v] : phases->object) {
+      r.phase_seconds.emplace_back(name, v.AsDouble(0.0));
+    }
+  }
+  if (const json::JsonValue* faults = root.Find("faults_fired")) {
+    for (const auto& [name, v] : faults->object) {
+      r.faults_fired.emplace_back(name, v.AsUint(0));
+    }
+  }
+  if (const json::JsonValue* edges = root.Find("edges")) {
+    for (const json::JsonValue& v : edges->array) {
+      QueryRecord::Edge e;
+      e.src = json::UintOr(v, "src");
+      e.dst = json::UintOr(v, "dst");
+      e.type = json::UintOr(v, "type");
+      r.edges.push_back(e);
+    }
+  }
+  return r;
+}
+
+Result<std::unique_ptr<QueryLog>> QueryLog::Open(const std::string& path) {
+  std::ofstream file(path, std::ios::app);
+  if (!file.good()) {
+    return Status::IOError(StrFormat("cannot open %s", path.c_str()));
+  }
+  return std::unique_ptr<QueryLog>(
+      new QueryLog(path, std::move(file)));  // NOLINT(naked-new) private ctor
+}
+
+Status QueryLog::Append(const QueryRecord& record) {
+  std::string line = QueryRecordJson(record);
+  std::lock_guard<std::mutex> lock(mutex_);
+  file_ << line << "\n";
+  file_.flush();
+  if (!file_.good()) {
+    return Status::IOError(StrFormat("write to %s failed", path_.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace emigre::obs

@@ -1,0 +1,177 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace emigre::obs {
+
+namespace {
+
+std::atomic<bool> g_timeline_enabled{false};
+
+constexpr size_t kRingCapacity = 1 << 14;  // 16384 events per thread
+
+struct Ring {
+  std::mutex mutex;  // uncontended on the hot path; export briefly locks
+  uint64_t thread_id = 0;
+  std::vector<TimelineEvent> events;  // ring storage, capacity kRingCapacity
+  size_t next = 0;      // insertion cursor once the ring has wrapped
+  bool wrapped = false;
+};
+
+struct RingList {
+  std::mutex mutex;
+  std::vector<Ring*> rings;  // leaked with the registry; threads never unregister
+  uint64_t next_thread_id = 0;
+};
+
+RingList& Rings() {
+  static RingList* list = new RingList();  // NOLINT(naked-new) leaky singleton
+  return *list;
+}
+
+/// The timeline epoch: all event timestamps are µs since this point.
+std::chrono::steady_clock::time_point Epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+Ring& ThreadRing() {
+  thread_local Ring* ring = [] {
+    Ring* r = new Ring();  // NOLINT(naked-new) flight-recorder ring, process lifetime
+    r->events.reserve(kRingCapacity);
+    RingList& list = Rings();
+    std::lock_guard<std::mutex> lock(list.mutex);
+    r->thread_id = list.next_thread_id++;
+    list.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+std::atomic<uint64_t> g_next_query_id{1};
+
+uint64_t& CurrentQueryIdSlot() {
+  thread_local uint64_t query_id = 0;
+  return query_id;
+}
+
+}  // namespace
+
+void SetTimelineEnabled(bool enabled) {
+  g_timeline_enabled.store(enabled, std::memory_order_relaxed);
+  if (enabled) (void)Epoch();  // pin the epoch before the first event
+}
+
+bool TimelineEnabled() {
+  return g_timeline_enabled.load(std::memory_order_relaxed);
+}
+
+void RecordTimelineEvent(const std::string& path,
+                         std::chrono::steady_clock::time_point start,
+                         std::chrono::steady_clock::time_point end) {
+  TimelineEvent event;
+  event.path = path;
+  event.query_id = CurrentQueryId();
+  event.start_us =
+      std::chrono::duration<double, std::micro>(start - Epoch()).count();
+  event.dur_us = std::chrono::duration<double, std::micro>(end - start).count();
+
+  Ring& ring = ThreadRing();
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  event.thread_id = ring.thread_id;
+  if (ring.events.size() < kRingCapacity) {
+    ring.events.push_back(std::move(event));
+  } else {
+    ring.events[ring.next] = std::move(event);
+    ring.next = (ring.next + 1) % kRingCapacity;
+    ring.wrapped = true;
+    EMIGRE_COUNTER("obs.timeline.dropped").Increment();
+  }
+}
+
+std::vector<TimelineEvent> TimelineSnapshot() {
+  std::vector<TimelineEvent> out;
+  RingList& list = Rings();
+  std::lock_guard<std::mutex> list_lock(list.mutex);
+  for (Ring* ring : list.rings) {
+    std::lock_guard<std::mutex> lock(ring->mutex);
+    // In ring order (oldest first) the wrapped portion starts at `next`.
+    size_t n = ring->events.size();
+    size_t first = ring->wrapped ? ring->next : 0;
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(ring->events[(first + i) % n]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TimelineEvent& a, const TimelineEvent& b) {
+              return a.start_us < b.start_us;
+            });
+  return out;
+}
+
+void ResetTimeline() {
+  RingList& list = Rings();
+  std::lock_guard<std::mutex> list_lock(list.mutex);
+  for (Ring* ring : list.rings) {
+    std::lock_guard<std::mutex> lock(ring->mutex);
+    ring->events.clear();
+    ring->next = 0;
+    ring->wrapped = false;
+  }
+}
+
+std::string ExportChromeTrace(const std::vector<TimelineEvent>& events) {
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TimelineEvent& e = events[i];
+    size_t last_slash = e.path.rfind('/');
+    std::string leaf = last_slash == std::string::npos
+                           ? e.path
+                           : e.path.substr(last_slash + 1);
+    out << (i == 0 ? "\n" : ",\n") << "  {\"name\": " << json::Escape(leaf)
+        << ", \"cat\": \"emigre\", \"ph\": \"X\""
+        << ", \"ts\": " << json::Number(e.start_us)
+        << ", \"dur\": " << json::Number(e.dur_us) << ", \"pid\": 1"
+        << ", \"tid\": " << e.thread_id
+        << ", \"args\": {\"path\": " << json::Escape(e.path)
+        << ", \"query\": " << e.query_id << "}}";
+  }
+  out << (events.empty() ? "]" : "\n]")
+      << ", \"displayTimeUnit\": \"ms\"}\n";
+  return out.str();
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.good()) {
+    return Status::IOError(StrFormat("cannot open %s", path.c_str()));
+  }
+  file << ExportChromeTrace(TimelineSnapshot());
+  file.flush();
+  if (!file.good()) {
+    return Status::IOError(StrFormat("write to %s failed", path.c_str()));
+  }
+  return Status::OK();
+}
+
+uint64_t BeginQuery() {
+  uint64_t id = g_next_query_id.fetch_add(1, std::memory_order_relaxed);
+  CurrentQueryIdSlot() = id;
+  return id;
+}
+
+void SetCurrentQueryId(uint64_t query_id) { CurrentQueryIdSlot() = query_id; }
+
+uint64_t CurrentQueryId() { return CurrentQueryIdSlot(); }
+
+}  // namespace emigre::obs

@@ -1,0 +1,80 @@
+#ifndef EMIGRE_OBS_TIMELINE_H_
+#define EMIGRE_OBS_TIMELINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace emigre::obs {
+
+/// \brief Flight-recorder timeline: individual span begin/end events.
+///
+/// Where trace.h aggregates spans into per-path totals, the timeline keeps
+/// the individual events — timestamp, duration, thread, query id — in a
+/// fixed-capacity ring per thread, so a capture is a bounded-memory "last N
+/// events per thread" flight recording. Capture is lock-light: each thread
+/// appends to its own ring (a mutex contended only during export), and the
+/// whole layer sits behind the same enabled-flag fast path as spans.
+/// Enable with `SetTimelineEnabled(true)` *in addition to*
+/// `SetTracingEnabled(true)` — only active spans produce events.
+///
+/// Export targets Chrome's `chrome://tracing` / Perfetto JSON
+/// ("traceEvents" complete events), the `--trace-out FILE` flag on the CLI
+/// query commands.
+
+/// Enables/disables timeline event capture (needs tracing enabled too).
+void SetTimelineEnabled(bool enabled);
+bool TimelineEnabled();
+
+/// \brief One completed span occurrence.
+struct TimelineEvent {
+  std::string path;      ///< full span path, e.g. "explain/incremental"
+  uint64_t thread_id = 0;  ///< dense per-process thread index (0, 1, ...)
+  uint64_t query_id = 0;   ///< query the span ran under; 0 = outside a query
+  double start_us = 0.0;   ///< µs since the process timeline epoch
+  double dur_us = 0.0;     ///< span duration in µs
+};
+
+/// Appends a completed span to the calling thread's ring (called from
+/// Span::~Span when the timeline is enabled). When the ring is full the
+/// oldest event is overwritten — flight-recorder semantics — and the
+/// `obs.timeline.dropped` counter ticks.
+void RecordTimelineEvent(const std::string& path,
+                         std::chrono::steady_clock::time_point start,
+                         std::chrono::steady_clock::time_point end);
+
+/// All captured events from every thread's ring, sorted by start time.
+std::vector<TimelineEvent> TimelineSnapshot();
+
+/// Clears every ring (the enabled flag is untouched).
+void ResetTimeline();
+
+/// Renders events as Chrome trace-event JSON (`{"traceEvents": [...]}`):
+/// complete events ("ph": "X") with the span leaf name, the full path and
+/// query id under "args", µs timestamps.
+std::string ExportChromeTrace(const std::vector<TimelineEvent>& events);
+
+/// `ExportChromeTrace(TimelineSnapshot())` written to `path`, overwriting.
+[[nodiscard]] Status WriteChromeTrace(const std::string& path);
+
+// --- Query ids ------------------------------------------------------------
+//
+// A query id stitches timeline events and audit-log records to the query
+// that produced them. `Emigre::Explain` calls `BeginQuery` once per query;
+// worker threads serving that query (ParallelTester) inherit the id via
+// `SetCurrentQueryId`.
+
+/// Allocates a fresh process-unique query id (1, 2, ...) and makes it the
+/// calling thread's current id. Returns the id.
+uint64_t BeginQuery();
+
+/// Sets/reads the calling thread's current query id (0 = none).
+void SetCurrentQueryId(uint64_t query_id);
+uint64_t CurrentQueryId();
+
+}  // namespace emigre::obs
+
+#endif  // EMIGRE_OBS_TIMELINE_H_

@@ -5,6 +5,7 @@
 #include <map>
 #include <mutex>
 
+#include "obs/timeline.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -60,14 +61,14 @@ Span::Span(const char* name) {
 
 Span::~Span() {
   if (!active_) return;
-  double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
-          .count();
+  std::chrono::steady_clock::time_point end = std::chrono::steady_clock::now();
+  double seconds = std::chrono::duration<double>(end - start_).count();
   std::vector<std::string>& stack = PathStack();
   // The stack cannot be empty here: spans are scoped objects, so this
   // thread's innermost live span is exactly the back entry we pushed.
   std::string path = std::move(stack.back());
   stack.pop_back();
+  if (TimelineEnabled()) RecordTimelineEvent(path, start_, end);
   TraceStore& store = Store();
   std::lock_guard<std::mutex> lock(store.mutex);
   SpanTotals& totals = store.by_path[path];

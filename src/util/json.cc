@@ -1,0 +1,282 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace emigre::json {
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue value;
+    EMIGRE_RETURN_IF_ERROR(ParseValue(&value));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        StrFormat("JSON parse error at offset %zu: %s", pos_,
+                  message.c_str()));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      pos_ += 5;
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out->kind = JsonValue::Kind::kNull;
+      pos_ += 4;
+      return Status::OK();
+    }
+    return ParseNumber(out);
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    double v = std::strtod(start, &end);
+    if (end == start) return Error("expected a value");
+    size_t len = static_cast<size_t>(end - start);
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = v;
+    out->literal.assign(start, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad \\u escape");
+          }
+          // ASCII-only emitter; decode the BMP code point as UTF-8.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseObject(JsonValue* out) {
+    if (!Consume('{')) return Error("expected '{'");
+    out->kind = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    for (;;) {
+      std::string key;
+      EMIGRE_RETURN_IF_ERROR(ParseString(&key));
+      if (!Consume(':')) return Error("expected ':'");
+      JsonValue value;
+      EMIGRE_RETURN_IF_ERROR(ParseValue(&value));
+      out->object.emplace_back(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out) {
+    if (!Consume('[')) return Error("expected '['");
+    out->kind = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    for (;;) {
+      JsonValue value;
+      EMIGRE_RETURN_IF_ERROR(ParseValue(&value));
+      out->array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+double JsonValue::AsDouble(double fallback) const {
+  return kind == Kind::kNumber ? number : fallback;
+}
+
+uint64_t JsonValue::AsUint(uint64_t fallback) const {
+  if (kind != Kind::kNumber) return fallback;
+  // Plain unsigned integer literals re-parse exactly; anything else
+  // (sign, fraction, exponent) goes through the double.
+  if (!literal.empty() &&
+      literal.find_first_not_of("0123456789") == std::string::npos) {
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(literal.c_str(), &end, 10);
+    if (errno == 0 && end != nullptr && *end == '\0') {
+      return static_cast<uint64_t>(v);
+    }
+  }
+  if (number < 0.0 || std::isnan(number)) return fallback;
+  return static_cast<uint64_t>(number);
+}
+
+int64_t JsonValue::AsInt(int64_t fallback) const {
+  if (kind != Kind::kNumber) return fallback;
+  std::string body = literal;
+  bool negative = !body.empty() && body[0] == '-';
+  if (negative) body.erase(0, 1);
+  if (!body.empty() &&
+      body.find_first_not_of("0123456789") == std::string::npos) {
+    errno = 0;
+    char* end = nullptr;
+    long long v = std::strtoll(literal.c_str(), &end, 10);
+    if (errno == 0 && end != nullptr && *end == '\0') {
+      return static_cast<int64_t>(v);
+    }
+  }
+  if (std::isnan(number)) return fallback;
+  return static_cast<int64_t>(number);
+}
+
+Result<JsonValue> Parse(const std::string& text) {
+  return JsonParser(text).Parse();
+}
+
+double DoubleOr(const JsonValue& object, const std::string& key,
+                double fallback) {
+  const JsonValue* v = object.Find(key);
+  return v == nullptr ? fallback : v->AsDouble(fallback);
+}
+
+uint64_t UintOr(const JsonValue& object, const std::string& key,
+                uint64_t fallback) {
+  const JsonValue* v = object.Find(key);
+  return v == nullptr ? fallback : v->AsUint(fallback);
+}
+
+std::string StringOr(const JsonValue& object, const std::string& key,
+                     const std::string& fallback) {
+  const JsonValue* v = object.Find(key);
+  return v != nullptr && v->kind == JsonValue::Kind::kString ? v->string
+                                                             : fallback;
+}
+
+bool BoolOr(const JsonValue& object, const std::string& key, bool fallback) {
+  const JsonValue* v = object.Find(key);
+  return v != nullptr && v->kind == JsonValue::Kind::kBool ? v->boolean
+                                                           : fallback;
+}
+
+std::string Escape(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string Number(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::string s = StrFormat("%.*g", precision, v);
+    if (std::strtod(s.c_str(), nullptr) == v) return s;
+  }
+  return StrFormat("%.17g", v);
+}
+
+}  // namespace emigre::json

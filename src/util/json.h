@@ -1,0 +1,76 @@
+#ifndef EMIGRE_UTIL_JSON_H_
+#define EMIGRE_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace emigre::json {
+
+/// \brief Minimal JSON reader/writer shared by the observability sinks
+/// (emigre.metrics.v1, emigre.bench.v1, emigre.query.v1) and the perf-gate
+/// comparator.
+///
+/// Just enough JSON: objects, arrays, strings, numbers, booleans, null.
+/// Numbers keep their source `literal` alongside the double so integer
+/// fields (counter values, bucket counts) round-trip exactly even beyond
+/// 2^53 — `AsUint`/`AsInt` re-parse the literal instead of going through
+/// the lossy double.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string literal;  ///< source text of a kNumber (exact round-trips)
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Members in source order — emigre.query.v1 consumers rely on
+  /// `phase_seconds` keys staying in pipeline order across a round-trip.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Object member lookup (first match); nullptr when absent (or not an
+  /// object). Linear scan — the documents here have a handful of keys.
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Numeric accessors with a fallback for absent/mistyped values. AsUint
+  /// and AsInt parse the source literal, so 64-bit integers stay exact.
+  double AsDouble(double fallback = 0.0) const;
+  uint64_t AsUint(uint64_t fallback = 0) const;
+  int64_t AsInt(int64_t fallback = 0) const;
+};
+
+/// Parses a complete JSON document (trailing garbage is an error).
+[[nodiscard]] Result<JsonValue> Parse(const std::string& text);
+
+/// Convenience: `Find(key)` then the accessor, with `fallback` when the key
+/// is absent.
+double DoubleOr(const JsonValue& object, const std::string& key,
+                double fallback = 0.0);
+uint64_t UintOr(const JsonValue& object, const std::string& key,
+                uint64_t fallback = 0);
+std::string StringOr(const JsonValue& object, const std::string& key,
+                     const std::string& fallback = "");
+bool BoolOr(const JsonValue& object, const std::string& key, bool fallback);
+
+/// Serializes `s` as a quoted JSON string. ASCII-only output: control
+/// characters other than \n and \t become \uXXXX escapes; bytes >= 0x80
+/// pass through unchanged (already-encoded UTF-8).
+std::string Escape(const std::string& s);
+
+/// Shortest decimal representation that parses back to exactly `v`
+/// (non-finite values render as "0"; JSON has no inf/nan).
+std::string Number(double v);
+
+}  // namespace emigre::json
+
+#endif  // EMIGRE_UTIL_JSON_H_

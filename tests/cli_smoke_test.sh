@@ -40,6 +40,48 @@ grep -q "explain.queries" "$DIR/log"
 grep -q '"schema": "emigre.metrics.v1"' "$DIR/m.json"
 grep -q '"trace"' "$DIR/m.json"
 
+# --trace-out writes a Chrome trace (flight-recorder timeline) and
+# --query-log appends one emigre.query.v1 JSONL record per Explain call,
+# on the found and not-found paths alike.
+set +e
+"$EMIGRE" explain --graph "$DIR/g.graph" --user "$USER_ID" \
+    --item "$ITEM_ID" --mode auto --heuristic incremental \
+    --trace-out "$DIR/trace.json" --query-log "$DIR/q.jsonl" \
+    > "$DIR/log" 2>&1
+CODE=$?
+set -e
+test "$CODE" -eq 0 -o "$CODE" -eq 3
+grep -q '"traceEvents"' "$DIR/trace.json"
+grep -q '"ph": "X"' "$DIR/trace.json"
+grep -q '"schema": "emigre.query.v1"' "$DIR/q.jsonl"
+grep -q '"heuristic": "Incremental"' "$DIR/q.jsonl"
+# auto mode = 1 or 2 Explain attempts, each exactly one JSONL line
+LINES=$(wc -l < "$DIR/q.jsonl")
+test "$LINES" -ge 1 -a "$LINES" -le 2
+
+# perfgate exit codes: 0 in-band, 1 regression, 2 usage error.
+cat > "$DIR/base.json" <<'EOF'
+{"schema": "emigre.bench.v1", "bench": "smoke", "scale": 0,
+ "counters": {"smoke.events": 1000}, "gauges": {}, "histograms": {}}
+EOF
+sed 's/1000/1010/' "$DIR/base.json" > "$DIR/ok.json"
+sed 's/1000/2000/' "$DIR/base.json" > "$DIR/bad.json"
+"$EMIGRE" perfgate --baseline "$DIR/base.json" --current "$DIR/ok.json" \
+    > "$DIR/log" 2>&1
+grep -q "perfgate: PASS" "$DIR/log"
+set +e
+"$EMIGRE" perfgate --baseline "$DIR/base.json" --current "$DIR/bad.json" \
+    > "$DIR/log" 2>&1; REGRESSION=$?
+"$EMIGRE" perfgate --baseline "$DIR/base.json" 2>/dev/null; NOCURRENT=$?
+"$EMIGRE" perfgate --baseline "$DIR/missing.json" \
+    --current "$DIR/ok.json" 2>/dev/null; NOBASEFILE=$?
+set -e
+test "$REGRESSION" -eq 1
+grep -q "smoke.events" "$DIR/log"
+grep -q "perfgate: FAIL" "$DIR/log"
+test "$NOCURRENT" -eq 2
+test "$NOBASEFILE" -eq 2
+
 # selfcheck runs the invariant validators against the built graph and must
 # report zero violations; --metrics-out exposes the check.* counters.
 "$EMIGRE" selfcheck --graph "$DIR/g.graph" --level full --samples 2 \

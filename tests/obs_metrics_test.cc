@@ -1,14 +1,18 @@
-// Tests for src/obs/: registry metric types, snapshot deltas, percentile
-// math, and the emigre.metrics.v1 JSON round-trip.
+// Tests for src/obs/: registry metric types, snapshot deltas and merges,
+// percentile math, and the emigre.metrics.v1 / emigre.bench.v1 JSON
+// round-trips (including a randomized byte-identity property sweep).
 
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
 #include "obs/export.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace emigre::obs {
@@ -175,6 +179,145 @@ TEST(SnapshotTest, DeltaOfIdenticalSnapshotsIsEmpty) {
   EXPECT_TRUE(Delta(snap, snap).Empty());
 }
 
+TEST(MergeTest, CountersAddAndDisjointNamesCarryOver) {
+  MetricsSnapshot a;
+  a.counters = {{"alpha", 10}, {"shared", 5}};
+  MetricsSnapshot b;
+  b.counters = {{"beta", 3}, {"shared", 7}};
+  a.Merge(b);
+  ASSERT_EQ(a.counters.size(), 3u);
+  EXPECT_EQ(a.counters[0].name, "alpha");
+  EXPECT_EQ(a.counters[0].value, 10u);
+  EXPECT_EQ(a.counters[1].name, "beta");
+  EXPECT_EQ(a.counters[1].value, 3u);
+  EXPECT_EQ(a.counters[2].name, "shared");
+  EXPECT_EQ(a.counters[2].value, 12u);
+}
+
+TEST(MergeTest, GaugesTakeMaximum) {
+  MetricsSnapshot a;
+  a.gauges = {{"depth", 4.0}, {"only_a", 1.5}};
+  MetricsSnapshot b;
+  b.gauges = {{"depth", 9.0}, {"only_b", -2.0}};
+  a.Merge(b);
+  ASSERT_EQ(a.gauges.size(), 3u);
+  EXPECT_EQ(a.gauges[0].name, "depth");
+  EXPECT_DOUBLE_EQ(a.gauges[0].value, 9.0);
+  EXPECT_DOUBLE_EQ(a.gauges[1].value, 1.5);
+  EXPECT_DOUBLE_EQ(a.gauges[2].value, -2.0);
+}
+
+TEST(MergeTest, HistogramsAddCountsAndTakeRangeExtremes) {
+  HistogramSample ha;
+  ha.name = "lat";
+  ha.count = 3;
+  ha.sum = 0.6;
+  ha.min = 0.1;
+  ha.max = 0.3;
+  ha.buckets = {1, 2, 0};
+  HistogramSample hb = ha;
+  hb.count = 2;
+  hb.sum = 1.0;
+  hb.min = 0.05;
+  hb.max = 0.95;
+  hb.buckets = {0, 1, 1, 4};  // longer bucket vector: result takes max size
+  MetricsSnapshot a, b;
+  a.histograms = {ha};
+  b.histograms = {hb};
+  a.Merge(b);
+  ASSERT_EQ(a.histograms.size(), 1u);
+  const HistogramSample& m = a.histograms[0];
+  EXPECT_EQ(m.count, 5u);
+  EXPECT_DOUBLE_EQ(m.sum, 1.6);
+  EXPECT_DOUBLE_EQ(m.min, 0.05);
+  EXPECT_DOUBLE_EQ(m.max, 0.95);
+  ASSERT_EQ(m.buckets.size(), 4u);
+  EXPECT_EQ(m.buckets[0], 1u);
+  EXPECT_EQ(m.buckets[1], 3u);
+  EXPECT_EQ(m.buckets[2], 1u);
+  EXPECT_EQ(m.buckets[3], 4u);
+}
+
+TEST(MergeTest, EmptyHistogramSideDoesNotClobberRange) {
+  // A zero-count histogram's min/max are meaningless placeholders; merging
+  // it (in either direction) must keep the populated side's range.
+  HistogramSample filled;
+  filled.name = "h";
+  filled.count = 2;
+  filled.sum = 3.0;
+  filled.min = 1.0;
+  filled.max = 2.0;
+  filled.buckets = {2};
+  HistogramSample empty;
+  empty.name = "h";
+
+  MetricsSnapshot a;
+  a.histograms = {filled};
+  MetricsSnapshot b;
+  b.histograms = {empty};
+  a.Merge(b);
+  EXPECT_EQ(a.histograms[0].count, 2u);
+  EXPECT_DOUBLE_EQ(a.histograms[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(a.histograms[0].max, 2.0);
+
+  MetricsSnapshot c;
+  c.histograms = {empty};
+  MetricsSnapshot d;
+  d.histograms = {filled};
+  c.Merge(d);
+  EXPECT_EQ(c.histograms[0].count, 2u);
+  EXPECT_DOUBLE_EQ(c.histograms[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(c.histograms[0].max, 2.0);
+}
+
+TEST(MergeTest, MergeWithEmptySnapshotIsIdentity) {
+  MetricsSnapshot a;
+  a.counters = {{"c", 7}};
+  a.gauges = {{"g", 2.5}};
+  MetricsSnapshot before = a;
+  a.Merge(MetricsSnapshot{});
+  ASSERT_EQ(a.counters.size(), 1u);
+  EXPECT_EQ(a.counters[0].value, before.counters[0].value);
+  ASSERT_EQ(a.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(a.gauges[0].value, before.gauges[0].value);
+}
+
+TEST(MergeTest, MergeOfRegistrySnapshotsMatchesCombinedRun) {
+  // The use case Merge exists for: two phase snapshots fold into the same
+  // totals the registry itself reports.
+  Counter& c = EMIGRE_COUNTER("test.merge.counter");
+  Histogram& h = EMIGRE_HISTOGRAM("test.merge.hist");
+  Registry::Global().Reset();
+  c.Increment(3);
+  h.Record(0.25);
+  MetricsSnapshot first = Registry::Global().Snapshot();
+  MetricsSnapshot base = first;  // phase boundary
+  Registry::Global().Reset();
+  c.Increment(4);
+  h.Record(0.5);
+  h.Record(0.125);
+  MetricsSnapshot second = Registry::Global().Snapshot();
+  base.Merge(second);
+
+  Registry::Global().Reset();
+  c.Increment(7);
+  h.Record(0.25);
+  h.Record(0.5);
+  h.Record(0.125);
+  MetricsSnapshot combined = Registry::Global().Snapshot();
+  for (size_t i = 0; i < combined.counters.size(); ++i) {
+    EXPECT_EQ(base.counters[i].name, combined.counters[i].name);
+    EXPECT_EQ(base.counters[i].value, combined.counters[i].value);
+  }
+  for (size_t i = 0; i < combined.histograms.size(); ++i) {
+    EXPECT_EQ(base.histograms[i].count, combined.histograms[i].count);
+    EXPECT_DOUBLE_EQ(base.histograms[i].sum, combined.histograms[i].sum);
+    EXPECT_DOUBLE_EQ(base.histograms[i].min, combined.histograms[i].min);
+    EXPECT_DOUBLE_EQ(base.histograms[i].max, combined.histograms[i].max);
+    EXPECT_EQ(base.histograms[i].buckets, combined.histograms[i].buckets);
+  }
+}
+
 TEST(ExportTest, JsonRoundTripPreservesSnapshot) {
   Counter& c = EMIGRE_COUNTER("test.json.counter");
   Gauge& g = EMIGRE_GAUGE("test.json.gauge");
@@ -233,6 +376,142 @@ TEST(ExportTest, JsonIncludesTraceSection) {
   EXPECT_DOUBLE_EQ(parsed_trace[0].total_seconds, 0.125);
   EXPECT_EQ(parsed_trace[1].path, "explain/search_space");
   EXPECT_EQ(parsed_trace[1].depth, 1);
+}
+
+// --- Randomized byte-identity property sweep -----------------------------
+//
+// export → parse → export must be byte-identical: values survive exactly
+// (64-bit counters above 2^53, shortest-round-trip doubles) and names
+// survive exactly (including every character the escaper special-cases).
+
+std::string RandomMetricName(Rng& rng) {
+  static const char* kFragments[] = {"ppr", "explain", "push", "tests",
+                                     "cache", "batch", "seconds", "queue"};
+  std::string name = kFragments[rng.NextBounded(8)];
+  size_t parts = 1 + rng.NextBounded(3);
+  for (size_t i = 0; i < parts; ++i) {
+    name += '.';
+    name += kFragments[rng.NextBounded(8)];
+  }
+  // A quarter of the names exercise the escaper: quotes, backslashes,
+  // newlines, tabs, a raw control byte, non-ASCII UTF-8.
+  if (rng.NextBool(0.25)) {
+    static const char* kHazards[] = {"\"q\"", "back\\slash", "new\nline",
+                                     "tab\there", "ctrl\x01", "\xC3\xA9"};
+    name += kHazards[rng.NextBounded(6)];
+  }
+  return name;
+}
+
+double RandomDouble(Rng& rng) {
+  switch (rng.NextBounded(4)) {
+    case 0:
+      return rng.NextDouble();                     // [0, 1)
+    case 1:
+      return rng.NextDouble(-1e9, 1e9);            // large magnitudes
+    case 2:
+      return rng.NextDouble() * 1e-9;              // tiny
+    default:
+      return static_cast<double>(rng.NextInt(-1000, 1000));  // integral
+  }
+}
+
+MetricsSnapshot RandomSnapshot(Rng& rng) {
+  MetricsSnapshot snap;
+  std::set<std::string> names;  // sorted + unique, like a real snapshot
+  const size_t target = 3 + rng.NextBounded(6);
+  while (names.size() < target) names.insert(RandomMetricName(rng));
+  for (const std::string& name : names) {
+    switch (rng.NextBounded(3)) {
+      case 0: {
+        // Full-width uint64 draws land above 2^53 half the time — the case
+        // a double-typed parser would silently corrupt.
+        snap.counters.push_back({name, rng.NextUint64()});
+        break;
+      }
+      case 1:
+        snap.gauges.push_back({name, RandomDouble(rng)});
+        break;
+      default: {
+        HistogramSample h;
+        h.name = name;
+        h.buckets.assign(Histogram::kNumBuckets, 0);
+        size_t records = 1 + rng.NextBounded(16);
+        for (size_t i = 0; i < records; ++i) {
+          double v = rng.NextDouble() * 10.0 + 1e-6;
+          h.count += 1;
+          h.sum += v;
+          h.min = h.count == 1 ? v : std::min(h.min, v);
+          h.max = h.count == 1 ? v : std::max(h.max, v);
+          h.buckets[Histogram::BucketIndex(v)] += 1;
+        }
+        snap.histograms.push_back(h);
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+std::vector<SpanStat> RandomTrace(Rng& rng) {
+  std::vector<SpanStat> trace;
+  size_t n = rng.NextBounded(4);
+  std::string path;
+  for (size_t i = 0; i < n; ++i) {
+    if (!path.empty()) path += '/';
+    path += RandomMetricName(rng);
+    trace.push_back({path, static_cast<int>(i), 1 + rng.NextUint64() % 100,
+                     RandomDouble(rng)});
+  }
+  return trace;
+}
+
+TEST(ExportTest, RandomizedMetricsRoundTripIsByteIdentical) {
+  Rng rng(20260809);
+  for (int iter = 0; iter < 100; ++iter) {
+    MetricsSnapshot snap = RandomSnapshot(rng);
+    std::vector<SpanStat> trace = RandomTrace(rng);
+    std::string first = MetricsJson(snap, trace);
+    std::vector<SpanStat> parsed_trace;
+    Result<MetricsSnapshot> parsed = ParseMetricsJson(first, &parsed_trace);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << first;
+    std::string second = MetricsJson(*parsed, parsed_trace);
+    ASSERT_EQ(first, second) << "iteration " << iter;
+  }
+}
+
+TEST(ExportTest, RandomizedBenchDocRoundTripIsByteIdentical) {
+  Rng rng(42);
+  for (int iter = 0; iter < 50; ++iter) {
+    BenchDoc doc;
+    doc.bench = RandomMetricName(rng);
+    doc.scale = static_cast<int>(rng.NextBounded(3));
+    doc.metrics = RandomSnapshot(rng);
+    doc.trace = RandomTrace(rng);
+    std::string first = BenchJson(doc);
+    Result<BenchDoc> parsed = ParseBenchJson(first);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << first;
+    EXPECT_EQ(parsed->bench, doc.bench);
+    EXPECT_EQ(parsed->scale, doc.scale);
+    std::string second = BenchJson(*parsed);
+    ASSERT_EQ(first, second) << "iteration " << iter;
+  }
+}
+
+TEST(ExportTest, CounterAbove2To53RoundTripsExactly) {
+  MetricsSnapshot snap;
+  snap.counters.push_back({"big", (1ull << 53) + 1});  // not a double value
+  snap.counters.push_back({"max", ~0ull});
+  Result<MetricsSnapshot> parsed = ParseMetricsJson(MetricsJson(snap));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->counters.size(), 2u);
+  EXPECT_EQ(parsed->counters[0].value, (1ull << 53) + 1);
+  EXPECT_EQ(parsed->counters[1].value, ~0ull);
+}
+
+TEST(ExportTest, BenchJsonRejectsWrongSchema) {
+  EXPECT_FALSE(ParseBenchJson("{\"schema\": \"emigre.metrics.v1\"}").ok());
+  EXPECT_FALSE(ParseBenchJson("nope").ok());
 }
 
 TEST(ExportTest, ParseRejectsWrongSchema) {

@@ -9,9 +9,11 @@
 //   experiment  run the §6.2 evaluation and write reports + records CSV
 //   selfcheck   run the invariant validators (docs/invariants.md)
 //   chaos       seeded fault-injection soak (docs/robustness.md)
+//   perfgate    gate a bench run against its checked-in baseline
 //
 // Exit codes: 0 success, 1 internal error, 2 usage error, 3 the Why-Not
-// question was valid but no explanation exists.
+// question was valid but no explanation exists. For perfgate: 0 within
+// tolerances, 1 regression, 2 usage.
 //
 // Examples:
 //   emigre generate --dir /tmp/ds --users 120 --items 2000
@@ -22,9 +24,12 @@
 //       --mode add --heuristic incremental
 //   emigre experiment --graph /tmp/amazon.graph --out /tmp/records.csv
 //   emigre selfcheck --graph /tmp/amazon.graph --level full
+//   emigre perfgate --baseline bench/baselines/BENCH_ppr_kernels.json
+//       --current BENCH_ppr_kernels.json --config bench/baselines/perfgate.json
 
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -44,10 +49,16 @@
 #include "explain/meta.h"
 #include "explain/search_space.h"
 #include "fault/fault.h"
+#include <fstream>
+#include <sstream>
+
 #include "graph/io.h"
 #include "graph/stats.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/perfgate.h"
+#include "obs/query_log.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "util/flags.h"
 #include "util/string_util.h"
@@ -72,23 +83,51 @@ void AddObsFlags(FlagParser* parser) {
   parser->AddFlag("trace", "print the span tree and metrics delta", "false");
   parser->AddFlag("metrics-out", "write the metrics delta as JSON to FILE",
                   "");
+  parser->AddFlag("trace-out",
+                  "write a chrome://tracing timeline JSON to FILE", "");
+  parser->AddFlag("query-log",
+                  "append one emigre.query.v1 record per Explain to FILE",
+                  "");
 }
 
 /// Captures a registry baseline at construction; Finish() prints and/or
 /// writes the delta accumulated since then, so the output reflects only this
 /// command's work. Call Finish on every post-query exit path (found and
-/// not-found alike).
+/// not-found alike). Construct before the engine: `query_log()` must be
+/// wired into EmigreOptions ahead of the first query.
 class ObsSession {
  public:
   explicit ObsSession(const FlagParser& parser)
       : trace_(parser.GetBool("trace").ValueOrDie()),
-        metrics_out_(parser.GetString("metrics-out").ValueOrDie()) {
-    if (trace_) {
+        metrics_out_(parser.GetString("metrics-out").ValueOrDie()),
+        trace_out_(parser.GetString("trace-out").ValueOrDie()) {
+    if (trace_ || !trace_out_.empty()) {
       obs::ResetTrace();
       obs::SetTracingEnabled(true);
     }
+    if (!trace_out_.empty()) {
+      obs::ResetTimeline();
+      obs::SetTimelineEnabled(true);
+    }
+    std::string query_log_path = parser.GetString("query-log").ValueOrDie();
+    if (!query_log_path.empty()) {
+      Result<std::unique_ptr<obs::QueryLog>> log =
+          obs::QueryLog::Open(query_log_path);
+      if (log.ok()) {
+        query_log_ = std::move(log).value();
+      } else {
+        init_status_ = log.status();
+      }
+    }
     before_ = obs::Registry::Global().Snapshot();
   }
+
+  /// Non-OK when a sink could not be opened; callers bail out via Fail.
+  const Status& init_status() const { return init_status_; }
+
+  /// The audit sink to wire into EmigreOptions (null when --query-log is
+  /// not set).
+  obs::QueryLog* query_log() const { return query_log_.get(); }
 
   int Finish(int exit_code) {
     obs::MetricsSnapshot delta =
@@ -104,12 +143,23 @@ class ObsSession {
       if (!st.ok()) return Fail(st);
       std::printf("metrics -> %s\n", metrics_out_.c_str());
     }
+    if (!trace_out_.empty()) {
+      Status st = obs::WriteChromeTrace(trace_out_);
+      if (!st.ok()) return Fail(st);
+      std::printf("timeline -> %s\n", trace_out_.c_str());
+    }
+    if (query_log_ != nullptr) {
+      std::printf("query log -> %s\n", query_log_->path().c_str());
+    }
     return exit_code;
   }
 
  private:
   bool trace_;
   std::string metrics_out_;
+  std::string trace_out_;
+  std::unique_ptr<obs::QueryLog> query_log_;
+  Status init_status_;
   obs::MetricsSnapshot before_;
 };
 
@@ -239,8 +289,9 @@ int RunRecommend(const std::vector<std::string>& args) {
   if (user < 0 || !lg->g.IsValidNode(static_cast<graph::NodeId>(user))) {
     return Fail(Status::InvalidArgument("--user must be a valid node id"));
   }
-  explain::Emigre engine(lg->g, lg->opts);
   ObsSession obs(parser);
+  if (!obs.init_status().ok()) return Fail(obs.init_status());
+  explain::Emigre engine(lg->g, lg->opts);
   auto ranking = engine.CurrentRanking(static_cast<graph::NodeId>(user))
                      .TopN(static_cast<size_t>(
                          parser.GetInt("top").ValueOrDie()));
@@ -291,10 +342,12 @@ int RunExplain(const std::vector<std::string>& args) {
     return Fail(Status::InvalidArgument("unknown --heuristic " + h));
   }
 
+  ObsSession obs(parser);
+  if (!obs.init_status().ok()) return Fail(obs.init_status());
+  lg->opts.query_log = obs.query_log();
   explain::Emigre engine(lg->g, lg->opts);
   explain::WhyNotQuestion q{user, item};
   std::string mode = parser.GetString("mode").ValueOrDie();
-  ObsSession obs(parser);
   Result<explain::Explanation> result =
       mode == "auto"
           ? engine.ExplainAuto(q, heuristic)
@@ -378,6 +431,8 @@ int RunExperiment(const std::vector<std::string>& args) {
       static_cast<size_t>(parser.GetInt("threads").ValueOrDie());
   run_opts.progress_every = 10;
   ObsSession obs(parser);
+  if (!obs.init_status().ok()) return Fail(obs.init_status());
+  lg->opts.query_log = obs.query_log();
   Result<eval::ExperimentResult> result = eval::RunExperiment(
       lg->g, scenarios.value(), eval::PaperMethods(), lg->opts, run_opts);
   if (!result.ok()) return Fail(result.status());
@@ -423,6 +478,7 @@ int RunSelfCheck(const std::vector<std::string>& args) {
   sc.seed = static_cast<uint64_t>(parser.GetInt("seed").ValueOrDie());
 
   ObsSession obs(parser);
+  if (!obs.init_status().ok()) return Fail(obs.init_status());
   Result<check::SelfCheckReport> report =
       check::RunSelfCheck(lg->g, lg->opts, sc);
   if (!report.ok()) return Fail(report.status());
@@ -445,6 +501,7 @@ int RunChaos(const std::vector<std::string>& args) {
   parser.AddFlag("items", "synthetic dataset items", "400");
   parser.AddFlag("test-threads",
                  "candidate-verification threads during the soak", "2");
+  AddObsFlags(&parser);
   Status st = parser.Parse(args);
   if (!st.ok()) return Fail(st);
   if (!fault::kFaultInjectionEnabled) {
@@ -473,6 +530,10 @@ int RunChaos(const std::vector<std::string>& args) {
   }
   opts.add_edge_type = lite->graph.FindEdgeType("rated");
   opts.deadline_seconds = 2.0;
+
+  ObsSession obs(parser);
+  if (!obs.init_status().ok()) return Fail(obs.init_status());
+  opts.query_log = obs.query_log();
 
   Result<std::vector<eval::Scenario>> scenarios = eval::GenerateScenarios(
       lite->graph, lite->eval_users, opts, /*top_k=*/5, /*max_per_user=*/2);
@@ -503,16 +564,86 @@ int RunChaos(const std::vector<std::string>& args) {
   if (!report->ok()) {
     std::fprintf(stderr, "chaos soak FAILED: %zu violation(s)\n",
                  report->violations.size());
-    return kExitInternal;
+    return obs.Finish(kExitInternal);
   }
   std::printf("chaos soak passed\n");
-  return 0;
+  return obs.Finish(0);
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.good()) {
+    // InvalidArgument (not IOError): a bench file the user pointed at but
+    // that cannot be read is a usage error under the exit-code contract.
+    return Status::InvalidArgument(StrFormat("cannot read %s", path.c_str()));
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+int RunPerfGate(const std::vector<std::string>& args) {
+  // Exit codes (asserted by tests/cli_smoke_test.sh): 0 within tolerances,
+  // 1 regression / out-of-band drift, 2 usage (bad flags, unreadable or
+  // mismatched inputs).
+  FlagParser parser(
+      "emigre perfgate — gate a bench run against its checked-in baseline");
+  parser.AddFlag("baseline", "baseline emigre.bench.v1 JSON file", "");
+  parser.AddFlag("current", "fresh emigre.bench.v1 JSON file", "");
+  parser.AddFlag("config",
+                 "emigre.perfgate.v1 tolerance config "
+                 "(bench/baselines/perfgate.json)",
+                 "");
+  parser.AddFlag("counter-tol",
+                 "relative tolerance for counts (-1 = config/default)", "-1");
+  parser.AddFlag("latency-tol",
+                 "relative tolerance for *seconds sums (-1 = config/default)",
+                 "-1");
+  Status st = parser.Parse(args);
+  if (!st.ok()) return Fail(st);
+  std::string baseline_path = parser.GetString("baseline").ValueOrDie();
+  std::string current_path = parser.GetString("current").ValueOrDie();
+  if (baseline_path.empty() || current_path.empty()) {
+    return Fail(
+        Status::InvalidArgument("--baseline and --current are required"));
+  }
+
+  obs::PerfGateOptions opts;
+  std::string config_path = parser.GetString("config").ValueOrDie();
+  if (!config_path.empty()) {
+    Result<std::string> config_text = ReadFileToString(config_path);
+    if (!config_text.ok()) return Fail(config_text.status());
+    Result<obs::PerfGateOptions> parsed =
+        obs::ParsePerfGateConfig(config_text.value());
+    if (!parsed.ok()) return Fail(parsed.status());
+    opts = std::move(parsed).value();
+  }
+  double counter_tol = parser.GetDouble("counter-tol").ValueOrDie();
+  double latency_tol = parser.GetDouble("latency-tol").ValueOrDie();
+  if (counter_tol >= 0.0) opts.counter_tol = counter_tol;
+  if (latency_tol >= 0.0) opts.latency_tol = latency_tol;
+
+  Result<std::string> baseline_text = ReadFileToString(baseline_path);
+  if (!baseline_text.ok()) return Fail(baseline_text.status());
+  Result<std::string> current_text = ReadFileToString(current_path);
+  if (!current_text.ok()) return Fail(current_text.status());
+  Result<obs::BenchDoc> baseline =
+      obs::ParseBenchJson(baseline_text.value());
+  if (!baseline.ok()) return Fail(baseline.status());
+  Result<obs::BenchDoc> current = obs::ParseBenchJson(current_text.value());
+  if (!current.ok()) return Fail(current.status());
+
+  Result<obs::PerfGateReport> report =
+      obs::ComparePerf(baseline.value(), current.value(), opts);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("%s", report->Format().c_str());
+  return report->pass ? 0 : kExitInternal;
 }
 
 int Main(int argc, char** argv) {
   const std::string usage =
       "usage: emigre <generate|build-graph|stats|recommend|explain|"
-      "experiment|selfcheck|chaos> [flags]\n";
+      "experiment|selfcheck|chaos|perfgate> [flags]\n";
   if (argc < 2) {
     std::fprintf(stderr, "%s", usage.c_str());
     return kExitUsage;
@@ -529,6 +660,7 @@ int Main(int argc, char** argv) {
   if (command == "experiment") return RunExperiment(rest);
   if (command == "selfcheck") return RunSelfCheck(rest);
   if (command == "chaos") return RunChaos(rest);
+  if (command == "perfgate") return RunPerfGate(rest);
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(),
                usage.c_str());
   return kExitUsage;

@@ -25,6 +25,12 @@ Rules (each can be suppressed per line with a trailing `NOLINT` or
                    site name is unique across the repo, so a fault spec
                    or a fault.<site>.fired counter names exactly one
                    code location (docs/robustness.md).
+  obs-name         every EMIGRE_COUNTER / EMIGRE_GAUGE / EMIGRE_HISTOGRAM /
+                   EMIGRE_SPAN name literal matches [a-z0-9_./]+ and is
+                   declared in exactly one file (repeats within a file are
+                   fine — cached-handle call sites), so the perf gate's
+                   flattened series and the trace tree each name one code
+                   location (docs/observability.md).
 
 Usage:
   tools/lint.py [--root DIR] [paths...]   lint the repo (or just paths)
@@ -48,6 +54,7 @@ RULES = (
     "bench-metrics",
     "dense-reset",
     "fault-site",
+    "obs-name",
 )
 
 # dense-reset guards the PPR hot paths only: everywhere else a dense
@@ -293,6 +300,51 @@ def check_fault_sites(relpath, stripped_lines, raw_lines, violations,
                 seen_sites[site] = (relpath, idx + 1)
 
 
+# Matches a metric/span declaration with a literal name. The macro
+# definitions themselves (unquoted `name` parameter) do not match.
+OBS_NAME_RE = re.compile(
+    r'EMIGRE_(COUNTER|GAUGE|HISTOGRAM|SPAN)\s*\(\s*"([^"]*)"')
+
+OBS_NAME_CHARSET_RE = re.compile(r"[a-z0-9_./]+")
+
+
+def check_obs_names(relpath, stripped_lines, raw_lines, violations,
+                    seen_names):
+    """Metric and span names are addresses: the perf gate skips/fails them
+    by name and the trace tree groups by them, so a name must be lowercase
+    dotted ([a-z0-9_./]+) and must be declared in exactly one file. Repeats
+    inside one file are normal (cached-handle call sites); the same name in
+    a second file would silently merge two series. `seen_names` maps
+    name -> (path, line) across every file of the run."""
+    for idx, line in enumerate(raw_lines):
+        if is_suppressed(line, "obs-name"):
+            continue
+        # Names live in string literals, so capture from the raw line — but
+        # only where the stripped line shows a real macro invocation
+        # (mentions in comments and doc examples don't count).
+        if "EMIGRE_" not in stripped_lines[idx]:
+            continue
+        if not re.search(r"EMIGRE_(?:COUNTER|GAUGE|HISTOGRAM|SPAN)\b",
+                         stripped_lines[idx]):
+            continue
+        for m in OBS_NAME_RE.finditer(line):
+            kind, name = m.group(1), m.group(2)
+            if not OBS_NAME_CHARSET_RE.fullmatch(name):
+                violations.append(Violation(
+                    relpath, idx + 1, "obs-name",
+                    f'EMIGRE_{kind} name "{name}" must match [a-z0-9_./]+'))
+                continue
+            prev = seen_names.get(name)
+            if prev is not None and prev[0] != relpath:
+                violations.append(Violation(
+                    relpath, idx + 1, "obs-name",
+                    f'metric/span name "{name}" is already declared in '
+                    f"{prev[0]}:{prev[1]}; a name must live in exactly one "
+                    f"file"))
+            elif prev is None:
+                seen_names[name] = (relpath, idx + 1)
+
+
 def check_bench_metrics(relpath, text, violations):
     name = os.path.basename(relpath)
     m = re.match(r"bench_(\w+)\.cc$", name)
@@ -309,7 +361,7 @@ def check_bench_metrics(relpath, text, violations):
             f"writes BENCH_{bench}.json"))
 
 
-def lint_file(root, relpath, seen_fault_sites=None):
+def lint_file(root, relpath, seen_fault_sites=None, seen_obs_names=None):
     violations = []
     full = os.path.join(root, relpath)
     try:
@@ -340,6 +392,8 @@ def lint_file(root, relpath, seen_fault_sites=None):
         # rule is global.
         check_fault_sites(relpath, stripped, raw_lines, violations,
                           {} if seen_fault_sites is None else seen_fault_sites)
+        check_obs_names(relpath, stripped, raw_lines, violations,
+                        {} if seen_obs_names is None else seen_obs_names)
     return violations
 
 
@@ -372,8 +426,10 @@ def collect_files(root, paths):
 def run_lint(root, paths):
     violations = []
     seen_fault_sites = {}
+    seen_obs_names = {}
     for rel in collect_files(root, paths):
-        violations.extend(lint_file(root, rel, seen_fault_sites))
+        violations.extend(
+            lint_file(root, rel, seen_fault_sites, seen_obs_names))
     for v in violations:
         print(v)
     if violations:
@@ -411,6 +467,9 @@ SEEDED = {
         "src/util/dup_site.cc",
         'void A() { EMIGRE_FAULT_POINT("dup.site"); }\n'
         'void B() { EMIGRE_FAULT_POINT_STATUS("dup.site"); }\n'),
+    "obs-name": (
+        "src/util/shouty_metric.cc",
+        'void F() { EMIGRE_COUNTER("Shouty.Name").Increment(); }\n'),
 }
 
 CLEAN_FILE = (

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Benchmark perf-gate driver: compare fresh BENCH_*.json runs against the
+checked-in baselines in bench/baselines/, or refresh those baselines.
+
+The per-metric comparison itself lives in one place — `emigre perfgate`
+(src/obs/perfgate.cc) — so the tolerances cannot drift between CI and local
+runs; this script discovers the bench/baseline file pairs, drives the
+binary once per pair, and aggregates the verdicts.
+
+Usage:
+  tools/perfgate.py --current DIR [--baselines DIR] [--emigre BIN]
+                    [--config FILE] [--counter-tol X] [--latency-tol X]
+                    [--report FILE]
+  tools/perfgate.py --current DIR --update-baselines
+
+Exit codes: 0 all benches within tolerances, 1 at least one regression or
+missing baseline, 2 usage error (no bench files, binary not found).
+"""
+
+import argparse
+import glob
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def find_emigre(explicit):
+    if explicit:
+        if os.path.isfile(explicit) and os.access(explicit, os.X_OK):
+            return explicit
+        return None
+    for candidate in (
+        os.path.join(REPO_ROOT, "build", "tools", "emigre"),
+        os.path.join(REPO_ROOT, "build", "emigre"),
+    ):
+        if os.path.isfile(candidate) and os.access(candidate, os.X_OK):
+            return candidate
+    return None
+
+
+def bench_name(path):
+    """BENCH_ppr_kernels.json -> ppr_kernels (trusting the filename only for
+    pairing; the binary re-checks the embedded bench name and scale)."""
+    base = os.path.basename(path)
+    if base.startswith("BENCH_") and base.endswith(".json"):
+        return base[len("BENCH_"):-len(".json")]
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--current", default=".",
+                        help="directory with fresh BENCH_*.json files")
+    parser.add_argument("--baselines",
+                        default=os.path.join(REPO_ROOT, "bench", "baselines"),
+                        help="directory with checked-in baselines")
+    parser.add_argument("--emigre", default=None,
+                        help="path to the emigre binary "
+                             "(default: build/tools/emigre)")
+    parser.add_argument("--config", default=None,
+                        help="emigre.perfgate.v1 tolerance config "
+                             "(default: <baselines>/perfgate.json when present)")
+    parser.add_argument("--counter-tol", type=float, default=None,
+                        help="override the count tolerance")
+    parser.add_argument("--latency-tol", type=float, default=None,
+                        help="override the *seconds tolerance")
+    parser.add_argument("--report", default=None,
+                        help="also write the aggregated report to FILE")
+    parser.add_argument("--update-baselines", action="store_true",
+                        help="copy the current BENCH_*.json files over the "
+                             "baselines instead of comparing")
+    args = parser.parse_args()
+
+    current_files = sorted(glob.glob(os.path.join(args.current,
+                                                  "BENCH_*.json")))
+    current_files = [p for p in current_files if bench_name(p)]
+    if not current_files:
+        print(f"perfgate.py: no BENCH_*.json files in {args.current}",
+              file=sys.stderr)
+        return 2
+
+    if args.update_baselines:
+        os.makedirs(args.baselines, exist_ok=True)
+        for path in current_files:
+            # Refuse to baseline a file the comparator would reject later.
+            with open(path) as f:
+                doc = json.load(f)
+            if doc.get("schema") != "emigre.bench.v1":
+                print(f"perfgate.py: {path} is not emigre.bench.v1; skipped",
+                      file=sys.stderr)
+                continue
+            dest = os.path.join(args.baselines, os.path.basename(path))
+            shutil.copyfile(path, dest)
+            print(f"perfgate.py: baseline {dest} <- {path} "
+                  f"(bench {doc.get('bench')}, scale {doc.get('scale')})")
+        return 0
+
+    emigre = find_emigre(args.emigre)
+    if emigre is None:
+        print("perfgate.py: emigre binary not found (build it, or pass "
+              "--emigre)", file=sys.stderr)
+        return 2
+
+    config = args.config
+    if config is None:
+        default_config = os.path.join(args.baselines, "perfgate.json")
+        if os.path.isfile(default_config):
+            config = default_config
+
+    report_lines = []
+    failures = 0
+    for path in current_files:
+        name = bench_name(path)
+        baseline = os.path.join(args.baselines, os.path.basename(path))
+        if not os.path.isfile(baseline):
+            failures += 1
+            report_lines.append(
+                f"== {name}: NO BASELINE ({baseline}) — refresh with "
+                f"tools/perfgate.py --update-baselines ==")
+            continue
+        cmd = [emigre, "perfgate", "--baseline", baseline, "--current", path]
+        if config:
+            cmd += ["--config", config]
+        if args.counter_tol is not None:
+            cmd += ["--counter-tol", str(args.counter_tol)]
+        if args.latency_tol is not None:
+            cmd += ["--latency-tol", str(args.latency_tol)]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        report_lines.append(f"== {name} ==")
+        report_lines.append(proc.stdout.rstrip())
+        if proc.returncode == 2:
+            # A usage-level failure (mismatched scale, bad schema) is not a
+            # perf regression, but the gate must not silently pass either.
+            failures += 1
+            report_lines.append(f"usage error: {proc.stderr.strip()}")
+        elif proc.returncode != 0:
+            failures += 1
+
+    report = "\n".join(report_lines) + "\n"
+    summary = (f"perfgate.py: {len(current_files)} bench(es), "
+               f"{failures} failure(s)\n")
+    sys.stdout.write(report + summary)
+    if args.report:
+        with open(args.report, "w") as f:
+            f.write(report + summary)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
