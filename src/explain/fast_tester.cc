@@ -11,13 +11,19 @@ using graph::NodeId;
 
 namespace {
 
-/// Deterministic argmax shared by both engines: score descending, id
+/// Deterministic argmax shared by every engine: score descending, id
 /// ascending on ties, with sub-noise scores floored to zero.
 ///
 /// Signed-residual repairs can leave O(ε)-sized positive estimates on nodes
 /// whose true score is exactly zero; the exact tester breaks such all-zero
 /// ties by node id. Flooring restores that tie-break: anything below the
 /// push noise level counts as unreachable.
+///
+/// The `item < best` comparison is the enforced index-ascending tie-break
+/// of the class contract: on exactly equal scores the lowest item id wins
+/// no matter what order `items` arrives in or which push engine produced
+/// the scores, so kLegacy/kKernel/kFast agree on exact ties by
+/// construction rather than by touch order.
 template <typename Eligible, typename Score>
 NodeId BestItem(const std::vector<NodeId>& items, NodeId user, double floor,
                 Eligible&& eligible, Score&& score_of) {
@@ -48,7 +54,7 @@ FastExplanationTester::FastExplanationTester(const graph::HinGraph& base,
       wni_(why_not_item),
       opts_(opts),
       items_(base.NodesOfType(opts.rec.item_type)) {
-  if (opts_.rec.ppr.engine == ppr::PushEngine::kKernel) {
+  if (opts_.rec.ppr.engine != ppr::PushEngine::kLegacy) {
     const graph::CsrGraph* snapshot = csr;
     if (snapshot == nullptr) {
       owned_csr_ = std::make_unique<graph::CsrGraph>(base);

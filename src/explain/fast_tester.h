@@ -33,6 +33,10 @@ namespace emigre::explain {
 ///    TEST), and the eligible-item filter uses the workspace's epoch marks.
 ///    `Clear()`-based reverts keep the adjacency iteration order fixed
 ///    across candidates.
+///  - `kFast`: same overlay/workspace machinery as kKernel, but the
+///    repairs refine highest-|residual|-first on the workspace's priority
+///    frontier (not bitwise identical to the other engines; Eq. 3 bounds
+///    the divergence to push noise).
 ///  - `kLegacy`: the original private mutable `HinGraph` copy with the
 ///    dense O(n)-per-repair refine — kept as the reference/baseline.
 ///
@@ -41,6 +45,14 @@ namespace emigre::explain {
 /// differ from the exact `ExplanationTester` on near-ties. Use a tight
 /// `PprOptions::epsilon` (default 2.7e-8 already is) and re-verify with the
 /// exact tester where a guarantee is required (the evaluation runner does).
+///
+/// Tie-breaking contract: `CurrentTopLegacy`/`CurrentTopKernel` rank by
+/// (score descending, node id ascending) with sub-noise scores floored to
+/// zero, so EXACT ties resolve to the lowest item id on every engine —
+/// the ordering never depends on touch order, adjacency order, or the push
+/// schedule. This is what keeps kLegacy/kKernel/kFast verdicts identical
+/// on crafted equal-score items even though kFast's float noise pattern
+/// differs (see explain_fast_tester_test.cc).
 class FastExplanationTester : public TesterInterface {
  public:
   /// Legacy engine: copies `base` once (O(V+E)) and runs the initial push.

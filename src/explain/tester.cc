@@ -48,12 +48,13 @@ bool ExplanationTester::RunOnce(const std::vector<ModedEdit>& edits,
   EMIGRE_COUNTER("explain.tests.exact").Increment();
   ++num_tests_;
   try {
-    // Both engines apply the same edit semantics to an overlay and re-run
-    // the same recommender arithmetic; the kernel engine differs only in
-    // state reuse (CSR base arrays, overlay cleared instead of
-    // reconstructed, PPR scratch in the workspace), so the verdicts are
-    // identical.
-    if (opts_.rec.ppr.engine == ppr::PushEngine::kKernel) {
+    // All engines apply the same edit semantics to an overlay and re-run
+    // the same recommender arithmetic; the workspace engines (kKernel,
+    // kFast) differ only in state reuse (CSR base arrays, overlay cleared
+    // instead of reconstructed, PPR scratch in the workspace), so with the
+    // default power-iteration scorer the verdicts are identical across all
+    // three engines.
+    if (opts_.rec.ppr.engine != ppr::PushEngine::kLegacy) {
       EnsureKernelState();
       overlay_->Clear();
       for (const ModedEdit& e : edits) {

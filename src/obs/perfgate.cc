@@ -51,6 +51,7 @@ std::string_view VerdictLabel(PerfGateEntry::Verdict v) {
     case PerfGateEntry::Verdict::kOutOfBand: return "OUT-OF-BAND";
     case PerfGateEntry::Verdict::kMissing: return "MISSING";
     case PerfGateEntry::Verdict::kNew: return "new";
+    case PerfGateEntry::Verdict::kBelowMin: return "BELOW-MIN";
   }
   return "?";
 }
@@ -102,6 +103,26 @@ Result<PerfGateOptions> ParsePerfGateConfig(const std::string& config_json) {
       }
     }
   }
+  if (const json::JsonValue* floors = root.Find("floors")) {
+    if (floors->kind != json::JsonValue::Kind::kObject) {
+      return Status::InvalidArgument(
+          "perfgate config: \"floors\" is not an object");
+    }
+    for (const auto& [bench, metrics] : floors->object) {
+      if (metrics.kind != json::JsonValue::Kind::kObject) {
+        return Status::InvalidArgument(
+            "perfgate config: floors for bench \"" + bench +
+            "\" is not an object");
+      }
+      for (const auto& [name, v] : metrics.object) {
+        if (v.kind != json::JsonValue::Kind::kNumber) {
+          return Status::InvalidArgument(
+              "perfgate config: floor \"" + name + "\" is not a number");
+        }
+        opts.floors[bench][name] = v.number;
+      }
+    }
+  }
   return opts;
 }
 
@@ -136,6 +157,11 @@ Result<PerfGateReport> ComparePerf(const BenchDoc& baseline,
     return false;
   };
 
+  std::map<std::string, double> unmet_floors;
+  if (auto fl = opts.floors.find(current.bench); fl != opts.floors.end()) {
+    unmet_floors = fl->second;
+  }
+
   for (const FlatMetric& m : Flatten(current.metrics)) {
     PerfGateEntry entry;
     entry.metric = m.name;
@@ -143,6 +169,25 @@ Result<PerfGateReport> ComparePerf(const BenchDoc& baseline,
     bool latency = IsLatencyMetric(m.name);
     entry.tolerance = latency ? opts.latency_tol : opts.counter_tol;
     double floor = latency ? opts.latency_min : opts.counter_min;
+
+    // Absolute floors outrank every other disposition: they apply to new
+    // metrics, skipped metrics, and metrics under the noise floor alike.
+    if (auto fit = unmet_floors.find(m.name); fit != unmet_floors.end()) {
+      entry.floor = fit->second;
+      unmet_floors.erase(fit);
+      if (m.value < entry.floor) {
+        if (auto bit = base_by_name.find(m.name); bit != base_by_name.end()) {
+          entry.baseline = bit->second;
+          base_by_name.erase(bit);
+        }
+        entry.ratio = entry.floor > 0.0 ? m.value / entry.floor : 0.0;
+        entry.verdict = PerfGateEntry::Verdict::kBelowMin;
+        ++report.compared;
+        ++report.failed;
+        report.entries.push_back(std::move(entry));
+        continue;
+      }
+    }
 
     auto it = base_by_name.find(m.name);
     if (it == base_by_name.end()) {
@@ -174,6 +219,21 @@ Result<PerfGateReport> ComparePerf(const BenchDoc& baseline,
       }
     }
     if (entry.Failed()) ++report.failed;
+    report.entries.push_back(std::move(entry));
+  }
+
+  // A floored metric the current run never emitted cannot attest its
+  // contract — that is a failure, not a silent skip.
+  for (const auto& [name, min_value] : unmet_floors) {
+    PerfGateEntry entry;
+    entry.metric = name;
+    entry.floor = min_value;
+    if (auto bit = base_by_name.find(name); bit != base_by_name.end()) {
+      entry.baseline = bit->second;
+      base_by_name.erase(bit);
+    }
+    entry.verdict = PerfGateEntry::Verdict::kBelowMin;
+    ++report.failed;
     report.entries.push_back(std::move(entry));
   }
 
@@ -216,7 +276,11 @@ std::string PerfGateReport::Format() const {
   for (size_t col = 1; col <= 4; ++col) table.SetAlign(col, Align::kRight);
   for (const PerfGateEntry& e : entries) {
     if (!e.Failed()) continue;
-    table.AddRow({e.metric, FormatDouble(e.baseline, 4),
+    // A floor violation compares against the configured minimum, not the
+    // baseline; show the number the metric actually had to beat.
+    bool below_min = e.verdict == PerfGateEntry::Verdict::kBelowMin;
+    table.AddRow({e.metric,
+                  FormatDouble(below_min ? e.floor : e.baseline, 4),
                   FormatDouble(e.current, 4), FormatDouble(e.ratio, 3),
                   FormatDouble(e.tolerance, 2),
                   std::string(VerdictLabel(e.verdict))});

@@ -2,6 +2,7 @@
 #define EMIGRE_OBS_PERFGATE_H_
 
 #include <cstddef>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -42,11 +43,20 @@ struct PerfGateOptions {
   double latency_min = 1e-3;
   /// Glob patterns ('*' wildcard) of flattened metric names to skip.
   std::vector<std::string> skip;
+  /// Absolute minimums, keyed by bench name then exact flattened metric
+  /// name (the config is shared across every bench/baseline pair, so
+  /// floors scope to the bench that emits the metric). Unlike the relative
+  /// band, a floor is asserted REGARDLESS of the noise floors and skip
+  /// globs — it encodes a hard contract ("this speedup stays above 1.0"),
+  /// not a drift check, so a sub-`counter_min` value cannot dodge it. A
+  /// floored metric absent from its bench's current run is a failure too.
+  std::map<std::string, std::map<std::string, double>> floors;
 };
 
 /// Parses the checked-in gate configuration (emigre.perfgate.v1):
 ///   {"schema": "emigre.perfgate.v1", "counter_tol": 0.1, "latency_tol":
-///    0.5, "counter_min": 16, "latency_min": 0.001, "skip": ["ppr.cache.*"]}
+///    0.5, "counter_min": 16, "latency_min": 0.001, "skip": ["ppr.cache.*"],
+///    "floors": {"ppr_kernels": {"bench.ppr_kernels.repair_speedup": 1.0}}}
 /// Absent fields keep their defaults.
 [[nodiscard]] Result<PerfGateOptions> ParsePerfGateConfig(
     const std::string& json);
@@ -61,17 +71,19 @@ struct PerfGateEntry {
     kOutOfBand,   ///< current < baseline / (1 + tol): stale baseline
     kMissing,     ///< in baseline (above floor) but absent from current
     kNew,         ///< only in current (reported, never a failure)
+    kBelowMin,    ///< current < its configured absolute floor
   };
   std::string metric;
   double baseline = 0.0;
   double current = 0.0;
   double ratio = 0.0;  ///< current / baseline (0 when baseline is 0)
   double tolerance = 0.0;
+  double floor = 0.0;  ///< configured absolute minimum (kBelowMin only)
   Verdict verdict = Verdict::kOk;
 
   bool Failed() const {
     return verdict == Verdict::kRegression || verdict == Verdict::kOutOfBand ||
-           verdict == Verdict::kMissing;
+           verdict == Verdict::kMissing || verdict == Verdict::kBelowMin;
   }
 };
 

@@ -111,10 +111,14 @@ RecommendationList RankItems(const G& g, graph::NodeId user,
   std::vector<ScoredItem> scored;
 
   if (opts.scorer == Scorer::kForwardPush &&
-      opts.ppr.engine == ppr::PushEngine::kKernel) {
+      opts.ppr.engine != ppr::PushEngine::kLegacy) {
     // Fully sparse path: scores stay in the workspace (untouched ⇒ 0.0,
     // exactly as the legacy dense vector starts at 0.0).
-    ppr::ForwardPushKernel(g, user, opts.ppr, *ws);
+    if (opts.ppr.engine == ppr::PushEngine::kFast) {
+      ppr::ForwardPushKernelFast(g, user, opts.ppr, *ws);
+    } else {
+      ppr::ForwardPushKernel(g, user, opts.ppr, *ws);
+    }
     g.ForEachOutEdge(user, [&](graph::NodeId dst, graph::EdgeTypeId,
                                double) { ws->Mark(dst); });
     for (graph::NodeId v = 0; v < n; ++v) {

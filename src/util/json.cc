@@ -91,6 +91,21 @@ class JsonParser {
     return Status::OK();
   }
 
+  Status ParseHex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else return Error("bad \\u escape");
+    }
+    *out = code;
+    return Status::OK();
+  }
+
   Status ParseString(std::string* out) {
     if (!Consume('"')) return Error("expected '\"'");
     out->clear();
@@ -113,24 +128,41 @@ class JsonParser {
         case 'b': out->push_back('\b'); break;
         case 'f': out->push_back('\f'); break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
           unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else return Error("bad \\u escape");
+          EMIGRE_RETURN_IF_ERROR(ParseHex4(&code));
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: JSON encodes astral code points as a
+            // \uXXXX\uXXXX pair (RFC 8259 §7). Combine into one code point
+            // and emit 4-byte UTF-8 — appending each half's 3-byte
+            // encoding separately would produce CESU-8, which round-trips
+            // through our own emitter but is rejected by strict UTF-8
+            // consumers.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error("unpaired high surrogate in \\u escape");
+            }
+            pos_ += 2;
+            unsigned low = 0;
+            EMIGRE_RETURN_IF_ERROR(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate in \\u escape");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("unpaired low surrogate in \\u escape");
           }
-          // ASCII-only emitter; decode the BMP code point as UTF-8.
           if (code < 0x80) {
             out->push_back(static_cast<char>(code));
           } else if (code < 0x800) {
             out->push_back(static_cast<char>(0xC0 | (code >> 6)));
             out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          } else {
+          } else if (code < 0x10000) {
             out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
             out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
             out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
           }

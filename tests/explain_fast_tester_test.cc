@@ -163,5 +163,68 @@ TEST(FastTesterTest, TestMixedMatchesExact) {
   EXPECT_EQ(a, b);
 }
 
+// The tie-break contract (fast_tester.h): rank by score descending, node id
+// ascending on exact ties, regardless of push engine. Crafted graph where
+// two items are perfectly symmetric — user -> rated -> category -> {A, B}
+// with identical weights — so PPR(A) == PPR(B) bitwise under every
+// schedule, and the verdict hinges entirely on the tie-break.
+TEST(FastTesterTest, EqualScoreTieBreaksToLowestIdOnEveryEngine) {
+  graph::HinGraph g;
+  graph::NodeTypeId user_t = g.RegisterNodeType("user");
+  graph::NodeTypeId item_t = g.RegisterNodeType("item");
+  graph::NodeTypeId cat_t = g.RegisterNodeType("category");
+  graph::EdgeTypeId rated = g.RegisterEdgeType("rated");
+  graph::EdgeTypeId belongs = g.RegisterEdgeType("belongs-to");
+  NodeId u = g.AddNode(user_t);
+  NodeId r = g.AddNode(item_t);   // rated seed item
+  NodeId a = g.AddNode(item_t);   // tied pair, lower id
+  NodeId b = g.AddNode(item_t);   // tied pair, higher id
+  NodeId x = g.AddNode(item_t);   // dangling add-candidate
+  NodeId c = g.AddNode(cat_t);
+  ASSERT_LT(a, b);
+  ASSERT_TRUE(g.AddEdge(u, r, rated).ok());
+  ASSERT_TRUE(g.AddEdge(r, c, belongs).ok());
+  ASSERT_TRUE(g.AddEdge(c, a, belongs).ok());
+  ASSERT_TRUE(g.AddEdge(c, b, belongs).ok());
+
+  explain::EmigreOptions base_opts;
+  base_opts.rec.item_type = item_t;
+  base_opts.allowed_edge_types = {rated};
+  base_opts.add_edge_type = rated;
+  base_opts.rec.ppr.epsilon = 1e-9;
+
+  // Adding u->x preserves the A/B symmetry (x is a separate branch), so the
+  // counterfactual top is the tied pair and must resolve to A, the lower
+  // id, under all three engines.
+  std::vector<EdgeRef> add_x = {EdgeRef{u, x, rated}};
+  for (ppr::PushEngine engine :
+       {ppr::PushEngine::kLegacy, ppr::PushEngine::kKernel,
+        ppr::PushEngine::kFast}) {
+    explain::EmigreOptions opts = base_opts;
+    opts.rec.ppr.engine = engine;
+
+    FastExplanationTester ask_a(g, u, /*why_not_item=*/a, opts);
+    NodeId rec = graph::kInvalidNode;
+    EXPECT_TRUE(ask_a.Test(add_x, Mode::kAdd, &rec))
+        << "engine " << static_cast<int>(engine);
+    EXPECT_EQ(rec, a) << "engine " << static_cast<int>(engine);
+
+    FastExplanationTester ask_b(g, u, /*why_not_item=*/b, opts);
+    rec = graph::kInvalidNode;
+    EXPECT_FALSE(ask_b.Test(add_x, Mode::kAdd, &rec))
+        << "engine " << static_cast<int>(engine);
+    EXPECT_EQ(rec, a) << "engine " << static_cast<int>(engine);
+
+    // All-zero tie: removing the rated edge leaves every eligible item at
+    // the floored score 0, so the top is the lowest eligible id (r itself,
+    // no longer rated in the counterfactual).
+    std::vector<EdgeRef> drop_r = {EdgeRef{u, r, rated}};
+    rec = graph::kInvalidNode;
+    EXPECT_FALSE(ask_b.Test(drop_r, Mode::kRemove, &rec))
+        << "engine " << static_cast<int>(engine);
+    EXPECT_EQ(rec, r) << "engine " << static_cast<int>(engine);
+  }
+}
+
 }  // namespace
 }  // namespace emigre::explain

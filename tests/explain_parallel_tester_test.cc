@@ -226,7 +226,11 @@ void ExpectIdenticalExplanations(const graph::HinGraph& g,
   };
   // Whole Explanations must agree across every (push engine × thread count)
   // combination: the kernel engine replays the legacy push schedule bit for
-  // bit, so swapping engines may not change a single accepted candidate.
+  // bit, and kFast — whose priority schedule is NOT bitwise-identical — is
+  // held to the same bar because tester verdicts are schedule-independent
+  // by construction (sub-noise scores floored to 0, exact ties broken by
+  // ascending id). Swapping engines may not change a single accepted
+  // candidate.
   struct Config {
     ppr::PushEngine engine;
     size_t threads;
@@ -236,6 +240,8 @@ void ExpectIdenticalExplanations(const graph::HinGraph& g,
       {ppr::PushEngine::kLegacy, 4},
       {ppr::PushEngine::kKernel, 1},
       {ppr::PushEngine::kKernel, 4},
+      {ppr::PushEngine::kFast, 1},
+      {ppr::PushEngine::kFast, 4},
   };
   for (TesterKind kind : {TesterKind::kExact, TesterKind::kDynamicPush}) {
     std::vector<std::unique_ptr<Emigre>> engines;
@@ -266,7 +272,13 @@ void ExpectIdenticalExplanations(const graph::HinGraph& g,
         EXPECT_EQ(a->edges, b->edges);
         EXPECT_EQ(a->new_rec, b->new_rec);
         EXPECT_EQ(a->failure, b->failure);
-        EXPECT_EQ(a->candidates_considered, b->candidates_considered);
+        if (configs[i].engine != ppr::PushEngine::kFast) {
+          // Work counters are only bitwise-stable for engines that replay
+          // the legacy schedule; kFast may drop sub-epsilon candidates
+          // from the search space, so it is held to the semantic fields
+          // above but not to the exact candidate count.
+          EXPECT_EQ(a->candidates_considered, b->candidates_considered);
+        }
       }
     }
   }

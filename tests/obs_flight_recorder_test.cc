@@ -452,6 +452,101 @@ TEST(PerfGateTest, ConfigKeepsDefaultsForAbsentFieldsRejectsWrongSchema) {
   EXPECT_FALSE(ParsePerfGateConfig("[]").ok());
 }
 
+TEST(PerfGateTest, FloorsAssertAbsoluteMinimumsBelowTheNoiseFloor) {
+  // A speedup gauge of ~1.4 sits far under counter_min=16, so the relative
+  // band would skip it entirely; a floor still holds it to >= 1.0.
+  BenchDoc base = MakeBaselineDoc();
+  base.metrics.gauges.push_back({"bench.kernels.fast_speedup", 1.4});
+  BenchDoc cur = base;
+  PerfGateOptions opts;
+  opts.floors["kernels"]["bench.kernels.fast_speedup"] = 1.0;
+
+  Result<PerfGateReport> report = ComparePerf(base, cur, opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->pass) << report->Format();
+
+  cur.metrics.gauges.back().value = 0.8;  // the kernel got slower than legacy
+  report = ComparePerf(base, cur, opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->pass);
+  bool found = false;
+  for (const PerfGateEntry& e : report->entries) {
+    if (e.metric == "bench.kernels.fast_speedup") {
+      found = true;
+      EXPECT_EQ(e.verdict, PerfGateEntry::Verdict::kBelowMin);
+      EXPECT_DOUBLE_EQ(e.floor, 1.0);
+      EXPECT_TRUE(e.Failed());
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_NE(report->Format().find("BELOW-MIN"), std::string::npos);
+}
+
+TEST(PerfGateTest, FlooredMetricAbsentFromCurrentRunFails) {
+  BenchDoc base = MakeBaselineDoc();
+  BenchDoc cur = base;
+  PerfGateOptions opts;
+  opts.floors["kernels"]["bench.kernels.fast_speedup"] = 1.0;
+  // Neither side emits the gauge: the contract cannot be attested.
+  Result<PerfGateReport> report = ComparePerf(base, cur, opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->pass);
+  bool found = false;
+  for (const PerfGateEntry& e : report->entries) {
+    if (e.metric == "bench.kernels.fast_speedup") {
+      found = true;
+      EXPECT_EQ(e.verdict, PerfGateEntry::Verdict::kBelowMin);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PerfGateTest, FloorsScopeToTheirBench) {
+  // The config is shared across bench pairs: another bench's floors must
+  // not fail a run that never emits those metrics.
+  BenchDoc base = MakeBaselineDoc();
+  BenchDoc cur = base;
+  PerfGateOptions opts;
+  opts.floors["other_bench"]["bench.other.speedup"] = 1.0;
+  Result<PerfGateReport> report = ComparePerf(base, cur, opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->pass) << report->Format();
+}
+
+TEST(PerfGateTest, FloorOutranksSkipGlobs) {
+  BenchDoc base = MakeBaselineDoc();
+  base.metrics.gauges.push_back({"bench.kernels.fast_speedup", 1.4});
+  BenchDoc cur = base;
+  cur.metrics.gauges.back().value = 0.5;
+  PerfGateOptions opts;
+  opts.skip = {"bench.*"};
+  opts.floors["kernels"]["bench.kernels.fast_speedup"] = 1.0;
+  Result<PerfGateReport> report = ComparePerf(base, cur, opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->pass) << "a skip glob must not disable a hard floor";
+}
+
+TEST(PerfGateTest, ConfigParsesFloors) {
+  Result<PerfGateOptions> opts = ParsePerfGateConfig(
+      "{\"schema\": \"emigre.perfgate.v1\", \"floors\": {\"ppr_kernels\": "
+      "{\"bench.ppr_kernels.repair_speedup\": 1.0, "
+      "\"bench.ppr_kernels.fast_overall_speedup\": 0.5}}}");
+  ASSERT_TRUE(opts.ok()) << opts.status().ToString();
+  ASSERT_EQ(opts->floors.size(), 1u);
+  const auto& kernels = opts->floors.at("ppr_kernels");
+  ASSERT_EQ(kernels.size(), 2u);
+  EXPECT_DOUBLE_EQ(kernels.at("bench.ppr_kernels.repair_speedup"), 1.0);
+  EXPECT_DOUBLE_EQ(kernels.at("bench.ppr_kernels.fast_overall_speedup"), 0.5);
+  // Malformed floors are config errors, not silent no-ops.
+  EXPECT_FALSE(ParsePerfGateConfig(
+                   "{\"schema\": \"emigre.perfgate.v1\", \"floors\": [1]}")
+                   .ok());
+  EXPECT_FALSE(ParsePerfGateConfig(
+                   "{\"schema\": \"emigre.perfgate.v1\", "
+                   "\"floors\": {\"b\": {\"m\": \"fast\"}}}")
+                   .ok());
+}
+
 TEST(GlobMatchTest, WildcardsAnchorsAndQuestionMarks) {
   EXPECT_TRUE(GlobMatch("ppr.cache.*", "ppr.cache.hits"));
   EXPECT_TRUE(GlobMatch("*", "anything"));

@@ -1,0 +1,96 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace emigre::json {
+namespace {
+
+std::string ParsedString(const std::string& doc) {
+  Result<JsonValue> v = Parse(doc);
+  EXPECT_TRUE(v.ok()) << v.status().ToString();
+  if (!v.ok()) return "";
+  EXPECT_EQ(v->kind, JsonValue::Kind::kString);
+  return v->string;
+}
+
+TEST(JsonStringTest, BasicEscapes) {
+  EXPECT_EQ(ParsedString(R"("a\nb\tc\"d\\e\/f")"), "a\nb\tc\"d\\e/f");
+}
+
+TEST(JsonStringTest, BmpUnicodeEscapes) {
+  EXPECT_EQ(ParsedString(R"("A")"), "A");
+  EXPECT_EQ(ParsedString(R"("\u00e9")"), "\xC3\xA9");      // é
+  EXPECT_EQ(ParsedString(R"("\u20ac")"), "\xE2\x82\xAC");  // €
+  EXPECT_EQ(ParsedString(R"("\ufffd")"), "\xEF\xBF\xBD");  // U+FFFD
+}
+
+// The regression this file exists for: a surrogate pair must decode to ONE
+// 4-byte UTF-8 code point. The old decoder emitted each half's 3-byte
+// encoding separately (CESU-8: ED A0 BD ED B8 80 for U+1F600), which
+// strict UTF-8 consumers reject.
+TEST(JsonStringTest, SurrogatePairDecodesToFourByteUtf8) {
+  std::string grin = ParsedString(R"("\ud83d\ude00")");  // U+1F600 😀
+  EXPECT_EQ(grin, "\xF0\x9F\x98\x80");
+  ASSERT_EQ(grin.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(grin[0]), 0xF0u);  // not CESU-8 0xED
+
+  // Uppercase hex, pair embedded in surrounding text.
+  EXPECT_EQ(ParsedString(R"("x\uD834\uDD1Ey")"),
+            "x\xF0\x9D\x84\x9Ey");  // U+1D11E MUSICAL SYMBOL G CLEF
+}
+
+TEST(JsonStringTest, RawUtf8BytesPassThroughUnchanged) {
+  // Already-encoded UTF-8 in the document body is not escape-processed.
+  EXPECT_EQ(ParsedString("\"\xF0\x9F\x98\x80\""), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonStringTest, LoneSurrogatesAreErrors) {
+  EXPECT_FALSE(Parse(R"("\ud83d")").ok());    // unpaired high at end
+  EXPECT_FALSE(Parse(R"("\ud83dx")").ok());   // high followed by text
+  EXPECT_FALSE(Parse(R"("\ud83d\n")").ok());  // high + non-\u escape
+  EXPECT_FALSE(Parse(R"("\ud83dA")").ok());  // high + non-low escape
+  EXPECT_FALSE(Parse(R"("\ude00")").ok());    // low without high
+}
+
+TEST(JsonStringTest, TruncatedAndBadEscapes) {
+  EXPECT_FALSE(Parse(R"("\u12")").ok());
+  EXPECT_FALSE(Parse(R"("\u12gz")").ok());
+  EXPECT_FALSE(Parse(R"("\ud83d\ud")").ok());
+  EXPECT_FALSE(Parse(R"("\q")").ok());
+}
+
+// Escape passes UTF-8 bytes through raw, so decode -> Escape -> decode must
+// be the identity on the decoded value (the emitter never re-introduces
+// CESU-8).
+TEST(JsonStringTest, SurrogatePairRoundTrip) {
+  std::string decoded = ParsedString(R"("\ud83d\ude00 ok \u20ac")");
+  EXPECT_EQ(decoded, "\xF0\x9F\x98\x80 ok \xE2\x82\xAC");
+  std::string re_encoded = Escape(decoded);
+  EXPECT_EQ(ParsedString(re_encoded), decoded);
+}
+
+TEST(JsonStringTest, EscapeRoundTripsControlCharacters) {
+  std::string s = "line\nwith\ttabs \x01 and \x1f";
+  EXPECT_EQ(ParsedString(Escape(s)), s);
+}
+
+TEST(JsonValueTest, DocumentRoundTrip) {
+  const std::string doc =
+      R"({"name":"\ud83d\ude00","n":12345678901234567890,"f":0.25,)"
+      R"("flag":true,"none":null,"arr":[1,"two",false]})";
+  Result<JsonValue> v = Parse(doc);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(StringOr(*v, "name"), "\xF0\x9F\x98\x80");
+  EXPECT_EQ(UintOr(*v, "n"), 12345678901234567890ull);
+  EXPECT_EQ(DoubleOr(*v, "f"), 0.25);
+  EXPECT_TRUE(BoolOr(*v, "flag", false));
+  const JsonValue* arr = v->Find("arr");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->array.size(), 3u);
+  EXPECT_EQ(arr->array[1].string, "two");
+}
+
+}  // namespace
+}  // namespace emigre::json

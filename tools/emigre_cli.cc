@@ -58,6 +58,7 @@
 #include "obs/metrics.h"
 #include "obs/perfgate.h"
 #include "obs/query_log.h"
+#include "ppr/options.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 #include "util/flags.h"
@@ -88,6 +89,29 @@ void AddObsFlags(FlagParser* parser) {
   parser->AddFlag("query-log",
                   "append one emigre.query.v1 record per Explain to FILE",
                   "");
+}
+
+/// Push-engine selection shared by the query subcommands. `fast` gives up
+/// bitwise replay against the other two engines for throughput on
+/// push-bound rows (docs/performance.md has the contract).
+void AddEngineFlag(FlagParser* parser) {
+  parser->AddFlag("push-engine", "PPR push schedule: legacy | kernel | fast",
+                  "kernel");
+}
+
+Status ApplyEngineFlag(const FlagParser& parser,
+                       explain::EmigreOptions* opts) {
+  std::string name = parser.GetString("push-engine").ValueOrDie();
+  if (name == "legacy") {
+    opts->rec.ppr.engine = ppr::PushEngine::kLegacy;
+  } else if (name == "kernel") {
+    opts->rec.ppr.engine = ppr::PushEngine::kKernel;
+  } else if (name == "fast") {
+    opts->rec.ppr.engine = ppr::PushEngine::kFast;
+  } else {
+    return Status::InvalidArgument("unknown --push-engine " + name);
+  }
+  return Status::OK();
 }
 
 /// Captures a registry baseline at construction; Finish() prints and/or
@@ -279,12 +303,15 @@ int RunRecommend(const std::vector<std::string>& args) {
   parser.AddFlag("graph", "graph file", "");
   parser.AddFlag("user", "user node id", "-1");
   parser.AddFlag("top", "list length", "10");
+  AddEngineFlag(&parser);
   AddObsFlags(&parser);
   Status st = parser.Parse(args);
   if (!st.ok()) return Fail(st);
   Result<LoadedGraph> lg =
       LoadForQueries(parser.GetString("graph").ValueOrDie());
   if (!lg.ok()) return Fail(lg.status());
+  st = ApplyEngineFlag(parser, &lg->opts);
+  if (!st.ok()) return Fail(st);
   int64_t user = parser.GetInt("user").ValueOrDie();
   if (user < 0 || !lg->g.IsValidNode(static_cast<graph::NodeId>(user))) {
     return Fail(Status::InvalidArgument("--user must be a valid node id"));
@@ -315,12 +342,15 @@ int RunExplain(const std::vector<std::string>& args) {
                  "candidate-verification threads (1=serial, 0=all cores); "
                  "deterministic at any setting, see docs/parallelism.md",
                  "1");
+  AddEngineFlag(&parser);
   AddObsFlags(&parser);
   Status st = parser.Parse(args);
   if (!st.ok()) return Fail(st);
   Result<LoadedGraph> lg =
       LoadForQueries(parser.GetString("graph").ValueOrDie());
   if (!lg.ok()) return Fail(lg.status());
+  st = ApplyEngineFlag(parser, &lg->opts);
+  if (!st.ok()) return Fail(st);
   lg->opts.test_threads =
       static_cast<size_t>(parser.GetInt("test-threads").ValueOrDie());
   graph::NodeId user =
@@ -401,12 +431,15 @@ int RunExperiment(const std::vector<std::string>& args) {
                  "(1=serial, 0=all cores); the runner caps scenario workers "
                  "so the product stays within the machine",
                  "1");
+  AddEngineFlag(&parser);
   AddObsFlags(&parser);
   Status st = parser.Parse(args);
   if (!st.ok()) return Fail(st);
   Result<LoadedGraph> lg =
       LoadForQueries(parser.GetString("graph").ValueOrDie());
   if (!lg.ok()) return Fail(lg.status());
+  st = ApplyEngineFlag(parser, &lg->opts);
+  if (!st.ok()) return Fail(st);
   lg->opts.deadline_seconds = parser.GetDouble("deadline").ValueOrDie();
   lg->opts.test_threads =
       static_cast<size_t>(parser.GetInt("test-threads").ValueOrDie());
@@ -460,12 +493,15 @@ int RunSelfCheck(const std::vector<std::string>& args) {
   parser.AddFlag("samples", "sampled sources/targets per PPR suite", "3");
   parser.AddFlag("edits", "random edge edits exercised", "3");
   parser.AddFlag("seed", "sampling seed", "20240416");
+  AddEngineFlag(&parser);
   AddObsFlags(&parser);
   Status st = parser.Parse(args);
   if (!st.ok()) return Fail(st);
   Result<LoadedGraph> lg =
       LoadForQueries(parser.GetString("graph").ValueOrDie());
   if (!lg.ok()) return Fail(lg.status());
+  st = ApplyEngineFlag(parser, &lg->opts);
+  if (!st.ok()) return Fail(st);
 
   check::SelfCheckOptions sc;
   std::string level = parser.GetString("level").ValueOrDie();
@@ -501,6 +537,7 @@ int RunChaos(const std::vector<std::string>& args) {
   parser.AddFlag("items", "synthetic dataset items", "400");
   parser.AddFlag("test-threads",
                  "candidate-verification threads during the soak", "2");
+  AddEngineFlag(&parser);
   AddObsFlags(&parser);
   Status st = parser.Parse(args);
   if (!st.ok()) return Fail(st);
@@ -530,6 +567,8 @@ int RunChaos(const std::vector<std::string>& args) {
   }
   opts.add_edge_type = lite->graph.FindEdgeType("rated");
   opts.deadline_seconds = 2.0;
+  st = ApplyEngineFlag(parser, &opts);
+  if (!st.ok()) return Fail(st);
 
   ObsSession obs(parser);
   if (!obs.init_status().ok()) return Fail(obs.init_status());
