@@ -7,11 +7,11 @@
 #include <thread>
 
 #include "check/invariants.h"
-#include "fault/fault.h"
 #include "explain/emigre.h"
 #include "explain/meta.h"
 #include "explain/search_space.h"
 #include "explain/tester.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/status.h"
@@ -63,6 +63,12 @@ Result<ExperimentResult> RunExperiment(const graph::HinGraph& g,
   explain::Emigre engine(g, opts);
 
   EMIGRE_COUNTER("eval.scenarios").Increment(scenarios.size());
+  // Concurrency contract of the fan-out below: `records` is sized up front
+  // and every worker writes only its own disjoint `si * methods + mi`
+  // slots, so the records need no lock; `done` is the only cross-worker
+  // state and is atomic. The pool's `Wait()` barrier orders all record
+  // writes before the return. (This file intentionally has no mutex of its
+  // own — see docs/static_analysis.md on lock-free fan-out patterns.)
   ExperimentResult result;
   result.records.resize(scenarios.size() * methods.size());
   std::atomic<size_t> done{0};

@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
+#include "util/logging.h"
 #include "util/status.h"
 
 namespace emigre::explain {
@@ -51,6 +52,16 @@ bool ParallelTester::TestMixed(const std::vector<ModedEdit>& edits,
 TesterInterface::BatchResult ParallelTester::TestBatch(
     const std::vector<std::vector<graph::EdgeRef>>& batch, Mode mode,
     const BudgetFn& budget) {
+  // One search at a time (class contract): overlapping batches would share
+  // the per-slot testers and corrupt their push state. A comment cannot
+  // stop that, a check can — fail fast instead of corrupting results.
+  EMIGRE_CHECK(!batch_active_.exchange(true, std::memory_order_acquire))
+      << "concurrent TestBatch calls on one ParallelTester";
+  struct BatchActiveGuard {
+    std::atomic<bool>& active;
+    ~BatchActiveGuard() { active.store(false, std::memory_order_release); }
+  } batch_guard{batch_active_};
+
   EMIGRE_COUNTER("explain.parallel.batches").Increment();
   EMIGRE_FAULT_POINT("explain.parallel.batch");
   EMIGRE_HISTOGRAM("explain.parallel.batch_size")

@@ -44,7 +44,10 @@ namespace emigre::explain {
 ///
 /// Thread-safety: one ParallelTester serves one search at a time; the
 /// serial `Test`/`TestMixed` entry points and `TestBatch` must not be
-/// called concurrently with each other.
+/// called concurrently with each other. `TestBatch` enforces its half of
+/// the contract at runtime: overlapping batches (from two threads, or a
+/// batch recursing into itself) abort via `EMIGRE_CHECK` instead of
+/// silently sharing the per-slot testers.
 class ParallelTester : public TesterInterface {
  public:
   using Factory = std::function<std::unique_ptr<TesterInterface>()>;
@@ -88,6 +91,9 @@ class ParallelTester : public TesterInterface {
   std::vector<std::unique_ptr<TesterInterface>> testers_;  // one per slot
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads_ == 1
   std::atomic<size_t> num_tests_{0};
+  /// True while a `TestBatch` is in flight — the runtime form of the
+  /// one-search-at-a-time contract above.
+  std::atomic<bool> batch_active_{false};
 };
 
 }  // namespace emigre::explain

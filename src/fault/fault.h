@@ -23,7 +23,6 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -32,8 +31,10 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace emigre::fault {
 
@@ -122,7 +123,7 @@ class FaultRegistry {
     if (spec.message.empty()) {
       spec.message = "injected fault at " + spec.site;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     SiteState& state = sites_[spec.site];
     state.spec = spec;
     state.armed = true;
@@ -202,14 +203,14 @@ class FaultRegistry {
   /// Disarms every fault and zeroes all hit/fire accounting. The seed is
   /// untouched (call `SetSeed` per chaos schedule).
   void Reset() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     sites_.clear();
     armed_count_.store(0, std::memory_order_relaxed);
   }
 
   /// Reseeds the probabilistic-trigger RNG.
   void SetSeed(uint64_t seed) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     rng_ = Rng(seed);
   }
 
@@ -219,19 +220,19 @@ class FaultRegistry {
 
   /// Hits/fires of one site since it was last armed (0 for unknown sites).
   size_t hits(std::string_view site) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     auto it = sites_.find(std::string(site));
     return it == sites_.end() ? 0 : it->second.hits;
   }
   size_t fires(std::string_view site) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     auto it = sites_.find(std::string(site));
     return it == sites_.end() ? 0 : it->second.fires;
   }
 
   /// Total firings across all sites since the last `Reset`.
   size_t total_fires() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     size_t total = 0;
     for (const auto& [site, state] : sites_) total += state.fires;
     return total;
@@ -240,7 +241,7 @@ class FaultRegistry {
   /// (site, fires) for every site with at least one hit, sorted by site —
   /// the registry side of the metrics-accounting assertion.
   std::vector<std::pair<std::string, size_t>> FireCounts() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     std::vector<std::pair<std::string, size_t>> out;
     for (const auto& [site, state] : sites_) {
       out.emplace_back(site, state.fires);
@@ -298,7 +299,7 @@ class FaultRegistry {
 
   FaultRegistry() = default;
 
-  size_t CountArmedLocked() const {
+  size_t CountArmedLocked() const REQUIRES(mutex_) {
     size_t count = 0;
     for (const auto& [site, state] : sites_) {
       if (state.armed) ++count;
@@ -306,33 +307,37 @@ class FaultRegistry {
     return count;
   }
 
-  /// Counts the hit; true iff the armed trigger fires (spec copied out
-  /// under the lock so the side effects run outside it).
-  bool Hit(const char* site, FaultSpec* fired) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = sites_.find(site);
-    if (it == sites_.end() || !it->second.armed) return false;
-    SiteState& state = it->second;
-    ++state.hits;
-    if (state.spec.max_fires > 0 && state.fires >= state.spec.max_fires) {
-      return false;
+  /// Counts the hit; true iff the armed trigger fires. The spec is copied
+  /// out under the lock so every side effect — including the
+  /// `fault.<site>.fired` counter, whose registry has a lock of its own —
+  /// runs outside it: the fault registry lock never nests another lock.
+  bool Hit(const char* site, FaultSpec* fired) EXCLUDES(mutex_) {
+    {
+      util::MutexLock lock(&mutex_);
+      auto it = sites_.find(site);
+      if (it == sites_.end() || !it->second.armed) return false;
+      SiteState& state = it->second;
+      ++state.hits;
+      if (state.spec.max_fires > 0 && state.fires >= state.spec.max_fires) {
+        return false;
+      }
+      bool fire = state.spec.nth > 0
+                      ? state.hits >= state.spec.nth
+                      : rng_.NextDouble() < state.spec.probability;
+      if (!fire) return false;
+      ++state.fires;
+      *fired = state.spec;
     }
-    bool fire = state.spec.nth > 0
-                    ? state.hits >= state.spec.nth
-                    : rng_.NextDouble() < state.spec.probability;
-    if (!fire) return false;
-    ++state.fires;
     obs::Registry::Global()
-        .GetCounter("fault." + state.spec.site + ".fired")
+        .GetCounter("fault." + fired->site + ".fired")
         .Increment();
-    *fired = state.spec;
     return true;
   }
 
-  mutable std::mutex mutex_;
-  std::map<std::string, SiteState> sites_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, SiteState> sites_ GUARDED_BY(mutex_);
   std::atomic<size_t> armed_count_{0};
-  Rng rng_{0x9E3779B97F4A7C15ull};
+  Rng rng_ GUARDED_BY(mutex_) = Rng(0x9E3779B97F4A7C15ull);
 };
 
 inline std::string_view FaultKindName(FaultKind kind) {

@@ -187,28 +187,28 @@ Registry& Registry::Global() {
 }
 
 Counter& Registry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Registry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& Registry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 MetricsSnapshot Registry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   MetricsSnapshot out;
   out.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
@@ -236,7 +236,7 @@ MetricsSnapshot Registry::Snapshot() const {
 }
 
 void Registry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();

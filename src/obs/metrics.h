@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace emigre::obs {
 
@@ -161,20 +163,24 @@ class Registry {
  public:
   static Registry& Global();
 
-  Counter& GetCounter(const std::string& name);
-  Gauge& GetGauge(const std::string& name);
-  Histogram& GetHistogram(const std::string& name);
+  Counter& GetCounter(const std::string& name) EXCLUDES(mutex_);
+  Gauge& GetGauge(const std::string& name) EXCLUDES(mutex_);
+  Histogram& GetHistogram(const std::string& name) EXCLUDES(mutex_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const EXCLUDES(mutex_);
 
   /// Zeroes every metric (registrations and cached references survive).
-  void Reset();
+  void Reset() EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable util::Mutex mutex_;
+  // The maps (not the metrics) are guarded: values are leaked-forever
+  // atomics, so returned references outlive the lock by design.
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace emigre::obs

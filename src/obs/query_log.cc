@@ -127,7 +127,7 @@ Result<std::unique_ptr<QueryLog>> QueryLog::Open(const std::string& path) {
 
 Status QueryLog::Append(const QueryRecord& record) {
   std::string line = QueryRecordJson(record);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   file_ << line << "\n";
   file_.flush();
   if (!file_.good()) {

@@ -4,13 +4,14 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace emigre::obs {
 
@@ -106,7 +107,7 @@ class QueryLog {
   [[nodiscard]] static Result<std::unique_ptr<QueryLog>> Open(
       const std::string& path);
 
-  [[nodiscard]] Status Append(const QueryRecord& record);
+  [[nodiscard]] Status Append(const QueryRecord& record) EXCLUDES(mutex_);
 
   const std::string& path() const { return path_; }
 
@@ -114,9 +115,9 @@ class QueryLog {
   QueryLog(std::string path, std::ofstream file)
       : path_(std::move(path)), file_(std::move(file)) {}
 
-  std::string path_;
-  std::mutex mutex_;
-  std::ofstream file_;
+  const std::string path_;  // NOLINT(guarded-by) const after ctor
+  util::Mutex mutex_;
+  std::ofstream file_ GUARDED_BY(mutex_);
 };
 
 }  // namespace emigre::obs

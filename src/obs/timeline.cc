@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/json.h"
 #include "util/string_util.h"
 
@@ -19,17 +20,23 @@ std::atomic<bool> g_timeline_enabled{false};
 constexpr size_t kRingCapacity = 1 << 14;  // 16384 events per thread
 
 struct Ring {
-  std::mutex mutex;  // uncontended on the hot path; export briefly locks
-  uint64_t thread_id = 0;
-  std::vector<TimelineEvent> events;  // ring storage, capacity kRingCapacity
-  size_t next = 0;      // insertion cursor once the ring has wrapped
-  bool wrapped = false;
+  util::Mutex mutex;  // uncontended on the hot path; export briefly locks
+  uint64_t thread_id GUARDED_BY(mutex) = 0;
+  // Ring storage, capacity kRingCapacity.
+  std::vector<TimelineEvent> events GUARDED_BY(mutex);
+  // Insertion cursor once the ring has wrapped.
+  size_t next GUARDED_BY(mutex) = 0;
+  bool wrapped GUARDED_BY(mutex) = false;
 };
 
 struct RingList {
-  std::mutex mutex;
-  std::vector<Ring*> rings;  // leaked with the registry; threads never unregister
-  uint64_t next_thread_id = 0;
+  // Lock order: `mutex` before any `Ring::mutex` (registration and the
+  // snapshot/reset walks both follow it; the record hot path takes only the
+  // ring's own lock).
+  util::Mutex mutex;
+  // Leaked with the registry; threads never unregister.
+  std::vector<Ring*> rings GUARDED_BY(mutex);
+  uint64_t next_thread_id GUARDED_BY(mutex) = 0;
 };
 
 RingList& Rings() {
@@ -47,9 +54,12 @@ std::chrono::steady_clock::time_point Epoch() {
 Ring& ThreadRing() {
   thread_local Ring* ring = [] {
     Ring* r = new Ring();  // NOLINT(naked-new) flight-recorder ring, process lifetime
-    r->events.reserve(kRingCapacity);
     RingList& list = Rings();
-    std::lock_guard<std::mutex> lock(list.mutex);
+    util::MutexLock list_lock(&list.mutex);
+    // The ring is not published until the push_back below, but its members
+    // are lock-annotated, so initialize them under its (uncontended) lock.
+    util::MutexLock ring_lock(&r->mutex);
+    r->events.reserve(kRingCapacity);
     r->thread_id = list.next_thread_id++;
     list.rings.push_back(r);
     return r;
@@ -86,7 +96,7 @@ void RecordTimelineEvent(const std::string& path,
   event.dur_us = std::chrono::duration<double, std::micro>(end - start).count();
 
   Ring& ring = ThreadRing();
-  std::lock_guard<std::mutex> lock(ring.mutex);
+  util::MutexLock lock(&ring.mutex);
   event.thread_id = ring.thread_id;
   if (ring.events.size() < kRingCapacity) {
     ring.events.push_back(std::move(event));
@@ -101,9 +111,9 @@ void RecordTimelineEvent(const std::string& path,
 std::vector<TimelineEvent> TimelineSnapshot() {
   std::vector<TimelineEvent> out;
   RingList& list = Rings();
-  std::lock_guard<std::mutex> list_lock(list.mutex);
+  util::MutexLock list_lock(&list.mutex);
   for (Ring* ring : list.rings) {
-    std::lock_guard<std::mutex> lock(ring->mutex);
+    util::MutexLock lock(&ring->mutex);
     // In ring order (oldest first) the wrapped portion starts at `next`.
     size_t n = ring->events.size();
     size_t first = ring->wrapped ? ring->next : 0;
@@ -120,9 +130,9 @@ std::vector<TimelineEvent> TimelineSnapshot() {
 
 void ResetTimeline() {
   RingList& list = Rings();
-  std::lock_guard<std::mutex> list_lock(list.mutex);
+  util::MutexLock list_lock(&list.mutex);
   for (Ring* ring : list.rings) {
-    std::lock_guard<std::mutex> lock(ring->mutex);
+    util::MutexLock lock(&ring->mutex);
     ring->events.clear();
     ring->next = 0;
     ring->wrapped = false;

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <map>
-#include <mutex>
 
 #include "obs/timeline.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -21,8 +22,8 @@ struct SpanTotals {
 };
 
 struct TraceStore {
-  std::mutex mutex;
-  std::map<std::string, SpanTotals> by_path;
+  util::Mutex mutex;
+  std::map<std::string, SpanTotals> by_path GUARDED_BY(mutex);
 };
 
 TraceStore& Store() {
@@ -70,7 +71,7 @@ Span::~Span() {
   stack.pop_back();
   if (TimelineEnabled()) RecordTimelineEvent(path, start_, end);
   TraceStore& store = Store();
-  std::lock_guard<std::mutex> lock(store.mutex);
+  util::MutexLock lock(&store.mutex);
   SpanTotals& totals = store.by_path[path];
   ++totals.count;
   totals.total_seconds += seconds;
@@ -78,7 +79,7 @@ Span::~Span() {
 
 std::vector<SpanStat> TraceSnapshot() {
   TraceStore& store = Store();
-  std::lock_guard<std::mutex> lock(store.mutex);
+  util::MutexLock lock(&store.mutex);
   std::vector<SpanStat> out;
   out.reserve(store.by_path.size());
   for (const auto& [path, totals] : store.by_path) {
@@ -95,7 +96,7 @@ std::vector<SpanStat> TraceSnapshot() {
 
 void ResetTrace() {
   TraceStore& store = Store();
-  std::lock_guard<std::mutex> lock(store.mutex);
+  util::MutexLock lock(&store.mutex);
   store.by_path.clear();
 }
 

@@ -4,7 +4,6 @@
 #include <algorithm>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -16,6 +15,8 @@
 #include "ppr/options.h"
 #include "ppr/reverse_push.h"
 #include "ppr/workspace.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace emigre::ppr {
 
@@ -58,7 +59,7 @@ class ReversePushCache {
   /// push is discarded in favor of the installed vector.
   std::shared_ptr<const SparseVector> Get(graph::NodeId target) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(&mutex_);
       auto it = index_.find(target);
       if (it != index_.end()) {
         // Refresh LRU position.
@@ -72,7 +73,7 @@ class ReversePushCache {
     // should not serialize. Concurrent Gets for the same target may both
     // reach here and duplicate the push; the install below resolves that.
     std::shared_ptr<const SparseVector> vector = Compute(target);
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     auto it = index_.find(target);
     if (it != index_.end()) {
       // Lost the install race: another thread filled this target while we
@@ -105,7 +106,7 @@ class ReversePushCache {
       const std::vector<graph::NodeId>& targets) {
     std::vector<std::shared_ptr<const SparseVector>> out(targets.size());
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(&mutex_);
       for (size_t i = 0; i < targets.size(); ++i) {
         auto it = index_.find(targets[i]);
         if (it == index_.end()) continue;
@@ -129,7 +130,7 @@ class ReversePushCache {
     std::vector<std::shared_ptr<const SparseVector>> computed =
         ComputeBatch(missing);
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     std::unordered_map<graph::NodeId, std::shared_ptr<const SparseVector>>
         resolved;
     for (size_t m = 0; m < missing.size(); ++m) {
@@ -164,31 +165,31 @@ class ReversePushCache {
 
   /// Diagnostics.
   size_t hits() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     return hits_;
   }
   size_t misses() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     return misses_;
   }
   /// Gets that recomputed a target another thread installed first.
   size_t races() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     return races_;
   }
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     return index_.size();
   }
   /// Heap bytes held by the resident sparse vectors.
   size_t bytes() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     return bytes_;
   }
 
   /// Drops all entries (e.g. after the owner mutated the graph).
   void Clear() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     index_.clear();
     lru_.clear();
     bytes_ = 0;
@@ -203,10 +204,12 @@ class ReversePushCache {
   };
 
   /// Inserts `vector` under `target` and maintains LRU order, byte
-  /// accounting, and capacity eviction. Caller holds `mutex_` and has
-  /// verified the target is absent.
+  /// accounting, and capacity eviction (caller has verified the target is
+  /// absent). The lock requirement is part of the signature: Clang's
+  /// analysis rejects any call path that does not hold `mutex_`.
   void InstallLocked(graph::NodeId target,
-                     const std::shared_ptr<const SparseVector>& vector) {
+                     const std::shared_ptr<const SparseVector>& vector)
+      REQUIRES(mutex_) {
     lru_.push_front(target);
     size_t entry_bytes = vector->MemoryBytes();
     index_.emplace(target, Entry{vector, lru_.begin(), entry_bytes});
@@ -272,7 +275,7 @@ class ReversePushCache {
   }
 
   std::unique_ptr<PushWorkspace> AcquireWorkspace() {
-    std::lock_guard<std::mutex> lock(pool_mutex_);
+    util::MutexLock lock(&pool_mutex_);
     if (!pool_.empty()) {
       std::unique_ptr<PushWorkspace> ws = std::move(pool_.back());
       pool_.pop_back();
@@ -281,24 +284,27 @@ class ReversePushCache {
     return std::make_unique<PushWorkspace>();
   }
   void ReleaseWorkspace(std::unique_ptr<PushWorkspace> ws) {
-    std::lock_guard<std::mutex> lock(pool_mutex_);
+    util::MutexLock lock(&pool_mutex_);
     pool_.push_back(std::move(ws));
   }
 
-  const G* g_;
-  PprOptions opts_;
-  size_t capacity_;
+  // Immutable after construction; read lock-free by the fill paths.
+  const G* g_;            // NOLINT(guarded-by) const after ctor
+  PprOptions opts_;       // NOLINT(guarded-by) const after ctor
+  size_t capacity_;       // NOLINT(guarded-by) const after ctor
 
-  mutable std::mutex mutex_;
-  std::list<graph::NodeId> lru_;  // front = most recent
-  std::unordered_map<graph::NodeId, Entry> index_;
-  size_t hits_ = 0;
-  size_t misses_ = 0;
-  size_t races_ = 0;
-  size_t bytes_ = 0;
+  mutable util::Mutex mutex_;
+  std::list<graph::NodeId> lru_ GUARDED_BY(mutex_);  // front = most recent
+  std::unordered_map<graph::NodeId, Entry> index_ GUARDED_BY(mutex_);
+  size_t hits_ GUARDED_BY(mutex_) = 0;
+  size_t misses_ GUARDED_BY(mutex_) = 0;
+  size_t races_ GUARDED_BY(mutex_) = 0;
+  size_t bytes_ GUARDED_BY(mutex_) = 0;
 
-  std::mutex pool_mutex_;
-  std::vector<std::unique_ptr<PushWorkspace>> pool_;
+  // Workspace pool has its own lock so slow fills never serialize behind
+  // index lookups. Never held together with `mutex_`.
+  util::Mutex pool_mutex_;
+  std::vector<std::unique_ptr<PushWorkspace>> pool_ GUARDED_BY(pool_mutex_);
 };
 
 }  // namespace emigre::ppr

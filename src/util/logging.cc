@@ -3,13 +3,17 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace emigre {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_log_mutex;
+
+/// Serializes whole log lines to stderr so concurrent workers (thread pool,
+/// parallel tester) never interleave characters within one line.
+util::Mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -46,7 +50,7 @@ bool Logger::IsEnabled(LogLevel level) {
 
 void Logger::Log(LogLevel level, const std::string& message) {
   {
-    std::lock_guard<std::mutex> lock(g_log_mutex);
+    util::MutexLock lock(&g_log_mutex);
     std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
     std::fflush(stderr);
   }

@@ -1,0 +1,95 @@
+#ifndef EMIGRE_UTIL_MUTEX_H_
+#define EMIGRE_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+/// \file
+/// Capability-annotated mutex wrappers (docs/static_analysis.md).
+///
+/// `std::mutex` carries no capability attribute on libstdc++, so Clang's
+/// `-Wthread-safety` analysis cannot reason about it: a `GUARDED_BY` that
+/// names a plain `std::mutex` member is rejected as "not a lockable type".
+/// These zero-overhead wrappers restore the analysis:
+///
+///   - `util::Mutex` — a `CAPABILITY("mutex")` wrapper over `std::mutex`
+///     whose `Lock`/`Unlock`/`TryLock` carry acquire/release annotations.
+///   - `util::MutexLock` — the `SCOPED_CAPABILITY` RAII guard (the
+///     annotated replacement for `std::lock_guard`).
+///   - `util::CondVar` — a condition variable that waits on a held
+///     `util::Mutex`; `Wait` is `REQUIRES(mu)` because the wait re-acquires
+///     the mutex before returning, so callers hold it on both sides.
+///
+/// All concurrent subsystems (thread pool, PPR cache, obs registries, fault
+/// registry, query log) use these instead of the std types directly; the
+/// `guarded-by` lint rule keeps their data members annotated.
+
+namespace emigre::util {
+
+/// \brief Annotated exclusive mutex. Same cost as `std::mutex`.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief RAII guard: acquires in the constructor, releases in the
+/// destructor. The annotated replacement for `std::lock_guard<std::mutex>`.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// \brief Condition variable over `util::Mutex`.
+///
+/// `Wait` atomically releases `mu`, blocks, and re-acquires `mu` before
+/// returning — so from the caller's (and the analysis') point of view the
+/// mutex is held across the call, hence `REQUIRES(mu)`. Guarded state must
+/// still be re-checked in a loop: wakeups can be spurious.
+///
+/// Implemented on `std::condition_variable` by adopting the held native
+/// mutex for the duration of the wait, so there is no
+/// `condition_variable_any` overhead.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Caller must hold `mu`; holds it again when the wait returns.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    // The wait re-locked `native`; release ownership back to the caller's
+    // MutexLock without unlocking.
+    (void)native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace emigre::util
+
+#endif  // EMIGRE_UTIL_MUTEX_H_

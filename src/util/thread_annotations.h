@@ -1,0 +1,76 @@
+#ifndef EMIGRE_UTIL_THREAD_ANNOTATIONS_H_
+#define EMIGRE_UTIL_THREAD_ANNOTATIONS_H_
+
+/// \file
+/// Clang thread-safety capability annotations (docs/static_analysis.md).
+///
+/// These absl-style macros attach locking contracts to data members and
+/// functions so Clang's `-Wthread-safety` analysis can prove lock
+/// discipline on every path at compile time — the static complement to the
+/// TSan stage, which only observes the interleavings a test run happens to
+/// produce. Under any compiler other than Clang (or a Clang without the
+/// attributes) every macro degrades to nothing, so GCC builds are
+/// unaffected; the `analyze` stage of tools/check.sh and the CI `analyze`
+/// job build the tree with `-Wthread-safety -Werror=thread-safety` so the
+/// contracts cannot rot unchecked.
+///
+/// Vocabulary (see docs/static_analysis.md for usage guidance):
+///   - `CAPABILITY("mutex")` marks a type as a lockable capability
+///     (`util::Mutex` is the annotated wrapper to use for new code).
+///   - `GUARDED_BY(mu)` on a data member: reads and writes require `mu`.
+///   - `PT_GUARDED_BY(mu)` on a pointer/smart-pointer member: the *pointee*
+///     requires `mu` (the pointer itself may need `GUARDED_BY` too).
+///   - `REQUIRES(mu)` on a function: callers must already hold `mu`.
+///   - `ACQUIRE(mu)` / `RELEASE(mu)` on a function: it takes / drops `mu`.
+///   - `EXCLUDES(mu)` on a function: callers must NOT hold `mu`
+///     (self-deadlock documentation; needs -Wthread-safety-negative to be
+///     enforced, but reads as precise documentation regardless).
+///   - `SCOPED_CAPABILITY` on an RAII type whose constructor acquires and
+///     destructor releases (`util::MutexLock`).
+///   - `NO_THREAD_SAFETY_ANALYSIS` opts one function out — last resort for
+///     patterns the analysis cannot follow; always pair with a comment.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define EMIGRE_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef EMIGRE_THREAD_ANNOTATION_
+#define EMIGRE_THREAD_ANNOTATION_(x)  // no-op off Clang
+#endif
+
+#define CAPABILITY(x) EMIGRE_THREAD_ANNOTATION_(capability(x))
+#define SCOPED_CAPABILITY EMIGRE_THREAD_ANNOTATION_(scoped_lockable)
+#define GUARDED_BY(x) EMIGRE_THREAD_ANNOTATION_(guarded_by(x))
+#define PT_GUARDED_BY(x) EMIGRE_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) \
+  EMIGRE_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  EMIGRE_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  EMIGRE_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  EMIGRE_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) \
+  EMIGRE_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  EMIGRE_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  EMIGRE_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  EMIGRE_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  EMIGRE_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  EMIGRE_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  EMIGRE_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) EMIGRE_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) EMIGRE_THREAD_ANNOTATION_(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  EMIGRE_THREAD_ANNOTATION_(assert_shared_capability(x))
+#define RETURN_CAPABILITY(x) EMIGRE_THREAD_ANNOTATION_(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  EMIGRE_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // EMIGRE_UTIL_THREAD_ANNOTATIONS_H_

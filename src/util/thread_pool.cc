@@ -38,10 +38,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     shutdown_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -49,18 +49,18 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
 }
 
 Status ThreadPool::Wait() {
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    util::MutexLock lock(&mutex_);
+    while (in_flight_ != 0) all_done_.Wait(mutex_);
     error = std::exchange(first_error_, nullptr);
   }
   return StatusFromException(std::move(error));
@@ -70,8 +70,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      util::MutexLock lock(&mutex_);
+      while (!shutdown_ && queue_.empty()) task_ready_.Wait(mutex_);
       if (queue_.empty()) {
         if (shutdown_) return;
         continue;
@@ -83,13 +83,13 @@ void ThreadPool::WorkerLoop() {
       EMIGRE_FAULT_POINT("threadpool.task");
       task();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(&mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(&mutex_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

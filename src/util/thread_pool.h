@@ -1,16 +1,16 @@
 #ifndef EMIGRE_UTIL_THREAD_POOL_H_
 #define EMIGRE_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace emigre {
 
@@ -26,6 +26,10 @@ namespace emigre {
 /// `StatusError` unwraps to its Status, anything else maps to
 /// `Status::Internal`. Later exceptions from the same batch are dropped
 /// (first error wins); tasks still pending when one throws run normally.
+///
+/// Locking: one `util::Mutex` guards the queue and the completion state;
+/// the `GUARDED_BY` / `EXCLUDES` annotations below are enforced by Clang's
+/// `-Wthread-safety` analysis (docs/static_analysis.md).
 class ThreadPool {
  public:
   /// Creates `num_threads` workers (0 → hardware_concurrency, min 1).
@@ -37,12 +41,12 @@ class ThreadPool {
 
   /// Enqueues a task. Must not be called after Wait() started from another
   /// thread without external synchronization.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mutex_);
 
   /// Blocks until all submitted tasks have finished, then reports the first
   /// task failure (OK when every task returned normally). The stored error
   /// is cleared, so the pool remains usable for the next batch.
-  [[nodiscard]] Status Wait();
+  [[nodiscard]] Status Wait() EXCLUDES(mutex_);
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -55,16 +59,19 @@ class ThreadPool {
                                           const std::function<void(size_t)>& fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mutex_);
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
-  std::exception_ptr first_error_;
+  // Written once in the constructor, then immutable: `num_threads()` reads
+  // it lock-free and the destructor joins without holding `mutex_`.
+  std::vector<std::thread> workers_;  // NOLINT(guarded-by) const after ctor
+
+  util::Mutex mutex_;
+  util::CondVar task_ready_;
+  util::CondVar all_done_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  size_t in_flight_ GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ GUARDED_BY(mutex_);
 };
 
 }  // namespace emigre

@@ -314,6 +314,49 @@ TEST(ParallelEngineTest, RandomHinsMatchSerial) {
   }
 }
 
+#if GTEST_HAS_DEATH_TEST
+// Regression for the one-search-at-a-time contract: a batch recursing into
+// TestBatch (here via a tester that calls back into its owner) must abort
+// via EMIGRE_CHECK instead of silently corrupting the per-slot testers.
+TEST(ParallelTesterContractDeathTest, ReentrantTestBatchAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+
+  class ReentrantTester : public TesterInterface {
+   public:
+    bool Test(const std::vector<EdgeRef>& edits, Mode mode,
+              NodeId* /*new_rec*/) override {
+      if (owner != nullptr) {
+        (void)owner->TestBatch({edits}, mode);  // illegal: batch in flight
+      }
+      return false;
+    }
+    bool TestMixed(const std::vector<ModedEdit>&, NodeId*) override {
+      return false;
+    }
+    size_t num_tests() const override { return 0; }
+    bool IsExact() const override { return true; }
+
+    ParallelTester* owner = nullptr;
+  };
+
+  ReentrantTester* inner = nullptr;
+  // num_threads = 1: the whole cycle runs on this thread, so the recursion
+  // is deterministic and the death-test child has no sibling threads.
+  ParallelTester pt(
+      [&inner]() {
+        auto t = std::make_unique<ReentrantTester>();
+        inner = t.get();
+        return t;
+      },
+      1);
+  ASSERT_NE(inner, nullptr);
+  inner->owner = &pt;
+  std::vector<std::vector<EdgeRef>> batch{{EdgeRef{0, 1, 0}}};
+  EXPECT_DEATH((void)pt.TestBatch(batch, Mode::kRemove),
+               "concurrent TestBatch");
+}
+#endif  // GTEST_HAS_DEATH_TEST
+
 TEST(ParallelEngineTest, ZeroMeansHardwareThreads) {
   test::ScenarioFixture f = test::MakeRemoveFriendlyCase();
   EmigreOptions opts = f.opts;

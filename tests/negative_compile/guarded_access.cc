@@ -1,0 +1,48 @@
+// Negative-compile fixture: reading a GUARDED_BY member without holding
+// its mutex must be rejected by Clang's -Werror=thread-safety.
+//
+// Compiled two ways by run_negative_compile.cmake:
+//  - with EMIGRE_NEGCOMPILE_CLEAN defined: the access happens under a
+//    MutexLock and the file MUST compile (positive control — proves a
+//    failure below comes from the seeded violation, not a broken fixture).
+//  - without it: the lock is skipped and compilation MUST fail with a
+//    thread-safety diagnostic.
+//
+// The violations live in ordinary methods, never constructors or
+// destructors: the analysis deliberately skips those (no concurrent access
+// can exist before the object is published), so a violation seeded there
+// would pass and the test would prove nothing.
+
+#include <cstddef>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace emigre {
+
+class Counter {
+ public:
+  void Increment() {
+#ifdef EMIGRE_NEGCOMPILE_CLEAN
+    util::MutexLock lock(&mutex_);
+#endif
+    ++count_;  // unguarded access when EMIGRE_NEGCOMPILE_CLEAN is absent
+  }
+
+  size_t Get() const {
+    util::MutexLock lock(&mutex_);
+    return count_;
+  }
+
+ private:
+  mutable util::Mutex mutex_;
+  size_t count_ GUARDED_BY(mutex_) = 0;
+};
+
+void Touch() {
+  Counter c;
+  c.Increment();
+  (void)c.Get();
+}
+
+}  // namespace emigre

@@ -1,0 +1,43 @@
+// Negative-compile fixture: a function annotated ACQUIRE that can return
+// without actually taking the lock — and a caller path that then never
+// releases it — must be rejected by Clang's -Werror=thread-safety.
+//
+// See guarded_access.cc for the two-variant protocol (positive control via
+// EMIGRE_NEGCOMPILE_CLEAN) and why the violation sits in a regular method
+// rather than a constructor/destructor.
+
+#include <cstddef>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace emigre {
+
+class Ledger {
+ public:
+  void BeginMutation() ACQUIRE(mutex_) { mutex_.Lock(); }
+
+  void EndMutation() RELEASE(mutex_) { mutex_.Unlock(); }
+
+  void Record(size_t delta) {
+    BeginMutation();
+    total_ += delta;
+#ifdef EMIGRE_NEGCOMPILE_CLEAN
+    EndMutation();
+#endif
+    // Without EMIGRE_NEGCOMPILE_CLEAN the function returns still holding
+    // mutex_: the analysis reports the capability as held at end of scope
+    // with no matching release.
+  }
+
+ private:
+  util::Mutex mutex_;
+  size_t total_ GUARDED_BY(mutex_) = 0;
+};
+
+void Touch() {
+  Ledger l;
+  l.Record(1);
+}
+
+}  // namespace emigre

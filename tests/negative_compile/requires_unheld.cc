@@ -1,0 +1,38 @@
+// Negative-compile fixture: calling a REQUIRES(mutex_) function without
+// holding the lock must be rejected by Clang's -Werror=thread-safety.
+//
+// This is the regression guard for the comment-to-contract conversions
+// (PprCache::InstallLocked, FaultRegistry::CountArmedLocked): the whole
+// point of replacing "caller must hold mu" comments with REQUIRES is that
+// this call pattern stops compiling. See guarded_access.cc for the
+// two-variant protocol.
+
+#include <cstddef>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace emigre {
+
+class Store {
+ public:
+  void Install(size_t key) {
+#ifdef EMIGRE_NEGCOMPILE_CLEAN
+    util::MutexLock lock(&mutex_);
+#endif
+    InstallLocked(key);  // REQUIRES(mutex_) — illegal without the lock
+  }
+
+ private:
+  void InstallLocked(size_t key) REQUIRES(mutex_) { last_key_ = key; }
+
+  util::Mutex mutex_;
+  size_t last_key_ GUARDED_BY(mutex_) = 0;
+};
+
+void Touch() {
+  Store s;
+  s.Install(7);
+}
+
+}  // namespace emigre

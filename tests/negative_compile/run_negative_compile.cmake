@@ -1,0 +1,55 @@
+# Driver for the negative-compile thread-safety tests (cmake -P script).
+#
+# Each fixture under tests/negative_compile/ seeds one thread-safety
+# violation that Clang's -Werror=thread-safety must reject, plus a clean
+# variant (EMIGRE_NEGCOMPILE_CLEAN) that must compile — the positive
+# control proving the failure comes from the seeded violation, not from a
+# fixture that never compiled in the first place.
+#
+# Expected -D definitions:
+#   NEGCOMPILE_COMPILER  - path to clang++ (the analysis is Clang-only)
+#   NEGCOMPILE_SOURCE    - the fixture .cc file
+#   NEGCOMPILE_INCLUDE   - the repo's src/ directory
+#
+# Exit status 0 = test passed (clean variant compiled AND violation
+# variant was rejected with a thread-safety diagnostic).
+
+set(common_flags
+    -std=c++20 -fsyntax-only
+    -Wthread-safety -Werror=thread-safety
+    -I "${NEGCOMPILE_INCLUDE}")
+
+# Positive control: the fixture with the violation patched out must
+# compile cleanly, or the test proves nothing.
+execute_process(
+  COMMAND "${NEGCOMPILE_COMPILER}" ${common_flags}
+          -DEMIGRE_NEGCOMPILE_CLEAN "${NEGCOMPILE_SOURCE}"
+  RESULT_VARIABLE clean_result
+  ERROR_VARIABLE clean_stderr)
+if(NOT clean_result EQUAL 0)
+  message(FATAL_ERROR
+      "positive control failed: ${NEGCOMPILE_SOURCE} did not compile even "
+      "with the violation patched out (fixture is broken, not the "
+      "analysis):\n${clean_stderr}")
+endif()
+
+# The seeded violation must be rejected, and rejected for the right
+# reason: a thread-safety diagnostic, not some unrelated error.
+execute_process(
+  COMMAND "${NEGCOMPILE_COMPILER}" ${common_flags} "${NEGCOMPILE_SOURCE}"
+  RESULT_VARIABLE violation_result
+  ERROR_VARIABLE violation_stderr)
+if(violation_result EQUAL 0)
+  message(FATAL_ERROR
+      "negative-compile test failed: the seeded violation in "
+      "${NEGCOMPILE_SOURCE} compiled cleanly — the thread-safety analysis "
+      "is not rejecting it")
+endif()
+if(NOT violation_stderr MATCHES "thread-safety")
+  message(FATAL_ERROR
+      "negative-compile test failed: ${NEGCOMPILE_SOURCE} was rejected, "
+      "but not by the thread-safety analysis:\n${violation_stderr}")
+endif()
+
+message(STATUS "negative-compile ok: ${NEGCOMPILE_SOURCE} rejected with a "
+               "thread-safety diagnostic; clean variant compiles")

@@ -1,31 +1,75 @@
 #!/bin/sh
-# Developer pre-submit check: static analysis (tools/lint.py + clang-tidy),
-# Debug build with ASan+UBSan, full test suite, then a ThreadSanitizer pass
-# over the concurrency-sensitive tests (thread pool, PPR cache,
-# observability registry, parallel tester).
+# Developer pre-submit check: static analysis (tools/lint.py, the Clang
+# -Wthread-safety capability analysis, clang-tidy), Debug build with
+# ASan+UBSan, full test suite, then a ThreadSanitizer pass over the
+# concurrency-sensitive tests (thread pool, PPR cache, observability
+# registry, parallel tester).
 #
 #   tools/check.sh [build-dir] [tsan-build-dir] [chaos-build-dir]
 #
-# Build directories default to build-asan/, build-tsan/ and build-chaos/
-# next to the source tree and are reused across runs (delete to force a
-# clean configure). Set EMIGRE_SKIP_TSAN=1 to skip the TSan stage and
-# EMIGRE_SKIP_CHAOS=1 to skip the fault-injection stage.
+# Build directories default to build-asan/, build-tsan/, build-chaos/ and
+# build-analyze/ next to the source tree and are reused across runs
+# (delete to force a clean configure). Set EMIGRE_SKIP_TSAN=1 to skip the
+# TSan stage, EMIGRE_SKIP_CHAOS=1 to skip the fault-injection stage, and
+# EMIGRE_SKIP_ANALYZE=1 to skip the thread-safety analysis stage. The
+# analyze stage needs a Clang frontend: point EMIGRE_CLANGXX at one, or it
+# is found on PATH; without one the stage is skipped with a notice — or
+# fails hard when $CI is set, so the analysis can never silently rot out
+# of CI.
 set -e
 
 SRC_DIR=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 BUILD_DIR="${1:-$SRC_DIR/build-asan}"
 TSAN_BUILD_DIR="${2:-$SRC_DIR/build-tsan}"
 CHAOS_BUILD_DIR="${3:-$SRC_DIR/build-chaos}"
+ANALYZE_BUILD_DIR="${EMIGRE_ANALYZE_BUILD_DIR:-$SRC_DIR/build-analyze}"
 JOBS=$(nproc 2>/dev/null || echo 4)
 
 # The concurrency-sensitive tests. This single list drives both the TSan
 # build targets and the ctest selection below — keep it the only copy.
-TSAN_TESTS="util_thread_pool_test ppr_cache_test obs_metrics_test \
-obs_trace_test explain_parallel_tester_test"
+TSAN_TESTS="util_mutex_test util_thread_pool_test ppr_cache_test \
+obs_metrics_test obs_trace_test explain_parallel_tester_test"
 
 # Static analysis first: it is the cheapest stage and fails fastest.
 python3 "$SRC_DIR/tools/lint.py"
 echo "check.sh: tools/lint.py clean"
+
+# Thread-safety capability analysis (docs/static_analysis.md): a Clang
+# configure turns the GUARDED_BY/REQUIRES annotations into hard errors
+# (-Werror=thread-safety, set by CMakeLists.txt for Clang) and registers
+# the negative-compile tests that prove the analysis rejects seeded
+# violations.
+if [ "${EMIGRE_SKIP_ANALYZE:-0}" = "1" ]; then
+  echo "check.sh: EMIGRE_SKIP_ANALYZE=1, skipping thread-safety analysis"
+else
+  CLANGXX="${EMIGRE_CLANGXX:-}"
+  if [ -z "$CLANGXX" ]; then
+    for candidate in clang++ clang++-18 clang++-17 clang++-16 clang++-15 \
+        clang++-14; do
+      if command -v "$candidate" >/dev/null 2>&1; then
+        CLANGXX="$candidate"
+        break
+      fi
+    done
+  fi
+  if [ -z "$CLANGXX" ]; then
+    if [ -n "${CI:-}" ]; then
+      echo "check.sh: FATAL: no clang++ found and CI is set —" \
+           "the thread-safety analysis must run in CI" >&2
+      exit 1
+    fi
+    echo "check.sh: notice: no clang++ found, skipping thread-safety" \
+         "analysis (set EMIGRE_CLANGXX to enable)"
+  else
+    cmake -B "$ANALYZE_BUILD_DIR" -S "$SRC_DIR" \
+      -DCMAKE_BUILD_TYPE=Release \
+      -DCMAKE_CXX_COMPILER="$CLANGXX"
+    cmake --build "$ANALYZE_BUILD_DIR" -j "$JOBS"
+    ctest --test-dir "$ANALYZE_BUILD_DIR" --output-on-failure -j "$JOBS" \
+      -R "^negcompile_"
+    echo "check.sh: thread-safety analysis clean ($CLANGXX)"
+  fi
+fi
 
 cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
   -DCMAKE_BUILD_TYPE=Debug \

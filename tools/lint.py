@@ -31,6 +31,15 @@ Rules (each can be suppressed per line with a trailing `NOLINT` or
                    fine — cached-handle call sites), so the perf gate's
                    flattened series and the trace tree each name one code
                    location (docs/observability.md).
+  guarded-by       inside any class/struct that owns a `std::mutex` or
+                   `util::Mutex` member, every sibling data member carries
+                   GUARDED_BY/PT_GUARDED_BY (or an explicit
+                   NOLINT(guarded-by) justification) so Clang's
+                   -Wthread-safety analysis covers it. Atomics and
+                   synchronization primitives themselves are exempt
+                   (docs/static_analysis.md). Keeps annotations from
+                   silently rotting on GCC-only changes, where the macros
+                   compile to nothing.
 
 Usage:
   tools/lint.py [--root DIR] [paths...]   lint the repo (or just paths)
@@ -55,6 +64,7 @@ RULES = (
     "dense-reset",
     "fault-site",
     "obs-name",
+    "guarded-by",
 )
 
 # dense-reset guards the PPR hot paths only: everywhere else a dense
@@ -345,6 +355,146 @@ def check_obs_names(relpath, stripped_lines, raw_lines, violations,
                 seen_names[name] = (relpath, idx + 1)
 
 
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:std::mutex|util::Mutex|Mutex)\s+\w+\s*"
+    r"(?:ACQUIRED_(?:BEFORE|AFTER)\s*\([^;]*\))?\s*;")
+
+# A plain data-member declaration: `Type name_;` possibly with an
+# initializer. Lines containing `(` are functions/constructors/macros and
+# never match; the annotation macros contain `(` so they are cut off first.
+MEMBER_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?"
+    r"(?P<type>[\w:]+(?:<[\w:<>,\s\*&]*>)?(?:\s*[\*&])?)\s+"
+    r"(?P<name>\w+)\s*(?:\[[^\]]*\])?\s*"
+    r"(?:=[^;]*|\{[^;{}]*\})?;")
+
+# Member types that are their own synchronization (or the lock itself) and
+# therefore need no GUARDED_BY.
+GUARDED_BY_EXEMPT_TYPE_RE = re.compile(
+    r"std::mutex|util::Mutex|\bMutex\b|\bCondVar\b|condition_variable|"
+    r"std::atomic\b|\batomic<")
+
+MEMBER_SKIP_RE = re.compile(
+    r"^\s*(?:using|typedef|friend|static|constexpr|enum|class|struct|"
+    r"public|private|protected|template|#)")
+
+# Deleted/defaulted special members read like `T& operator=(...) = delete;`
+# and would otherwise parse as a data member named `operator`.
+OPERATOR_RE = re.compile(r"\boperator\b")
+
+
+def class_blocks(stripped_lines):
+    """Yields (header_idx, [member_line_indices]) for each class/struct
+    body, where member lines are the body lines at the block's own brace
+    level (nested blocks' lines belong to the nested block)."""
+    header_re = re.compile(r"\b(?:class|struct)\s+[\w:]*")
+    stack = []  # (is_class_block, header_idx, member_line_indices)
+    blocks = []
+    pending_header = None
+    for idx, line in enumerate(stripped_lines):
+        code = line
+        for pos, ch in enumerate(code):
+            if ch == "{":
+                is_class = False
+                header_idx = idx
+                head = code[:pos]
+                if header_re.search(head):
+                    is_class = True
+                elif pending_header is not None and not head.strip():
+                    is_class, header_idx = True, pending_header
+                stack.append([is_class, header_idx, []])
+            elif ch == "}":
+                if stack:
+                    done = stack.pop()
+                    if done[0]:
+                        blocks.append((done[1], done[2]))
+        # A line with no braces belongs to the innermost open block.
+        if "{" not in code and "}" not in code and stack:
+            stack[-1][2].append(idx)
+        # Track a class/struct header whose `{` sits on the next line.
+        if header_re.search(code) and "{" not in code and ";" not in code:
+            pending_header = idx
+        elif code.strip():
+            pending_header = None
+    return blocks
+
+
+def check_guarded_by(relpath, stripped_lines, raw_lines, violations):
+    """Every class that owns a mutex must annotate its other data members
+    with GUARDED_BY (or justify the exception with NOLINT(guarded-by)), so
+    the -Wthread-safety analysis actually covers the shared state. The
+    check runs on the stripped text with the annotation macros still
+    visible, but inspects the raw line for GUARDED_BY because the macro may
+    share the line with a comment."""
+    for _, member_lines in class_blocks(stripped_lines):
+        mutex_lines = [i for i in member_lines
+                       if MUTEX_MEMBER_RE.match(stripped_lines[i])]
+        if not mutex_lines:
+            continue
+        for i in member_lines:
+            line = stripped_lines[i]
+            if i in mutex_lines or not line.strip():
+                continue
+            if MEMBER_SKIP_RE.match(line) or "(" in line.split("=")[0]:
+                # GUARDED_BY(...) itself adds parens; strip the macros
+                # before deciding this is a function.
+                demacroed = re.sub(
+                    r"(?:PT_)?GUARDED_BY\s*\([^)]*\)", "", line)
+                if MEMBER_SKIP_RE.match(demacroed) or "(" in demacroed:
+                    continue
+                line = demacroed
+            else:
+                line = re.sub(r"(?:PT_)?GUARDED_BY\s*\([^)]*\)", "", line)
+            if OPERATOR_RE.search(line) or not MEMBER_DECL_RE.match(line):
+                continue
+            m = MEMBER_DECL_RE.match(line)
+            if GUARDED_BY_EXEMPT_TYPE_RE.search(m.group("type")):
+                continue
+            if re.search(r"(?:PT_)?GUARDED_BY\s*\(", stripped_lines[i]):
+                continue
+            if is_suppressed(raw_lines[i], "guarded-by"):
+                continue
+            violations.append(Violation(
+                relpath, i + 1, "guarded-by",
+                f"member `{m.group('name')}` sits next to a mutex but has "
+                f"no GUARDED_BY annotation; annotate it or justify with "
+                f"NOLINT(guarded-by)"))
+
+
+FAULT_CATALOG_RE = re.compile(
+    r"kFaultSites\[\]\s*=\s*\{(?P<body>.*?)\};", re.S)
+
+
+def check_fault_catalog(root, seen_sites, violations):
+    """The reverse direction of the fault-site rule: every name in the
+    `kFaultSites` catalog must correspond to a real EMIGRE_FAULT_POINT
+    site in src/, otherwise the chaos harness arms schedules against code
+    that no longer exists and the soak silently loses coverage."""
+    catalog_path = os.path.join(root, "src/fault/fault.h")
+    try:
+        with open(catalog_path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError:
+        return  # partial trees (self-test fixtures) simply have no catalog
+    m = FAULT_CATALOG_RE.search(strip_comments_and_strings(text))
+    raw_m = FAULT_CATALOG_RE.search(text)
+    if not raw_m:
+        return
+    src_sites = {site for site, (path, _) in seen_sites.items()
+                 if path.startswith("src/")}
+    body_start_line = text[:raw_m.start()].count("\n") + 1
+    for offset, line in enumerate(raw_m.group("body").split("\n")):
+        entry = re.search(r'"([^"]+)"', line)
+        if entry is None or is_suppressed(line, "fault-site"):
+            continue
+        site = entry.group(1)
+        if site not in src_sites:
+            violations.append(Violation(
+                "src/fault/fault.h", body_start_line + offset, "fault-site",
+                f'catalog entry "{site}" has no EMIGRE_FAULT_POINT site in '
+                f"src/; remove the stale entry or re-add the site"))
+
+
 def check_bench_metrics(relpath, text, violations):
     name = os.path.basename(relpath)
     m = re.match(r"bench_(\w+)\.cc$", name)
@@ -387,6 +537,7 @@ def lint_file(root, relpath, seen_fault_sites=None, seen_obs_names=None):
             relpath.startswith(d + "/") for d in DENSE_RESET_DIRS):
         check_dense_reset(relpath, stripped, raw_lines, violations)
     if relpath.endswith((".h", ".cc")):
+        check_guarded_by(relpath, stripped, raw_lines, violations)
         # Single-file runs (and the self-test) still catch intra-file
         # duplicates; run_lint threads one map through every file so the
         # rule is global.
@@ -430,6 +581,8 @@ def run_lint(root, paths):
     for rel in collect_files(root, paths):
         violations.extend(
             lint_file(root, rel, seen_fault_sites, seen_obs_names))
+    if not paths:
+        check_fault_catalog(root, seen_fault_sites, violations)
     for v in violations:
         print(v)
     if violations:
@@ -470,6 +623,16 @@ SEEDED = {
     "obs-name": (
         "src/util/shouty_metric.cc",
         'void F() { EMIGRE_COUNTER("Shouty.Name").Increment(); }\n'),
+    "guarded-by": (
+        "src/util/unguarded.h",
+        "#ifndef EMIGRE_UTIL_UNGUARDED_H_\n"
+        "#define EMIGRE_UTIL_UNGUARDED_H_\n"
+        "class Cache {\n"
+        " private:\n"
+        "  std::mutex mutex_;\n"
+        "  size_t hits_ = 0;\n"
+        "};\n"
+        "#endif  // EMIGRE_UTIL_UNGUARDED_H_\n"),
 }
 
 CLEAN_FILE = (
@@ -479,7 +642,61 @@ CLEAN_FILE = (
     "[[nodiscard]] Status DoWrite(int fd);\n"
     "[[nodiscard]]\nStatus DoWriteWrapped(int fd);\n"
     "class [[nodiscard]] Status {};\n"
+    "class Guarded {\n"
+    " public:\n"
+    "  [[nodiscard]] Status Flush(int fd);\n"
+    " private:\n"
+    "  mutable util::Mutex mutex_;\n"
+    "  std::map<int, int> index_ GUARDED_BY(mutex_);\n"
+    "  size_t hits_ GUARDED_BY(mutex_) = 0;\n"
+    "  std::unique_ptr<int> cell_ PT_GUARDED_BY(mutex_);\n"
+    "  std::atomic<size_t> fast_count_{0};\n"
+    "  util::CondVar ready_;\n"
+    "};\n"
     "#endif  // EMIGRE_UTIL_CLEAN_H_\n")
+
+
+def self_test_fault_catalog():
+    """The fault-site rule's reverse direction: a kFaultSites entry with no
+    EMIGRE_FAULT_POINT in src/ fires; NOLINT(fault-site) on the entry
+    suppresses."""
+    failures = 0
+    catalog = (
+        "inline constexpr const char* kFaultSites[] = {\n"
+        '    "real.site",\n'
+        '    "ghost.site",{suffix}\n'
+        "};\n")
+    site_cc = 'void F() { EMIGRE_FAULT_POINT("real.site"); }\n'
+    for suffix, expect_fire in (("", True),
+                                ("  // NOLINT(fault-site)", False)):
+        with tempfile.TemporaryDirectory() as tmp:
+            os.makedirs(os.path.join(tmp, "src/fault"), exist_ok=True)
+            with open(os.path.join(tmp, "src/fault/fault.h"), "w",
+                      encoding="utf-8") as f:
+                f.write(catalog.replace("{suffix}", suffix))
+            with open(os.path.join(tmp, "src/fault/site.cc"), "w",
+                      encoding="utf-8") as f:
+                f.write(site_cc)
+            violations = []
+            seen = {}
+            for rel in collect_files(tmp, []):
+                lint_file(tmp, rel, seen, {})
+            check_fault_catalog(tmp, seen, violations)
+            fired = [v for v in violations if "ghost.site" in v.message]
+            if expect_fire and not fired:
+                print("SELF-TEST FAIL: stale kFaultSites entry did not "
+                      "fire the fault-site rule")
+                failures += 1
+            elif not expect_fire and fired:
+                print("SELF-TEST FAIL: NOLINT(fault-site) did not suppress "
+                      f"the catalog check: {fired[0]}")
+                failures += 1
+            elif [v for v in violations if "real.site" in v.message]:
+                print("SELF-TEST FAIL: live catalog entry flagged as stale")
+                failures += 1
+    if not failures:
+        print("self-test ok: fault-site catalog reverse direction verified")
+    return failures
 
 
 def self_test():
@@ -514,6 +731,7 @@ def self_test():
                 print(f"SELF-TEST FAIL: NOLINT did not suppress {rule}: "
                       f"{violations[0]}")
                 failures += 1
+    failures += self_test_fault_catalog()
     with tempfile.TemporaryDirectory() as tmp:
         relpath, content = CLEAN_FILE
         full = os.path.join(tmp, relpath)
