@@ -438,8 +438,12 @@ template <typename OverlayT>
 ///
 /// Only meaningful for explanations with `found && verified`; approximate
 /// testers may report unverified candidates that legitimately fail replay.
-[[nodiscard]] inline Status ValidateExplanation(
-    const graph::HinGraph& base, const explain::WhyNotQuestion& q,
+///
+/// Generic over the base graph `G` (`HinGraph` or an mmap-backed
+/// `CsrSnapshotView`): the replay runs on a `BasicGraphOverlay<G>`.
+template <graph::GraphLike G>
+[[nodiscard]] Status ValidateExplanation(
+    const G& base, const explain::WhyNotQuestion& q,
     const explain::Explanation& e, const explain::EmigreOptions& opts) {
   if (e.degraded) {
     // A degraded (anytime best-so-far) result is by definition not a proven
@@ -454,7 +458,7 @@ template <typename OverlayT>
     internal::RecordOutcome("explanation", true);
     return Status::OK();
   }
-  graph::GraphOverlay overlay(base);
+  graph::BasicGraphOverlay<G> overlay(base);
   for (const graph::EdgeRef& edge : e.edges) {
     Status st = e.mode == explain::Mode::kAdd
                     ? overlay.AddEdge(edge.src, edge.dst, edge.type,

@@ -1,0 +1,362 @@
+#include "data/bin_io.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "data/csv_io.h"
+
+namespace emigre::data {
+
+using binfmt::BinReader;
+using binfmt::BinWriter;
+using binfmt::ColumnCursor;
+using binfmt::ColumnSpec;
+using binfmt::Dtype;
+
+std::vector<ColumnSpec> CategoryColumns() {
+  return {{"id", Dtype::kU32, false}, {"name", Dtype::kStr, false}};
+}
+
+std::vector<ColumnSpec> ItemColumns() {
+  return {{"id", Dtype::kU32, false},
+          {"name", Dtype::kStr, false},
+          {"category", Dtype::kU32, false},
+          {"popularity", Dtype::kF64, false},
+          {"quality", Dtype::kF64, false}};
+}
+
+std::vector<ColumnSpec> UserColumns() {
+  return {{"id", Dtype::kU32, false},
+          {"name", Dtype::kStr, false},
+          {"rating_bias", Dtype::kF64, false},
+          {"pref_cat", Dtype::kU32, true},
+          {"pref_w", Dtype::kF64, true}};
+}
+
+std::vector<ColumnSpec> RatingColumns() {
+  return {{"user", Dtype::kU32, false},
+          {"item", Dtype::kU32, false},
+          {"stars", Dtype::kI32, false}};
+}
+
+std::vector<ColumnSpec> ReviewColumns() {
+  return {{"id", Dtype::kU32, false},
+          {"user", Dtype::kU32, false},
+          {"item", Dtype::kU32, false},
+          {"embedding", Dtype::kF32, true}};
+}
+
+Status AppendCategoryRow(BinWriter* w, size_t sect, const Category& c) {
+  EMIGRE_RETURN_IF_ERROR(w->AppendU32(sect, 0, c.id));
+  EMIGRE_RETURN_IF_ERROR(w->AppendStr(sect, 1, c.name));
+  return w->EndRow(sect);
+}
+
+Status AppendItemRow(BinWriter* w, size_t sect, const Item& item) {
+  EMIGRE_RETURN_IF_ERROR(w->AppendU32(sect, 0, item.id));
+  EMIGRE_RETURN_IF_ERROR(w->AppendStr(sect, 1, item.name));
+  EMIGRE_RETURN_IF_ERROR(w->AppendU32(sect, 2, item.category));
+  EMIGRE_RETURN_IF_ERROR(w->AppendF64(sect, 3, item.popularity));
+  EMIGRE_RETURN_IF_ERROR(w->AppendF64(sect, 4, item.quality));
+  return w->EndRow(sect);
+}
+
+Status AppendUserRow(BinWriter* w, size_t sect, const User& u) {
+  EMIGRE_RETURN_IF_ERROR(w->AppendU32(sect, 0, u.id));
+  EMIGRE_RETURN_IF_ERROR(w->AppendStr(sect, 1, u.name));
+  EMIGRE_RETURN_IF_ERROR(w->AppendF64(sect, 2, u.rating_bias));
+  std::vector<uint32_t> cats;
+  std::vector<double> weights;
+  cats.reserve(u.preferences.size());
+  weights.reserve(u.preferences.size());
+  for (const auto& [c, wgt] : u.preferences) {
+    cats.push_back(c);
+    weights.push_back(wgt);
+  }
+  EMIGRE_RETURN_IF_ERROR(w->AppendListU32(sect, 3, cats.data(), cats.size()));
+  EMIGRE_RETURN_IF_ERROR(
+      w->AppendListF64(sect, 4, weights.data(), weights.size()));
+  return w->EndRow(sect);
+}
+
+Status AppendRatingRow(BinWriter* w, size_t sect, const Rating& r) {
+  EMIGRE_RETURN_IF_ERROR(w->AppendU32(sect, 0, r.user));
+  EMIGRE_RETURN_IF_ERROR(w->AppendU32(sect, 1, r.item));
+  EMIGRE_RETURN_IF_ERROR(w->AppendI32(sect, 2, r.stars));
+  return w->EndRow(sect);
+}
+
+Status AppendReviewRow(BinWriter* w, size_t sect, const Review& r) {
+  EMIGRE_RETURN_IF_ERROR(w->AppendU32(sect, 0, r.id));
+  EMIGRE_RETURN_IF_ERROR(w->AppendU32(sect, 1, r.user));
+  EMIGRE_RETURN_IF_ERROR(w->AppendU32(sect, 2, r.item));
+  EMIGRE_RETURN_IF_ERROR(
+      w->AppendListF32(sect, 3, r.embedding.data(), r.embedding.size()));
+  return w->EndRow(sect);
+}
+
+Status SaveDatasetBin(const Dataset& ds, const std::string& path) {
+  BinWriter w(path);
+  EMIGRE_RETURN_IF_ERROR(w.status());
+  EMIGRE_ASSIGN_OR_RETURN(size_t sect,
+                          w.BeginSection("categories", CategoryColumns()));
+  for (const Category& c : ds.categories) {
+    EMIGRE_RETURN_IF_ERROR(AppendCategoryRow(&w, sect, c));
+  }
+  EMIGRE_RETURN_IF_ERROR(w.EndSection(sect));
+  EMIGRE_ASSIGN_OR_RETURN(sect, w.BeginSection("items", ItemColumns()));
+  for (const Item& item : ds.items) {
+    EMIGRE_RETURN_IF_ERROR(AppendItemRow(&w, sect, item));
+  }
+  EMIGRE_RETURN_IF_ERROR(w.EndSection(sect));
+  EMIGRE_ASSIGN_OR_RETURN(sect, w.BeginSection("users", UserColumns()));
+  for (const User& u : ds.users) {
+    EMIGRE_RETURN_IF_ERROR(AppendUserRow(&w, sect, u));
+  }
+  EMIGRE_RETURN_IF_ERROR(w.EndSection(sect));
+  EMIGRE_ASSIGN_OR_RETURN(sect, w.BeginSection("ratings", RatingColumns()));
+  for (const Rating& r : ds.ratings) {
+    EMIGRE_RETURN_IF_ERROR(AppendRatingRow(&w, sect, r));
+  }
+  EMIGRE_RETURN_IF_ERROR(w.EndSection(sect));
+  EMIGRE_ASSIGN_OR_RETURN(sect, w.BeginSection("reviews", ReviewColumns()));
+  for (const Review& r : ds.reviews) {
+    EMIGRE_RETURN_IF_ERROR(AppendReviewRow(&w, sect, r));
+  }
+  EMIGRE_RETURN_IF_ERROR(w.EndSection(sect));
+  return w.Finish();
+}
+
+Status BinDatasetSink::EnsurePhase(Phase p) {
+  EMIGRE_RETURN_IF_ERROR(w_.status());
+  if (p < phase_) {
+    return Status::InvalidArgument(
+        "dataset rows arrived out of phase order (want categories, items, "
+        "users, then ratings/reviews)");
+  }
+  while (phase_ < p) {
+    if (phase_ != kNone) {
+      EMIGRE_RETURN_IF_ERROR(w_.EndSection(sect_[phase_]));
+    }
+    phase_ = static_cast<Phase>(phase_ + 1);
+    switch (phase_) {
+      case kCategories: {
+        EMIGRE_ASSIGN_OR_RETURN(
+            sect_[0], w_.BeginSection("categories", CategoryColumns()));
+        break;
+      }
+      case kItems: {
+        EMIGRE_ASSIGN_OR_RETURN(sect_[1],
+                                w_.BeginSection("items", ItemColumns()));
+        break;
+      }
+      case kUsers: {
+        EMIGRE_ASSIGN_OR_RETURN(sect_[2],
+                                w_.BeginSection("users", UserColumns()));
+        break;
+      }
+      case kRatingsReviews: {
+        EMIGRE_ASSIGN_OR_RETURN(sect_[3],
+                                w_.BeginSection("ratings", RatingColumns()));
+        EMIGRE_ASSIGN_OR_RETURN(sect_[4],
+                                w_.BeginSection("reviews", ReviewColumns()));
+        break;
+      }
+      case kNone:
+        break;  // unreachable: phase_ only advances
+    }
+  }
+  return Status::OK();
+}
+
+Status BinDatasetSink::OnCategory(const Category& c) {
+  EMIGRE_RETURN_IF_ERROR(EnsurePhase(kCategories));
+  return AppendCategoryRow(&w_, sect_[0], c);
+}
+
+Status BinDatasetSink::OnItem(const Item& item) {
+  EMIGRE_RETURN_IF_ERROR(EnsurePhase(kItems));
+  return AppendItemRow(&w_, sect_[1], item);
+}
+
+Status BinDatasetSink::OnUser(const User& u) {
+  EMIGRE_RETURN_IF_ERROR(EnsurePhase(kUsers));
+  return AppendUserRow(&w_, sect_[2], u);
+}
+
+Status BinDatasetSink::OnRating(const Rating& r) {
+  EMIGRE_RETURN_IF_ERROR(EnsurePhase(kRatingsReviews));
+  return AppendRatingRow(&w_, sect_[3], r);
+}
+
+Status BinDatasetSink::OnReview(const Review& r) {
+  EMIGRE_RETURN_IF_ERROR(EnsurePhase(kRatingsReviews));
+  return AppendReviewRow(&w_, sect_[4], r);
+}
+
+Status BinDatasetSink::Finish() {
+  EMIGRE_RETURN_IF_ERROR(EnsurePhase(kRatingsReviews));
+  EMIGRE_RETURN_IF_ERROR(w_.EndSection(sect_[3]));
+  EMIGRE_RETURN_IF_ERROR(w_.EndSection(sect_[4]));
+  return w_.Finish();
+}
+
+Status GenerateSyntheticAmazonBin(const SyntheticAmazonOptions& opts,
+                                  const std::string& path) {
+  BinDatasetSink sink(path);
+  EMIGRE_RETURN_IF_ERROR(GenerateSyntheticAmazonTo(opts, &sink));
+  return sink.Finish();
+}
+
+namespace {
+
+/// Opens the named section and all its columns, verifying the column count
+/// against the schema.
+struct SectionCursors {
+  uint64_t rows = 0;
+  std::vector<ColumnCursor> cols;
+};
+
+Result<SectionCursors> OpenSection(const BinReader& reader,
+                                   std::string_view name,
+                                   size_t expected_columns) {
+  EMIGRE_ASSIGN_OR_RETURN(size_t idx, reader.FindSection(name));
+  const binfmt::SectionInfo& info = reader.sections()[idx];
+  if (info.columns.size() != expected_columns) {
+    return Status::InvalidArgument(
+        "section \"" + std::string(name) + "\" has " +
+        std::to_string(info.columns.size()) + " columns, expected " +
+        std::to_string(expected_columns));
+  }
+  SectionCursors out;
+  out.rows = info.row_count;
+  for (size_t c = 0; c < expected_columns; ++c) {
+    EMIGRE_ASSIGN_OR_RETURN(ColumnCursor cursor, reader.OpenColumn(idx, c));
+    out.cols.push_back(std::move(cursor));
+  }
+  return out;
+}
+
+/// Completes every cursor, verifying payload CRCs.
+Status FinishSection(SectionCursors* s) {
+  for (ColumnCursor& c : s->cols) {
+    EMIGRE_RETURN_IF_ERROR(c.Finish());
+  }
+  return Status::OK();
+}
+
+Status RowDecodeError(const SectionCursors& s, std::string_view section) {
+  for (const ColumnCursor& c : s.cols) {
+    if (!c.status().ok()) return c.status();
+  }
+  return Status::IOError("section \"" + std::string(section) +
+                         "\" ended before its declared row count");
+}
+
+}  // namespace
+
+Result<Dataset> LoadDatasetBin(const std::string& path) {
+  EMIGRE_ASSIGN_OR_RETURN(BinReader reader, BinReader::Open(path));
+  Dataset ds;
+  {
+    EMIGRE_ASSIGN_OR_RETURN(SectionCursors s,
+                            OpenSection(reader, "categories", 2));
+    ds.categories.reserve(s.rows);
+    for (uint64_t r = 0; r < s.rows; ++r) {
+      Category c;
+      if (!s.cols[0].NextU32(&c.id) || !s.cols[1].NextStr(&c.name)) {
+        return RowDecodeError(s, "categories");
+      }
+      ds.categories.push_back(std::move(c));
+    }
+    EMIGRE_RETURN_IF_ERROR(FinishSection(&s));
+  }
+  {
+    EMIGRE_ASSIGN_OR_RETURN(SectionCursors s, OpenSection(reader, "items", 5));
+    ds.items.reserve(s.rows);
+    for (uint64_t r = 0; r < s.rows; ++r) {
+      Item item;
+      if (!s.cols[0].NextU32(&item.id) || !s.cols[1].NextStr(&item.name) ||
+          !s.cols[2].NextU32(&item.category) ||
+          !s.cols[3].NextF64(&item.popularity) ||
+          !s.cols[4].NextF64(&item.quality)) {
+        return RowDecodeError(s, "items");
+      }
+      ds.items.push_back(std::move(item));
+    }
+    EMIGRE_RETURN_IF_ERROR(FinishSection(&s));
+  }
+  {
+    EMIGRE_ASSIGN_OR_RETURN(SectionCursors s, OpenSection(reader, "users", 5));
+    ds.users.reserve(s.rows);
+    std::vector<uint32_t> cats;
+    std::vector<double> weights;
+    for (uint64_t r = 0; r < s.rows; ++r) {
+      User u;
+      if (!s.cols[0].NextU32(&u.id) || !s.cols[1].NextStr(&u.name) ||
+          !s.cols[2].NextF64(&u.rating_bias) ||
+          !s.cols[3].NextListU32(&cats) || !s.cols[4].NextListF64(&weights)) {
+        return RowDecodeError(s, "users");
+      }
+      if (cats.size() != weights.size()) {
+        return Status::InvalidArgument(
+            "users row has mismatched preference lists");
+      }
+      u.preferences.reserve(cats.size());
+      for (size_t i = 0; i < cats.size(); ++i) {
+        u.preferences.emplace_back(cats[i], weights[i]);
+      }
+      ds.users.push_back(std::move(u));
+    }
+    EMIGRE_RETURN_IF_ERROR(FinishSection(&s));
+  }
+  {
+    EMIGRE_ASSIGN_OR_RETURN(SectionCursors s,
+                            OpenSection(reader, "ratings", 3));
+    ds.ratings.reserve(s.rows);
+    for (uint64_t r = 0; r < s.rows; ++r) {
+      Rating rating;
+      if (!s.cols[0].NextU32(&rating.user) ||
+          !s.cols[1].NextU32(&rating.item) ||
+          !s.cols[2].NextI32(&rating.stars)) {
+        return RowDecodeError(s, "ratings");
+      }
+      ds.ratings.push_back(rating);
+    }
+    EMIGRE_RETURN_IF_ERROR(FinishSection(&s));
+  }
+  {
+    EMIGRE_ASSIGN_OR_RETURN(SectionCursors s,
+                            OpenSection(reader, "reviews", 4));
+    ds.reviews.reserve(s.rows);
+    for (uint64_t r = 0; r < s.rows; ++r) {
+      Review review;
+      if (!s.cols[0].NextU32(&review.id) || !s.cols[1].NextU32(&review.user) ||
+          !s.cols[2].NextU32(&review.item) ||
+          !s.cols[3].NextListF32(&review.embedding)) {
+        return RowDecodeError(s, "reviews");
+      }
+      ds.reviews.push_back(std::move(review));
+    }
+    EMIGRE_RETURN_IF_ERROR(FinishSection(&s));
+  }
+  return ds;
+}
+
+Result<Dataset> LoadDatasetAuto(const std::string& path,
+                                const std::string& format) {
+  if (format == "csv") return LoadDatasetCsv(path);
+  if (format == "bin") return LoadDatasetBin(path);
+  if (format != "auto") {
+    return Status::InvalidArgument("unknown dataset format \"" + format +
+                                   "\" (want auto|csv|bin)");
+  }
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) return LoadDatasetCsv(path);
+  if (binfmt::SniffBinDataset(path)) return LoadDatasetBin(path);
+  return Status::InvalidArgument(
+      "cannot auto-detect dataset format of " + path +
+      " (not a CSV directory, no emigre.bin magic)");
+}
+
+}  // namespace emigre::data

@@ -1,0 +1,116 @@
+#ifndef EMIGRE_DATA_BIN_IO_H_
+#define EMIGRE_DATA_BIN_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "data/binfmt.h"
+#include "data/schema.h"
+#include "data/synthetic_amazon.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace emigre::data {
+
+/// \brief Dataset <-> `emigre.bin.v1` container mapping.
+///
+/// One section per relation, mirroring the CSV layout (csv_io.h) so
+/// `emigre convert` is lossless in both directions:
+///   categories(id u32, name str)
+///   items(id u32, name str, category u32, popularity f64, quality f64)
+///   users(id u32, name str, rating_bias f64,
+///         pref_cat list<u32>, pref_w list<f64>)
+///   ratings(user u32, item u32, stars i32)
+///   reviews(id u32, user u32, item u32, embedding list<f32>)
+
+/// Column specs for each section, used by `SaveDatasetBin` and by the
+/// streaming synthetic generator (which writes rows as it draws them and
+/// never holds the dataset in memory).
+std::vector<binfmt::ColumnSpec> CategoryColumns();
+std::vector<binfmt::ColumnSpec> ItemColumns();
+std::vector<binfmt::ColumnSpec> UserColumns();
+std::vector<binfmt::ColumnSpec> RatingColumns();
+std::vector<binfmt::ColumnSpec> ReviewColumns();
+
+/// Row appenders (call between BeginSection/EndSection of the matching
+/// section; each ends the row). `sect` is the handle BeginSection returned.
+[[nodiscard]] Status AppendCategoryRow(binfmt::BinWriter* w, size_t sect,
+                                       const Category& c);
+[[nodiscard]] Status AppendItemRow(binfmt::BinWriter* w, size_t sect,
+                                   const Item& item);
+[[nodiscard]] Status AppendUserRow(binfmt::BinWriter* w, size_t sect,
+                                   const User& u);
+[[nodiscard]] Status AppendRatingRow(binfmt::BinWriter* w, size_t sect,
+                                     const Rating& r);
+[[nodiscard]] Status AppendReviewRow(binfmt::BinWriter* w, size_t sect,
+                                     const Review& r);
+
+/// Writes the dataset as a single `emigre.bin.v1` file.
+[[nodiscard]] Status SaveDatasetBin(const Dataset& ds,
+                                    const std::string& path);
+
+/// \brief `DatasetSink` that streams rows straight into an `emigre.bin.v1`
+/// file — the writer behind `emigre generate --format bin`.
+///
+/// Rows must arrive in the generator's phase order (categories, items,
+/// users, then ratings/reviews); a row from an earlier phase after a later
+/// one began returns InvalidArgument. The ratings and reviews sections stay
+/// open simultaneously because their rows interleave; `BinWriter` buffers
+/// each section's columns independently (spilling large ones to temp
+/// files), so peak memory stays bounded regardless of dataset size.
+///
+/// Call `Finish()` exactly once after the last row; without it the file is
+/// left truncated (no directory) and unreadable by design.
+class BinDatasetSink : public DatasetSink {
+ public:
+  explicit BinDatasetSink(const std::string& path) : w_(path) {}
+
+  [[nodiscard]] Status OnCategory(const Category& c) override;
+  [[nodiscard]] Status OnItem(const Item& item) override;
+  [[nodiscard]] Status OnUser(const User& u) override;
+  [[nodiscard]] Status OnRating(const Rating& r) override;
+  [[nodiscard]] Status OnReview(const Review& r) override;
+
+  /// Closes every section (creating still-unopened ones empty, so all five
+  /// are always present) and finalizes the container.
+  [[nodiscard]] Status Finish();
+
+ private:
+  /// Phases follow the sink's row order; kRatingsReviews opens two
+  /// sections at once.
+  enum Phase : int {
+    kNone = -1,
+    kCategories = 0,
+    kItems = 1,
+    kUsers = 2,
+    kRatingsReviews = 3,
+  };
+
+  /// Advances to `p`, closing finished sections and opening new ones.
+  [[nodiscard]] Status EnsurePhase(Phase p);
+
+  binfmt::BinWriter w_;
+  Phase phase_ = kNone;
+  size_t sect_[5] = {0, 0, 0, 0, 0};  ///< handles: cat/item/user/rating/review
+};
+
+/// Draws the synthetic dataset with `opts` and streams it to `path` as
+/// `emigre.bin.v1` without materializing it (peak memory O(users + items)).
+/// Row-identical to `SaveDatasetBin(GenerateSyntheticAmazon(opts), path)`.
+[[nodiscard]] Status GenerateSyntheticAmazonBin(
+    const SyntheticAmazonOptions& opts, const std::string& path);
+
+/// Loads a dataset written by `SaveDatasetBin` (or the streaming
+/// generator). Verifies every column checksum; corruption returns the
+/// binfmt reader's typed errors.
+[[nodiscard]] Result<Dataset> LoadDatasetBin(const std::string& path);
+
+/// Loads a dataset from `path` in either format: a directory is CSV
+/// (csv_io.h), a file with the binary magic is `emigre.bin.v1`. `format`
+/// is "auto", "csv" or "bin".
+[[nodiscard]] Result<Dataset> LoadDatasetAuto(const std::string& path,
+                                              const std::string& format);
+
+}  // namespace emigre::data
+
+#endif  // EMIGRE_DATA_BIN_IO_H_

@@ -1,0 +1,764 @@
+#include "data/binfmt.h"
+
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "fault/fault.h"
+#include "util/string_util.h"
+
+namespace emigre::data::binfmt {
+
+namespace {
+
+/// Upper bound on section/column name lengths — a corrupt length prefix
+/// must not drive a multi-gigabyte allocation.
+constexpr uint32_t kMaxNameLen = 1u << 16;
+
+/// Chunk size for CRC sweeps and temp-file copies.
+constexpr size_t kCopyChunk = 256u << 10;
+
+void PutU32(std::string* buf, uint32_t v) {
+  buf->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutBytes(std::string* buf, const void* p, size_t n) {
+  buf->append(static_cast<const char*>(p), n);
+}
+
+bool ReadExact(std::ifstream& in, void* dst, size_t n) {
+  in.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+  return static_cast<size_t>(in.gcount()) == n && !in.bad();
+}
+
+}  // namespace
+
+std::string_view DtypeName(Dtype dtype) {
+  switch (dtype) {
+    case Dtype::kU8: return "u8";
+    case Dtype::kU16: return "u16";
+    case Dtype::kU32: return "u32";
+    case Dtype::kU64: return "u64";
+    case Dtype::kI32: return "i32";
+    case Dtype::kF32: return "f32";
+    case Dtype::kF64: return "f64";
+    case Dtype::kStr: return "str";
+  }
+  return "?";
+}
+
+size_t DtypeWidth(Dtype dtype) {
+  switch (dtype) {
+    case Dtype::kU8: return 1;
+    case Dtype::kU16: return 2;
+    case Dtype::kU32: return 4;
+    case Dtype::kU64: return 8;
+    case Dtype::kI32: return 4;
+    case Dtype::kF32: return 4;
+    case Dtype::kF64: return 8;
+    case Dtype::kStr: return 0;
+  }
+  return 0;
+}
+
+bool SniffBinDataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return false;
+  char magic[8] = {};
+  if (!ReadExact(in, magic, sizeof(magic))) return false;
+  return std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+}
+
+// --- Writer ------------------------------------------------------------------
+
+/// Per-column payload accumulator: an in-memory buffer that spills to a
+/// temporary file once it crosses the writer's threshold, with the CRC and
+/// element count folded in on the fly.
+struct BinWriter::ColumnSink {
+  std::string buffer;
+  std::ofstream spill;
+  std::string spill_path;
+  bool spilled = false;
+  uint64_t payload_bytes = 0;
+  uint64_t value_count = 0;
+  uint64_t cells = 0;
+  Crc32 crc;
+
+  [[nodiscard]] Status Append(const void* p, size_t n, size_t threshold) {
+    crc.Update(p, n);
+    payload_bytes += n;
+    buffer.append(static_cast<const char*>(p), n);
+    if (buffer.size() >= threshold) {
+      if (!spilled) {
+        spill.open(spill_path, std::ios::binary | std::ios::trunc);
+        if (!spill.is_open()) {
+          return Status::IOError("cannot open spill file: " + spill_path);
+        }
+        spilled = true;
+      }
+      spill.write(buffer.data(),
+                  static_cast<std::streamsize>(buffer.size()));
+      if (!spill.good()) {
+        return Status::IOError("spill write failed: " + spill_path);
+      }
+      buffer.clear();
+    }
+    return Status::OK();
+  }
+};
+
+/// One open (or ended) section: its declared schema, per-column sinks and
+/// row bookkeeping.
+struct BinWriter::SectionState {
+  std::string name;
+  std::vector<ColumnSpec> specs;
+  std::vector<std::unique_ptr<ColumnSink>> sinks;
+  uint64_t row_count = 0;
+  bool open = true;
+};
+
+BinWriter::BinWriter(const std::string& path, size_t spill_threshold_bytes)
+    : path_(path),
+      spill_threshold_(spill_threshold_bytes),
+      out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_.is_open()) {
+    status_ = Status::IOError("cannot open for writing: " + path);
+    return;
+  }
+  // Placeholder header; Finish() patches the section count and CRC.
+  HeaderOnDisk header = {};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kFormatVersion;
+  header.endian = kEndianTag;
+  out_.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  if (!out_.good()) status_ = Status::IOError("header write failed: " + path);
+}
+
+BinWriter::~BinWriter() {
+  for (const auto& section : sections_) {
+    if (!section) continue;
+    for (const auto& sink : section->sinks) {
+      if (sink && sink->spilled) {
+        if (sink->spill.is_open()) sink->spill.close();
+        std::remove(sink->spill_path.c_str());
+      }
+    }
+  }
+}
+
+Result<size_t> BinWriter::BeginSection(std::string_view name,
+                                       std::vector<ColumnSpec> columns) {
+  EMIGRE_RETURN_IF_ERROR(status_);
+  if (finished_) {
+    return status_ = Status::FailedPrecondition("writer already finished");
+  }
+  if (columns.empty()) {
+    return status_ = Status::InvalidArgument("section needs >= 1 column");
+  }
+  for (const ColumnSpec& spec : columns) {
+    if (DtypeWidth(spec.dtype) == 0 && spec.dtype != Dtype::kStr) {
+      return status_ = Status::InvalidArgument("bad dtype in column spec");
+    }
+    if (spec.is_list && spec.dtype == Dtype::kStr) {
+      return status_ = Status::InvalidArgument(
+                 "list<str> columns are not supported");
+    }
+  }
+  auto section = std::make_unique<SectionState>();
+  section->name = std::string(name);
+  section->specs = std::move(columns);
+  const size_t handle = sections_.size();
+  for (size_t i = 0; i < section->specs.size(); ++i) {
+    auto sink = std::make_unique<ColumnSink>();
+    sink->spill_path = path_ + ".s" + StrFormat("%zu", handle) + ".c" +
+                       StrFormat("%zu", i) + ".tmp";
+    section->sinks.push_back(std::move(sink));
+  }
+  sections_.push_back(std::move(section));
+  return handle;
+}
+
+Status BinWriter::AppendCell(size_t sect, size_t col, Dtype dtype,
+                             bool is_list, const void* data, size_t bytes,
+                             uint64_t elements) {
+  EMIGRE_RETURN_IF_ERROR(status_);
+  if (sect >= sections_.size() || !sections_[sect]->open) {
+    return status_ = Status::FailedPrecondition("Append to a closed section");
+  }
+  SectionState& section = *sections_[sect];
+  if (col >= section.specs.size()) {
+    return status_ = Status::InvalidArgument(
+               StrFormat("column index %zu out of range", col));
+  }
+  const ColumnSpec& spec = section.specs[col];
+  if (spec.dtype != dtype || spec.is_list != is_list) {
+    return status_ = Status::InvalidArgument(
+               "cell type mismatch for column \"" + spec.name + "\"");
+  }
+  ColumnSink& sink = *section.sinks[col];
+  if (sink.cells != section.row_count) {
+    return status_ = Status::FailedPrecondition(
+               "column \"" + spec.name + "\" already has a cell in this row");
+  }
+  if (is_list || dtype == Dtype::kStr) {
+    if (elements > std::numeric_limits<uint32_t>::max()) {
+      return status_ = Status::InvalidArgument("cell too large");
+    }
+    const uint32_t count = static_cast<uint32_t>(elements);
+    EMIGRE_RETURN_IF_ERROR(
+        status_ = sink.Append(&count, sizeof(count), spill_threshold_));
+  }
+  EMIGRE_RETURN_IF_ERROR(status_ = sink.Append(data, bytes, spill_threshold_));
+  sink.value_count += elements;
+  ++sink.cells;
+  return Status::OK();
+}
+
+Status BinWriter::AppendU8(size_t sect, size_t col, uint8_t v) {
+  return AppendCell(sect, col, Dtype::kU8, false, &v, sizeof(v), 1);
+}
+Status BinWriter::AppendU16(size_t sect, size_t col, uint16_t v) {
+  return AppendCell(sect, col, Dtype::kU16, false, &v, sizeof(v), 1);
+}
+Status BinWriter::AppendU32(size_t sect, size_t col, uint32_t v) {
+  return AppendCell(sect, col, Dtype::kU32, false, &v, sizeof(v), 1);
+}
+Status BinWriter::AppendU64(size_t sect, size_t col, uint64_t v) {
+  return AppendCell(sect, col, Dtype::kU64, false, &v, sizeof(v), 1);
+}
+Status BinWriter::AppendI32(size_t sect, size_t col, int32_t v) {
+  return AppendCell(sect, col, Dtype::kI32, false, &v, sizeof(v), 1);
+}
+Status BinWriter::AppendF32(size_t sect, size_t col, float v) {
+  return AppendCell(sect, col, Dtype::kF32, false, &v, sizeof(v), 1);
+}
+Status BinWriter::AppendF64(size_t sect, size_t col, double v) {
+  return AppendCell(sect, col, Dtype::kF64, false, &v, sizeof(v), 1);
+}
+Status BinWriter::AppendStr(size_t sect, size_t col, std::string_view s) {
+  return AppendCell(sect, col, Dtype::kStr, false, s.data(), s.size(),
+                    s.size());
+}
+Status BinWriter::AppendListU32(size_t sect, size_t col, const uint32_t* v,
+                                size_t n) {
+  return AppendCell(sect, col, Dtype::kU32, true, v, n * sizeof(*v), n);
+}
+Status BinWriter::AppendListF32(size_t sect, size_t col, const float* v,
+                                size_t n) {
+  return AppendCell(sect, col, Dtype::kF32, true, v, n * sizeof(*v), n);
+}
+Status BinWriter::AppendListF64(size_t sect, size_t col, const double* v,
+                                size_t n) {
+  return AppendCell(sect, col, Dtype::kF64, true, v, n * sizeof(*v), n);
+}
+
+Status BinWriter::EndRow(size_t sect) {
+  EMIGRE_RETURN_IF_ERROR(status_);
+  if (sect >= sections_.size() || !sections_[sect]->open) {
+    return status_ = Status::FailedPrecondition("EndRow on a closed section");
+  }
+  SectionState& section = *sections_[sect];
+  for (size_t i = 0; i < section.sinks.size(); ++i) {
+    if (section.sinks[i]->cells != section.row_count + 1) {
+      return status_ = Status::FailedPrecondition(
+                 "row ended without a cell for column \"" +
+                 section.specs[i].name + "\"");
+    }
+  }
+  ++section.row_count;
+  return Status::OK();
+}
+
+Status BinWriter::EndSection(size_t sect) {
+  EMIGRE_RETURN_IF_ERROR(status_);
+  if (sect >= sections_.size() || !sections_[sect]->open) {
+    return status_ = Status::FailedPrecondition(
+               "EndSection on a closed section");
+  }
+  SectionState& state = *sections_[sect];
+  auto& specs_ = state.specs;
+  auto& sinks_ = state.sinks;
+  const std::string& section_name_ = state.name;
+  const uint64_t row_count_ = state.row_count;
+  for (size_t i = 0; i < sinks_.size(); ++i) {
+    if (sinks_[i]->cells != row_count_) {
+      return status_ = Status::FailedPrecondition(
+                 "unterminated row (column \"" + specs_[i].name + "\")");
+    }
+  }
+
+  // Metadata block: name, fixed section struct, column descriptors. The
+  // section CRC is computed over the block with its own field zeroed, then
+  // patched in.
+  std::string meta;
+  PutU32(&meta, static_cast<uint32_t>(section_name_.size()));
+  PutBytes(&meta, section_name_.data(), section_name_.size());
+  SectionOnDisk section = {};
+  section.row_count = row_count_;
+  section.column_count = static_cast<uint32_t>(specs_.size());
+  for (const auto& sink : sinks_) section.payload_bytes += sink->payload_bytes;
+  const size_t section_pos = meta.size();
+  PutBytes(&meta, &section, sizeof(section));
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    PutU32(&meta, static_cast<uint32_t>(specs_[i].name.size()));
+    PutBytes(&meta, specs_[i].name.data(), specs_[i].name.size());
+    ColumnOnDisk col = {};
+    col.payload_bytes = sinks_[i]->payload_bytes;
+    col.value_count = sinks_[i]->value_count;
+    col.dtype = static_cast<uint32_t>(specs_[i].dtype);
+    col.is_list = specs_[i].is_list ? 1 : 0;
+    col.payload_crc = sinks_[i]->crc.value();
+    PutBytes(&meta, &col, sizeof(col));
+  }
+  const uint32_t section_crc = Crc32Of(meta.data(), meta.size());
+  std::memcpy(meta.data() + section_pos + offsetof(SectionOnDisk, section_crc),
+              &section_crc, sizeof(section_crc));
+  out_.write(meta.data(), static_cast<std::streamsize>(meta.size()));
+  if (!out_.good()) {
+    return status_ = Status::IOError("section header write failed: " + path_);
+  }
+
+  // Stream the payloads column after column.
+  std::vector<char> chunk;
+  for (auto& sink : sinks_) {
+    if (sink->spilled) {
+      // Flush the tail of the buffer, then copy the temp file through.
+      if (!sink->buffer.empty()) {
+        sink->spill.write(sink->buffer.data(),
+                          static_cast<std::streamsize>(sink->buffer.size()));
+        sink->buffer.clear();
+      }
+      sink->spill.close();
+      if (!sink->spill.good()) {
+        return status_ =
+                   Status::IOError("spill flush failed: " + sink->spill_path);
+      }
+      std::ifstream in(sink->spill_path, std::ios::binary);
+      if (!in.is_open()) {
+        return status_ =
+                   Status::IOError("cannot reopen spill: " + sink->spill_path);
+      }
+      chunk.resize(kCopyChunk);
+      uint64_t left = sink->payload_bytes;
+      while (left > 0) {
+        const size_t n = static_cast<size_t>(
+            left < kCopyChunk ? left : static_cast<uint64_t>(kCopyChunk));
+        if (!ReadExact(in, chunk.data(), n)) {
+          return status_ =
+                     Status::IOError("spill read failed: " + sink->spill_path);
+        }
+        out_.write(chunk.data(), static_cast<std::streamsize>(n));
+        left -= n;
+      }
+      in.close();
+      std::remove(sink->spill_path.c_str());
+      sink->spilled = false;
+    } else {
+      out_.write(sink->buffer.data(),
+                 static_cast<std::streamsize>(sink->buffer.size()));
+    }
+    if (!out_.good()) {
+      return status_ = Status::IOError("payload write failed: " + path_);
+    }
+  }
+
+  ++sections_written_;
+  state.open = false;
+  state.sinks.clear();
+  state.specs.clear();
+  return Status::OK();
+}
+
+Status BinWriter::Finish() {
+  EMIGRE_RETURN_IF_ERROR(status_);
+  for (const auto& section : sections_) {
+    if (section->open) {
+      return status_ = Status::FailedPrecondition(
+                 "Finish while section \"" + section->name + "\" is open");
+    }
+  }
+  if (finished_) return Status::OK();
+  HeaderOnDisk header = {};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kFormatVersion;
+  header.endian = kEndianTag;
+  header.section_count = sections_written_;
+  header.header_crc =
+      Crc32Of(&header, offsetof(HeaderOnDisk, header_crc));
+  out_.seekp(0);
+  out_.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out_.flush();
+  out_.close();
+  if (!out_.good()) {
+    return status_ = Status::IOError("finish failed: " + path_);
+  }
+  finished_ = true;
+  return Status::OK();
+}
+
+// --- Reader ------------------------------------------------------------------
+
+Result<BinReader> BinReader::Open(const std::string& path) {
+  EMIGRE_FAULT_POINT_STATUS("data.bin.read");
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  in.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0);
+
+  HeaderOnDisk header = {};
+  if (!ReadExact(in, &header, sizeof(header))) {
+    return Status::IOError("truncated header: " + path);
+  }
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad magic (not an emigre.bin file): " +
+                                   path);
+  }
+  if (header.version != kFormatVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported emigre.bin version %u", header.version));
+  }
+  if (header.endian != kEndianTag) {
+    return Status::InvalidArgument(
+        "endianness mismatch (file written on an incompatible host): " + path);
+  }
+  if (header.header_crc !=
+      Crc32Of(&header, offsetof(HeaderOnDisk, header_crc))) {
+    return Status::InvalidArgument("header checksum mismatch: " + path);
+  }
+
+  BinReader reader;
+  reader.path_ = path;
+  for (uint32_t s = 0; s < header.section_count; ++s) {
+    // Re-accumulate the metadata block byte-for-byte so the CRC check
+    // covers exactly what the writer checksummed.
+    std::string meta;
+    uint32_t name_len = 0;
+    if (!ReadExact(in, &name_len, sizeof(name_len))) {
+      return Status::IOError("truncated section header: " + path);
+    }
+    if (name_len > kMaxNameLen) {
+      return Status::InvalidArgument("corrupt section name length: " + path);
+    }
+    PutU32(&meta, name_len);
+    SectionInfo section;
+    section.name.resize(name_len);
+    if (name_len > 0 && !ReadExact(in, section.name.data(), name_len)) {
+      return Status::IOError("truncated section name: " + path);
+    }
+    PutBytes(&meta, section.name.data(), name_len);
+    SectionOnDisk fixed = {};
+    if (!ReadExact(in, &fixed, sizeof(fixed))) {
+      return Status::IOError("truncated section header: " + path);
+    }
+    const size_t section_pos = meta.size();
+    PutBytes(&meta, &fixed, sizeof(fixed));
+    section.row_count = fixed.row_count;
+    section.payload_bytes = fixed.payload_bytes;
+    if (fixed.column_count == 0 || fixed.column_count > kMaxNameLen) {
+      return Status::InvalidArgument("corrupt column count: " + path);
+    }
+    for (uint32_t c = 0; c < fixed.column_count; ++c) {
+      uint32_t col_name_len = 0;
+      if (!ReadExact(in, &col_name_len, sizeof(col_name_len))) {
+        return Status::IOError("truncated column descriptor: " + path);
+      }
+      if (col_name_len > kMaxNameLen) {
+        return Status::InvalidArgument("corrupt column name length: " + path);
+      }
+      PutU32(&meta, col_name_len);
+      ColumnInfo info;
+      info.name.resize(col_name_len);
+      if (col_name_len > 0 && !ReadExact(in, info.name.data(), col_name_len)) {
+        return Status::IOError("truncated column name: " + path);
+      }
+      PutBytes(&meta, info.name.data(), col_name_len);
+      ColumnOnDisk col = {};
+      if (!ReadExact(in, &col, sizeof(col))) {
+        return Status::IOError("truncated column descriptor: " + path);
+      }
+      PutBytes(&meta, &col, sizeof(col));
+      if (col.dtype < static_cast<uint32_t>(Dtype::kU8) ||
+          col.dtype > static_cast<uint32_t>(Dtype::kStr) || col.is_list > 1) {
+        return Status::InvalidArgument("corrupt column descriptor: " + path);
+      }
+      info.dtype = static_cast<Dtype>(col.dtype);
+      info.is_list = col.is_list == 1;
+      info.payload_bytes = col.payload_bytes;
+      info.value_count = col.value_count;
+      info.payload_crc = col.payload_crc;
+      section.columns.push_back(std::move(info));
+    }
+    // Verify the section metadata checksum (field zeroed, as written).
+    const uint32_t stored_crc = fixed.section_crc;
+    const uint32_t zero = 0;
+    std::memcpy(meta.data() + section_pos + offsetof(SectionOnDisk,
+                                                     section_crc),
+                &zero, sizeof(zero));
+    if (stored_crc != Crc32Of(meta.data(), meta.size())) {
+      return Status::InvalidArgument("section \"" + section.name +
+                                     "\" metadata checksum mismatch: " + path);
+    }
+    // Assign payload offsets and bound them against the file size.
+    uint64_t cursor = static_cast<uint64_t>(in.tellg());
+    uint64_t total = 0;
+    for (ColumnInfo& info : section.columns) {
+      info.file_offset = cursor;
+      cursor += info.payload_bytes;
+      total += info.payload_bytes;
+    }
+    if (total != section.payload_bytes || cursor > file_size) {
+      return Status::IOError("section \"" + section.name +
+                             "\" payload truncated: " + path);
+    }
+    in.seekg(static_cast<std::streamoff>(cursor));
+    reader.sections_.push_back(std::move(section));
+  }
+  return reader;
+}
+
+Result<size_t> BinReader::FindSection(std::string_view name) const {
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    if (sections_[i].name == name) return i;
+  }
+  return Status::NotFound("no section \"" + std::string(name) + "\" in " +
+                          path_);
+}
+
+Result<ColumnCursor> BinReader::OpenColumn(size_t section,
+                                           size_t column) const {
+  if (section >= sections_.size() ||
+      column >= sections_[section].columns.size()) {
+    return Status::OutOfRange("no such section/column");
+  }
+  ColumnCursor cursor(path_, sections_[section].columns[column]);
+  EMIGRE_RETURN_IF_ERROR(cursor.status());
+  return cursor;
+}
+
+ColumnCursor::ColumnCursor(const std::string& path, ColumnInfo info)
+    : info_(std::move(info)), in_(path, std::ios::binary) {
+  if (!in_.is_open()) {
+    status_ = Status::IOError("cannot open for reading: " + path);
+    return;
+  }
+  in_.seekg(static_cast<std::streamoff>(info_.file_offset));
+  if (!in_.good()) status_ = Status::IOError("seek failed: " + path);
+}
+
+bool ColumnCursor::ReadBytes(void* dst, size_t n) {
+  if (!status_.ok()) return false;
+  if (bytes_read_ + n > info_.payload_bytes) {
+    status_ = Status::InvalidArgument("cell overruns column \"" + info_.name +
+                                      "\" payload (corrupt length prefix)");
+    return false;
+  }
+  if (!ReadExact(in_, dst, n)) {
+    status_ = Status::IOError("truncated column \"" + info_.name + "\"");
+    return false;
+  }
+  crc_.Update(dst, n);
+  bytes_read_ += n;
+  return true;
+}
+
+bool ColumnCursor::NextScalar(Dtype want, void* dst) {
+  if (!status_.ok()) return false;
+  if (info_.dtype != want || info_.is_list) {
+    status_ = Status::InvalidArgument("dtype mismatch reading column \"" +
+                                      info_.name + "\"");
+    return false;
+  }
+  if (bytes_read_ == info_.payload_bytes) return false;  // clean end
+  return ReadBytes(dst, DtypeWidth(want));
+}
+
+template <typename T>
+bool ColumnCursor::NextList(Dtype want, std::vector<T>* v) {
+  if (!status_.ok()) return false;
+  if (info_.dtype != want || !info_.is_list) {
+    status_ = Status::InvalidArgument("dtype mismatch reading column \"" +
+                                      info_.name + "\"");
+    return false;
+  }
+  if (bytes_read_ == info_.payload_bytes) return false;
+  uint32_t count = 0;
+  if (!ReadBytes(&count, sizeof(count))) return false;
+  v->resize(count);
+  return count == 0 || ReadBytes(v->data(), count * sizeof(T));
+}
+
+bool ColumnCursor::NextU8(uint8_t* v) { return NextScalar(Dtype::kU8, v); }
+bool ColumnCursor::NextU16(uint16_t* v) { return NextScalar(Dtype::kU16, v); }
+bool ColumnCursor::NextU32(uint32_t* v) { return NextScalar(Dtype::kU32, v); }
+bool ColumnCursor::NextU64(uint64_t* v) { return NextScalar(Dtype::kU64, v); }
+bool ColumnCursor::NextI32(int32_t* v) { return NextScalar(Dtype::kI32, v); }
+bool ColumnCursor::NextF32(float* v) { return NextScalar(Dtype::kF32, v); }
+bool ColumnCursor::NextF64(double* v) { return NextScalar(Dtype::kF64, v); }
+
+bool ColumnCursor::NextStr(std::string* v) {
+  if (!status_.ok()) return false;
+  if (info_.dtype != Dtype::kStr || info_.is_list) {
+    status_ = Status::InvalidArgument("dtype mismatch reading column \"" +
+                                      info_.name + "\"");
+    return false;
+  }
+  if (bytes_read_ == info_.payload_bytes) return false;
+  uint32_t len = 0;
+  if (!ReadBytes(&len, sizeof(len))) return false;
+  v->resize(len);
+  return len == 0 || ReadBytes(v->data(), len);
+}
+
+bool ColumnCursor::NextListU32(std::vector<uint32_t>* v) {
+  return NextList(Dtype::kU32, v);
+}
+bool ColumnCursor::NextListF32(std::vector<float>* v) {
+  return NextList(Dtype::kF32, v);
+}
+bool ColumnCursor::NextListF64(std::vector<double>* v) {
+  return NextList(Dtype::kF64, v);
+}
+
+bool ColumnCursor::NextCellString(std::string* out) {
+  out->clear();
+  if (info_.dtype == Dtype::kStr) return NextStr(out);
+  if (!info_.is_list) {
+    switch (info_.dtype) {
+      case Dtype::kU8: {
+        uint8_t v;
+        if (!NextU8(&v)) return false;
+        *out = StrFormat("%u", v);
+        return true;
+      }
+      case Dtype::kU16: {
+        uint16_t v;
+        if (!NextU16(&v)) return false;
+        *out = StrFormat("%u", v);
+        return true;
+      }
+      case Dtype::kU32: {
+        uint32_t v;
+        if (!NextU32(&v)) return false;
+        *out = StrFormat("%u", v);
+        return true;
+      }
+      case Dtype::kU64: {
+        uint64_t v;
+        if (!NextU64(&v)) return false;
+        *out = StrFormat("%llu", static_cast<unsigned long long>(v));
+        return true;
+      }
+      case Dtype::kI32: {
+        int32_t v;
+        if (!NextI32(&v)) return false;
+        *out = StrFormat("%d", v);
+        return true;
+      }
+      case Dtype::kF32: {
+        float v;
+        if (!NextF32(&v)) return false;
+        *out = StrFormat("%.8g", v);
+        return true;
+      }
+      case Dtype::kF64: {
+        double v;
+        if (!NextF64(&v)) return false;
+        *out = StrFormat("%.10g", v);
+        return true;
+      }
+      default:
+        break;
+    }
+    status_ = Status::Internal("unreachable dtype");
+    return false;
+  }
+  switch (info_.dtype) {
+    case Dtype::kU32: {
+      std::vector<uint32_t> v;
+      if (!NextListU32(&v)) return false;
+      for (size_t i = 0; i < v.size(); ++i) {
+        if (i > 0) *out += ';';
+        *out += StrFormat("%u", v[i]);
+      }
+      return true;
+    }
+    case Dtype::kF32: {
+      std::vector<float> v;
+      if (!NextListF32(&v)) return false;
+      for (size_t i = 0; i < v.size(); ++i) {
+        if (i > 0) *out += ';';
+        *out += StrFormat("%.8g", v[i]);
+      }
+      return true;
+    }
+    case Dtype::kF64: {
+      std::vector<double> v;
+      if (!NextListF64(&v)) return false;
+      for (size_t i = 0; i < v.size(); ++i) {
+        if (i > 0) *out += ';';
+        *out += StrFormat("%.10g", v[i]);
+      }
+      return true;
+    }
+    default:
+      status_ = Status::InvalidArgument("unsupported list dtype in column \"" +
+                                        info_.name + "\"");
+      return false;
+  }
+}
+
+Status ColumnCursor::Finish() {
+  EMIGRE_RETURN_IF_ERROR(status_);
+  std::vector<char> chunk(kCopyChunk);
+  while (bytes_read_ < info_.payload_bytes) {
+    const uint64_t left = info_.payload_bytes - bytes_read_;
+    const size_t n = static_cast<size_t>(
+        left < kCopyChunk ? left : static_cast<uint64_t>(kCopyChunk));
+    if (!ReadBytes(chunk.data(), n)) return status_;
+  }
+  if (crc_.value() != info_.payload_crc) {
+    return status_ = Status::InvalidArgument(
+               "column \"" + info_.name + "\" payload checksum mismatch");
+  }
+  return Status::OK();
+}
+
+Result<RowReader> RowReader::Open(const BinReader& reader, size_t section) {
+  if (section >= reader.sections().size()) {
+    return Status::OutOfRange("no such section");
+  }
+  const SectionInfo& info = reader.sections()[section];
+  RowReader rows;
+  rows.row_count_ = info.row_count;
+  rows.columns_ = info.columns;
+  for (size_t c = 0; c < info.columns.size(); ++c) {
+    EMIGRE_ASSIGN_OR_RETURN(ColumnCursor cursor,
+                            reader.OpenColumn(section, c));
+    rows.cursors_.push_back(std::move(cursor));
+  }
+  return rows;
+}
+
+bool RowReader::NextRow(std::vector<std::string>* fields) {
+  if (!status_.ok()) return false;
+  if (rows_read_ == row_count_) return false;
+  fields->resize(cursors_.size());
+  for (size_t c = 0; c < cursors_.size(); ++c) {
+    if (!cursors_[c].NextCellString(&(*fields)[c])) {
+      status_ = cursors_[c].status();
+      if (status_.ok()) {
+        status_ = Status::IOError("column \"" + columns_[c].name +
+                                  "\" ended before the declared row count");
+      }
+      return false;
+    }
+  }
+  ++rows_read_;
+  return true;
+}
+
+}  // namespace emigre::data::binfmt

@@ -1,0 +1,316 @@
+#ifndef EMIGRE_DATA_BINFMT_H_
+#define EMIGRE_DATA_BINFMT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "util/crc32.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace emigre::data::binfmt {
+
+/// \brief The `emigre.bin.v1` typed-column binary container
+/// (docs/data_format.md).
+///
+/// A file is a fixed header followed by a sequence of named sections. Each
+/// section is a row-count, a list of typed column descriptors, and the
+/// column payloads stored column-after-column. Scalar columns are
+/// little-endian fixed-width values; string and list columns are
+/// length-prefixed pools (u32 count, then the bytes/elements). Every column
+/// carries a CRC-32 of its payload and every section checksums its own
+/// metadata block, so truncation and bit rot surface as typed errors
+/// instead of garbage datasets.
+///
+/// Both the writer and the reader stream: the writer spills large columns
+/// to temporary files instead of holding them in memory, and the reader
+/// hands out per-column cursors that decode cell by cell. Neither ever
+/// materializes a whole file.
+
+/// Cell element types. Values are stable on-disk identifiers — append only.
+enum class Dtype : uint32_t {
+  kU8 = 1,
+  kU16 = 2,
+  kU32 = 3,
+  kU64 = 4,
+  kI32 = 5,
+  kF32 = 6,
+  kF64 = 7,
+  /// Length-prefixed byte string (u32 length + raw bytes per cell).
+  kStr = 8,
+};
+
+/// Human-readable dtype name ("u32", "str", ...).
+std::string_view DtypeName(Dtype dtype);
+
+/// Bytes per element for fixed-width dtypes; 0 for kStr.
+size_t DtypeWidth(Dtype dtype);
+
+/// \brief Declares one column of a section when writing.
+struct ColumnSpec {
+  std::string name;
+  Dtype dtype = Dtype::kU32;
+  /// When true each cell is a length-prefixed list of `dtype` elements
+  /// (u32 count + elements). kStr cannot be a list element type.
+  bool is_list = false;
+};
+
+// --- On-disk structs ---------------------------------------------------------
+//
+// Every struct serialized to disk is named *OnDisk and static_assert-ed on
+// exact size and trivial copyability (tools/lint.py rule `ondisk-assert`),
+// so a compiler or refactor cannot silently change the file format.
+
+/// File header, at offset 0.
+struct HeaderOnDisk {
+  char magic[8];          ///< "EMGRBIN1"
+  uint32_t version;       ///< 1
+  uint32_t endian;        ///< kEndianTag as written by a little-endian host
+  uint32_t section_count; ///< number of sections that follow
+  uint32_t header_crc;    ///< CRC-32 of the preceding 20 bytes
+};
+static_assert(sizeof(HeaderOnDisk) == 24);
+static_assert(std::is_trivially_copyable_v<HeaderOnDisk>);
+
+/// Fixed part of a section header (preceded by the u32-length-prefixed
+/// section name, followed by the column descriptors).
+struct SectionOnDisk {
+  uint64_t row_count;     ///< rows in this section
+  uint64_t payload_bytes; ///< total bytes of all column payloads
+  uint32_t column_count;  ///< descriptors that follow
+  uint32_t section_crc;   ///< CRC-32 of the metadata block, this field as 0
+};
+static_assert(sizeof(SectionOnDisk) == 24);
+static_assert(std::is_trivially_copyable_v<SectionOnDisk>);
+
+/// Fixed part of a column descriptor (preceded by the u32-length-prefixed
+/// column name).
+struct ColumnOnDisk {
+  uint64_t payload_bytes; ///< bytes of this column's payload
+  uint64_t value_count;   ///< total elements (rows, or summed list lengths)
+  uint32_t dtype;         ///< Dtype
+  uint32_t is_list;       ///< 0 scalar, 1 list
+  uint32_t payload_crc;   ///< CRC-32 of the payload bytes
+  uint32_t reserved;      ///< 0
+};
+static_assert(sizeof(ColumnOnDisk) == 32);
+static_assert(std::is_trivially_copyable_v<ColumnOnDisk>);
+
+inline constexpr char kMagic[8] = {'E', 'M', 'G', 'R', 'B', 'I', 'N', '1'};
+inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr uint32_t kEndianTag = 0x01020304u;
+
+/// True when the first bytes of `path` carry the dataset magic. Used for
+/// `--format=auto` sniffing; IO errors read as "not binary".
+bool SniffBinDataset(const std::string& path);
+
+// --- Writer ------------------------------------------------------------------
+
+/// \brief Streaming writer. Append cells row-major (`Append* ... EndRow`).
+///
+/// Sections are addressed by the handle `BeginSection` returns, and any
+/// number may be open at once — producers that interleave relations (the
+/// synthetic generator emits ratings and reviews in the same pass) stream
+/// rows into both. Column payloads accumulate in per-column buffers that
+/// spill to temporary files above the threshold; `EndSection` writes the
+/// section's metadata block followed by its payloads, so sections land in
+/// the file in `EndSection` order.
+class BinWriter {
+ public:
+  /// Default per-column in-memory buffer before spilling to a temp file.
+  static constexpr size_t kDefaultSpillBytes = 4u << 20;
+
+  /// Opens `path` for (over)writing. Check `status()` before use.
+  explicit BinWriter(const std::string& path,
+                     size_t spill_threshold_bytes = kDefaultSpillBytes);
+  ~BinWriter();
+
+  BinWriter(const BinWriter&) = delete;
+  BinWriter& operator=(const BinWriter&) = delete;
+
+  [[nodiscard]] Status status() const { return status_; }
+
+  /// Starts a section and returns its handle. Columns are addressed by
+  /// index in `columns` order.
+  [[nodiscard]] Result<size_t> BeginSection(std::string_view name,
+                                            std::vector<ColumnSpec> columns);
+
+  /// Cell appends; the dtype must match the column spec exactly.
+  [[nodiscard]] Status AppendU8(size_t sect, size_t col, uint8_t v);
+  [[nodiscard]] Status AppendU16(size_t sect, size_t col, uint16_t v);
+  [[nodiscard]] Status AppendU32(size_t sect, size_t col, uint32_t v);
+  [[nodiscard]] Status AppendU64(size_t sect, size_t col, uint64_t v);
+  [[nodiscard]] Status AppendI32(size_t sect, size_t col, int32_t v);
+  [[nodiscard]] Status AppendF32(size_t sect, size_t col, float v);
+  [[nodiscard]] Status AppendF64(size_t sect, size_t col, double v);
+  [[nodiscard]] Status AppendStr(size_t sect, size_t col, std::string_view s);
+  [[nodiscard]] Status AppendListU32(size_t sect, size_t col,
+                                     const uint32_t* v, size_t n);
+  [[nodiscard]] Status AppendListF32(size_t sect, size_t col, const float* v,
+                                     size_t n);
+  [[nodiscard]] Status AppendListF64(size_t sect, size_t col, const double* v,
+                                     size_t n);
+
+  /// Ends the section's current row; every column must have received
+  /// exactly one cell since the previous EndRow.
+  [[nodiscard]] Status EndRow(size_t sect);
+
+  /// Flushes the section: writes its metadata block, then streams the
+  /// buffered/spilled column payloads into the file.
+  [[nodiscard]] Status EndSection(size_t sect);
+
+  /// Patches the header (section count + CRC) and closes the file. Every
+  /// section must have been ended.
+  [[nodiscard]] Status Finish();
+
+ private:
+  struct ColumnSink;
+  struct SectionState;
+
+  [[nodiscard]] Status AppendCell(size_t sect, size_t col, Dtype dtype,
+                                  bool is_list, const void* data, size_t bytes,
+                                  uint64_t elements);
+
+  std::string path_;
+  size_t spill_threshold_;
+  std::ofstream out_;
+  Status status_;
+  uint32_t sections_written_ = 0;
+  bool finished_ = false;
+  std::vector<std::unique_ptr<SectionState>> sections_;
+};
+
+// --- Reader ------------------------------------------------------------------
+
+/// Parsed column descriptor plus its payload location.
+struct ColumnInfo {
+  std::string name;
+  Dtype dtype = Dtype::kU32;
+  bool is_list = false;
+  uint64_t payload_bytes = 0;
+  uint64_t value_count = 0;
+  uint32_t payload_crc = 0;
+  uint64_t file_offset = 0;  ///< absolute offset of the payload
+};
+
+/// Parsed section directory entry.
+struct SectionInfo {
+  std::string name;
+  uint64_t row_count = 0;
+  uint64_t payload_bytes = 0;
+  std::vector<ColumnInfo> columns;
+};
+
+class ColumnCursor;
+
+/// \brief Opens a file and parses the section directory (headers only; no
+/// payload is read). Hand out `ColumnCursor`s to stream payloads.
+class BinReader {
+ public:
+  /// Parses the header and every section's metadata block. Corruption maps
+  /// to typed errors: bad magic/version/CRC -> InvalidArgument, truncation
+  /// or read failure -> IOError.
+  [[nodiscard]] static Result<BinReader> Open(const std::string& path);
+
+  const std::string& path() const { return path_; }
+  const std::vector<SectionInfo>& sections() const { return sections_; }
+
+  /// Section lookup by name; NotFound when absent.
+  [[nodiscard]] Result<size_t> FindSection(std::string_view name) const;
+
+  /// Streams the payload of one column. The cursor owns its own stream, so
+  /// any number can be open at once (row-major iteration opens one per
+  /// column).
+  [[nodiscard]] Result<ColumnCursor> OpenColumn(size_t section,
+                                                size_t column) const;
+
+ private:
+  BinReader() = default;
+
+  std::string path_;
+  std::vector<SectionInfo> sections_;
+};
+
+/// \brief Streaming cell decoder for one column.
+///
+/// `Next*` calls must match the column dtype; they return false at
+/// end-of-column or on error (check `status()`). `Finish()` consumes any
+/// unread remainder and verifies the payload CRC — a full load calls it on
+/// every column, a head-only inspect may skip it.
+class ColumnCursor {
+ public:
+  ColumnCursor(ColumnCursor&&) = default;
+  ColumnCursor& operator=(ColumnCursor&&) = default;
+
+  [[nodiscard]] Status status() const { return status_; }
+  const ColumnInfo& info() const { return info_; }
+
+  bool NextU8(uint8_t* v);
+  bool NextU16(uint16_t* v);
+  bool NextU32(uint32_t* v);
+  bool NextU64(uint64_t* v);
+  bool NextI32(int32_t* v);
+  bool NextF32(float* v);
+  bool NextF64(double* v);
+  bool NextStr(std::string* v);
+  bool NextListU32(std::vector<uint32_t>* v);
+  bool NextListF32(std::vector<float>* v);
+  bool NextListF64(std::vector<double>* v);
+
+  /// Decodes the next cell into its display string (lists joined with ';').
+  bool NextCellString(std::string* out);
+
+  /// Consumes the rest of the payload in bounded chunks and verifies the
+  /// column CRC. InvalidArgument on checksum mismatch.
+  [[nodiscard]] Status Finish();
+
+ private:
+  friend class BinReader;
+  ColumnCursor(const std::string& path, ColumnInfo info);
+
+  bool ReadBytes(void* dst, size_t n);
+  bool NextScalar(Dtype want, void* dst);
+  template <typename T>
+  bool NextList(Dtype want, std::vector<T>* v);
+
+  ColumnInfo info_;
+  std::ifstream in_;
+  uint64_t bytes_read_ = 0;
+  Crc32 crc_;
+  Status status_;
+};
+
+/// \brief Row-major view over one section: opens a cursor per column and
+/// yields each row as display strings (`emigre inspect`).
+class RowReader {
+ public:
+  [[nodiscard]] static Result<RowReader> Open(const BinReader& reader,
+                                              size_t section);
+
+  uint64_t row_count() const { return row_count_; }
+  const std::vector<ColumnInfo>& columns() const { return columns_; }
+
+  /// Reads the next row; false at end or on error (check `status()`).
+  bool NextRow(std::vector<std::string>* fields);
+
+  [[nodiscard]] Status status() const { return status_; }
+
+ private:
+  RowReader() = default;
+
+  uint64_t row_count_ = 0;
+  uint64_t rows_read_ = 0;
+  std::vector<ColumnInfo> columns_;
+  std::vector<ColumnCursor> cursors_;
+  Status status_;
+};
+
+}  // namespace emigre::data::binfmt
+
+#endif  // EMIGRE_DATA_BINFMT_H_

@@ -45,16 +45,38 @@ Result<double> FieldDouble(const std::vector<std::string>& row, size_t i) {
   return v;
 }
 
-/// Consumes the header row, failing loudly when the file is empty or the
-/// read errors — an absent header used to be silently skipped, making a
-/// truncated file indistinguishable from an empty dataset.
-Status ReadHeader(CsvReader* r, const std::string& file) {
+/// The row-count comment SaveDatasetCsv writes ahead of the header so
+/// loaders can reserve their vectors up front ("# rows=N"). External CSVs
+/// without the line load fine — it is an optimization hint, not schema.
+constexpr std::string_view kRowCountPrefix = "# rows=";
+
+/// Consumes the optional "# rows=N" comment and the header row, failing
+/// loudly when the file is empty or the read errors — an absent header used
+/// to be silently skipped, making a truncated file indistinguishable from
+/// an empty dataset. Returns the declared row count (0 when absent or
+/// unparsable; a malformed hint is ignored, never fatal).
+Result<uint64_t> ReadHeader(CsvReader* r, const std::string& file) {
   std::vector<std::string> header;
   if (!r->ReadRow(&header)) {
     EMIGRE_RETURN_IF_ERROR(r->status());
     return Status::InvalidArgument("missing header row in " + file);
   }
-  return Status::OK();
+  uint64_t declared = 0;
+  if (!header.empty() && header[0].rfind(kRowCountPrefix, 0) == 0) {
+    int64_t v = 0;
+    if (ParseInt64(header[0].substr(kRowCountPrefix.size()), &v) && v >= 0) {
+      declared = static_cast<uint64_t>(v);
+    }
+    if (!r->ReadRow(&header)) {
+      EMIGRE_RETURN_IF_ERROR(r->status());
+      return Status::InvalidArgument("missing header row in " + file);
+    }
+  }
+  return declared;
+}
+
+Status WriteRowCount(CsvWriter* w, size_t rows) {
+  return w->WriteRow({StrFormat("# rows=%zu", rows)});
 }
 
 }  // namespace
@@ -63,6 +85,7 @@ Status SaveDatasetCsv(const Dataset& ds, const std::string& dir) {
   {
     CsvWriter w(dir + "/categories.csv");
     EMIGRE_RETURN_IF_ERROR(w.status());
+    EMIGRE_RETURN_IF_ERROR(WriteRowCount(&w, ds.categories.size()));
     EMIGRE_RETURN_IF_ERROR(w.WriteRow({"id", "name"}));
     for (const Category& c : ds.categories) {
       EMIGRE_RETURN_IF_ERROR(w.WriteRow({StrFormat("%u", c.id), c.name}));
@@ -72,6 +95,7 @@ Status SaveDatasetCsv(const Dataset& ds, const std::string& dir) {
   {
     CsvWriter w(dir + "/items.csv");
     EMIGRE_RETURN_IF_ERROR(w.status());
+    EMIGRE_RETURN_IF_ERROR(WriteRowCount(&w, ds.items.size()));
     EMIGRE_RETURN_IF_ERROR(
         w.WriteRow({"id", "name", "category", "popularity", "quality"}));
     for (const Item& i : ds.items) {
@@ -84,6 +108,7 @@ Status SaveDatasetCsv(const Dataset& ds, const std::string& dir) {
   {
     CsvWriter w(dir + "/users.csv");
     EMIGRE_RETURN_IF_ERROR(w.status());
+    EMIGRE_RETURN_IF_ERROR(WriteRowCount(&w, ds.users.size()));
     EMIGRE_RETURN_IF_ERROR(
         w.WriteRow({"id", "name", "rating_bias", "preferences"}));
     for (const User& u : ds.users) {
@@ -100,6 +125,7 @@ Status SaveDatasetCsv(const Dataset& ds, const std::string& dir) {
   {
     CsvWriter w(dir + "/ratings.csv");
     EMIGRE_RETURN_IF_ERROR(w.status());
+    EMIGRE_RETURN_IF_ERROR(WriteRowCount(&w, ds.ratings.size()));
     EMIGRE_RETURN_IF_ERROR(w.WriteRow({"user", "item", "stars"}));
     for (const Rating& r : ds.ratings) {
       EMIGRE_RETURN_IF_ERROR(w.WriteRow({StrFormat("%u", r.user),
@@ -111,6 +137,7 @@ Status SaveDatasetCsv(const Dataset& ds, const std::string& dir) {
   {
     CsvWriter w(dir + "/reviews.csv");
     EMIGRE_RETURN_IF_ERROR(w.status());
+    EMIGRE_RETURN_IF_ERROR(WriteRowCount(&w, ds.reviews.size()));
     EMIGRE_RETURN_IF_ERROR(w.WriteRow({"id", "user", "item", "embedding"}));
     for (const Review& r : ds.reviews) {
       EMIGRE_RETURN_IF_ERROR(
@@ -129,7 +156,9 @@ Result<Dataset> LoadDatasetCsv(const std::string& dir) {
   {
     CsvReader r(dir + "/categories.csv");
     EMIGRE_RETURN_IF_ERROR(r.status());
-    EMIGRE_RETURN_IF_ERROR(ReadHeader(&r, dir + "/categories.csv"));
+    EMIGRE_ASSIGN_OR_RETURN(uint64_t declared_rows,
+                            ReadHeader(&r, dir + "/categories.csv"));
+    ds.categories.reserve(declared_rows);
     while (r.ReadRow(&row)) {
       EMIGRE_ASSIGN_OR_RETURN(int64_t id, FieldInt(row, 0));
       ds.categories.push_back(
@@ -140,7 +169,9 @@ Result<Dataset> LoadDatasetCsv(const std::string& dir) {
   {
     CsvReader r(dir + "/items.csv");
     EMIGRE_RETURN_IF_ERROR(r.status());
-    EMIGRE_RETURN_IF_ERROR(ReadHeader(&r, dir + "/items.csv"));
+    EMIGRE_ASSIGN_OR_RETURN(uint64_t declared_rows,
+                            ReadHeader(&r, dir + "/items.csv"));
+    ds.items.reserve(declared_rows);
     while (r.ReadRow(&row)) {
       Item item;
       EMIGRE_ASSIGN_OR_RETURN(int64_t id, FieldInt(row, 0));
@@ -157,7 +188,9 @@ Result<Dataset> LoadDatasetCsv(const std::string& dir) {
   {
     CsvReader r(dir + "/users.csv");
     EMIGRE_RETURN_IF_ERROR(r.status());
-    EMIGRE_RETURN_IF_ERROR(ReadHeader(&r, dir + "/users.csv"));
+    EMIGRE_ASSIGN_OR_RETURN(uint64_t declared_rows,
+                            ReadHeader(&r, dir + "/users.csv"));
+    ds.users.reserve(declared_rows);
     while (r.ReadRow(&row)) {
       User u;
       EMIGRE_ASSIGN_OR_RETURN(int64_t id, FieldInt(row, 0));
@@ -185,7 +218,9 @@ Result<Dataset> LoadDatasetCsv(const std::string& dir) {
   {
     CsvReader r(dir + "/ratings.csv");
     EMIGRE_RETURN_IF_ERROR(r.status());
-    EMIGRE_RETURN_IF_ERROR(ReadHeader(&r, dir + "/ratings.csv"));
+    EMIGRE_ASSIGN_OR_RETURN(uint64_t declared_rows,
+                            ReadHeader(&r, dir + "/ratings.csv"));
+    ds.ratings.reserve(declared_rows);
     while (r.ReadRow(&row)) {
       Rating rating;
       EMIGRE_ASSIGN_OR_RETURN(int64_t u, FieldInt(row, 0));
@@ -201,7 +236,9 @@ Result<Dataset> LoadDatasetCsv(const std::string& dir) {
   {
     CsvReader r(dir + "/reviews.csv");
     EMIGRE_RETURN_IF_ERROR(r.status());
-    EMIGRE_RETURN_IF_ERROR(ReadHeader(&r, dir + "/reviews.csv"));
+    EMIGRE_ASSIGN_OR_RETURN(uint64_t declared_rows,
+                            ReadHeader(&r, dir + "/reviews.csv"));
+    ds.reviews.reserve(declared_rows);
     while (r.ReadRow(&row)) {
       Review review;
       EMIGRE_ASSIGN_OR_RETURN(int64_t id, FieldInt(row, 0));

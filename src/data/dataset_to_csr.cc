@@ -1,0 +1,400 @@
+#include "data/dataset_to_csr.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "data/bin_io.h"
+#include "data/binfmt.h"
+#include "graph/csr.h"
+#include "graph/csr_snapshot.h"
+#include "graph/types.h"
+#include "util/string_util.h"
+
+namespace emigre::data {
+
+namespace {
+
+using binfmt::BinReader;
+using binfmt::ColumnCursor;
+using graph::EdgeTypeId;
+using graph::NodeId;
+using graph::NodeTypeId;
+
+// Schema ids in `BuildAmazonLite`'s registration order — the converter
+// reproduces them positionally so the snapshot's type tables match.
+constexpr NodeTypeId kUserType = 0;
+constexpr NodeTypeId kItemType = 1;
+constexpr NodeTypeId kReviewType = 2;
+constexpr NodeTypeId kCategoryType = 3;
+constexpr EdgeTypeId kRated = 0;
+constexpr EdgeTypeId kReviewed = 1;
+constexpr EdgeTypeId kHasReview = 2;
+constexpr EdgeTypeId kBelongsTo = 3;
+
+constexpr uint32_t kUnassigned = 0xFFFFFFFFu;
+
+/// Cursors over a subset of a section's columns (the converter never opens
+/// the ones it does not need — notably the review embeddings).
+struct Cursors {
+  uint64_t rows = 0;
+  std::vector<ColumnCursor> cols;
+};
+
+Result<Cursors> OpenCols(const BinReader& reader, std::string_view section,
+                         size_t expected_columns,
+                         std::initializer_list<size_t> wanted) {
+  EMIGRE_ASSIGN_OR_RETURN(size_t idx, reader.FindSection(section));
+  const binfmt::SectionInfo& info = reader.sections()[idx];
+  if (info.columns.size() != expected_columns) {
+    return Status::InvalidArgument(
+        "section \"" + std::string(section) + "\" has " +
+        std::to_string(info.columns.size()) + " columns, expected " +
+        std::to_string(expected_columns));
+  }
+  Cursors out;
+  out.rows = info.row_count;
+  for (size_t c : wanted) {
+    EMIGRE_ASSIGN_OR_RETURN(ColumnCursor cursor, reader.OpenColumn(idx, c));
+    out.cols.push_back(std::move(cursor));
+  }
+  return out;
+}
+
+/// Completes every cursor, verifying the column CRCs.
+Status FinishCols(Cursors* s) {
+  for (ColumnCursor& c : s->cols) {
+    EMIGRE_RETURN_IF_ERROR(c.Finish());
+  }
+  return Status::OK();
+}
+
+Status ShortSection(std::string_view section, const Cursors& s) {
+  for (const ColumnCursor& c : s.cols) {
+    if (!c.status().ok()) return c.status();
+  }
+  return Status::IOError("section \"" + std::string(section) +
+                         "\" ended before its declared row count");
+}
+
+/// Registers `id -> position`; dense unique ids only (mirrors the
+/// `nodes[id] = AddNode(...)` indexing in BuildAmazonLite).
+Status AssignPos(std::vector<uint32_t>* pos, uint32_t id,
+                 uint32_t position, std::string_view what) {
+  if (id >= pos->size()) {
+    return Status::InvalidArgument(
+        StrFormat("%s id %u out of range (section has %zu rows)",
+                  std::string(what).c_str(), id, pos->size()));
+  }
+  if ((*pos)[id] != kUnassigned) {
+    return Status::InvalidArgument(StrFormat(
+        "duplicate %s id %u", std::string(what).c_str(), id));
+  }
+  (*pos)[id] = position;
+  return Status::OK();
+}
+
+uint64_t PairKey(uint32_t user, uint32_t item) {
+  return (static_cast<uint64_t>(user) << 32) | item;
+}
+
+}  // namespace
+
+Result<DatasetToCsrStats> ConvertBinDatasetToCsrSnapshot(
+    const std::string& bin_path, const std::string& out_path,
+    const DatasetToCsrOptions& opts) {
+  EMIGRE_ASSIGN_OR_RETURN(BinReader reader, BinReader::Open(bin_path));
+
+  // --- Entity pass: ids, names, item->category -------------------------------
+  EMIGRE_ASSIGN_OR_RETURN(Cursors cats,
+                          OpenCols(reader, "categories", 2, {0, 1}));
+  const uint64_t num_categories = cats.rows;
+  std::vector<uint32_t> cat_pos(num_categories, kUnassigned);
+  std::vector<std::string> cat_names(num_categories);
+  for (uint64_t r = 0; r < num_categories; ++r) {
+    uint32_t id = 0;
+    std::string name;
+    if (!cats.cols[0].NextU32(&id) || !cats.cols[1].NextStr(&name)) {
+      return ShortSection("categories", cats);
+    }
+    EMIGRE_RETURN_IF_ERROR(
+        AssignPos(&cat_pos, id, static_cast<uint32_t>(r), "category"));
+    cat_names[r] = std::move(name);
+  }
+  EMIGRE_RETURN_IF_ERROR(FinishCols(&cats));
+
+  EMIGRE_ASSIGN_OR_RETURN(Cursors items,
+                          OpenCols(reader, "items", 5, {0, 1, 2}));
+  const uint64_t num_items = items.rows;
+  std::vector<uint32_t> item_pos(num_items, kUnassigned);
+  std::vector<std::string> item_names(num_items);
+  std::vector<uint32_t> item_cat(num_items);  ///< category *position*
+  for (uint64_t r = 0; r < num_items; ++r) {
+    uint32_t id = 0, cat = 0;
+    std::string name;
+    if (!items.cols[0].NextU32(&id) || !items.cols[1].NextStr(&name) ||
+        !items.cols[2].NextU32(&cat)) {
+      return ShortSection("items", items);
+    }
+    EMIGRE_RETURN_IF_ERROR(
+        AssignPos(&item_pos, id, static_cast<uint32_t>(r), "item"));
+    if (cat >= num_categories || cat_pos[cat] == kUnassigned) {
+      return Status::InvalidArgument(
+          StrFormat("item %u references unknown category %u", id, cat));
+    }
+    item_names[r] = std::move(name);
+    item_cat[r] = cat_pos[cat];
+  }
+  EMIGRE_RETURN_IF_ERROR(FinishCols(&items));
+
+  EMIGRE_ASSIGN_OR_RETURN(Cursors users, OpenCols(reader, "users", 5, {0, 1}));
+  const uint64_t num_users = users.rows;
+  std::vector<uint32_t> user_pos(num_users, kUnassigned);
+  std::vector<std::string> user_names(num_users);
+  for (uint64_t r = 0; r < num_users; ++r) {
+    uint32_t id = 0;
+    std::string name;
+    if (!users.cols[0].NextU32(&id) || !users.cols[1].NextStr(&name)) {
+      return ShortSection("users", users);
+    }
+    EMIGRE_RETURN_IF_ERROR(
+        AssignPos(&user_pos, id, static_cast<uint32_t>(r), "user"));
+    user_names[r] = std::move(name);
+  }
+  EMIGRE_RETURN_IF_ERROR(FinishCols(&users));
+
+  // Node layout — users, items, categories, then kept reviews, exactly the
+  // AddNode order of BuildAmazonLite.
+  const uint64_t item_base = num_users;
+  const uint64_t cat_base = num_users + num_items;
+  const uint64_t review_base = cat_base + num_categories;
+
+  auto user_node = [&](uint32_t id) -> Result<NodeId> {
+    if (id >= num_users || user_pos[id] == kUnassigned) {
+      return Status::InvalidArgument(StrFormat("unknown user id %u", id));
+    }
+    return static_cast<NodeId>(user_pos[id]);
+  };
+  auto item_node = [&](uint32_t id) -> Result<NodeId> {
+    if (id >= num_items || item_pos[id] == kUnassigned) {
+      return Status::InvalidArgument(StrFormat("unknown item id %u", id));
+    }
+    return static_cast<NodeId>(item_base + item_pos[id]);
+  };
+
+  // --- Degree pass -----------------------------------------------------------
+  // Count every edge event's endpoint degrees without storing the events.
+  // Kept review nodes are excluded from these arrays: each has exactly one
+  // in-edge ("has-review") and, when bidirectional, one out-edge.
+  std::vector<uint64_t> deg_out(review_base, 0);
+  std::vector<uint64_t> deg_in(review_base, 0);
+  const bool bidi = opts.bidirectional;
+  auto count_link = [&](NodeId a, NodeId b) {
+    ++deg_out[a];
+    ++deg_in[b];
+    if (bidi) {
+      ++deg_out[b];
+      ++deg_in[a];
+    }
+  };
+
+  DatasetToCsrStats stats;
+  stats.num_users = num_users;
+  stats.num_items = num_items;
+  stats.num_categories = num_categories;
+
+  std::vector<uint64_t> kept_pairs;  ///< (user, item) keys of kept ratings
+  {
+    EMIGRE_ASSIGN_OR_RETURN(Cursors ratings,
+                            OpenCols(reader, "ratings", 3, {0, 1, 2}));
+    for (uint64_t r = 0; r < ratings.rows; ++r) {
+      uint32_t u = 0, i = 0;
+      int32_t stars = 0;
+      if (!ratings.cols[0].NextU32(&u) || !ratings.cols[1].NextU32(&i) ||
+          !ratings.cols[2].NextI32(&stars)) {
+        return ShortSection("ratings", ratings);
+      }
+      if (stars <= opts.min_stars_exclusive) continue;
+      EMIGRE_ASSIGN_OR_RETURN(NodeId un, user_node(u));
+      EMIGRE_ASSIGN_OR_RETURN(NodeId in, item_node(i));
+      kept_pairs.push_back(PairKey(u, i));
+      count_link(un, in);
+    }
+    EMIGRE_RETURN_IF_ERROR(FinishCols(&ratings));
+  }
+  stats.kept_ratings = kept_pairs.size();
+  std::sort(kept_pairs.begin(), kept_pairs.end());
+  if (std::adjacent_find(kept_pairs.begin(), kept_pairs.end()) !=
+      kept_pairs.end()) {
+    // BuildAmazonLite surfaces this as AddEdge's AlreadyExists; match it.
+    return Status::AlreadyExists("duplicate kept (user, item) rating pair");
+  }
+  auto pair_kept = [&](uint32_t u, uint32_t i) {
+    return std::binary_search(kept_pairs.begin(), kept_pairs.end(),
+                              PairKey(u, i));
+  };
+
+  std::vector<uint32_t> kept_review_ids;  ///< dataset ids, file order
+  {
+    EMIGRE_ASSIGN_OR_RETURN(Cursors reviews,
+                            OpenCols(reader, "reviews", 4, {0, 1, 2}));
+    std::vector<uint64_t> review_pairs;
+    for (uint64_t r = 0; r < reviews.rows; ++r) {
+      uint32_t id = 0, u = 0, i = 0;
+      if (!reviews.cols[0].NextU32(&id) || !reviews.cols[1].NextU32(&u) ||
+          !reviews.cols[2].NextU32(&i)) {
+        return ShortSection("reviews", reviews);
+      }
+      if (!pair_kept(u, i)) continue;
+      EMIGRE_ASSIGN_OR_RETURN(NodeId un, user_node(u));
+      EMIGRE_ASSIGN_OR_RETURN(NodeId in, item_node(i));
+      kept_review_ids.push_back(id);
+      review_pairs.push_back(PairKey(u, i));
+      count_link(un, in);  // "reviewed"
+      ++deg_out[in];       // "has-review" toward the review node
+      if (bidi) ++deg_in[in];
+    }
+    EMIGRE_RETURN_IF_ERROR(FinishCols(&reviews));
+    std::sort(review_pairs.begin(), review_pairs.end());
+    if (std::adjacent_find(review_pairs.begin(), review_pairs.end()) !=
+        review_pairs.end()) {
+      return Status::AlreadyExists(
+          "multiple kept reviews share a (user, item) pair");
+    }
+  }
+  stats.kept_reviews = kept_review_ids.size();
+
+  for (uint64_t i = 0; i < num_items; ++i) {  // "belongs-to"
+    count_link(static_cast<NodeId>(item_base + i),
+               static_cast<NodeId>(cat_base + item_cat[i]));
+  }
+
+  // --- Columns ---------------------------------------------------------------
+  const uint64_t num_nodes = review_base + stats.kept_reviews;
+  const uint64_t review_out = bidi ? 1 : 0;
+  uint64_t num_edges = 0;
+  for (uint64_t d : deg_out) num_edges += d;
+  num_edges += stats.kept_reviews * review_out;
+  stats.num_nodes = num_nodes;
+  stats.num_edges = num_edges;
+
+  std::vector<NodeTypeId> node_type(num_nodes);
+  std::vector<double> out_weight(num_nodes);
+  std::vector<uint64_t> out_offsets(num_nodes + 1, 0);
+  std::vector<uint64_t> in_offsets(num_nodes + 1, 0);
+  for (uint64_t n = 0; n < num_nodes; ++n) {
+    if (n < item_base) {
+      node_type[n] = kUserType;
+    } else if (n < cat_base) {
+      node_type[n] = kItemType;
+    } else if (n < review_base) {
+      node_type[n] = kCategoryType;
+    } else {
+      node_type[n] = kReviewType;
+    }
+    const uint64_t od = n < review_base ? deg_out[n] : review_out;
+    const uint64_t id = n < review_base ? deg_in[n] : 1;
+    out_weight[n] = static_cast<double>(od);  // every edge weighs 1.0
+    out_offsets[n + 1] = out_offsets[n] + od;
+    in_offsets[n + 1] = in_offsets[n] + id;
+  }
+  deg_out = std::vector<uint64_t>();  // replay re-counts via next_out/next_in
+  deg_in = std::vector<uint64_t>();
+
+  std::vector<NodeId> out_dst(num_edges);
+  std::vector<EdgeTypeId> out_type(num_edges);
+  std::vector<double> out_w(num_edges);
+  std::vector<NodeId> in_src(num_edges);
+  std::vector<EdgeTypeId> in_type(num_edges);
+  std::vector<double> in_w(num_edges);
+  std::vector<uint64_t> next_out(num_nodes, 0);
+  std::vector<uint64_t> next_in(num_nodes, 0);
+
+  // --- Fill pass -------------------------------------------------------------
+  // Replaying the identical global event order reproduces HinGraph's
+  // per-node adjacency-list order (each AddEdge appends to one out-list
+  // and one in-list), hence the exact CSR the HinGraph route serializes.
+  auto emit = [&](NodeId src, NodeId dst, EdgeTypeId type) {
+    const uint64_t p = out_offsets[src] + next_out[src]++;
+    out_dst[p] = dst;
+    out_type[p] = type;
+    out_w[p] = 1.0;
+    const uint64_t q = in_offsets[dst] + next_in[dst]++;
+    in_src[q] = src;
+    in_type[q] = type;
+    in_w[q] = 1.0;
+  };
+  auto link = [&](NodeId a, NodeId b, EdgeTypeId type) {
+    emit(a, b, type);
+    if (bidi) emit(b, a, type);
+  };
+
+  {
+    EMIGRE_ASSIGN_OR_RETURN(Cursors ratings,
+                            OpenCols(reader, "ratings", 3, {0, 1, 2}));
+    for (uint64_t r = 0; r < ratings.rows; ++r) {
+      uint32_t u = 0, i = 0;
+      int32_t stars = 0;
+      if (!ratings.cols[0].NextU32(&u) || !ratings.cols[1].NextU32(&i) ||
+          !ratings.cols[2].NextI32(&stars)) {
+        return ShortSection("ratings", ratings);
+      }
+      if (stars <= opts.min_stars_exclusive) continue;
+      link(static_cast<NodeId>(user_pos[u]),
+           static_cast<NodeId>(item_base + item_pos[i]), kRated);
+    }
+  }
+  {
+    EMIGRE_ASSIGN_OR_RETURN(Cursors reviews,
+                            OpenCols(reader, "reviews", 4, {1, 2}));
+    uint64_t next_review = 0;
+    for (uint64_t r = 0; r < reviews.rows; ++r) {
+      uint32_t u = 0, i = 0;
+      if (!reviews.cols[0].NextU32(&u) || !reviews.cols[1].NextU32(&i)) {
+        return ShortSection("reviews", reviews);
+      }
+      if (!pair_kept(u, i)) continue;
+      const NodeId rn = static_cast<NodeId>(review_base + next_review++);
+      const NodeId in = static_cast<NodeId>(item_base + item_pos[i]);
+      link(static_cast<NodeId>(user_pos[u]), in, kReviewed);
+      link(in, rn, kHasReview);
+    }
+  }
+  for (uint64_t i = 0; i < num_items; ++i) {
+    link(static_cast<NodeId>(item_base + i),
+         static_cast<NodeId>(cat_base + item_cat[i]), kBelongsTo);
+  }
+
+  // --- Snapshot --------------------------------------------------------------
+  graph::CsrGraph::Columns cols;
+  cols.num_nodes = num_nodes;
+  cols.num_edges = num_edges;
+  cols.node_type = node_type.data();
+  cols.out_weight = out_weight.data();
+  cols.out_offsets = out_offsets.data();
+  cols.out_dst = out_dst.data();
+  cols.out_type = out_type.data();
+  cols.out_w = out_w.data();
+  cols.in_offsets = in_offsets.data();
+  cols.in_src = in_src.data();
+  cols.in_type = in_type.data();
+  cols.in_w = in_w.data();
+  const graph::CsrGraph csr =
+      graph::CsrGraph::Alias(cols, std::shared_ptr<const void>());
+
+  graph::SnapshotMeta meta;
+  meta.node_type_names = {"user", "item", "review", "category"};
+  meta.edge_type_names = {"rated", "reviewed", "has-review", "belongs-to",
+                          "similar-review"};
+  meta.label = [&](NodeId n) -> std::string {
+    if (n < item_base) return user_names[n];
+    if (n < cat_base) return item_names[n - item_base];
+    if (n < review_base) return cat_names[n - cat_base];
+    return StrFormat("review-%05u", kept_review_ids[n - review_base]);
+  };
+  EMIGRE_RETURN_IF_ERROR(graph::WriteCsrSnapshot(csr, meta, out_path));
+  return stats;
+}
+
+}  // namespace emigre::data

@@ -1,0 +1,60 @@
+#ifndef EMIGRE_DATA_DATASET_TO_CSR_H_
+#define EMIGRE_DATA_DATASET_TO_CSR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace emigre::data {
+
+/// \brief Streaming `emigre.bin.v1` dataset -> `emigre.csr.v1` snapshot
+/// converter — the path that makes the 10M-node band servable.
+///
+/// `BuildAmazonLite` materializes a `HinGraph` (vector-of-vectors) before
+/// snapshotting, which at the `large` preset costs an order of magnitude
+/// more memory than the CSR it produces. This converter instead replays the
+/// dataset's edge events twice over column cursors — once to count degrees,
+/// once to fill the adjacency arrays — and writes the snapshot from flat
+/// columns directly. Peak memory is the CSR columns themselves plus the
+/// node-name pools; the review embeddings are never read at all.
+///
+/// The output is byte-identical to
+///   `WriteGraphSnapshot(BuildAmazonLite(ds, lite_opts).graph, path)`
+/// for `lite_opts` with the same `min_stars_exclusive` / `bidirectional`,
+/// similarity links disabled (`max_similar_per_review = 0`) and no
+/// neighborhood restriction (`neighborhood_hops = 0`): node order is users,
+/// items, categories, then kept reviews; edge-event order is kept ratings,
+/// then per kept review "reviewed" + "has-review", then "belongs-to"; and
+/// the schema registers all five §6.1 edge types (similarity included,
+/// with zero edges). dataset_to_csr_test.cc locks this equivalence in.
+struct DatasetToCsrOptions {
+  /// Keep only ratings strictly above this (§6.1 "good ratings").
+  int min_stars_exclusive = 3;
+  /// Materialize each relationship in both directions.
+  bool bidirectional = true;
+};
+
+/// Conversion tally, reported by `emigre convert`.
+struct DatasetToCsrStats {
+  uint64_t num_users = 0;
+  uint64_t num_items = 0;
+  uint64_t num_categories = 0;
+  uint64_t kept_ratings = 0;   ///< ratings above the star threshold
+  uint64_t kept_reviews = 0;   ///< reviews whose rating survived
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;      ///< directed edges in the snapshot
+};
+
+/// Converts the dataset at `bin_path` into a CSR snapshot at `out_path`.
+/// Dataset ids must be dense (id < row count of their section) and kept
+/// (user, item) rating pairs unique — the same preconditions
+/// `BuildAmazonLite` enforces by construction.
+[[nodiscard]] Result<DatasetToCsrStats> ConvertBinDatasetToCsrSnapshot(
+    const std::string& bin_path, const std::string& out_path,
+    const DatasetToCsrOptions& opts = {});
+
+}  // namespace emigre::data
+
+#endif  // EMIGRE_DATA_DATASET_TO_CSR_H_

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "data/embedding.h"
 #include "util/rng.h"
@@ -22,9 +25,68 @@ int DrawStars(double item_quality, double user_bias, Rng& rng) {
   return std::clamp(stars, 1, 5);
 }
 
+/// Collects the streamed rows back into a `Dataset` (the in-memory API).
+class CollectingSink : public DatasetSink {
+ public:
+  Status OnCategory(const Category& c) override {
+    ds.categories.push_back(c);
+    return Status::OK();
+  }
+  Status OnItem(const Item& item) override {
+    ds.items.push_back(item);
+    return Status::OK();
+  }
+  Status OnUser(const User& u) override {
+    ds.users.push_back(u);
+    return Status::OK();
+  }
+  Status OnRating(const Rating& r) override {
+    ds.ratings.push_back(r);
+    return Status::OK();
+  }
+  Status OnReview(const Review& r) override {
+    ds.reviews.push_back(r);
+    return Status::OK();
+  }
+
+  Dataset ds;
+};
+
 }  // namespace
 
-Result<Dataset> GenerateSyntheticAmazon(const SyntheticAmazonOptions& opts) {
+Result<SyntheticAmazonOptions> SyntheticAmazonPreset(std::string_view name) {
+  SyntheticAmazonOptions opts;  // "small" == the defaults above
+  if (name == "small") return opts;
+  if (name == "medium") {
+    opts.num_users = 2000;
+    opts.num_items = 20000;
+    opts.num_categories = 48;
+    opts.embedding_dim = 16;
+    return opts;
+  }
+  if (name == "large") {
+    // The 10M-node band: 1.3M users + 1.2M items + 64 categories plus the
+    // kept-review nodes (~0.35 reviews/rating, of which the default
+    // min-stars pruning keeps about half — ≈7 review nodes per user) land
+    // at ≈11.5M graph nodes *after* BuildAmazonLite's rating cut, with the
+    // Table-4 shape (heavy-tailed categories, users with tens of actions,
+    // items with low average degree). Narrower action interval than the
+    // paper's 10..100 keeps total edge count predictable at this scale.
+    opts.num_users = 1300000;
+    opts.num_items = 1200000;
+    opts.num_categories = 64;
+    opts.min_actions_per_user = 20;
+    opts.max_actions_per_user = 60;
+    opts.embedding_dim = 8;
+    return opts;
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown preset '%s' (small | medium | large)",
+                std::string(name).c_str()));
+}
+
+Status GenerateSyntheticAmazonTo(const SyntheticAmazonOptions& opts,
+                                 DatasetSink* sink) {
   if (opts.num_users == 0 || opts.num_items == 0 ||
       opts.num_categories == 0) {
     return Status::InvalidArgument(
@@ -39,17 +101,20 @@ Result<Dataset> GenerateSyntheticAmazon(const SyntheticAmazonOptions& opts) {
   }
 
   Rng rng(opts.seed);
-  Dataset ds;
 
   // --- Categories ------------------------------------------------------------
-  ds.categories.reserve(opts.num_categories);
   for (size_t c = 0; c < opts.num_categories; ++c) {
-    ds.categories.push_back(
-        Category{static_cast<CategoryId>(c), StrFormat("category-%02zu", c)});
+    EMIGRE_RETURN_IF_ERROR(sink->OnCategory(
+        Category{static_cast<CategoryId>(c), StrFormat("category-%02zu", c)}));
   }
 
   // --- Items: Zipf category sizes, Zipf within-category popularity. ----------
-  ds.items.reserve(opts.num_items);
+  // Only the slim draw state (category, quality, per-category popularity
+  // pools) is retained; the full rows stream out.
+  std::vector<CategoryId> item_category(opts.num_items);
+  std::vector<double> item_quality(opts.num_items);
+  std::vector<std::vector<ItemId>> items_by_category(opts.num_categories);
+  std::vector<std::vector<double>> weights_by_category(opts.num_categories);
   for (size_t i = 0; i < opts.num_items; ++i) {
     Item item;
     item.id = static_cast<ItemId>(i);
@@ -61,19 +126,29 @@ Result<Dataset> GenerateSyntheticAmazon(const SyntheticAmazonOptions& opts) {
     size_t rank = rng.NextZipf(100, opts.item_zipf);
     item.popularity = 1.0 / static_cast<double>(rank + 1);
     item.quality = std::clamp(0.4 * rng.NextGaussian(), -1.0, 1.0);
-    ds.items.push_back(std::move(item));
-  }
-
-  // Per-category item index + popularity weights for fast draws.
-  std::vector<std::vector<ItemId>> items_by_category(opts.num_categories);
-  std::vector<std::vector<double>> weights_by_category(opts.num_categories);
-  for (const Item& item : ds.items) {
+    item_category[i] = item.category;
+    item_quality[i] = item.quality;
     items_by_category[item.category].push_back(item.id);
     weights_by_category[item.category].push_back(item.popularity);
+    EMIGRE_RETURN_IF_ERROR(sink->OnItem(item));
+  }
+
+  // The per-category popularity pools are drawn from once per action —
+  // tens of millions of times at the `large` band — so build the O(log n)
+  // inverse-CDF tables up front. Bit-identical to NextWeighted on the raw
+  // weight vectors.
+  std::vector<std::optional<WeightedSampler>> category_samplers(
+      opts.num_categories);
+  for (size_t c = 0; c < opts.num_categories; ++c) {
+    if (!weights_by_category[c].empty()) {
+      category_samplers[c].emplace(weights_by_category[c]);
+    }
   }
 
   // --- Users ------------------------------------------------------------------
-  ds.users.reserve(opts.num_users);
+  std::vector<double> user_bias(opts.num_users);
+  std::vector<std::vector<std::pair<CategoryId, double>>> user_prefs(
+      opts.num_users);
   for (size_t u = 0; u < opts.num_users; ++u) {
     User user;
     user.id = static_cast<UserId>(u);
@@ -99,56 +174,66 @@ Result<Dataset> GenerateSyntheticAmazon(const SyntheticAmazonOptions& opts) {
       user.preferences.emplace_back(c, 0.5 + rng.NextDouble());
     }
     std::sort(user.preferences.begin(), user.preferences.end());
-    ds.users.push_back(std::move(user));
+    user_bias[u] = user.rating_bias;
+    user_prefs[u] = user.preferences;
+    EMIGRE_RETURN_IF_ERROR(sink->OnUser(user));
   }
 
   // --- Ratings & reviews -------------------------------------------------------
   TopicEmbedder embedder(opts.embedding_dim, opts.num_categories,
                          opts.seed ^ 0xE5CEBE11ull);
-  std::unordered_set<uint64_t> rated_pairs;
-  auto pair_key = [](UserId u, ItemId i) {
-    return (static_cast<uint64_t>(u) << 32) | i;
-  };
+  ReviewId next_review_id = 0;
+  // Per-user duplicate rejection: pairs are keyed by (user, item), so a
+  // per-user set is draw-for-draw identical to a global pair set while
+  // keeping memory at O(actions of one user).
+  std::unordered_set<ItemId> rated_items;
 
-  for (const User& user : ds.users) {
+  for (size_t u = 0; u < opts.num_users; ++u) {
+    const UserId user_id = static_cast<UserId>(u);
     size_t actions = static_cast<size_t>(
         rng.NextInt(static_cast<int64_t>(opts.min_actions_per_user),
                     static_cast<int64_t>(opts.max_actions_per_user)));
+    const auto& preferences = user_prefs[u];
     std::vector<double> pref_weights;
-    pref_weights.reserve(user.preferences.size());
-    for (const auto& [c, w] : user.preferences) pref_weights.push_back(w);
+    pref_weights.reserve(preferences.size());
+    for (const auto& [c, w] : preferences) pref_weights.push_back(w);
 
+    rated_items.clear();
     size_t placed = 0;
     size_t attempts = 0;
     const size_t max_attempts = actions * 20 + 100;
     while (placed < actions && attempts < max_attempts) {
       ++attempts;
-      CategoryId c =
-          user.preferences[rng.NextWeighted(pref_weights)].first;
+      CategoryId c = preferences[rng.NextWeighted(pref_weights)].first;
       const auto& pool = items_by_category[c];
       if (pool.empty()) continue;
-      ItemId item = pool[rng.NextWeighted(weights_by_category[c])];
-      if (!rated_pairs.insert(pair_key(user.id, item)).second) {
+      ItemId item = pool[category_samplers[c]->Sample(rng)];
+      if (!rated_items.insert(item).second) {
         continue;  // already rated; redraw
       }
-      int stars = DrawStars(ds.items[item].quality, user.rating_bias, rng);
-      ds.ratings.push_back(Rating{user.id, item, stars});
+      int stars = DrawStars(item_quality[item], user_bias[u], rng);
+      EMIGRE_RETURN_IF_ERROR(sink->OnRating(Rating{user_id, item, stars}));
       ++placed;
 
       if (rng.NextBool(opts.review_probability)) {
         Review review;
-        review.id = static_cast<ReviewId>(ds.reviews.size());
-        review.user = user.id;
+        review.id = next_review_id++;
+        review.user = user_id;
         review.item = item;
         review.embedding =
-            embedder.Embed(ds.items[item].category, opts.embedding_noise,
-                           rng);
-        ds.reviews.push_back(std::move(review));
+            embedder.Embed(item_category[item], opts.embedding_noise, rng);
+        EMIGRE_RETURN_IF_ERROR(sink->OnReview(review));
       }
     }
   }
 
-  return ds;
+  return Status::OK();
+}
+
+Result<Dataset> GenerateSyntheticAmazon(const SyntheticAmazonOptions& opts) {
+  CollectingSink sink;
+  EMIGRE_RETURN_IF_ERROR(GenerateSyntheticAmazonTo(opts, &sink));
+  return std::move(sink.ds);
 }
 
 }  // namespace emigre::data

@@ -2,6 +2,7 @@
 #define EMIGRE_DATA_SYNTHETIC_AMAZON_H_
 
 #include <cstdint>
+#include <string_view>
 
 #include "data/schema.h"
 #include "util/result.h"
@@ -44,13 +45,50 @@ struct SyntheticAmazonOptions {
   double embedding_noise = 0.35;
 };
 
-/// \brief Generates the synthetic Amazon Customer Review dataset.
+/// \brief Named workload bands (docs/data_format.md):
+///  - "small":  the classic unit-test default (≈2.5k nodes).
+///  - "medium": the benchmark band (≈30k nodes) — bench_graph_io's input.
+///  - "large":  the 10M-node band (Table-4 degree shape at scale). Far too
+///    big to materialize as CSVs comfortably; generate it straight to the
+///    binary container (`GenerateSyntheticAmazonBin` / `emigre generate
+///    --preset large --format bin`).
+/// Unknown names return InvalidArgument.
+[[nodiscard]] Result<SyntheticAmazonOptions> SyntheticAmazonPreset(
+    std::string_view name);
+
+/// \brief Row-streaming consumer of the synthetic generator.
 ///
-/// Deterministic in `opts.seed`. Users draw items category-first (their
-/// latent preferences) then popularity-weighted within the category; star
-/// ratings combine item quality and user leniency, skewing positive like
-/// real review corpora. Duplicate (user, item) ratings are rejected by
-/// redraw, so each pair appears at most once.
+/// Rows arrive in deterministic generation order: all categories, all
+/// items, all users, then ratings interleaved with their reviews (a
+/// review always follows its rating). Any non-OK status aborts the
+/// generation and is returned as-is.
+class DatasetSink {
+ public:
+  virtual ~DatasetSink() = default;
+  [[nodiscard]] virtual Status OnCategory(const Category& c) = 0;
+  [[nodiscard]] virtual Status OnItem(const Item& item) = 0;
+  [[nodiscard]] virtual Status OnUser(const User& u) = 0;
+  [[nodiscard]] virtual Status OnRating(const Rating& r) = 0;
+  [[nodiscard]] virtual Status OnReview(const Review& r) = 0;
+};
+
+/// \brief Streaming core of the generator: draws the dataset row by row
+/// and hands each row to `sink` without retaining it.
+///
+/// Deterministic in `opts.seed` and row-for-row identical to
+/// `GenerateSyntheticAmazon` (which is this function with a collecting
+/// sink). Peak memory is O(users + items), never O(ratings + reviews) —
+/// this is what makes the `large` preset generable.
+///
+/// Users draw items category-first (their latent preferences) then
+/// popularity-weighted within the category; star ratings combine item
+/// quality and user leniency, skewing positive like real review corpora.
+/// Duplicate (user, item) ratings are rejected by redraw, so each pair
+/// appears at most once.
+[[nodiscard]] Status GenerateSyntheticAmazonTo(
+    const SyntheticAmazonOptions& opts, DatasetSink* sink);
+
+/// \brief Generates the synthetic Amazon Customer Review dataset in memory.
 [[nodiscard]]
 Result<Dataset> GenerateSyntheticAmazon(const SyntheticAmazonOptions& opts);
 

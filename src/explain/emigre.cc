@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "explain/powerset.h"
 #include "explain/search_space.h"
 #include "explain/tester.h"
+#include "graph/csr_snapshot.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 #include "recsys/recommender.h"
@@ -27,12 +29,15 @@
 
 namespace emigre::explain {
 
-recsys::RecommendationList Emigre::CurrentRanking(graph::NodeId user) const {
+template <typename G>
+recsys::RecommendationList EmigreT<G>::CurrentRanking(
+    graph::NodeId user) const {
   return recsys::RankItems(*g_, user, opts_.rec);
 }
 
-Status Emigre::ValidateQuestion(const WhyNotQuestion& q,
-                                graph::NodeId rec) const {
+template <typename G>
+Status EmigreT<G>::ValidateQuestion(const WhyNotQuestion& q,
+                                    graph::NodeId rec) const {
   if (!g_->IsValidNode(q.user)) {
     return Status::InvalidArgument(StrFormat("invalid user %u", q.user));
   }
@@ -75,8 +80,9 @@ std::vector<std::pair<std::string, uint64_t>> FaultDelta(
 
 }  // namespace
 
-Result<Explanation> Emigre::Explain(const WhyNotQuestion& q, Mode mode,
-                                    Heuristic heuristic) const {
+template <typename G>
+Result<Explanation> EmigreT<G>::Explain(const WhyNotQuestion& q, Mode mode,
+                                        Heuristic heuristic) const {
   // One id per attempt, also inherited by this query's worker threads, so
   // timeline events and the audit record join back to this result.
   const uint64_t query_id = obs::BeginQuery();
@@ -160,12 +166,19 @@ Result<Explanation> Emigre::Explain(const WhyNotQuestion& q, Mode mode,
   return outcome;
 }
 
-Result<Explanation> Emigre::ExplainImpl(const WhyNotQuestion& q, Mode mode,
-                                        Heuristic heuristic,
-                                        obs::QueryRecord* record) const {
+template <typename G>
+Result<Explanation> EmigreT<G>::ExplainImpl(const WhyNotQuestion& q, Mode mode,
+                                            Heuristic heuristic,
+                                            obs::QueryRecord* record) const {
   EMIGRE_SPAN("explain");
   if (check::ShouldCheck(opts_.check_level, check::CheckLevel::kFull)) {
-    check::DcheckOk(check::ValidateGraph(*g_), "Emigre::Explain(graph)");
+    // The HinGraph validator also cross-checks the type registries; other
+    // views (the snapshot) get the structural GraphLike validation.
+    if constexpr (std::is_same_v<G, graph::HinGraph>) {
+      check::DcheckOk(check::ValidateGraph(*g_), "Emigre::Explain(graph)");
+    } else {
+      check::DcheckOk(check::ValidateGraphView(*g_), "Emigre::Explain(graph)");
+    }
   }
   // Node-id bounds come first: CurrentRanking indexes adjacency by q.user,
   // so an invalid id must be rejected before ranking (caught by ASan).
@@ -212,11 +225,11 @@ Result<Explanation> Emigre::ExplainImpl(const WhyNotQuestion& q, Mode mode,
   // private overlay/dynamic-push state built by this closure.
   auto make_tester = [this, &q, &eopts]() -> std::unique_ptr<TesterInterface> {
     if (opts_.tester == TesterKind::kDynamicPush) {
-      return std::make_unique<FastExplanationTester>(
+      return std::make_unique<FastExplanationTesterT<G>>(
           *g_, q.user, q.why_not_item, eopts, &csr_);
     }
-    return std::make_unique<ExplanationTester>(*g_, q.user, q.why_not_item,
-                                               eopts, &csr_);
+    return std::make_unique<ExplanationTesterT<G>>(*g_, q.user, q.why_not_item,
+                                                   eopts, &csr_);
   };
   std::unique_ptr<TesterInterface> tester;
   if (opts_.test_threads != 1) {
@@ -270,18 +283,20 @@ Result<Explanation> Emigre::ExplainImpl(const WhyNotQuestion& q, Mode mode,
   return result;
 }
 
-Result<Explanation> Emigre::ExplainAuto(const WhyNotQuestion& q,
-                                        Heuristic heuristic) const {
+template <typename G>
+Result<Explanation> EmigreT<G>::ExplainAuto(const WhyNotQuestion& q,
+                                            Heuristic heuristic) const {
   // §5.4: Remove mode reasons over the user's own history — meaningful when
   // that history exists. Otherwise, and whenever Remove fails (the paper's
   // popular-item cases), fall back to Add mode's wider search space.
   size_t allowed_actions = 0;
   if (g_->IsValidNode(q.user)) {
-    for (const graph::Edge& e : g_->OutEdges(q.user)) {
-      if (e.node != q.user && opts_.IsAllowedEdgeType(e.type)) {
-        ++allowed_actions;
-      }
-    }
+    g_->ForEachOutEdge(
+        q.user, [&](graph::NodeId dst, graph::EdgeTypeId type, double) {
+          if (dst != q.user && opts_.IsAllowedEdgeType(type)) {
+            ++allowed_actions;
+          }
+        });
   }
   if (allowed_actions > 0) {
     EMIGRE_ASSIGN_OR_RETURN(Explanation removal,
@@ -300,5 +315,10 @@ Result<Explanation> Emigre::ExplainAuto(const WhyNotQuestion& q,
   }
   return Explain(q, Mode::kAdd, heuristic);
 }
+
+// Explicit instantiations: the classic in-memory graph and the mmap-backed
+// snapshot view.
+template class EmigreT<graph::HinGraph>;
+template class EmigreT<graph::CsrSnapshotView>;
 
 }  // namespace emigre::explain

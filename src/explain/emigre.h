@@ -2,6 +2,7 @@
 #define EMIGRE_EXPLAIN_EMIGRE_H_
 
 #include <memory>
+#include <utility>
 
 #include "explain/explanation.h"
 #include "explain/options.h"
@@ -21,8 +22,13 @@ namespace emigre::explain {
 /// (Algorithms 3/4/5 or a baseline) → return the explanation with
 /// diagnostics.
 ///
-/// Thread-safety: `Emigre` is immutable after construction and holds only a
-/// reference to the graph; concurrent `Explain` calls are safe as long as
+/// Generic over the base graph `G`: the classic in-memory `HinGraph` (the
+/// `Emigre` alias) or an mmap-backed `graph::CsrSnapshotView`, which serves
+/// the same pipeline straight off a snapshot file without materializing a
+/// mutable graph. Explicitly instantiated for both in emigre.cc.
+///
+/// Thread-safety: the engine is immutable after construction and holds only
+/// a reference to the graph; concurrent `Explain` calls are safe as long as
 /// the graph is not mutated.
 ///
 /// ```
@@ -34,15 +40,16 @@ namespace emigre::explain {
 /// auto result = engine.Explain({user, missing_item}, explain::Mode::kAdd,
 ///                              explain::Heuristic::kIncremental);
 /// ```
-class Emigre {
+template <typename G>
+class EmigreT {
  public:
   /// `g` must outlive the engine — and must not be mutated while the
   /// engine exists (the engine caches PPR vectors computed on it and keeps
   /// a CSR snapshot of it).
-  Emigre(const graph::HinGraph& g, EmigreOptions opts)
+  EmigreT(const G& g, EmigreOptions opts)
       : g_(&g),
         opts_(std::move(opts)),
-        csr_(g),
+        csr_(MakeCsr(g)),
         ppr_cache_(std::make_unique<ppr::ReversePushCache<graph::CsrGraph>>(
             csr_, opts_.rec.ppr)) {}
 
@@ -72,7 +79,7 @@ class Emigre {
   recsys::RecommendationList CurrentRanking(graph::NodeId user) const;
 
   const EmigreOptions& options() const { return opts_; }
-  const graph::HinGraph& graph() const { return *g_; }
+  const G& graph() const { return *g_; }
 
   /// Checks Definition 4.1 for (user, wni): wni is an item node, has no
   /// edge from the user, and differs from the current recommendation `rec`.
@@ -88,6 +95,17 @@ class Emigre {
   const graph::CsrGraph& csr() const { return csr_; }
 
  private:
+  /// The engine's CSR form of `g`: an mmap-backed view already carries one
+  /// (`g.csr()` — sharing it aliases the mapping, no copy of the columns);
+  /// any other GraphLike is snapshotted once here.
+  static graph::CsrGraph MakeCsr(const G& g) {
+    if constexpr (requires { g.csr(); }) {
+      return g.csr();
+    } else {
+      return graph::CsrGraph(g, 0);
+    }
+  }
+
   /// The pipeline body; may throw (deadline unwinds, worker-task errors).
   /// `Explain` wraps it in the exception boundary. `record`, when non-null,
   /// collects per-phase wall times for the audit log.
@@ -95,17 +113,20 @@ class Emigre {
                                                 Mode mode, Heuristic heuristic,
                                                 obs::QueryRecord* record) const;
 
-  const graph::HinGraph* g_;
+  const G* g_;
   EmigreOptions opts_;
-  // CSR snapshot of *g_, built once per engine: the PPR cache pushes over
-  // it and every kernel-engine tester lays its CsrOverlay on it, so no
-  // Explain call pays the O(V+E) snapshot cost.
+  // CSR snapshot of *g_, built (or aliased) once per engine: the PPR cache
+  // pushes over it and every kernel-engine tester lays its CsrOverlay on
+  // it, so no Explain call pays the O(V+E) snapshot cost.
   graph::CsrGraph csr_;
   // Reverse-push vectors are pure functions of (graph, target); shared
   // across questions and across the per-question phases. The cache is
   // internally synchronized, keeping concurrent Explain calls safe.
   std::unique_ptr<ppr::ReversePushCache<graph::CsrGraph>> ppr_cache_;
 };
+
+/// The classic facade over the in-memory graph.
+using Emigre = EmigreT<graph::HinGraph>;
 
 }  // namespace emigre::explain
 

@@ -6,6 +6,7 @@
 
 #include "check/invariants.h"
 #include "explain/internal.h"
+#include "graph/csr_snapshot.h"
 #include "obs/trace.h"
 #include "ppr/reverse_push.h"
 
@@ -14,12 +15,12 @@ namespace emigre::explain {
 namespace {
 
 using graph::EdgeRef;
-using graph::HinGraph;
 using graph::NodeId;
 
 }  // namespace
 
-Explanation RunExhaustive(const HinGraph& g, const SearchSpace& space,
+template <typename G>
+Explanation RunExhaustive(const G& g, const SearchSpace& space,
                           const std::vector<NodeId>& targets,
                           TesterInterface& tester, const EmigreOptions& opts,
                           bool direct,
@@ -115,13 +116,13 @@ Explanation RunExhaustive(const HinGraph& g, const SearchSpace& space,
   }
 
   std::vector<double> threshold(num_targets, 0.0);
-  for (const graph::Edge& e : g.OutEdges(space.user)) {
-    if (e.node == space.user || !opts.IsAllowedEdgeType(e.type)) continue;
-    for (size_t ti = 0; ti < num_targets; ++ti) {
-      threshold[ti] +=
-          e.weight * (ppr_to_t[ti][e.node] - space.ppr_to_wni[e.node]);
-    }
-  }
+  g.ForEachOutEdge(
+      space.user, [&](NodeId dst, graph::EdgeTypeId type, double w) {
+        if (dst == space.user || !opts.IsAllowedEdgeType(type)) return;
+        for (size_t ti = 0; ti < num_targets; ++ti) {
+          threshold[ti] += w * (ppr_to_t[ti][dst] - space.ppr_to_wni[dst]);
+        }
+      });
 
   size_t max_size = h.size();
   if (opts.max_explanation_size > 0) {
@@ -247,5 +248,16 @@ Explanation RunExhaustive(const HinGraph& g, const SearchSpace& space,
   out.failure = FailureReason::kSearchExhausted;
   return recorder.Finish();
 }
+
+// Explicit instantiations: the classic in-memory graph and the mmap-backed
+// snapshot view.
+template Explanation RunExhaustive<graph::HinGraph>(
+    const graph::HinGraph&, const SearchSpace&, const std::vector<NodeId>&,
+    TesterInterface&, const EmigreOptions&, bool,
+    ppr::ReversePushCache<graph::CsrGraph>*);
+template Explanation RunExhaustive<graph::CsrSnapshotView>(
+    const graph::CsrSnapshotView&, const SearchSpace&,
+    const std::vector<NodeId>&, TesterInterface&, const EmigreOptions&, bool,
+    ppr::ReversePushCache<graph::CsrGraph>*);
 
 }  // namespace emigre::explain

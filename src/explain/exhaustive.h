@@ -32,8 +32,12 @@ namespace emigre::explain {
 /// original top-k list minus WNI itself). No sign pruning is applied to C —
 /// a candidate that hurts WNI vs. rec can still help against another target
 /// (paper §5.2.2).
+///
+/// Generic over the base graph `G` (`HinGraph` or an mmap-backed
+/// `CsrSnapshotView`); explicitly instantiated in exhaustive.cc.
+template <typename G>
 Explanation RunExhaustive(
-    const graph::HinGraph& g, const SearchSpace& space,
+    const G& g, const SearchSpace& space,
     const std::vector<graph::NodeId>& targets, TesterInterface& tester,
     const EmigreOptions& opts, bool direct,
     ppr::ReversePushCache<graph::CsrGraph>* cache = nullptr);

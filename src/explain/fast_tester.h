@@ -8,10 +8,48 @@
 #include "graph/csr.h"
 #include "graph/csr_overlay.h"
 #include "graph/hin_graph.h"
+#include "graph/materialize.h"
 #include "ppr/dynamic.h"
 #include "ppr/workspace.h"
 
 namespace emigre::explain {
+
+namespace detail {
+
+/// Deterministic argmax shared by every engine: score descending, id
+/// ascending on ties, with sub-noise scores floored to zero.
+///
+/// Signed-residual repairs can leave O(ε)-sized positive estimates on nodes
+/// whose true score is exactly zero; the exact tester breaks such all-zero
+/// ties by node id. Flooring restores that tie-break: anything below the
+/// push noise level counts as unreachable.
+///
+/// The `item < best` comparison is the enforced index-ascending tie-break
+/// of the class contract: on exactly equal scores the lowest item id wins
+/// no matter what order `items` arrives in or which push engine produced
+/// the scores, so kLegacy/kKernel/kFast agree on exact ties by
+/// construction rather than by touch order.
+template <typename Eligible, typename Score>
+graph::NodeId BestItem(const std::vector<graph::NodeId>& items,
+                       graph::NodeId user, double floor, Eligible&& eligible,
+                       Score&& score_of) {
+  graph::NodeId best = graph::kInvalidNode;
+  double best_score = -1.0;
+  for (graph::NodeId item : items) {
+    if (item == user || !eligible(item)) continue;
+    double score = score_of(item);
+    if (score < floor) score = 0.0;
+    // Same deterministic ordering as RecommendationList: score descending,
+    // id ascending on ties.
+    if (score > best_score || (score == best_score && item < best)) {
+      best = item;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace detail
 
 /// \brief Approximate TEST built on incrementally maintained PPR.
 ///
@@ -38,7 +76,9 @@ namespace emigre::explain {
 ///    frontier (not bitwise identical to the other engines; Eq. 3 bounds
 ///    the divergence to push noise).
 ///  - `kLegacy`: the original private mutable `HinGraph` copy with the
-///    dense O(n)-per-repair refine — kept as the reference/baseline.
+///    dense O(n)-per-repair refine — kept as the reference/baseline. On a
+///    non-HinGraph base (an mmap-backed `CsrSnapshotView`) the scratch
+///    copy is materialized from the view (graph/materialize.h).
 ///
 /// The estimates are ε-accurate rather than exact: two items whose true
 /// scores differ by less than ~ε may be mis-ordered, so a verification can
@@ -53,21 +93,50 @@ namespace emigre::explain {
 /// schedule. This is what keeps kLegacy/kKernel/kFast verdicts identical
 /// on crafted equal-score items even though kFast's float noise pattern
 /// differs (see explain_fast_tester_test.cc).
-class FastExplanationTester : public TesterInterface {
+template <typename G>
+class FastExplanationTesterT : public TesterInterface {
  public:
-  /// Legacy engine: copies `base` once (O(V+E)) and runs the initial push.
-  /// Kernel engine: snapshots `base` to CSR (or reuses `csr` when the
-  /// caller already holds a snapshot of the same graph) and runs the
-  /// initial push through the workspace.
-  FastExplanationTester(const graph::HinGraph& base, graph::NodeId user,
-                        graph::NodeId why_not_item, const EmigreOptions& opts,
-                        const graph::CsrGraph* csr = nullptr);
+  /// Legacy engine: copies/materializes `base` once (O(V+E)) and runs the
+  /// initial push. Kernel engine: snapshots `base` to CSR (or reuses `csr`
+  /// when the caller already holds a snapshot of the same graph) and runs
+  /// the initial push through the workspace.
+  FastExplanationTesterT(const G& base, graph::NodeId user,
+                         graph::NodeId why_not_item, const EmigreOptions& opts,
+                         const graph::CsrGraph* csr = nullptr)
+      : base_(&base),
+        user_(user),
+        wni_(why_not_item),
+        opts_(opts),
+        items_(base.NodesOfType(opts.rec.item_type)) {
+    if (opts_.rec.ppr.engine != ppr::PushEngine::kLegacy) {
+      const graph::CsrGraph* snapshot = csr;
+      if (snapshot == nullptr) {
+        owned_csr_ = std::make_unique<graph::CsrGraph>(base, 0);
+        snapshot = owned_csr_.get();
+      }
+      overlay_ = std::make_unique<graph::CsrOverlay>(*snapshot);
+      dyn_kernel_ =
+          std::make_unique<ppr::DynamicForwardPush<graph::CsrOverlay>>(
+              *overlay_, user, opts_.rec.ppr, &ws_);
+    } else {
+      scratch_ = graph::MaterializeHinGraph(base);
+      dyn_ = std::make_unique<ppr::DynamicForwardPush<graph::HinGraph>>(
+          *scratch_, user, opts_.rec.ppr);
+    }
+  }
 
   bool Test(const std::vector<graph::EdgeRef>& edits, Mode mode,
-            graph::NodeId* new_rec = nullptr) override;
+            graph::NodeId* new_rec = nullptr) override {
+    std::vector<ModedEdit> moded;
+    moded.reserve(edits.size());
+    for (const graph::EdgeRef& e : edits) moded.push_back(ModedEdit{e, mode});
+    return RunOnce(moded, new_rec);
+  }
 
   bool TestMixed(const std::vector<ModedEdit>& edits,
-                 graph::NodeId* new_rec = nullptr) override;
+                 graph::NodeId* new_rec = nullptr) override {
+    return RunOnce(edits, new_rec);
+  }
 
   size_t num_tests() const override { return num_tests_; }
   bool IsExact() const override { return false; }
@@ -75,24 +144,174 @@ class FastExplanationTester : public TesterInterface {
  private:
   /// Applies the edits, reads the top item, reverts. Returns false for
   /// malformed candidates.
-  bool RunOnce(const std::vector<ModedEdit>& edits, graph::NodeId* new_rec);
+  bool RunOnce(const std::vector<ModedEdit>& edits, graph::NodeId* new_rec) {
+    EMIGRE_SPAN("test.dynamic");
+    EMIGRE_COUNTER("explain.tests.dynamic").Increment();
+    ++num_tests_;
+    try {
+      if (stale_) Rebuild();
+      if (dyn_kernel_ != nullptr) return RunOnceKernel(edits, new_rec);
+      return RunOnceLegacy(edits, new_rec);
+    } catch (const DeadlineExceededError&) {
+      // The query deadline fired inside a repair push, unwinding
+      // mid-protocol: mark the state stale so the next TEST (if any — the
+      // search budget normally exits first) rebuilds from the base graph.
+      // While the deadline stays expired the rebuild itself throws
+      // immediately, keeping post-deadline TESTs O(1).
+      EMIGRE_COUNTER("explain.tests.dynamic.deadline").Increment();
+      stale_ = true;
+      if (new_rec != nullptr) *new_rec = graph::kInvalidNode;
+      return false;
+    }
+  }
+
   bool RunOnceLegacy(const std::vector<ModedEdit>& edits,
-                     graph::NodeId* new_rec);
+                     graph::NodeId* new_rec) {
+    // All explanation edits are rooted at the user (Definition 4.2), so a
+    // single Before/After pair around the whole batch repairs the one
+    // affected transition row.
+    struct AppliedEdit {
+      ModedEdit edit;
+      double removed_weight = 0.0;  // original weight, for reverting removals
+    };
+    std::vector<AppliedEdit> applied;
+    applied.reserve(edits.size());
+    dyn_->BeforeOutEdgeChange(user_);
+    bool ok = true;
+    for (const ModedEdit& e : edits) {
+      if (e.edge.src != user_) {
+        ok = false;  // foreign-rooted edit: not supported by the fast path
+        break;
+      }
+      Status st;
+      double removed_weight = 0.0;
+      if (e.mode == Mode::kAdd) {
+        st = scratch_->AddEdge(e.edge.src, e.edge.dst, e.edge.type,
+                               opts_.add_edge_weight);
+      } else {
+        removed_weight =
+            scratch_->EdgeWeight(e.edge.src, e.edge.dst, e.edge.type);
+        st = scratch_->RemoveEdge(e.edge.src, e.edge.dst, e.edge.type);
+      }
+      if (!st.ok()) {
+        ok = false;
+        break;
+      }
+      applied.push_back(AppliedEdit{e, removed_weight});
+    }
+
+    graph::NodeId top = graph::kInvalidNode;
+    if (ok) {
+      dyn_->AfterOutEdgeChange(user_);
+      top = CurrentTopLegacy();
+      // Revert, repairing the invariant again.
+      dyn_->BeforeOutEdgeChange(user_);
+    }
+    for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+      if (it->edit.mode == Mode::kAdd) {
+        scratch_
+            ->RemoveEdge(it->edit.edge.src, it->edit.edge.dst,
+                         it->edit.edge.type)
+            .CheckOK();
+      } else {
+        scratch_
+            ->AddEdge(it->edit.edge.src, it->edit.edge.dst,
+                      it->edit.edge.type, it->removed_weight)
+            .CheckOK();
+      }
+    }
+    dyn_->AfterOutEdgeChange(user_);
+
+    if (new_rec != nullptr) *new_rec = ok ? top : graph::kInvalidNode;
+    return ok && top == wni_;
+  }
+
   bool RunOnceKernel(const std::vector<ModedEdit>& edits,
-                     graph::NodeId* new_rec);
+                     graph::NodeId* new_rec) {
+    // Same Before/edit/After/revert protocol as the legacy engine, but the
+    // counterfactual lives in a CsrOverlay: reverting is a Clear() (which
+    // also restores the base adjacency order — a mutated HinGraph cannot),
+    // and the repair pushes run on the reusable workspace.
+    dyn_kernel_->BeforeOutEdgeChange(user_);
+    bool ok = true;
+    for (const ModedEdit& e : edits) {
+      if (e.edge.src != user_) {
+        ok = false;  // foreign-rooted edit: not supported by the fast path
+        break;
+      }
+      Status st;
+      if (e.mode == Mode::kAdd) {
+        st = overlay_->AddEdge(e.edge.src, e.edge.dst, e.edge.type,
+                               opts_.add_edge_weight);
+      } else {
+        st = overlay_->RemoveEdge(e.edge.src, e.edge.dst, e.edge.type);
+      }
+      if (!st.ok()) {
+        ok = false;
+        break;
+      }
+    }
+
+    graph::NodeId top = graph::kInvalidNode;
+    if (ok) {
+      dyn_kernel_->AfterOutEdgeChange(user_);
+      top = CurrentTopKernel();
+      // Revert, repairing the invariant again.
+      dyn_kernel_->BeforeOutEdgeChange(user_);
+    }
+    overlay_->Clear();
+    dyn_kernel_->AfterOutEdgeChange(user_);
+
+    if (new_rec != nullptr) *new_rec = ok ? top : graph::kInvalidNode;
+    return ok && top == wni_;
+  }
 
   /// Reconstructs the counterfactual view and dynamic-push state from the
   /// base graph after a deadline unwind left them mid-repair (stale_).
   /// Throws `DeadlineExceededError` itself while the deadline stays
   /// expired, leaving stale_ set for the next attempt.
-  void Rebuild();
+  void Rebuild() {
+    if (overlay_ != nullptr) {
+      // Kernel engine: dropping the overlay edits restores the base view;
+      // the fresh initial push overwrites the half-repaired workspace state.
+      overlay_->Clear();
+      dyn_kernel_ =
+          std::make_unique<ppr::DynamicForwardPush<graph::CsrOverlay>>(
+              *overlay_, user_, opts_.rec.ppr, &ws_);
+    } else {
+      // Legacy engine: the scratch graph may hold unreverted edits — recopy.
+      scratch_ = graph::MaterializeHinGraph(*base_);
+      dyn_ = std::make_unique<ppr::DynamicForwardPush<graph::HinGraph>>(
+          *scratch_, user_, opts_.rec.ppr);
+    }
+    stale_ = false;
+  }
 
   /// Argmax of the maintained estimates over eligible items (legacy view).
-  graph::NodeId CurrentTopLegacy() const;
-  /// Same, over the overlay view with the workspace mark bitmap.
-  graph::NodeId CurrentTopKernel();
+  graph::NodeId CurrentTopLegacy() const {
+    const double floor = opts_.rec.ppr.epsilon * 100.0;
+    return detail::BestItem(
+        items_, user_, floor,
+        [&](graph::NodeId item) { return !scratch_->HasEdge(user_, item); },
+        [&](graph::NodeId item) { return dyn_->Estimate(item); });
+  }
 
-  const graph::HinGraph* base_;  ///< for Rebuild() after a deadline unwind
+  /// Same, over the overlay view with the workspace mark bitmap.
+  graph::NodeId CurrentTopKernel() {
+    // O(deg) epoch marks over the user's effective out-neighborhood replace
+    // the legacy per-item HasEdge probes. The marks share the epoch of the
+    // repair that just ran and stay valid until the next one.
+    overlay_->ForEachOutEdge(
+        user_,
+        [&](graph::NodeId dst, graph::EdgeTypeId, double) { ws_.Mark(dst); });
+    const double floor = opts_.rec.ppr.epsilon * 100.0;
+    return detail::BestItem(
+        items_, user_, floor,
+        [&](graph::NodeId item) { return !ws_.Marked(item); },
+        [&](graph::NodeId item) { return dyn_kernel_->Estimate(item); });
+  }
+
+  const G* base_;  ///< for Rebuild() after a deadline unwind
   graph::NodeId user_;
   graph::NodeId wni_;
   EmigreOptions opts_;
@@ -113,6 +332,9 @@ class FastExplanationTester : public TesterInterface {
   ppr::PushWorkspace ws_;
   std::unique_ptr<ppr::DynamicForwardPush<graph::CsrOverlay>> dyn_kernel_;
 };
+
+/// The classic approximate tester over the in-memory graph.
+using FastExplanationTester = FastExplanationTesterT<graph::HinGraph>;
 
 }  // namespace emigre::explain
 

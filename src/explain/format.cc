@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "graph/csr_snapshot.h"
 #include "util/string_util.h"
 
 namespace emigre::explain {
@@ -20,7 +21,8 @@ std::string JoinNames(const std::vector<std::string>& names) {
   return out;
 }
 
-std::vector<std::string> EdgeTargets(const graph::HinGraph& g,
+template <typename G>
+std::vector<std::string> EdgeTargets(const G& g,
                                      const std::vector<graph::EdgeRef>& edges) {
   std::vector<std::string> names;
   names.reserve(edges.size());
@@ -35,8 +37,8 @@ std::string FailureSentence(FailureReason reason) {
 
 }  // namespace
 
-std::string FormatExplanationSentence(const graph::HinGraph& g,
-                                      const Explanation& e) {
+template <typename G>
+std::string FormatExplanationSentence(const G& g, const Explanation& e) {
   if (!e.found) return FailureSentence(e.failure);
   std::string actions = JoinNames(EdgeTargets(g, e.edges));
   return StrFormat(
@@ -44,6 +46,11 @@ std::string FormatExplanationSentence(const graph::HinGraph& g,
       e.mode == Mode::kRemove ? "not interacted with" : "interacted with",
       actions.c_str(), g.DisplayName(e.new_rec).c_str());
 }
+
+template std::string FormatExplanationSentence<graph::HinGraph>(
+    const graph::HinGraph&, const Explanation&);
+template std::string FormatExplanationSentence<graph::CsrSnapshotView>(
+    const graph::CsrSnapshotView&, const Explanation&);
 
 std::string FormatCombinedSentence(const graph::HinGraph& g,
                                    const CombinedExplanation& e) {

@@ -18,8 +18,11 @@ namespace emigre::explain {
 ///    recommendation would be Harry Potter."    (Add mode)
 /// Falls back to a failure sentence ("No explanation: <reason>.") when the
 /// explanation was not found. Node names come from the graph's labels.
-std::string FormatExplanationSentence(const graph::HinGraph& g,
-                                      const Explanation& e);
+///
+/// Generic over any graph carrying `DisplayName` (`HinGraph` or a
+/// `CsrSnapshotView`); explicitly instantiated in format.cc.
+template <typename G>
+std::string FormatExplanationSentence(const G& g, const Explanation& e);
 
 /// Same for a combined Add/Remove explanation: "Had you interacted with X
 /// and not interacted with Y, ...".

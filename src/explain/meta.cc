@@ -1,5 +1,6 @@
 #include "explain/meta.h"
 
+#include "graph/csr_snapshot.h"
 #include "graph/overlay.h"
 #include "recsys/recommender.h"
 #include "util/string_util.h"
@@ -15,9 +16,10 @@ namespace {
 /// recommendation's dominance is carried by other users' actions and no
 /// removal subset can plausibly promote WNI (paper §6.4 "Popular Item",
 /// Fig. 7).
-bool IsPopularItemCase(const graph::HinGraph& g, const SearchSpace& space,
+template <typename G>
+bool IsPopularItemCase(const G& g, const SearchSpace& space,
                        const EmigreOptions& opts) {
-  graph::GraphOverlay overlay(g);
+  graph::BasicGraphOverlay<G> overlay(g);
   for (const CandidateAction& a : space.actions) {
     // Ignore individual failures (cannot happen for a well-formed space).
     overlay.RemoveEdge(a.edge.src, a.edge.dst, a.edge.type).ok();
@@ -31,8 +33,8 @@ bool IsPopularItemCase(const graph::HinGraph& g, const SearchSpace& space,
 
 }  // namespace
 
-MetaExplanation DiagnoseFailure(const graph::HinGraph& g,
-                                const SearchSpace& space,
+template <typename G>
+MetaExplanation DiagnoseFailure(const G& g, const SearchSpace& space,
                                 const Explanation& failed,
                                 const EmigreOptions& opts) {
   MetaExplanation meta;
@@ -85,5 +87,12 @@ MetaExplanation DiagnoseFailure(const graph::HinGraph& g,
       g.DisplayName(space.rec).c_str(), g.DisplayName(space.wni).c_str());
   return meta;
 }
+
+template MetaExplanation DiagnoseFailure<graph::HinGraph>(
+    const graph::HinGraph&, const SearchSpace&, const Explanation&,
+    const EmigreOptions&);
+template MetaExplanation DiagnoseFailure<graph::CsrSnapshotView>(
+    const graph::CsrSnapshotView&, const SearchSpace&, const Explanation&,
+    const EmigreOptions&);
 
 }  // namespace emigre::explain

@@ -32,8 +32,11 @@ struct MetaExplanation {
 ///  - *Out of scope* (§6.4): single-mode search failed, but the candidates
 ///    suggest the combined Add/Remove mode (see combined.h) could succeed.
 /// Falls back to restating the recorded failure reason otherwise.
-MetaExplanation DiagnoseFailure(const graph::HinGraph& g,
-                                const SearchSpace& space,
+///
+/// Generic over the graph backing (`HinGraph` or `CsrSnapshotView`);
+/// explicitly instantiated in meta.cc.
+template <typename G>
+MetaExplanation DiagnoseFailure(const G& g, const SearchSpace& space,
                                 const Explanation& failed,
                                 const EmigreOptions& opts);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "graph/csr_snapshot.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "ppr/reverse_push.h"
@@ -12,11 +13,10 @@ namespace emigre::explain {
 namespace {
 
 using graph::EdgeRef;
-using graph::HinGraph;
 using graph::NodeId;
 
-Status ValidateInputs(const HinGraph& g, NodeId user, NodeId rec,
-                      NodeId wni) {
+template <typename G>
+Status ValidateInputs(const G& g, NodeId user, NodeId rec, NodeId wni) {
   if (!g.IsValidNode(user)) {
     return Status::InvalidArgument(StrFormat("invalid user node %u", user));
   }
@@ -35,8 +35,8 @@ Status ValidateInputs(const HinGraph& g, NodeId user, NodeId rec,
 
 /// PPR(·, target), through the cache when one is provided. Cache entries
 /// are sparse; call sites index by arbitrary node id, so densify here.
-std::vector<double> PprTo(const HinGraph& g, NodeId target,
-                          const EmigreOptions& opts,
+template <typename G>
+std::vector<double> PprTo(const G& g, NodeId target, const EmigreOptions& opts,
                           ppr::ReversePushCache<graph::CsrGraph>* cache) {
   if (target == graph::kInvalidNode || !g.IsValidNode(target)) {
     return std::vector<double>(g.NumNodes(), 0.0);
@@ -49,8 +49,8 @@ std::vector<double> PprTo(const HinGraph& g, NodeId target,
 /// resolve through one `GetBatch` call, so a kFast engine computes the two
 /// reverse pushes in a single shared traversal; otherwise this degrades to
 /// the two independent `PprTo` fetches.
-void PprToPair(const HinGraph& g, NodeId wni, NodeId rec,
-               const EmigreOptions& opts,
+template <typename G>
+void PprToPair(const G& g, NodeId wni, NodeId rec, const EmigreOptions& opts,
                ppr::ReversePushCache<graph::CsrGraph>* cache,
                std::vector<double>* to_wni, std::vector<double>* to_rec) {
   bool wni_valid = wni != graph::kInvalidNode && g.IsValidNode(wni);
@@ -77,23 +77,25 @@ void SortByContributionDesc(std::vector<CandidateAction>* actions) {
 
 /// τ over the user's existing allowed edges: the Eq. 5 contributions summed,
 /// i.e. the estimated rec-over-WNI dominance routed through user actions.
-double ComputeTau(const HinGraph& g, NodeId user,
+template <typename G>
+double ComputeTau(const G& g, NodeId user,
                   const std::vector<double>& ppr_to_rec,
                   const std::vector<double>& ppr_to_wni,
                   const EmigreOptions& opts) {
   double tau = 0.0;
-  for (const graph::Edge& e : g.OutEdges(user)) {
-    if (e.node == user || !opts.IsAllowedEdgeType(e.type)) continue;
-    tau += e.weight * (ppr_to_rec[e.node] - ppr_to_wni[e.node]);
-  }
+  g.ForEachOutEdge(user, [&](NodeId dst, graph::EdgeTypeId type, double w) {
+    if (dst == user || !opts.IsAllowedEdgeType(type)) return;
+    tau += w * (ppr_to_rec[dst] - ppr_to_wni[dst]);
+  });
   return tau;
 }
 
 }  // namespace
 
+template <typename G>
 Result<SearchSpace> BuildRemoveSearchSpace(
-    const HinGraph& g, NodeId user, NodeId rec, NodeId wni,
-    const EmigreOptions& opts, ppr::ReversePushCache<graph::CsrGraph>* cache) {
+    const G& g, NodeId user, NodeId rec, NodeId wni, const EmigreOptions& opts,
+    ppr::ReversePushCache<graph::CsrGraph>* cache) {
   EMIGRE_SPAN("search_space");
   EMIGRE_RETURN_IF_ERROR(ValidateInputs(g, user, rec, wni));
 
@@ -106,15 +108,14 @@ Result<SearchSpace> BuildRemoveSearchSpace(
   // (empty initial recommendation list), in which case its vector is zero.
   PprToPair(g, wni, rec, opts, cache, &space.ppr_to_wni, &space.ppr_to_rec);
 
-  for (const graph::Edge& e : g.OutEdges(user)) {
-    if (e.node == user || !opts.IsAllowedEdgeType(e.type)) continue;
+  g.ForEachOutEdge(user, [&](NodeId dst, graph::EdgeTypeId type, double w) {
+    if (dst == user || !opts.IsAllowedEdgeType(type)) return;
     double contribution =
-        e.weight *
-        (space.ppr_to_rec[e.node] - space.ppr_to_wni[e.node]);  // Eq. 5
+        w * (space.ppr_to_rec[dst] - space.ppr_to_wni[dst]);  // Eq. 5
     space.actions.push_back(
-        CandidateAction{EdgeRef{user, e.node, e.type}, contribution});
+        CandidateAction{EdgeRef{user, dst, type}, contribution});
     space.tau += contribution;
-  }
+  });
   SortByContributionDesc(&space.actions);
   EMIGRE_COUNTER("explain.search_space.builds").Increment();
   EMIGRE_COUNTER("explain.search_space.candidates")
@@ -122,9 +123,10 @@ Result<SearchSpace> BuildRemoveSearchSpace(
   return space;
 }
 
+template <typename G>
 Result<SearchSpace> BuildAddSearchSpace(
-    const HinGraph& g, NodeId user, NodeId rec, NodeId wni,
-    const EmigreOptions& opts, ppr::ReversePushCache<graph::CsrGraph>* cache) {
+    const G& g, NodeId user, NodeId rec, NodeId wni, const EmigreOptions& opts,
+    ppr::ReversePushCache<graph::CsrGraph>* cache) {
   EMIGRE_SPAN("search_space");
   EMIGRE_RETURN_IF_ERROR(ValidateInputs(g, user, rec, wni));
   if (opts.add_edge_type == graph::kInvalidEdgeType) {
@@ -166,5 +168,20 @@ Result<SearchSpace> BuildAddSearchSpace(
       .Increment(space.actions.size());
   return space;
 }
+
+// Explicit instantiations: the classic in-memory graph and the mmap-backed
+// snapshot view.
+template Result<SearchSpace> BuildRemoveSearchSpace<graph::HinGraph>(
+    const graph::HinGraph&, NodeId, NodeId, NodeId, const EmigreOptions&,
+    ppr::ReversePushCache<graph::CsrGraph>*);
+template Result<SearchSpace> BuildAddSearchSpace<graph::HinGraph>(
+    const graph::HinGraph&, NodeId, NodeId, NodeId, const EmigreOptions&,
+    ppr::ReversePushCache<graph::CsrGraph>*);
+template Result<SearchSpace> BuildRemoveSearchSpace<graph::CsrSnapshotView>(
+    const graph::CsrSnapshotView&, NodeId, NodeId, NodeId,
+    const EmigreOptions&, ppr::ReversePushCache<graph::CsrGraph>*);
+template Result<SearchSpace> BuildAddSearchSpace<graph::CsrSnapshotView>(
+    const graph::CsrSnapshotView&, NodeId, NodeId, NodeId,
+    const EmigreOptions&, ppr::ReversePushCache<graph::CsrGraph>*);
 
 }  // namespace emigre::explain

@@ -53,9 +53,13 @@ struct SearchSpace {
 ///   contribution_rmv(n_i) = W(u, n_i) · (PPR(n_i, rec) − PPR(n_i, WNI)),
 /// (Eq. 5) and returns them sorted by descending contribution, together
 /// with τ = Σ contributions.
+///
+/// Generic over the base graph `G` (`HinGraph` or an mmap-backed
+/// `CsrSnapshotView`); explicitly instantiated in search_space.cc.
+template <typename G>
 [[nodiscard]] Result<SearchSpace> BuildRemoveSearchSpace(
-    const graph::HinGraph& g, graph::NodeId user, graph::NodeId rec,
-    graph::NodeId wni, const EmigreOptions& opts,
+    const G& g, graph::NodeId user, graph::NodeId rec, graph::NodeId wni,
+    const EmigreOptions& opts,
     ppr::ReversePushCache<graph::CsrGraph>* cache = nullptr);
 
 /// \brief Algorithm 2: Add-mode search space.
@@ -66,9 +70,10 @@ struct SearchSpace {
 ///   contribution_add(n_i) = PPR(n_i, WNI) − PPR(n_i, rec)          (Eq. 6).
 /// τ is computed over the user's *existing* edges exactly as in Algorithm 1
 /// (the initial rec-vs-WNI gap that additions must overcome).
+template <typename G>
 [[nodiscard]] Result<SearchSpace> BuildAddSearchSpace(
-    const graph::HinGraph& g, graph::NodeId user, graph::NodeId rec,
-    graph::NodeId wni, const EmigreOptions& opts,
+    const G& g, graph::NodeId user, graph::NodeId rec, graph::NodeId wni,
+    const EmigreOptions& opts,
     ppr::ReversePushCache<graph::CsrGraph>* cache = nullptr);
 
 }  // namespace emigre::explain

@@ -1,10 +1,5 @@
 #include "explain/tester.h"
 
-#include "obs/metrics.h"
-#include "obs/trace.h"
-#include "recsys/recommender.h"
-#include "util/timer.h"
-
 namespace emigre::explain {
 
 TesterInterface::BatchResult TesterInterface::TestBatch(
@@ -31,91 +26,6 @@ TesterInterface::BatchResult TesterInterface::TestBatch(
     }
   }
   return result;
-}
-
-void ExplanationTester::EnsureKernelState() {
-  if (overlay_ != nullptr) return;
-  if (csr_ == nullptr) {
-    owned_csr_ = std::make_unique<graph::CsrGraph>(*base_);
-    csr_ = owned_csr_.get();
-  }
-  overlay_ = std::make_unique<graph::CsrOverlay>(*csr_);
-}
-
-bool ExplanationTester::RunOnce(const std::vector<ModedEdit>& edits,
-                                graph::NodeId* new_rec) {
-  EMIGRE_SPAN("test.exact");
-  EMIGRE_COUNTER("explain.tests.exact").Increment();
-  ++num_tests_;
-  try {
-    // All engines apply the same edit semantics to an overlay and re-run
-    // the same recommender arithmetic; the workspace engines (kKernel,
-    // kFast) differ only in state reuse (CSR base arrays, overlay cleared
-    // instead of reconstructed, PPR scratch in the workspace), so with the
-    // default power-iteration scorer the verdicts are identical across all
-    // three engines.
-    if (opts_.rec.ppr.engine != ppr::PushEngine::kLegacy) {
-      EnsureKernelState();
-      overlay_->Clear();
-      for (const ModedEdit& e : edits) {
-        Status st;
-        if (e.mode == Mode::kAdd) {
-          st = overlay_->AddEdge(e.edge.src, e.edge.dst, e.edge.type,
-                                 opts_.add_edge_weight);
-        } else {
-          st = overlay_->RemoveEdge(e.edge.src, e.edge.dst, e.edge.type);
-        }
-        if (!st.ok()) {
-          // A malformed candidate (duplicate add, missing removal target)
-          // can never be a valid explanation.
-          if (new_rec != nullptr) *new_rec = graph::kInvalidNode;
-          return false;
-        }
-      }
-      graph::NodeId top = recsys::Recommend(*overlay_, user_, opts_.rec, &ws_);
-      if (new_rec != nullptr) *new_rec = top;
-      return top == wni_;
-    }
-
-    graph::GraphOverlay overlay(*base_);
-    for (const ModedEdit& e : edits) {
-      Status st;
-      if (e.mode == Mode::kAdd) {
-        st = overlay.AddEdge(e.edge.src, e.edge.dst, e.edge.type,
-                             opts_.add_edge_weight);
-      } else {
-        st = overlay.RemoveEdge(e.edge.src, e.edge.dst, e.edge.type);
-      }
-      if (!st.ok()) {
-        if (new_rec != nullptr) *new_rec = graph::kInvalidNode;
-        return false;
-      }
-    }
-    graph::NodeId top = recsys::Recommend(overlay, user_, opts_.rec);
-    if (new_rec != nullptr) *new_rec = top;
-    return top == wni_;
-  } catch (const DeadlineExceededError&) {
-    // The query deadline fired inside the counterfactual PPR: the candidate
-    // is unverifiable within budget, so it fails. The kernel overlay state
-    // self-heals (next TEST starts with Clear()); the search's own budget
-    // check exits with kBudgetExceeded right after.
-    EMIGRE_COUNTER("explain.tests.exact.deadline").Increment();
-    if (new_rec != nullptr) *new_rec = graph::kInvalidNode;
-    return false;
-  }
-}
-
-bool ExplanationTester::Test(const std::vector<graph::EdgeRef>& edits,
-                             Mode mode, graph::NodeId* new_rec) {
-  std::vector<ModedEdit> moded;
-  moded.reserve(edits.size());
-  for (const graph::EdgeRef& e : edits) moded.push_back(ModedEdit{e, mode});
-  return RunOnce(moded, new_rec);
-}
-
-bool ExplanationTester::TestMixed(const std::vector<ModedEdit>& edits,
-                                  graph::NodeId* new_rec) {
-  return RunOnce(edits, new_rec);
 }
 
 }  // namespace emigre::explain

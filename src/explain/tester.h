@@ -14,7 +14,11 @@
 #include "graph/hin_graph.h"
 #include "graph/overlay.h"
 #include "graph/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ppr/workspace.h"
+#include "recsys/recommender.h"
+#include "util/timer.h"
 
 namespace emigre::explain {
 
@@ -107,12 +111,18 @@ class TesterInterface {
       const BudgetFn& budget = nullptr);
 };
 
-/// \brief The exact TEST: re-runs the full recommender on a `GraphOverlay`.
+/// \brief The exact TEST: re-runs the full recommender on an overlay.
 ///
 /// This is the expensive but indispensable step whose necessity the paper
 /// demonstrates with the Exhaustive-direct baseline (§6.3: a 33% success-
 /// rate drop without it).
-class ExplanationTester : public TesterInterface {
+///
+/// Generic over the base graph `G`: the classic `HinGraph` (the
+/// `ExplanationTester` alias) or an mmap-backed `CsrSnapshotView` — the
+/// kernel engines only touch the shared CSR columns either way, and the
+/// legacy engine lays a `BasicGraphOverlay<G>` over the base directly.
+template <typename G>
+class ExplanationTesterT : public TesterInterface {
  public:
   /// The tester keeps references; `base` (and `csr`, when given) must
   /// outlive it. With `PprOptions::engine == kKernel` the counterfactual
@@ -121,17 +131,24 @@ class ExplanationTester : public TesterInterface {
   /// built lazily on first TEST — with the PPR scratch state held in a
   /// reusable `PushWorkspace`. Scores are identical either way; only the
   /// per-TEST allocation profile differs.
-  ExplanationTester(const graph::HinGraph& base, graph::NodeId user,
-                    graph::NodeId why_not_item, const EmigreOptions& opts,
-                    const graph::CsrGraph* csr = nullptr)
+  ExplanationTesterT(const G& base, graph::NodeId user,
+                     graph::NodeId why_not_item, const EmigreOptions& opts,
+                     const graph::CsrGraph* csr = nullptr)
       : base_(&base), csr_(csr), user_(user), wni_(why_not_item),
         opts_(opts) {}
 
   bool Test(const std::vector<graph::EdgeRef>& edits, Mode mode,
-            graph::NodeId* new_rec = nullptr) override;
+            graph::NodeId* new_rec = nullptr) override {
+    std::vector<ModedEdit> moded;
+    moded.reserve(edits.size());
+    for (const graph::EdgeRef& e : edits) moded.push_back(ModedEdit{e, mode});
+    return RunOnce(moded, new_rec);
+  }
 
   bool TestMixed(const std::vector<ModedEdit>& edits,
-                 graph::NodeId* new_rec = nullptr) override;
+                 graph::NodeId* new_rec = nullptr) override {
+    return RunOnce(edits, new_rec);
+  }
 
   size_t num_tests() const override { return num_tests_; }
   bool IsExact() const override { return true; }
@@ -145,9 +162,16 @@ class ExplanationTester : public TesterInterface {
   bool RunOnce(const std::vector<ModedEdit>& edits, graph::NodeId* new_rec);
 
   /// Builds the CSR snapshot + overlay on first kernel-engine TEST.
-  void EnsureKernelState();
+  void EnsureKernelState() {
+    if (overlay_ != nullptr) return;
+    if (csr_ == nullptr) {
+      owned_csr_ = std::make_unique<graph::CsrGraph>(*base_, 0);
+      csr_ = owned_csr_.get();
+    }
+    overlay_ = std::make_unique<graph::CsrOverlay>(*csr_);
+  }
 
-  const graph::HinGraph* base_;
+  const G* base_;
   const graph::CsrGraph* csr_;
   graph::NodeId user_;
   graph::NodeId wni_;
@@ -159,6 +183,73 @@ class ExplanationTester : public TesterInterface {
   std::unique_ptr<graph::CsrOverlay> overlay_;
   ppr::PushWorkspace ws_;
 };
+
+/// The classic exact tester over the in-memory graph.
+using ExplanationTester = ExplanationTesterT<graph::HinGraph>;
+
+template <typename G>
+bool ExplanationTesterT<G>::RunOnce(const std::vector<ModedEdit>& edits,
+                                    graph::NodeId* new_rec) {
+  EMIGRE_SPAN("test.exact");
+  EMIGRE_COUNTER("explain.tests.exact").Increment();
+  ++num_tests_;
+  try {
+    // All engines apply the same edit semantics to an overlay and re-run
+    // the same recommender arithmetic; the workspace engines (kKernel,
+    // kFast) differ only in state reuse (CSR base arrays, overlay cleared
+    // instead of reconstructed, PPR scratch in the workspace), so with the
+    // default power-iteration scorer the verdicts are identical across all
+    // three engines.
+    if (opts_.rec.ppr.engine != ppr::PushEngine::kLegacy) {
+      EnsureKernelState();
+      overlay_->Clear();
+      for (const ModedEdit& e : edits) {
+        Status st;
+        if (e.mode == Mode::kAdd) {
+          st = overlay_->AddEdge(e.edge.src, e.edge.dst, e.edge.type,
+                                 opts_.add_edge_weight);
+        } else {
+          st = overlay_->RemoveEdge(e.edge.src, e.edge.dst, e.edge.type);
+        }
+        if (!st.ok()) {
+          // A malformed candidate (duplicate add, missing removal target)
+          // can never be a valid explanation.
+          if (new_rec != nullptr) *new_rec = graph::kInvalidNode;
+          return false;
+        }
+      }
+      graph::NodeId top = recsys::Recommend(*overlay_, user_, opts_.rec, &ws_);
+      if (new_rec != nullptr) *new_rec = top;
+      return top == wni_;
+    }
+
+    graph::BasicGraphOverlay<G> overlay(*base_);
+    for (const ModedEdit& e : edits) {
+      Status st;
+      if (e.mode == Mode::kAdd) {
+        st = overlay.AddEdge(e.edge.src, e.edge.dst, e.edge.type,
+                             opts_.add_edge_weight);
+      } else {
+        st = overlay.RemoveEdge(e.edge.src, e.edge.dst, e.edge.type);
+      }
+      if (!st.ok()) {
+        if (new_rec != nullptr) *new_rec = graph::kInvalidNode;
+        return false;
+      }
+    }
+    graph::NodeId top = recsys::Recommend(overlay, user_, opts_.rec);
+    if (new_rec != nullptr) *new_rec = top;
+    return top == wni_;
+  } catch (const DeadlineExceededError&) {
+    // The query deadline fired inside the counterfactual PPR: the candidate
+    // is unverifiable within budget, so it fails. The kernel overlay state
+    // self-heals (next TEST starts with Clear()); the search's own budget
+    // check exits with kBudgetExceeded right after.
+    EMIGRE_COUNTER("explain.tests.exact.deadline").Increment();
+    if (new_rec != nullptr) *new_rec = graph::kInvalidNode;
+    return false;
+  }
+}
 
 }  // namespace emigre::explain
 

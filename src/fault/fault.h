@@ -366,7 +366,9 @@ inline constexpr bool kFaultInjectionEnabled = false;
 /// sites.
 inline constexpr const char* kFaultSites[] = {
     "data.load_dataset",       ///< CSV dataset loader
+    "data.bin.read",           ///< binary dataset reader (binfmt)
     "graph.load",              ///< graph file reader
+    "graph.snapshot.map",      ///< CSR snapshot mapper (csr_snapshot)
     "ppr.flp.kernel",          ///< forward-push kernel loop
     "ppr.flp.legacy",          ///< legacy forward push loop
     "ppr.flp.fast",            ///< priority-scheduled forward push (kFast)

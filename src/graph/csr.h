@@ -1,6 +1,8 @@
 #ifndef EMIGRE_GRAPH_CSR_H_
 #define EMIGRE_GRAPH_CSR_H_
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/hin_graph.h"
@@ -14,8 +16,33 @@ namespace emigre::graph {
 /// `HinGraph`'s vector-of-vectors layout wastes cache. `CsrGraph` packs
 /// out- and in-adjacency into flat arrays. Build once, reuse for any number
 /// of source nodes.
+///
+/// Storage is pointer-based: every accessor reads through the `Columns`
+/// view, which either points into vectors this object owns (built from any
+/// GraphLike via the constructors) or aliases externally-owned memory — an
+/// mmap'd CSR snapshot (csr_snapshot.h) pinned alive by a keepalive handle.
+/// The push kernels and overlay layers are agnostic to the backing.
 class CsrGraph {
  public:
+  /// The raw column view. Offsets are 64-bit so on-disk snapshots and
+  /// in-memory graphs share one layout on any host.
+  struct Columns {
+    uint64_t num_nodes = 0;
+    uint64_t num_edges = 0;
+    const NodeTypeId* node_type = nullptr;  ///< [num_nodes]
+    const double* out_weight = nullptr;     ///< [num_nodes]
+    const uint64_t* out_offsets = nullptr;  ///< [num_nodes + 1]
+    const NodeId* out_dst = nullptr;        ///< [num_edges]
+    const EdgeTypeId* out_type = nullptr;   ///< [num_edges]
+    const double* out_w = nullptr;          ///< [num_edges]
+    const uint64_t* in_offsets = nullptr;   ///< [num_nodes + 1]
+    const NodeId* in_src = nullptr;         ///< [num_edges]
+    const EdgeTypeId* in_type = nullptr;    ///< [num_edges]
+    const double* in_w = nullptr;           ///< [num_edges]
+  };
+
+  CsrGraph() = default;
+
   /// Snapshots `g` (including overlays, via the generic constructor below).
   explicit CsrGraph(const HinGraph& g) { BuildFrom(g); }
 
@@ -25,23 +52,66 @@ class CsrGraph {
     BuildFrom(g);
   }
 
-  size_t NumNodes() const { return num_nodes_; }
-  size_t NumEdges() const { return out_dst_.size(); }
+  /// Wraps externally-owned columns without copying. `keepalive` pins the
+  /// backing memory (e.g. the mapped snapshot blob) for this object's
+  /// lifetime; copies share it.
+  static CsrGraph Alias(const Columns& cols,
+                        std::shared_ptr<const void> keepalive) {
+    CsrGraph g;
+    g.cols_ = cols;
+    g.keepalive_ = std::move(keepalive);
+    return g;
+  }
+
+  // Copying an owned graph deep-copies its vectors (and re-points the
+  // view); copying an aliased graph shares the backing. Moves transfer the
+  // vector buffers, so the column pointers stay valid either way.
+  CsrGraph(const CsrGraph& other) { *this = other; }
+  CsrGraph& operator=(const CsrGraph& other) {
+    if (this == &other) return *this;
+    keepalive_ = other.keepalive_;
+    node_type_ = other.node_type_;
+    out_weight_ = other.out_weight_;
+    out_offsets_ = other.out_offsets_;
+    out_dst_ = other.out_dst_;
+    out_type_ = other.out_type_;
+    out_w_ = other.out_w_;
+    in_offsets_ = other.in_offsets_;
+    in_src_ = other.in_src_;
+    in_type_ = other.in_type_;
+    in_w_ = other.in_w_;
+    if (other.owned_) {
+      owned_ = true;
+      cols_.num_nodes = other.cols_.num_nodes;
+      cols_.num_edges = other.cols_.num_edges;
+      PointToOwned();
+    } else {
+      owned_ = false;
+      cols_ = other.cols_;
+    }
+    return *this;
+  }
+  CsrGraph(CsrGraph&&) = default;
+  CsrGraph& operator=(CsrGraph&&) = default;
+
+  size_t NumNodes() const { return cols_.num_nodes; }
+  size_t NumEdges() const { return cols_.num_edges; }
 
   size_t OutDegree(NodeId n) const {
-    return out_offsets_[n + 1] - out_offsets_[n];
+    return cols_.out_offsets[n + 1] - cols_.out_offsets[n];
   }
   size_t InDegree(NodeId n) const {
-    return in_offsets_[n + 1] - in_offsets_[n];
+    return cols_.in_offsets[n + 1] - cols_.in_offsets[n];
   }
-  double OutWeight(NodeId n) const { return out_weight_[n]; }
-  NodeTypeId NodeType(NodeId n) const { return node_type_[n]; }
-  bool IsValidNode(NodeId n) const { return n < num_nodes_; }
+  double OutWeight(NodeId n) const { return cols_.out_weight[n]; }
+  NodeTypeId NodeType(NodeId n) const { return cols_.node_type[n]; }
+  bool IsValidNode(NodeId n) const { return n < cols_.num_nodes; }
 
   /// True when some (src, dst, *) edge exists. O(out-degree).
   bool HasEdge(NodeId src, NodeId dst) const {
-    for (size_t i = out_offsets_[src]; i < out_offsets_[src + 1]; ++i) {
-      if (out_dst_[i] == dst) return true;
+    for (uint64_t i = cols_.out_offsets[src]; i < cols_.out_offsets[src + 1];
+         ++i) {
+      if (cols_.out_dst[i] == dst) return true;
     }
     return false;
   }
@@ -53,37 +123,44 @@ class CsrGraph {
   /// Weight of the (src, dst, type) edge, or 0.0 when absent (mirrors
   /// `HinGraph::EdgeWeight`). O(out-degree).
   double EdgeWeight(NodeId src, NodeId dst, EdgeTypeId type) const {
-    for (size_t i = out_offsets_[src]; i < out_offsets_[src + 1]; ++i) {
-      if (out_dst_[i] == dst && out_type_[i] == type) return out_w_[i];
+    for (uint64_t i = cols_.out_offsets[src]; i < cols_.out_offsets[src + 1];
+         ++i) {
+      if (cols_.out_dst[i] == dst && cols_.out_type[i] == type) {
+        return cols_.out_w[i];
+      }
     }
     return 0.0;
   }
 
   template <typename F>
   void ForEachOutEdge(NodeId n, F&& fn) const {
-    for (size_t i = out_offsets_[n]; i < out_offsets_[n + 1]; ++i) {
-      fn(out_dst_[i], out_type_[i], out_w_[i]);
+    for (uint64_t i = cols_.out_offsets[n]; i < cols_.out_offsets[n + 1];
+         ++i) {
+      fn(cols_.out_dst[i], cols_.out_type[i], cols_.out_w[i]);
     }
   }
 
   template <typename F>
   void ForEachInEdge(NodeId n, F&& fn) const {
-    for (size_t i = in_offsets_[n]; i < in_offsets_[n + 1]; ++i) {
-      fn(in_src_[i], in_type_[i], in_w_[i]);
+    for (uint64_t i = cols_.in_offsets[n]; i < cols_.in_offsets[n + 1]; ++i) {
+      fn(cols_.in_src[i], cols_.in_type[i], cols_.in_w[i]);
     }
   }
+
+  /// The raw view — the snapshot writer serializes exactly these columns.
+  const Columns& columns() const { return cols_; }
 
  private:
   template <typename G>
   void BuildFrom(const G& g) {
-    num_nodes_ = g.NumNodes();
-    node_type_.resize(num_nodes_);
-    out_weight_.resize(num_nodes_);
-    out_offsets_.assign(num_nodes_ + 1, 0);
-    in_offsets_.assign(num_nodes_ + 1, 0);
+    const size_t num_nodes = g.NumNodes();
+    node_type_.resize(num_nodes);
+    out_weight_.resize(num_nodes);
+    out_offsets_.assign(num_nodes + 1, 0);
+    in_offsets_.assign(num_nodes + 1, 0);
 
     size_t num_edges = 0;
-    for (NodeId n = 0; n < num_nodes_; ++n) {
+    for (NodeId n = 0; n < num_nodes; ++n) {
       node_type_[n] = g.NodeType(n);
       out_weight_[n] = g.OutWeight(n);
       size_t out_deg = 0;
@@ -101,8 +178,8 @@ class CsrGraph {
     in_type_.resize(num_edges);
     in_w_.resize(num_edges);
 
-    for (NodeId n = 0; n < num_nodes_; ++n) {
-      size_t pos = out_offsets_[n];
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      uint64_t pos = out_offsets_[n];
       g.ForEachOutEdge(n, [&](NodeId dst, EdgeTypeId t, double w) {
         out_dst_[pos] = dst;
         out_type_[pos] = t;
@@ -117,16 +194,38 @@ class CsrGraph {
         ++pos;
       });
     }
+    owned_ = true;
+    cols_.num_nodes = num_nodes;
+    cols_.num_edges = num_edges;
+    PointToOwned();
   }
 
-  size_t num_nodes_ = 0;
+  void PointToOwned() {
+    cols_.node_type = node_type_.data();
+    cols_.out_weight = out_weight_.data();
+    cols_.out_offsets = out_offsets_.data();
+    cols_.out_dst = out_dst_.data();
+    cols_.out_type = out_type_.data();
+    cols_.out_w = out_w_.data();
+    cols_.in_offsets = in_offsets_.data();
+    cols_.in_src = in_src_.data();
+    cols_.in_type = in_type_.data();
+    cols_.in_w = in_w_.data();
+  }
+
+  Columns cols_;
+  bool owned_ = false;
+  /// Pins externally-owned column memory (aliased snapshots).
+  std::shared_ptr<const void> keepalive_;
+
+  // Owned storage (empty when aliasing external memory).
   std::vector<NodeTypeId> node_type_;
   std::vector<double> out_weight_;
-  std::vector<size_t> out_offsets_;
+  std::vector<uint64_t> out_offsets_;
   std::vector<NodeId> out_dst_;
   std::vector<EdgeTypeId> out_type_;
   std::vector<double> out_w_;
-  std::vector<size_t> in_offsets_;
+  std::vector<uint64_t> in_offsets_;
   std::vector<NodeId> in_src_;
   std::vector<EdgeTypeId> in_type_;
   std::vector<double> in_w_;

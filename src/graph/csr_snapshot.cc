@@ -1,0 +1,580 @@
+#include "graph/csr_snapshot.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "fault/fault.h"
+#include "util/crc32.h"
+#include "util/string_util.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define EMIGRE_SNAPSHOT_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace emigre::graph {
+
+namespace {
+
+uint64_t AlignUp(uint64_t v) {
+  return (v + kSnapshotAlign - 1) / kSnapshotAlign * kSnapshotAlign;
+}
+
+/// Encodes a name table: u32 count, then per name u32 length + bytes.
+std::string EncodeNamePool(const std::vector<std::string>& names) {
+  std::string out;
+  auto put_u32 = [&out](uint32_t v) {
+    char buf[4];
+    std::memcpy(buf, &v, 4);
+    out.append(buf, 4);
+  };
+  put_u32(static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    put_u32(static_cast<uint32_t>(name.size()));
+    out.append(name);
+  }
+  return out;
+}
+
+/// Decodes a name table written by `EncodeNamePool`; bounds-checked against
+/// the section length.
+Result<std::vector<std::string>> DecodeNamePool(const uint8_t* data,
+                                                uint64_t bytes,
+                                                std::string_view what) {
+  auto corrupt = [&what]() {
+    return Status::InvalidArgument("snapshot " + std::string(what) +
+                                   " table is corrupt");
+  };
+  uint64_t pos = 0;
+  auto get_u32 = [&](uint32_t* v) {
+    if (pos + 4 > bytes) return false;
+    std::memcpy(v, data + pos, 4);
+    pos += 4;
+    return true;
+  };
+  uint32_t count = 0;
+  if (!get_u32(&count)) return corrupt();
+  if (count > (1u << 16)) return corrupt();
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t len = 0;
+    if (!get_u32(&len)) return corrupt();
+    if (pos + len > bytes) return corrupt();
+    names.emplace_back(reinterpret_cast<const char*>(data + pos), len);
+    pos += len;
+  }
+  if (pos != bytes) return corrupt();
+  return names;
+}
+
+struct SectionPlan {
+  SnapshotSectionId id;
+  uint64_t bytes = 0;
+  uint64_t offset = 0;
+  uint32_t crc = 0;
+};
+
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(const std::string& path)
+      : path_(path), out_(path, std::ios::binary | std::ios::trunc) {}
+
+  [[nodiscard]] Status Write(const CsrGraph::Columns& c,
+                             const SnapshotMeta& meta) {
+    if (!out_) return Status::IOError("cannot open " + path_ + " for writing");
+    const uint64_t n = c.num_nodes;
+    const uint64_t e = c.num_edges;
+    if (n > 0 && (c.node_type == nullptr || c.out_offsets == nullptr ||
+                  c.in_offsets == nullptr)) {
+      return Status::InvalidArgument("CsrGraph has no column storage");
+    }
+
+    // Pass 1 over labels: size the pool.
+    std::vector<uint64_t> label_offsets;
+    if (meta.label) {
+      label_offsets.assign(n + 1, 0);
+      for (uint64_t i = 0; i < n; ++i) {
+        label_offsets[i + 1] =
+            label_offsets[i] + meta.label(static_cast<NodeId>(i)).size();
+      }
+    }
+    const std::string node_names = EncodeNamePool(meta.node_type_names);
+    const std::string edge_names = EncodeNamePool(meta.edge_type_names);
+
+    // Lay out the sections (ids ascending, payloads page-aligned).
+    static const uint64_t kZeroOffset = 0;
+    const uint64_t* out_offsets = c.out_offsets ? c.out_offsets : &kZeroOffset;
+    const uint64_t* in_offsets = c.in_offsets ? c.in_offsets : &kZeroOffset;
+    plan_ = {
+        {SnapshotSectionId::kNodeType, n * sizeof(NodeTypeId)},
+        {SnapshotSectionId::kOutWeight, n * sizeof(double)},
+        {SnapshotSectionId::kOutOffsets, (n + 1) * sizeof(uint64_t)},
+        {SnapshotSectionId::kOutDst, e * sizeof(NodeId)},
+        {SnapshotSectionId::kOutType, e * sizeof(EdgeTypeId)},
+        {SnapshotSectionId::kOutW, e * sizeof(double)},
+        {SnapshotSectionId::kInOffsets, (n + 1) * sizeof(uint64_t)},
+        {SnapshotSectionId::kInSrc, e * sizeof(NodeId)},
+        {SnapshotSectionId::kInType, e * sizeof(EdgeTypeId)},
+        {SnapshotSectionId::kInW, e * sizeof(double)},
+        {SnapshotSectionId::kNodeTypeNames, node_names.size()},
+        {SnapshotSectionId::kEdgeTypeNames, edge_names.size()},
+    };
+    if (meta.label) {
+      plan_.push_back(
+          {SnapshotSectionId::kLabelOffsets, (n + 1) * sizeof(uint64_t)});
+      plan_.push_back({SnapshotSectionId::kLabelBytes, label_offsets[n]});
+    }
+    uint64_t pos = sizeof(SnapshotHeaderOnDisk) +
+                   plan_.size() * sizeof(SnapshotSectionOnDisk);
+    for (SectionPlan& p : plan_) {
+      p.offset = AlignUp(pos);
+      pos = p.offset + p.bytes;
+    }
+
+    // Placeholder header + table; both are patched after the payloads.
+    const std::vector<char> zeros(
+        sizeof(SnapshotHeaderOnDisk) +
+            plan_.size() * sizeof(SnapshotSectionOnDisk),
+        0);
+    out_.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
+    written_ = zeros.size();
+
+    size_t s = 0;
+    EMIGRE_RETURN_IF_ERROR(WriteArray(&plan_[s++], c.node_type));
+    EMIGRE_RETURN_IF_ERROR(WriteArray(&plan_[s++], c.out_weight));
+    EMIGRE_RETURN_IF_ERROR(WriteArray(&plan_[s++], out_offsets));
+    EMIGRE_RETURN_IF_ERROR(WriteArray(&plan_[s++], c.out_dst));
+    EMIGRE_RETURN_IF_ERROR(WriteArray(&plan_[s++], c.out_type));
+    EMIGRE_RETURN_IF_ERROR(WriteArray(&plan_[s++], c.out_w));
+    EMIGRE_RETURN_IF_ERROR(WriteArray(&plan_[s++], in_offsets));
+    EMIGRE_RETURN_IF_ERROR(WriteArray(&plan_[s++], c.in_src));
+    EMIGRE_RETURN_IF_ERROR(WriteArray(&plan_[s++], c.in_type));
+    EMIGRE_RETURN_IF_ERROR(WriteArray(&plan_[s++], c.in_w));
+    EMIGRE_RETURN_IF_ERROR(WriteArray(&plan_[s++], node_names.data()));
+    EMIGRE_RETURN_IF_ERROR(WriteArray(&plan_[s++], edge_names.data()));
+    if (meta.label) {
+      EMIGRE_RETURN_IF_ERROR(WriteArray(&plan_[s++], label_offsets.data()));
+      // Pass 2 over labels: stream the pool.
+      SectionPlan* p = &plan_[s++];
+      EMIGRE_RETURN_IF_ERROR(PadTo(p->offset));
+      Crc32 crc;
+      for (uint64_t i = 0; i < n; ++i) {
+        const std::string label = meta.label(static_cast<NodeId>(i));
+        crc.Update(label.data(), label.size());
+        out_.write(label.data(), static_cast<std::streamsize>(label.size()));
+        written_ += label.size();
+      }
+      p->crc = crc.value();
+      if (!out_) return WriteFailed();
+    }
+
+    // Patch the section table, then the header.
+    std::string table;
+    table.reserve(plan_.size() * sizeof(SnapshotSectionOnDisk));
+    for (const SectionPlan& p : plan_) {
+      SnapshotSectionOnDisk entry{};
+      entry.id = static_cast<uint32_t>(p.id);
+      entry.offset = p.offset;
+      entry.bytes = p.bytes;
+      entry.payload_crc = p.crc;
+      table.append(reinterpret_cast<const char*>(&entry), sizeof(entry));
+    }
+    SnapshotHeaderOnDisk h{};
+    std::memcpy(h.magic, kSnapshotMagic, sizeof(kSnapshotMagic));
+    h.version = kSnapshotVersion;
+    h.endian = kSnapshotEndianTag;
+    h.num_nodes = n;
+    h.num_edges = e;
+    h.num_node_types = static_cast<uint32_t>(meta.node_type_names.size());
+    h.num_edge_types = static_cast<uint32_t>(meta.edge_type_names.size());
+    h.section_count = static_cast<uint32_t>(plan_.size());
+    h.flags = meta.label ? kSnapshotFlagLabels : 0;
+    h.table_crc = Crc32Of(table.data(), table.size());
+    h.header_crc =
+        Crc32Of(&h, offsetof(SnapshotHeaderOnDisk, header_crc));
+    out_.seekp(0);
+    out_.write(reinterpret_cast<const char*>(&h), sizeof(h));
+    out_.write(table.data(), static_cast<std::streamsize>(table.size()));
+    out_.flush();
+    if (!out_) return WriteFailed();
+    return Status::OK();
+  }
+
+ private:
+  [[nodiscard]] Status WriteFailed() const {
+    return Status::IOError("write failed: " + path_);
+  }
+
+  [[nodiscard]] Status PadTo(uint64_t offset) {
+    static const char kPad[kSnapshotAlign] = {};
+    while (written_ < offset) {
+      const uint64_t chunk = std::min<uint64_t>(offset - written_,
+                                                sizeof(kPad));
+      out_.write(kPad, static_cast<std::streamsize>(chunk));
+      written_ += chunk;
+    }
+    if (!out_) return WriteFailed();
+    return Status::OK();
+  }
+
+  /// Pads to the section offset, then writes `bytes` from `data` and
+  /// records the payload CRC.
+  [[nodiscard]] Status WriteArray(SectionPlan* p, const void* data) {
+    EMIGRE_RETURN_IF_ERROR(PadTo(p->offset));
+    if (p->bytes > 0) {
+      p->crc = Crc32Of(data, p->bytes);
+      out_.write(reinterpret_cast<const char*>(data),
+                 static_cast<std::streamsize>(p->bytes));
+      written_ += p->bytes;
+    }
+    if (!out_) return WriteFailed();
+    return Status::OK();
+  }
+
+  std::string path_;
+  std::ofstream out_;
+  uint64_t written_ = 0;
+  std::vector<SectionPlan> plan_;
+};
+
+}  // namespace
+
+bool SniffCsrSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[sizeof(kSnapshotMagic)];
+  in.read(magic, sizeof(magic));
+  return in.gcount() == sizeof(magic) &&
+         std::memcmp(magic, kSnapshotMagic, sizeof(magic)) == 0;
+}
+
+Status WriteCsrSnapshot(const CsrGraph& csr, const SnapshotMeta& meta,
+                        const std::string& path) {
+  SnapshotWriter writer(path);
+  return writer.Write(csr.columns(), meta);
+}
+
+Status WriteGraphSnapshot(const HinGraph& g, const std::string& path) {
+  SnapshotMeta meta;
+  meta.node_type_names.reserve(g.NumNodeTypes());
+  for (size_t t = 0; t < g.NumNodeTypes(); ++t) {
+    meta.node_type_names.push_back(g.NodeTypeName(static_cast<NodeTypeId>(t)));
+  }
+  meta.edge_type_names.reserve(g.NumEdgeTypes());
+  for (size_t t = 0; t < g.NumEdgeTypes(); ++t) {
+    meta.edge_type_names.push_back(g.EdgeTypeName(static_cast<EdgeTypeId>(t)));
+  }
+  meta.label = [&g](NodeId n) { return g.Label(n); };
+  const CsrGraph csr(g);
+  return WriteCsrSnapshot(csr, meta, path);
+}
+
+// --- Loader ------------------------------------------------------------------
+
+MappedBlob::~MappedBlob() {
+#ifdef EMIGRE_SNAPSHOT_HAS_MMAP
+  if (mmap_backed_ && data_ != nullptr) {
+    ::munmap(data_, size_);
+  }
+#endif
+}
+
+Result<std::shared_ptr<MappedBlob>> MappedBlob::Open(const std::string& path,
+                                                     SnapshotMapMode mode) {
+  auto blob = std::make_shared<MappedBlob>();
+#ifdef EMIGRE_SNAPSHOT_HAS_MMAP
+  if (mode != SnapshotMapMode::kRead) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Status::IOError("cannot open " + path);
+    struct stat st {};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return Status::IOError("cannot stat " + path);
+    }
+    if (st.st_size <= 0) {
+      ::close(fd);
+      return Status::IOError("snapshot file is empty: " + path);
+    }
+    void* p = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                     MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (p != MAP_FAILED) {
+      blob->data_ = static_cast<uint8_t*>(p);
+      blob->size_ = static_cast<uint64_t>(st.st_size);
+      blob->mmap_backed_ = true;
+      return blob;
+    }
+    if (mode == SnapshotMapMode::kMmap) {
+      return Status::IOError("mmap failed for " + path);
+    }
+  }
+#else
+  if (mode == SnapshotMapMode::kMmap) {
+    return Status::Unimplemented("mmap is unavailable on this host");
+  }
+#endif
+  // Buffered-read fallback: one copy of the file on the heap.
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size <= 0) return Status::IOError("snapshot file is empty: " + path);
+  in.seekg(0);
+  blob->heap_ = std::make_unique<uint8_t[]>(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(blob->heap_.get()), size);
+  if (in.gcount() != size) {
+    return Status::IOError("short read on " + path);
+  }
+  blob->data_ = blob->heap_.get();
+  blob->size_ = static_cast<uint64_t>(size);
+  return blob;
+}
+
+namespace {
+
+/// Parsed section table indexed by id, bounds-checked against the file.
+class SectionIndex {
+ public:
+  [[nodiscard]] static Result<SectionIndex> Parse(
+      const uint8_t* base, uint64_t file_size,
+      const SnapshotHeaderOnDisk& h) {
+    SectionIndex idx;
+    idx.base_ = base;
+    uint64_t pos = sizeof(SnapshotHeaderOnDisk);
+    for (uint32_t i = 0; i < h.section_count; ++i) {
+      SnapshotSectionOnDisk entry;
+      std::memcpy(&entry, base + pos, sizeof(entry));
+      pos += sizeof(entry);
+      if (entry.offset % kSnapshotAlign != 0) {
+        return Status::InvalidArgument(
+            "snapshot section " + std::to_string(entry.id) +
+            " is misaligned");
+      }
+      if (entry.offset > file_size || entry.bytes > file_size - entry.offset) {
+        return Status::IOError("truncated snapshot: section " +
+                               std::to_string(entry.id) +
+                               " extends past end of file");
+      }
+      if (!idx.by_id_.emplace(entry.id, entry).second) {
+        return Status::InvalidArgument("snapshot has duplicate section " +
+                                       std::to_string(entry.id));
+      }
+    }
+    return idx;
+  }
+
+  /// The payload pointer for `id`, requiring an exact payload length.
+  [[nodiscard]] Result<const uint8_t*> Require(SnapshotSectionId id,
+                                               uint64_t expected_bytes) const {
+    auto it = by_id_.find(static_cast<uint32_t>(id));
+    if (it == by_id_.end()) {
+      return Status::InvalidArgument(
+          "snapshot is missing section " +
+          std::to_string(static_cast<uint32_t>(id)));
+    }
+    if (it->second.bytes != expected_bytes) {
+      return Status::InvalidArgument(
+          "snapshot section " + std::to_string(static_cast<uint32_t>(id)) +
+          " has " + std::to_string(it->second.bytes) + " bytes, expected " +
+          std::to_string(expected_bytes));
+    }
+    return base_ + it->second.offset;
+  }
+
+  [[nodiscard]] Result<SnapshotSectionOnDisk> Entry(
+      SnapshotSectionId id) const {
+    auto it = by_id_.find(static_cast<uint32_t>(id));
+    if (it == by_id_.end()) {
+      return Status::InvalidArgument(
+          "snapshot is missing section " +
+          std::to_string(static_cast<uint32_t>(id)));
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] Status VerifyChecksums() const {
+    for (const auto& [id, entry] : by_id_) {
+      if (Crc32Of(base_ + entry.offset, entry.bytes) != entry.payload_crc) {
+        return Status::InvalidArgument("snapshot section " +
+                                       std::to_string(id) +
+                                       " payload checksum mismatch");
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  const uint8_t* base_ = nullptr;
+  std::map<uint32_t, SnapshotSectionOnDisk> by_id_;
+};
+
+template <typename T>
+const T* AsArray(const uint8_t* p) {
+  return reinterpret_cast<const T*>(p);
+}
+
+}  // namespace
+
+Result<CsrSnapshotView> CsrSnapshotView::Load(const std::string& path,
+                                              const SnapshotLoadOptions& opts) {
+  EMIGRE_FAULT_POINT_STATUS("graph.snapshot.map");
+  EMIGRE_ASSIGN_OR_RETURN(std::shared_ptr<MappedBlob> blob,
+                          MappedBlob::Open(path, opts.mode));
+  const uint8_t* base = blob->data();
+  const uint64_t file_size = blob->size();
+  if (file_size < sizeof(SnapshotHeaderOnDisk)) {
+    return Status::IOError("truncated snapshot header: " + path);
+  }
+  SnapshotHeaderOnDisk h;
+  std::memcpy(&h, base, sizeof(h));
+  if (std::memcmp(h.magic, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::InvalidArgument("not an emigre.csr snapshot (bad magic): " +
+                                   path);
+  }
+  if (h.version != kSnapshotVersion) {
+    return Status::InvalidArgument("unsupported snapshot version " +
+                                   std::to_string(h.version));
+  }
+  if (h.endian != kSnapshotEndianTag) {
+    return Status::InvalidArgument(
+        "snapshot endianness does not match this host");
+  }
+  if (Crc32Of(&h, offsetof(SnapshotHeaderOnDisk, header_crc)) !=
+      h.header_crc) {
+    return Status::InvalidArgument("snapshot header checksum mismatch");
+  }
+  if (h.num_nodes > kInvalidNode || h.section_count > 1024) {
+    return Status::InvalidArgument("snapshot header is corrupt");
+  }
+  const uint64_t table_bytes =
+      static_cast<uint64_t>(h.section_count) * sizeof(SnapshotSectionOnDisk);
+  if (file_size - sizeof(h) < table_bytes) {
+    return Status::IOError("truncated snapshot section table: " + path);
+  }
+  if (Crc32Of(base + sizeof(h), table_bytes) != h.table_crc) {
+    return Status::InvalidArgument("snapshot section table checksum mismatch");
+  }
+  EMIGRE_ASSIGN_OR_RETURN(SectionIndex idx,
+                          SectionIndex::Parse(base, file_size, h));
+  if (opts.verify_checksums) {
+    EMIGRE_RETURN_IF_ERROR(idx.VerifyChecksums());
+  }
+
+  const uint64_t n = h.num_nodes;
+  const uint64_t e = h.num_edges;
+  CsrGraph::Columns cols;
+  cols.num_nodes = n;
+  cols.num_edges = e;
+  {
+    EMIGRE_ASSIGN_OR_RETURN(
+        const uint8_t* p,
+        idx.Require(SnapshotSectionId::kNodeType, n * sizeof(NodeTypeId)));
+    cols.node_type = AsArray<NodeTypeId>(p);
+    EMIGRE_ASSIGN_OR_RETURN(
+        p, idx.Require(SnapshotSectionId::kOutWeight, n * sizeof(double)));
+    cols.out_weight = AsArray<double>(p);
+    EMIGRE_ASSIGN_OR_RETURN(p, idx.Require(SnapshotSectionId::kOutOffsets,
+                                           (n + 1) * sizeof(uint64_t)));
+    cols.out_offsets = AsArray<uint64_t>(p);
+    EMIGRE_ASSIGN_OR_RETURN(
+        p, idx.Require(SnapshotSectionId::kOutDst, e * sizeof(NodeId)));
+    cols.out_dst = AsArray<NodeId>(p);
+    EMIGRE_ASSIGN_OR_RETURN(
+        p, idx.Require(SnapshotSectionId::kOutType, e * sizeof(EdgeTypeId)));
+    cols.out_type = AsArray<EdgeTypeId>(p);
+    EMIGRE_ASSIGN_OR_RETURN(
+        p, idx.Require(SnapshotSectionId::kOutW, e * sizeof(double)));
+    cols.out_w = AsArray<double>(p);
+    EMIGRE_ASSIGN_OR_RETURN(p, idx.Require(SnapshotSectionId::kInOffsets,
+                                           (n + 1) * sizeof(uint64_t)));
+    cols.in_offsets = AsArray<uint64_t>(p);
+    EMIGRE_ASSIGN_OR_RETURN(
+        p, idx.Require(SnapshotSectionId::kInSrc, e * sizeof(NodeId)));
+    cols.in_src = AsArray<NodeId>(p);
+    EMIGRE_ASSIGN_OR_RETURN(
+        p, idx.Require(SnapshotSectionId::kInType, e * sizeof(EdgeTypeId)));
+    cols.in_type = AsArray<EdgeTypeId>(p);
+    EMIGRE_ASSIGN_OR_RETURN(
+        p, idx.Require(SnapshotSectionId::kInW, e * sizeof(double)));
+    cols.in_w = AsArray<double>(p);
+  }
+  // Structural spot checks — touch two pages, not the whole adjacency.
+  if (cols.out_offsets[0] != 0 || cols.out_offsets[n] != e ||
+      cols.in_offsets[0] != 0 || cols.in_offsets[n] != e) {
+    return Status::InvalidArgument(
+        "snapshot offset columns are inconsistent with the header");
+  }
+
+  CsrSnapshotView view;
+  {
+    EMIGRE_ASSIGN_OR_RETURN(
+        SnapshotSectionOnDisk entry,
+        idx.Entry(SnapshotSectionId::kNodeTypeNames));
+    EMIGRE_ASSIGN_OR_RETURN(
+        std::vector<std::string> names,
+        DecodeNamePool(base + entry.offset, entry.bytes, "node-type"));
+    if (names.size() != h.num_node_types) {
+      return Status::InvalidArgument(
+          "snapshot node-type table does not match the header");
+    }
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (view.node_types_.GetOrRegister(names[i]) !=
+          static_cast<NodeTypeId>(i)) {
+        return Status::InvalidArgument("snapshot has duplicate node types");
+      }
+    }
+  }
+  {
+    EMIGRE_ASSIGN_OR_RETURN(
+        SnapshotSectionOnDisk entry,
+        idx.Entry(SnapshotSectionId::kEdgeTypeNames));
+    EMIGRE_ASSIGN_OR_RETURN(
+        std::vector<std::string> names,
+        DecodeNamePool(base + entry.offset, entry.bytes, "edge-type"));
+    if (names.size() != h.num_edge_types) {
+      return Status::InvalidArgument(
+          "snapshot edge-type table does not match the header");
+    }
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (view.edge_types_.GetOrRegister(names[i]) !=
+          static_cast<EdgeTypeId>(i)) {
+        return Status::InvalidArgument("snapshot has duplicate edge types");
+      }
+    }
+  }
+  if ((h.flags & kSnapshotFlagLabels) != 0) {
+    EMIGRE_ASSIGN_OR_RETURN(
+        const uint8_t* p,
+        idx.Require(SnapshotSectionId::kLabelOffsets,
+                    (n + 1) * sizeof(uint64_t)));
+    view.label_offsets_ = AsArray<uint64_t>(p);
+    EMIGRE_ASSIGN_OR_RETURN(
+        SnapshotSectionOnDisk entry,
+        idx.Entry(SnapshotSectionId::kLabelBytes));
+    if (view.label_offsets_[0] != 0 ||
+        view.label_offsets_[n] != entry.bytes) {
+      return Status::InvalidArgument(
+          "snapshot label offsets are inconsistent with the label pool");
+    }
+    view.label_bytes_ = reinterpret_cast<const char*>(base + entry.offset);
+  }
+  view.csr_ = CsrGraph::Alias(cols, blob);
+  view.blob_ = std::move(blob);
+  return view;
+}
+
+std::string CsrSnapshotView::DisplayName(NodeId n) const {
+  const std::string_view label = Label(n);
+  if (!label.empty()) return std::string(label);
+  return StrFormat("#%u", n);
+}
+
+}  // namespace emigre::graph

@@ -1,0 +1,40 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace emigre {
+
+namespace {
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+void Crc32::Update(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = state_;
+  for (size_t i = 0; i < len; ++i) {
+    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+uint32_t Crc32Of(const void* data, size_t len) {
+  Crc32 crc;
+  crc.Update(data, len);
+  return crc.value();
+}
+
+}  // namespace emigre

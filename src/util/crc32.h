@@ -1,0 +1,36 @@
+#ifndef EMIGRE_UTIL_CRC32_H_
+#define EMIGRE_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace emigre {
+
+/// \brief Incremental IEEE CRC-32 (polynomial 0xEDB88320, the zlib/PNG
+/// checksum), table-driven, no external dependencies.
+///
+/// The binary dataset format and the CSR snapshot format checksum every
+/// on-disk section with it (docs/data_format.md). The streaming writers
+/// fold bytes in as they are produced, so checksumming never forces a
+/// section to be materialized in memory.
+class Crc32 {
+ public:
+  /// Folds `len` bytes into the running checksum.
+  void Update(const void* data, size_t len);
+
+  /// The checksum of everything passed to `Update` so far.
+  uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+  /// Resets to the empty-input checksum (0).
+  void Reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot convenience over `Crc32`.
+uint32_t Crc32Of(const void* data, size_t len);
+
+}  // namespace emigre
+
+#endif  // EMIGRE_UTIL_CRC32_H_

@@ -59,53 +59,73 @@ CsvReader::CsvReader(const std::string& path, char delim)
 
 bool CsvReader::ReadRow(std::vector<std::string>* fields) {
   if (!status_.ok()) return false;
-  fields->clear();
-  std::string field;
+  if (!std::getline(in_, line_)) {
+    // getline reports a stream error and EOF the same way; distinguish them
+    // so a truncated file is not silently indistinguishable from a clean
+    // end of file.
+    if (in_.bad()) status_ = Status::IOError("read failed");
+    return false;
+  }
+  // Assign into the caller's existing strings instead of push_back(move):
+  // with a reused `fields` vector both the field strings and the line
+  // buffer keep their capacity from row to row, so the steady-state loop
+  // allocates nothing.
+  size_t n = 0;
+  auto emit = [&](const std::string& value) {
+    if (n < fields->size()) {
+      (*fields)[n] = value;
+    } else {
+      fields->push_back(value);
+    }
+    ++n;
+  };
+  field_.clear();
   bool in_quotes = false;
-  bool saw_any = false;
-  int c;
-  while ((c = in_.get()) != EOF) {
-    saw_any = true;
-    char ch = static_cast<char>(c);
+  size_t i = 0;
+  while (true) {
+    if (i == line_.size()) {
+      if (!in_quotes) break;
+      // A quoted field may span physical lines; splice the next one in and
+      // keep the embedded newline.
+      size_t resume = line_.size();
+      std::string continuation;
+      if (!std::getline(in_, continuation)) {
+        if (in_.bad()) {
+          status_ = Status::IOError("read failed");
+        } else {
+          status_ = Status::InvalidArgument("unterminated quoted field at EOF");
+        }
+        return false;
+      }
+      line_ += '\n';
+      line_ += continuation;
+      i = resume;
+    }
+    char ch = line_[i++];
     if (in_quotes) {
       if (ch == '"') {
-        if (in_.peek() == '"') {
-          in_.get();
-          field += '"';
+        if (i < line_.size() && line_[i] == '"') {
+          ++i;
+          field_ += '"';
         } else {
           in_quotes = false;
         }
       } else {
-        field += ch;
+        field_ += ch;
       }
     } else if (ch == '"') {
       in_quotes = true;
     } else if (ch == delim_) {
-      fields->push_back(std::move(field));
-      field.clear();
+      emit(field_);
+      field_.clear();
     } else if (ch == '\r') {
-      // Tolerate CRLF: swallow, the '\n' terminates the row.
-    } else if (ch == '\n') {
-      fields->push_back(std::move(field));
-      return true;
+      // Tolerate CRLF: getline keeps the '\r'; swallow it.
     } else {
-      field += ch;
+      field_ += ch;
     }
   }
-  // The loop only exits without a terminating newline at EOF — or on a
-  // stream error, which get() also reports as EOF. Distinguish the two and
-  // reject rows cut off inside a quoted field; both used to be silently
-  // indistinguishable from a clean end of file.
-  if (in_.bad()) {
-    status_ = Status::IOError("read failed");
-    return false;
-  }
-  if (in_quotes) {
-    status_ = Status::InvalidArgument("unterminated quoted field at EOF");
-    return false;
-  }
-  if (!saw_any) return false;
-  fields->push_back(std::move(field));
+  emit(field_);
+  fields->resize(n);
   return true;
 }
 

@@ -38,6 +38,11 @@ class CsvWriter {
 };
 
 /// \brief Matching CSV reader; handles quoted fields and escaped quotes.
+///
+/// Reads whole lines into a reusable buffer and assigns fields in place, so
+/// a steady-state row loop performs no allocations once the buffers have
+/// grown to the widest row seen (callers should reuse one `fields` vector
+/// across `ReadRow` calls to benefit).
 class CsvReader {
  public:
   explicit CsvReader(const std::string& path, char delim = ',');
@@ -53,6 +58,8 @@ class CsvReader {
   std::ifstream in_;
   char delim_;
   Status status_;
+  std::string line_;   ///< reused line buffer (may span lines when quoted)
+  std::string field_;  ///< reused field-accumulation buffer
 };
 
 /// Parses one CSV line (no embedded newlines) into fields.

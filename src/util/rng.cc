@@ -1,5 +1,6 @@
 #include "util/rng.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 
@@ -80,6 +81,28 @@ size_t Rng::NextWeighted(const std::vector<double>& weights) {
     if (u <= acc) return i;
   }
   return weights.size() - 1;
+}
+
+WeightedSampler::WeightedSampler(const std::vector<double>& weights) {
+  EMIGRE_CHECK(!weights.empty()) << "WeightedSampler requires weights";
+  cumulative_.reserve(weights.size());
+  // Same left-to-right accumulation as the NextWeighted scan, so every
+  // entry is bit-identical to the scan's running `acc`.
+  double acc = 0.0;
+  for (double w : weights) {
+    acc += w;
+    cumulative_.push_back(acc);
+  }
+  EMIGRE_CHECK(acc > 0.0) << "WeightedSampler requires positive total weight";
+}
+
+size_t WeightedSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble() * cumulative_.back();
+  // First prefix with u <= cumulative_[i] — the index the linear scan's
+  // `u <= acc` test would accept.
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  if (it == cumulative_.end()) return cumulative_.size() - 1;
+  return static_cast<size_t>(it - cumulative_.begin());
 }
 
 std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {

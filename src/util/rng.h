@@ -68,6 +68,31 @@ class Rng {
   uint64_t state_;
 };
 
+/// \brief Precomputed inverse-CDF table for repeated weighted draws.
+///
+/// `Rng::NextWeighted` re-sums and scans its weight vector on every call —
+/// fine for one-off draws, O(pool) per draw when the same pool is sampled
+/// millions of times (the synthetic generator's per-category item pools at
+/// the `large` band). This table pays the O(n) sum once and answers each
+/// draw with a binary search. Draws are bit-identical to
+/// `Rng::NextWeighted` on the same weights: the prefix sums are accumulated
+/// in the same left-to-right order and the lower_bound comparison matches
+/// the scan's `u <= prefix` acceptance exactly.
+class WeightedSampler {
+ public:
+  /// Weights must be non-negative with a positive sum.
+  explicit WeightedSampler(const std::vector<double>& weights);
+
+  /// Samples an index in [0, size()) proportionally to the weights,
+  /// consuming exactly one `NextDouble` draw (same as `NextWeighted`).
+  [[nodiscard]] size_t Sample(Rng& rng) const;
+
+  [[nodiscard]] size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
 }  // namespace emigre
 
 #endif  // EMIGRE_UTIL_RNG_H_

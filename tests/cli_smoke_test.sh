@@ -107,6 +107,83 @@ test "$BADFLAG" -eq 2
 test "$BADUSER" -eq 2
 test "$NOFILE" -eq 1
 
+# Binary dataset pipeline (docs/data_format.md): generate straight into
+# emigre.bin.v1, inspect the directory, peek rows, convert across
+# encodings, cut a CSR snapshot, and serve a query off the mmap.
+"$EMIGRE" generate --users 25 --items 150 --categories 6 --seed 99 \
+    --format bin --out "$DIR/ds.bin" > "$DIR/log" 2>&1
+grep -q "dataset:" "$DIR/log"
+
+# Bare inspect prints section stats without touching payloads.
+"$EMIGRE" inspect --in "$DIR/ds.bin" > "$DIR/log" 2>&1
+grep -q "emigre.bin.v1 dataset: 5 sections" "$DIR/log"
+grep -q "section ratings:" "$DIR/log"
+
+# --head prints a header line plus exactly N rows, indexed from 0.
+"$EMIGRE" inspect --in "$DIR/ds.bin" --section ratings --head 3 \
+    > "$DIR/head.txt" 2>&1
+test "$(wc -l < "$DIR/head.txt")" -eq 4
+sed -n '2p' "$DIR/head.txt" | grep -q "^0"
+
+# --tail ends on the last row of the section (150 items -> index 149).
+"$EMIGRE" inspect --in "$DIR/ds.bin" --section items --tail 2 \
+    > "$DIR/tail.txt" 2>&1
+test "$(wc -l < "$DIR/tail.txt")" -eq 3
+sed -n '3p' "$DIR/tail.txt" | grep -q "^149"
+
+# --sample is a seeded reservoir: same seed -> identical bytes, different
+# seed -> a different draw.
+"$EMIGRE" inspect --in "$DIR/ds.bin" --section ratings --sample 5 --seed 7 \
+    > "$DIR/s1.txt" 2>&1
+"$EMIGRE" inspect --in "$DIR/ds.bin" --section ratings --sample 5 --seed 7 \
+    > "$DIR/s2.txt" 2>&1
+"$EMIGRE" inspect --in "$DIR/ds.bin" --section ratings --sample 5 --seed 8 \
+    > "$DIR/s3.txt" 2>&1
+cmp -s "$DIR/s1.txt" "$DIR/s2.txt"
+test "$(wc -l < "$DIR/s1.txt")" -eq 6
+if cmp -s "$DIR/s1.txt" "$DIR/s3.txt"; then exit 1; fi
+
+# Convert round trip: bin -> csv -> bin, then bin -> bin must be
+# byte-stable (the binary encoding is exact; CSV is the lossy leg).
+"$EMIGRE" convert --in "$DIR/ds.bin" --to csv --out "$DIR/ds-csv" \
+    > "$DIR/log" 2>&1
+grep -q "(csv)" "$DIR/log"
+"$EMIGRE" convert --in "$DIR/ds-csv" --to bin --out "$DIR/ds2.bin" \
+    > "$DIR/log" 2>&1
+"$EMIGRE" convert --in "$DIR/ds2.bin" --to bin --out "$DIR/ds3.bin" \
+    > "$DIR/log" 2>&1
+cmp -s "$DIR/ds2.bin" "$DIR/ds3.bin"
+
+# Snapshot: stream the binary dataset into emigre.csr.v1 and serve off it.
+"$EMIGRE" convert --in "$DIR/ds.bin" --to snapshot --out "$DIR/ds.csr" \
+    > "$DIR/log" 2>&1
+grep -q "snapshot:" "$DIR/log"
+"$EMIGRE" inspect --in "$DIR/ds.csr" > "$DIR/log" 2>&1
+grep -q "emigre.csr.v1 snapshot:" "$DIR/log"
+grep -q "backing: mmap" "$DIR/log"
+"$EMIGRE" recommend --graph "$DIR/ds.csr" --user 0 --top 3 \
+    > "$DIR/log" 2>&1
+test -n "$(sed -n '2p' "$DIR/log")"
+
+# Format exit codes: usage errors 2, missing/corrupt input 1.
+head -c 100 "$DIR/ds.bin" > "$DIR/trunc.bin"
+set +e
+"$EMIGRE" convert --in "$DIR/ds.bin" --to parquet --out "$DIR/x" \
+    2>/dev/null; BADTO=$?
+"$EMIGRE" convert --in "$DIR/ds.bin" --to bin 2>/dev/null; NOOUT=$?
+"$EMIGRE" inspect --in "$DIR/ds.bin" --section ratings 2>/dev/null; NOMODE=$?
+"$EMIGRE" inspect --in "$DIR/missing.bin" 2>/dev/null; NOBIN=$?
+"$EMIGRE" inspect --in "$DIR/ds.bin" --section bogus --head 1 \
+    2>/dev/null; NOSECT=$?
+"$EMIGRE" inspect --in "$DIR/trunc.bin" 2>/dev/null; TRUNC=$?
+set -e
+test "$BADTO" -eq 2
+test "$NOOUT" -eq 2
+test "$NOMODE" -eq 2
+test "$NOBIN" -eq 1
+test "$NOSECT" -eq 1
+test "$TRUNC" -eq 1
+
 # chaos runs in every build; without -DEMIGRE_FAULT_INJECTION=ON the sites
 # are compiled out and it degenerates to a plain-pipeline soak.
 "$EMIGRE" chaos --seeds 2 --queries 1 --users 20 --items 120 \

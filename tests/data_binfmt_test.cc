@@ -1,0 +1,328 @@
+// The emigre.bin.v1 container (docs/data_format.md): writer/reader round
+// trips, the streaming generator sink, corruption robustness, and the
+// --format=auto dispatch.
+
+#include "data/binfmt.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/bin_io.h"
+#include "data/csv_io.h"
+#include "data/schema.h"
+#include "data/synthetic_amazon.h"
+#include "fault/fault.h"
+#include "test_util.h"
+#include "util/status.h"
+
+namespace emigre::data {
+namespace {
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+SyntheticAmazonOptions SmallGenOptions() {
+  SyntheticAmazonOptions gen;
+  gen.num_users = 12;
+  gen.num_items = 60;
+  gen.num_categories = 4;
+  gen.min_actions_per_user = 3;
+  gen.max_actions_per_user = 8;
+  gen.embedding_dim = 4;
+  return gen;
+}
+
+TEST(BinfmtTest, RoundTripsEveryDtype) {
+  std::string path = test::MakeTempDir("binfmt") + "/all.bin";
+  {
+    binfmt::BinWriter w(path);
+    ASSERT_TRUE(w.status().ok());
+    auto sect = w.BeginSection(
+        "everything",
+        {{"u8", binfmt::Dtype::kU8},
+         {"u16", binfmt::Dtype::kU16},
+         {"u32", binfmt::Dtype::kU32},
+         {"u64", binfmt::Dtype::kU64},
+         {"i32", binfmt::Dtype::kI32},
+         {"f32", binfmt::Dtype::kF32},
+         {"f64", binfmt::Dtype::kF64},
+         {"s", binfmt::Dtype::kStr},
+         {"lu32", binfmt::Dtype::kU32, /*is_list=*/true},
+         {"lf32", binfmt::Dtype::kF32, /*is_list=*/true}});
+    ASSERT_TRUE(sect.ok());
+    for (uint32_t row = 0; row < 100; ++row) {
+      size_t s = sect.value();
+      ASSERT_TRUE(w.AppendU8(s, 0, static_cast<uint8_t>(row)).ok());
+      ASSERT_TRUE(w.AppendU16(s, 1, static_cast<uint16_t>(row * 3)).ok());
+      ASSERT_TRUE(w.AppendU32(s, 2, row * 7).ok());
+      ASSERT_TRUE(w.AppendU64(s, 3, uint64_t{row} << 33).ok());
+      ASSERT_TRUE(w.AppendI32(s, 4, -static_cast<int32_t>(row)).ok());
+      ASSERT_TRUE(w.AppendF32(s, 5, 0.5f * static_cast<float>(row)).ok());
+      ASSERT_TRUE(w.AppendF64(s, 6, 0.25 * row).ok());
+      ASSERT_TRUE(w.AppendStr(s, 7, "name-" + std::to_string(row)).ok());
+      std::vector<uint32_t> lu = {row, row + 1, row + 2};
+      ASSERT_TRUE(w.AppendListU32(s, 8, lu.data(), row % 4).ok());
+      std::vector<float> lf = {1.5f, -2.5f};
+      ASSERT_TRUE(w.AppendListF32(s, 9, lf.data(), lf.size()).ok());
+      ASSERT_TRUE(w.EndRow(s).ok());
+    }
+    ASSERT_TRUE(w.EndSection(sect.value()).ok());
+    ASSERT_TRUE(w.Finish().ok());
+  }
+
+  ASSERT_TRUE(binfmt::SniffBinDataset(path));
+  auto r = binfmt::BinReader::Open(path);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->sections().size(), 1u);
+  const binfmt::SectionInfo& info = r->sections()[0];
+  EXPECT_EQ(info.name, "everything");
+  EXPECT_EQ(info.row_count, 100u);
+  ASSERT_EQ(info.columns.size(), 10u);
+  EXPECT_EQ(info.columns[7].dtype, binfmt::Dtype::kStr);
+  EXPECT_TRUE(info.columns[8].is_list);
+
+  auto u32s = r->OpenColumn(0, 2);
+  ASSERT_TRUE(u32s.ok());
+  uint32_t v = 0;
+  for (uint32_t row = 0; row < 100; ++row) {
+    ASSERT_TRUE(u32s->NextU32(&v));
+    EXPECT_EQ(v, row * 7);
+  }
+  EXPECT_FALSE(u32s->NextU32(&v));
+  EXPECT_TRUE(u32s->Finish().ok());
+
+  auto strs = r->OpenColumn(0, 7);
+  ASSERT_TRUE(strs.ok());
+  std::string sv;
+  ASSERT_TRUE(strs->NextStr(&sv));
+  EXPECT_EQ(sv, "name-0");
+  EXPECT_TRUE(strs->Finish().ok());
+
+  auto lists = r->OpenColumn(0, 8);
+  ASSERT_TRUE(lists.ok());
+  std::vector<uint32_t> lv;
+  ASSERT_TRUE(lists->NextListU32(&lv));
+  EXPECT_TRUE(lv.empty());  // row 0 appended 0 elements
+  ASSERT_TRUE(lists->NextListU32(&lv));
+  EXPECT_EQ(lv, (std::vector<uint32_t>{1}));
+  EXPECT_TRUE(lists->Finish().ok());
+}
+
+TEST(BinfmtTest, SpillingWriterInterleavesOpenSections) {
+  std::string path = test::MakeTempDir("binfmt") + "/interleaved.bin";
+  {
+    // A 16-byte spill threshold forces every column through the temp-file
+    // path, and both sections stay open across the interleaved appends —
+    // the shape the streaming generator relies on.
+    binfmt::BinWriter w(path, /*spill_threshold_bytes=*/16);
+    ASSERT_TRUE(w.status().ok());
+    auto a = w.BeginSection("a", {{"x", binfmt::Dtype::kU32}});
+    auto b = w.BeginSection("b", {{"y", binfmt::Dtype::kStr}});
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    for (uint32_t i = 0; i < 64; ++i) {
+      ASSERT_TRUE(w.AppendU32(a.value(), 0, i).ok());
+      ASSERT_TRUE(w.EndRow(a.value()).ok());
+      if (i % 2 == 0) {
+        ASSERT_TRUE(
+            w.AppendStr(b.value(), 0, "row-" + std::to_string(i)).ok());
+        ASSERT_TRUE(w.EndRow(b.value()).ok());
+      }
+    }
+    ASSERT_TRUE(w.EndSection(b.value()).ok());
+    ASSERT_TRUE(w.EndSection(a.value()).ok());
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  auto r = binfmt::BinReader::Open(path);
+  ASSERT_TRUE(r.ok()) << r.status();
+  // Sections land in EndSection order.
+  ASSERT_EQ(r->sections().size(), 2u);
+  EXPECT_EQ(r->sections()[0].name, "b");
+  EXPECT_EQ(r->sections()[0].row_count, 32u);
+  EXPECT_EQ(r->sections()[1].name, "a");
+  EXPECT_EQ(r->sections()[1].row_count, 64u);
+  auto c = r->OpenColumn(1, 0);
+  ASSERT_TRUE(c.ok());
+  uint32_t v = 0;
+  for (uint32_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(c->NextU32(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_TRUE(c->Finish().ok());
+}
+
+TEST(DatasetBinTest, RoundTripIsExact) {
+  Result<Dataset> ds = GenerateSyntheticAmazon(SmallGenOptions());
+  ASSERT_TRUE(ds.ok());
+  std::string path = test::MakeTempDir("binio") + "/ds.bin";
+  ASSERT_TRUE(SaveDatasetBin(ds.value(), path).ok());
+
+  Result<Dataset> loaded = LoadDatasetBin(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->categories.size(), ds->categories.size());
+  ASSERT_EQ(loaded->items.size(), ds->items.size());
+  ASSERT_EQ(loaded->users.size(), ds->users.size());
+  ASSERT_EQ(loaded->ratings.size(), ds->ratings.size());
+  ASSERT_EQ(loaded->reviews.size(), ds->reviews.size());
+  for (size_t i = 0; i < ds->items.size(); ++i) {
+    EXPECT_EQ(loaded->items[i].name, ds->items[i].name);
+    EXPECT_EQ(loaded->items[i].category, ds->items[i].category);
+    // Binary columns preserve float bits exactly — no CSV text round-off.
+    EXPECT_EQ(loaded->items[i].popularity, ds->items[i].popularity);
+    EXPECT_EQ(loaded->items[i].quality, ds->items[i].quality);
+  }
+  for (size_t i = 0; i < ds->users.size(); ++i) {
+    EXPECT_EQ(loaded->users[i].rating_bias, ds->users[i].rating_bias);
+    EXPECT_EQ(loaded->users[i].preferences, ds->users[i].preferences);
+  }
+  for (size_t i = 0; i < ds->ratings.size(); ++i) {
+    EXPECT_EQ(loaded->ratings[i].user, ds->ratings[i].user);
+    EXPECT_EQ(loaded->ratings[i].item, ds->ratings[i].item);
+    EXPECT_EQ(loaded->ratings[i].stars, ds->ratings[i].stars);
+  }
+  for (size_t i = 0; i < ds->reviews.size(); ++i) {
+    EXPECT_EQ(loaded->reviews[i].embedding, ds->reviews[i].embedding);
+  }
+}
+
+TEST(DatasetBinTest, StreamedGeneratorMatchesCollectedBytes) {
+  SyntheticAmazonOptions gen = SmallGenOptions();
+  std::string dir = test::MakeTempDir("binio");
+  std::string streamed = dir + "/streamed.bin";
+  std::string collected = dir + "/collected.bin";
+
+  ASSERT_TRUE(GenerateSyntheticAmazonBin(gen, streamed).ok());
+  Result<Dataset> ds = GenerateSyntheticAmazon(gen);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_TRUE(SaveDatasetBin(ds.value(), collected).ok());
+
+  // The streaming sink must be indistinguishable from materialize-then-save
+  // down to the byte.
+  EXPECT_EQ(ReadFileBytes(streamed), ReadFileBytes(collected));
+}
+
+TEST(DatasetBinTest, SinkRejectsOutOfPhaseRows) {
+  std::string path = test::MakeTempDir("binio") + "/phase.bin";
+  BinDatasetSink sink(path);
+  ASSERT_TRUE(sink.OnCategory(Category{0, "c"}).ok());
+  ASSERT_TRUE(sink.OnItem(Item{0, "i", 0, 0.5, 0.5}).ok());
+  // Items are closed once users begin; a late item must be rejected.
+  ASSERT_TRUE(sink.OnUser(User{0, "u", {}, 0.0}).ok());
+  Status late = sink.OnItem(Item{1, "late", 0, 0.5, 0.5});
+  EXPECT_EQ(late.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetBinTest, CorruptionSurfacesAsTypedErrors) {
+  Result<Dataset> ds = GenerateSyntheticAmazon(SmallGenOptions());
+  ASSERT_TRUE(ds.ok());
+  std::string dir = test::MakeTempDir("binio");
+  std::string path = dir + "/ds.bin";
+  ASSERT_TRUE(SaveDatasetBin(ds.value(), path).ok());
+  const std::string good = ReadFileBytes(path);
+  ASSERT_GT(good.size(), 64u);
+
+  {  // Bad magic: not this format at all.
+    std::string bad = good;
+    bad[0] = 'X';
+    WriteFileBytes(dir + "/magic.bin", bad);
+    auto r = LoadDatasetBin(dir + "/magic.bin");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_FALSE(binfmt::SniffBinDataset(dir + "/magic.bin"));
+  }
+  {  // Corrupt header CRC.
+    std::string bad = good;
+    bad[20] = static_cast<char>(bad[20] ^ 0x01);
+    WriteFileBytes(dir + "/hdrcrc.bin", bad);
+    auto r = LoadDatasetBin(dir + "/hdrcrc.bin");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+  {  // Truncation: cut the file mid-payload.
+    WriteFileBytes(dir + "/trunc.bin", good.substr(0, good.size() / 2));
+    auto r = LoadDatasetBin(dir + "/trunc.bin");
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().code() == StatusCode::kIOError ||
+                r.status().code() == StatusCode::kInvalidArgument)
+        << r.status();
+  }
+  {  // Bit rot in the last payload byte: the column CRC must catch it.
+    std::string bad = good;
+    bad.back() = static_cast<char>(bad.back() ^ 0x40);
+    WriteFileBytes(dir + "/bitrot.bin", bad);
+    auto r = LoadDatasetBin(dir + "/bitrot.bin");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+  {  // Garbage that is not even a header.
+    WriteFileBytes(dir + "/garbage.bin", "definitely not a dataset");
+    auto r = LoadDatasetBin(dir + "/garbage.bin");
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().code() == StatusCode::kIOError ||
+                r.status().code() == StatusCode::kInvalidArgument)
+        << r.status();
+  }
+}
+
+TEST(DatasetBinTest, FaultSiteInjectsOnRead) {
+  if (!fault::kFaultInjectionEnabled) {
+    GTEST_SKIP() << "fault sites compiled out";
+  }
+  Result<Dataset> ds = GenerateSyntheticAmazon(SmallGenOptions());
+  ASSERT_TRUE(ds.ok());
+  std::string path = test::MakeTempDir("binio") + "/ds.bin";
+  ASSERT_TRUE(SaveDatasetBin(ds.value(), path).ok());
+
+  auto& reg = fault::FaultRegistry::Global();
+  reg.Reset();
+  fault::FaultSpec spec;
+  spec.site = "data.bin.read";
+  spec.nth = 1;
+  spec.code = StatusCode::kIOError;
+  ASSERT_TRUE(reg.Arm(spec).ok());
+  auto r = LoadDatasetBin(path);
+  reg.Reset();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(DatasetAutoTest, DispatchesOnFormatAndSniff) {
+  Result<Dataset> ds = GenerateSyntheticAmazon(SmallGenOptions());
+  ASSERT_TRUE(ds.ok());
+  std::string dir = test::MakeTempDir("auto");
+  std::string bin = dir + "/ds.bin";
+  std::string csv_dir = test::MakeTempDir("auto_csv");
+  ASSERT_TRUE(SaveDatasetBin(ds.value(), bin).ok());
+  ASSERT_TRUE(SaveDatasetCsv(ds.value(), csv_dir).ok());
+
+  auto from_bin = LoadDatasetAuto(bin, "auto");
+  ASSERT_TRUE(from_bin.ok()) << from_bin.status();
+  EXPECT_EQ(from_bin->ratings.size(), ds->ratings.size());
+
+  auto from_csv = LoadDatasetAuto(csv_dir, "auto");
+  ASSERT_TRUE(from_csv.ok()) << from_csv.status();
+  EXPECT_EQ(from_csv->ratings.size(), ds->ratings.size());
+
+  auto forced_bin = LoadDatasetAuto(bin, "bin");
+  EXPECT_TRUE(forced_bin.ok());
+  auto mismatched = LoadDatasetAuto(csv_dir, "bin");
+  EXPECT_FALSE(mismatched.ok());
+  auto unknown = LoadDatasetAuto(bin, "parquet");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace emigre::data

@@ -104,5 +104,43 @@ TEST(DatasetCsvTest, CorruptRowFailsInsteadOfTruncating) {
   EXPECT_TRUE(loaded.status().IsInvalidArgument()) << loaded.status();
 }
 
+TEST(DatasetCsvTest, RowCountHintIsWrittenAndOptional) {
+  SyntheticAmazonOptions gen;
+  gen.num_users = 8;
+  gen.num_items = 30;
+  gen.num_categories = 3;
+  Result<Dataset> ds = GenerateSyntheticAmazon(gen);
+  ASSERT_TRUE(ds.ok());
+  std::string dir = test::MakeTempDir("dataset_hint");
+  ASSERT_TRUE(SaveDatasetCsv(ds.value(), dir).ok());
+
+  // The writer declares the row count ahead of the header so loaders can
+  // reserve up front.
+  std::ifstream in(dir + "/ratings.csv");
+  std::string first;
+  ASSERT_TRUE(std::getline(in, first));
+  EXPECT_EQ(first, "# rows=" + std::to_string(ds->ratings.size()));
+
+  // External CSVs without the hint (or with a malformed one) load fine.
+  {
+    std::ofstream out(dir + "/categories.csv");
+    out << "id,name\n0,books\n1,music\n";
+  }
+  {
+    std::ofstream out(dir + "/ratings.csv", std::ios::trunc);
+    out << "# rows=not-a-number\nuser,item,stars\n0,0,5\n";
+  }
+  {
+    std::ofstream out(dir + "/reviews.csv", std::ios::trunc);
+    out << "id,user,item,embedding\n";
+  }
+  Result<Dataset> loaded = LoadDatasetCsv(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->categories.size(), 2u);
+  ASSERT_EQ(loaded->ratings.size(), 1u);
+  EXPECT_EQ(loaded->ratings[0].stars, 5);
+  EXPECT_TRUE(loaded->reviews.empty());
+}
+
 }  // namespace
 }  // namespace emigre::data

@@ -82,6 +82,27 @@ TEST(CsvTest, UnterminatedQuoteReportsError) {
   EXPECT_TRUE(r.status().IsInvalidArgument()) << r.status();
 }
 
+// The buffered reader splices physical lines back together when a quoted
+// field embeds newlines, and reuses the caller's row vector without
+// leftover fields from a previous (wider) row.
+TEST(CsvTest, QuotedFieldSpanningLinesAndRowReuse) {
+  std::string path = test::MakeTempDir("csv") + "/span.csv";
+  {
+    std::ofstream f(path);
+    f << "a,\"line one\nline two\",c\r\n";  // CRLF terminator too
+    f << "only,two\n";
+  }
+  CsvReader r(path);
+  std::vector<std::string> row;
+  ASSERT_TRUE(r.ReadRow(&row));
+  EXPECT_EQ(row, (std::vector<std::string>{"a", "line one\nline two", "c"}));
+  // The next row has fewer fields; the reused vector must shrink.
+  ASSERT_TRUE(r.ReadRow(&row));
+  EXPECT_EQ(row, (std::vector<std::string>{"only", "two"}));
+  EXPECT_FALSE(r.ReadRow(&row));
+  EXPECT_TRUE(r.status().ok());
+}
+
 TEST(ParseCsvLineTest, HandlesQuotes) {
   EXPECT_EQ(ParseCsvLine("a,b,c"),
             (std::vector<std::string>{"a", "b", "c"}));

@@ -121,6 +121,27 @@ TEST(RngTest, SampleClampsToPopulation) {
   EXPECT_EQ(sample.size(), 5u);
 }
 
+// The O(log n) table must be draw-for-draw bit-identical to the O(n) scan:
+// the synthetic generator switched the hot item-pool draws to it, and any
+// divergence would silently change every seeded dataset.
+TEST(RngTest, WeightedSamplerMatchesNextWeightedBitForBit) {
+  Rng weight_rng(99);
+  std::vector<double> weights;
+  for (int i = 0; i < 1000; ++i) {
+    // Heavy-tailed, with ties and zeros — the shapes the generator feeds it.
+    weights.push_back(i % 7 == 0 ? 0.0 : 1.0 / (1 + weight_rng.NextBounded(50)));
+  }
+  WeightedSampler sampler(weights);
+  Rng scan_rng(4242);
+  Rng table_rng(4242);
+  for (int draw = 0; draw < 2000; ++draw) {
+    ASSERT_EQ(sampler.Sample(table_rng), scan_rng.NextWeighted(weights))
+        << "draw " << draw;
+  }
+  // Both consumed exactly the same stream.
+  EXPECT_EQ(scan_rng.NextUint64(), table_rng.NextUint64());
+}
+
 TEST(RngTest, ForkedStreamsAreIndependentAndDeterministic) {
   Rng a(42);
   Rng b(42);

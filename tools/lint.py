@@ -31,6 +31,12 @@ Rules (each can be suppressed per line with a trailing `NOLINT` or
                    fine — cached-handle call sites), so the perf gate's
                    flattened series and the trace tree each name one code
                    location (docs/observability.md).
+  ondisk-assert    every struct named *OnDisk in src/ (the serialized
+                   layouts of emigre.bin.v1 / emigre.csr.v1,
+                   docs/data_format.md) is static_assert-ed on exact
+                   sizeof and std::is_trivially_copyable_v in the same
+                   file, so a refactor cannot silently change an on-disk
+                   file format.
   guarded-by       inside any class/struct that owns a `std::mutex` or
                    `util::Mutex` member, every sibling data member carries
                    GUARDED_BY/PT_GUARDED_BY (or an explicit
@@ -64,6 +70,7 @@ RULES = (
     "dense-reset",
     "fault-site",
     "obs-name",
+    "ondisk-assert",
     "guarded-by",
 )
 
@@ -355,6 +362,45 @@ def check_obs_names(relpath, stripped_lines, raw_lines, violations,
                 seen_names[name] = (relpath, idx + 1)
 
 
+# A definition (not a forward declaration, not a use) of an on-disk layout
+# struct. The trailing `(?!\s*;)` admits `struct FooOnDisk {` and the
+# brace-on-next-line style while rejecting `struct FooOnDisk;`.
+ONDISK_STRUCT_RE = re.compile(r"^\s*struct\s+(\w*OnDisk)\b(?!\s*;)")
+
+
+def check_ondisk_assert(relpath, stripped_lines, raw_lines, violations):
+    """Structs that are memcpy'd to disk (named *OnDisk by convention,
+    docs/data_format.md) must pin their layout with a
+    static_assert(sizeof(...) == N) and assert trivial copyability in the
+    same file, so adding a member or a vtable breaks the build instead of
+    the file format."""
+    text = "\n".join(stripped_lines)
+    for idx, line in enumerate(stripped_lines):
+        m = ONDISK_STRUCT_RE.match(line)
+        if not m:
+            continue
+        if is_suppressed(raw_lines[idx], "ondisk-assert"):
+            continue
+        name = re.escape(m.group(1))
+        has_size = re.search(
+            rf"static_assert\s*\(\s*sizeof\s*\(\s*{name}\s*\)\s*==", text)
+        has_trivial = re.search(
+            rf"static_assert\s*\(\s*std::is_trivially_copyable_v\s*<"
+            rf"\s*{name}\s*>", text)
+        missing = []
+        if not has_size:
+            missing.append(f"static_assert(sizeof({m.group(1)}) == ...)")
+        if not has_trivial:
+            missing.append("static_assert(std::is_trivially_copyable_v<"
+                           f"{m.group(1)}>)")
+        if missing:
+            violations.append(Violation(
+                relpath, idx + 1, "ondisk-assert",
+                f"on-disk struct {m.group(1)} is missing "
+                f"{' and '.join(missing)}; the serialized layout must be "
+                f"pinned in this file"))
+
+
 MUTEX_MEMBER_RE = re.compile(
     r"^\s*(?:mutable\s+)?(?:std::mutex|util::Mutex|Mutex)\s+\w+\s*"
     r"(?:ACQUIRED_(?:BEFORE|AFTER)\s*\([^;]*\))?\s*;")
@@ -536,6 +582,8 @@ def lint_file(root, relpath, seen_fault_sites=None, seen_obs_names=None):
     if relpath.endswith((".h", ".cc")) and any(
             relpath.startswith(d + "/") for d in DENSE_RESET_DIRS):
         check_dense_reset(relpath, stripped, raw_lines, violations)
+    if relpath.startswith("src/") and relpath.endswith((".h", ".cc")):
+        check_ondisk_assert(relpath, stripped, raw_lines, violations)
     if relpath.endswith((".h", ".cc")):
         check_guarded_by(relpath, stripped, raw_lines, violations)
         # Single-file runs (and the self-test) still catch intra-file
@@ -623,6 +671,17 @@ SEEDED = {
     "obs-name": (
         "src/util/shouty_metric.cc",
         'void F() { EMIGRE_COUNTER("Shouty.Name").Increment(); }\n'),
+    "ondisk-assert": (
+        "src/data/unpinned.h",
+        "#ifndef EMIGRE_DATA_UNPINNED_H_\n#define EMIGRE_DATA_UNPINNED_H_\n"
+        "struct RecordOnDisk {\n"
+        "  unsigned int bytes;\n"
+        "};\n"
+        "static_assert(sizeof(RecordOnDisk) == 4);\n"
+        "struct TrailerOnDisk {\n"
+        "  unsigned int crc;\n"
+        "};\n"
+        "#endif  // EMIGRE_DATA_UNPINNED_H_\n"),
     "guarded-by": (
         "src/util/unguarded.h",
         "#ifndef EMIGRE_UTIL_UNGUARDED_H_\n"
@@ -642,6 +701,12 @@ CLEAN_FILE = (
     "[[nodiscard]] Status DoWrite(int fd);\n"
     "[[nodiscard]]\nStatus DoWriteWrapped(int fd);\n"
     "class [[nodiscard]] Status {};\n"
+    "struct PinnedOnDisk {\n"
+    "  unsigned int bytes;\n"
+    "};\n"
+    "static_assert(sizeof(PinnedOnDisk) == 4);\n"
+    "static_assert(std::is_trivially_copyable_v<PinnedOnDisk>);\n"
+    "struct ForwardOnDisk;\n"
     "class Guarded {\n"
     " public:\n"
     "  [[nodiscard]] Status Flush(int fd);\n"
